@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench repro examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure at the default Monte-Carlo scale.
+repro:
+	python -m repro all
+
+# Paper-scale Table I/II (hours; the default 1e6 already resolves everything).
+repro-paper-scale:
+	python -m repro table1 --iterations 1000000000
+	python -m repro table2 --iterations 1000000000
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info

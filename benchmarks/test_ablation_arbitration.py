@@ -1,0 +1,34 @@
+"""Ablation 1 — CRCW write-arbitration policy (why Theorem 1 needs RANDOM).
+
+The paper's halving argument assumes the surviving write is uniformly
+random among the conflicting writers.  Swap in deterministic policies
+(PRIORITY = lowest pid, ARBITRARY = highest pid) and adversarial value
+layouts degrade the race from O(log k) to Theta(k).
+"""
+
+import math
+
+from repro.bench.experiments import ablation_arbitration
+
+
+def test_arbitration_ablation(benchmark):
+    k = 64
+    report = benchmark.pedantic(
+        ablation_arbitration, kwargs={"k": k, "reps": 25, "seed": 0}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    d = report.data
+
+    # Adversarial layouts: deterministic policies take exactly k rounds.
+    assert d["adversarial"]["priority"] == k
+    assert d["adversarial"]["arbitrary"] == k
+    # RANDOM stays logarithmic on the same layout.
+    assert d["adversarial"]["random"] <= 2 * math.ceil(math.log2(k)) + 4
+
+    # On random layouts every policy is fine (expected rank of a random
+    # value is uniform regardless of which writer survives).
+    for policy, mean in d["random_layout"].items():
+        assert mean <= 2 * math.ceil(math.log2(k)), (policy, mean)
+
+    benchmark.extra_info.update(d["adversarial"])

@@ -1,0 +1,33 @@
+"""Ablation 3 — GPU atomics vs the CRCW model.
+
+The paper's O(log k) step bound lives in the CRCW-RANDOM PRAM, where n
+conflicting writes cost one step.  On the GPUs its predecessor systems
+used (refs [3][4][6]), conflicting atomics serialise: the naive
+``atomicMax`` transcription costs Θ(k) transactions.  Warp-level shuffle
+reduction recovers a factor of warp_width.  This bench measures all
+three cost models on the same selection.
+"""
+
+from repro.bench.experiments import ablation_simt
+
+
+def test_simt_contention(benchmark):
+    k = 256
+    report = benchmark.pedantic(
+        ablation_simt, kwargs={"k": k, "seed": 0}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    d = report.data
+
+    # Naive: exactly one serialised atomic per positive-fitness thread.
+    assert all(v == k for v in d["naive"])
+    # Warp-reduced: k / warp_width atomics.
+    for w, v in zip(d["warp_widths"], d["reduced"]):
+        assert v == k // w or (w == 1 and v == k)
+    # The CRCW model's cost sits far below both at this k.
+    assert d["pram_iterations"] < min(d["reduced"])
+
+    benchmark.extra_info["naive"] = d["naive"][0]
+    benchmark.extra_info["reduced_w32"] = d["reduced"][-1]
+    benchmark.extra_info["pram_iterations"] = d["pram_iterations"]

@@ -1,0 +1,61 @@
+"""ACO-TSP end-to-end (Fig D) — the paper's motivating application.
+
+Runs the Ant System with exact selection (the paper's method and the
+prefix-sum baseline) and with the biased independent baseline, on the
+same instances.  Asserts the structural claims: exact methods agree with
+each other in quality; the measured roulette sparsity profile shows the
+k << n regime that motivates Theorem 1.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import aco_comparison
+
+
+def test_aco_selection_rules(benchmark):
+    report = benchmark.pedantic(
+        aco_comparison,
+        kwargs={
+            "n_cities": 40,
+            "iterations": 15,
+            "seeds": (0, 1, 2),
+            "methods": ("log_bidding", "prefix_sum", "independent"),
+            "n_ants": 10,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    d = report.data
+
+    # Exact methods agree with each other (same distribution => similar
+    # quality within noise).
+    lb = np.mean(d["lengths"]["log_bidding"])
+    ps = np.mean(d["lengths"]["prefix_sum"])
+    assert abs(lb - ps) / ps < 0.15
+
+    # All colonies produce real tours far better than random permutations.
+    nn = np.mean(d["nn"])
+    for name in ("log_bidding", "prefix_sum", "independent"):
+        assert np.mean(d["lengths"][name]) < 1.4 * nn
+
+    # The sparsity claim: the mean roulette k over a tour construction is
+    # ~n/2 (selections sweep k = n-1 .. 1), i.e. half the wheel is zeros
+    # on average and late selections run at k << n.
+    assert 0.4 * 40 < d["mean_k"]["log_bidding"] < 0.6 * 40
+
+    benchmark.extra_info["mean_lengths"] = {
+        k: float(np.mean(v)) for k, v in d["lengths"].items()
+    }
+
+
+def test_colony_iteration_latency(benchmark):
+    """Wall-clock of one Ant System iteration (20 cities, 8 ants)."""
+    from repro.aco import AntSystem, AntSystemConfig, TSPInstance
+
+    inst = TSPInstance.random_euclidean(20, seed=0)
+    colony = AntSystem(inst, AntSystemConfig(n_ants=8), rng=0)
+
+    tour = benchmark(colony.step)
+    assert tour.length > 0

@@ -1,0 +1,48 @@
+"""Distributed-memory selection — the message-passing mirror of Theorem 1.
+
+Block-distribute the fitness vector over p ranks, all-reduce the
+(bid, rank, index) arg-max: O(log p) rounds, O(1) memory per rank,
+exactly F_i.  Measured rounds must match log2(p) + fold overhead.
+"""
+
+import math
+
+import numpy as np
+
+from repro.bench.experiments import distributed_costs
+from repro.msg import distributed_roulette
+
+
+def test_distributed_cost_scaling(benchmark):
+    ranks = (2, 4, 8, 16, 32, 64)
+    report = benchmark.pedantic(
+        distributed_costs,
+        kwargs={"n": 1024, "ranks": ranks, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    d = report.data
+
+    for p, rounds in zip(ranks, d["rounds"]):
+        # Power-of-two sizes: butterfly = log2(p) rounds (+1 epilogue).
+        assert rounds <= math.log2(p) + 2, (p, rounds)
+    # Message volume: p * log2(p) for the butterfly.
+    for p, msgs in zip(ranks, d["messages"]):
+        assert msgs <= p * (math.log2(p) + 2)
+
+    benchmark.extra_info["rounds"] = dict(zip(map(str, ranks), d["rounds"]))
+
+
+def test_distributed_selection_latency(benchmark):
+    """Wall-clock of one distributed selection (simulator cost)."""
+    f = 1.0 - np.random.default_rng(0).random(1024)
+    counter = {"seed": 0}
+
+    def one():
+        counter["seed"] += 1
+        return distributed_roulette(f, nranks=16, seed=counter["seed"])
+
+    out = benchmark(one)
+    assert f[out.winner] > 0

@@ -1,0 +1,65 @@
+"""Throughput of the data-parallel selection implementations (Fig C).
+
+Not a paper table (the paper reports model costs, not wall-clock); this
+bench characterises the vectorised implementations so downstream users
+can pick a method: alias/prefix-sum amortise preprocessing over a batch
+(O(1)/O(log n) per draw), key-race methods pay O(n) per draw but need no
+preprocessing and parallelise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_method
+from repro.core.fitness import validate_fitness
+
+METHODS = [
+    "log_bidding",
+    "gumbel",
+    "efraimidis_spirakis",
+    "independent",
+    "prefix_sum",
+    "binary_search",
+    "alias",
+    "fenwick",
+    "stochastic_acceptance",
+]
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("n", [10, 1000])
+def test_batch_throughput(benchmark, method, n):
+    f = validate_fitness(1.0 - np.random.default_rng(0).random(n))
+    sel = get_method(method)
+    rng = np.random.default_rng(1)
+    draws = 10_000
+
+    result = benchmark(lambda: sel.select_many(f, rng, draws))
+    assert result.shape == (draws,)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["draws_per_call"] = draws
+
+
+def test_throughput_shape_alias_beats_race_for_batches(benchmark):
+    """The crossover claim: for many draws from one big wheel, the O(1)
+    alias table beats the O(n)-per-draw race — motivating why the race's
+    niche is single draws on parallel hardware with changing fitness."""
+    import time
+
+    n, draws = 10_000, 10_000
+    f = validate_fitness(1.0 - np.random.default_rng(0).random(n))
+    rng = np.random.default_rng(1)
+
+    def timed(name):
+        sel = get_method(name)
+        start = time.perf_counter()
+        sel.select_many(f, rng, draws)
+        return time.perf_counter() - start
+
+    def run():
+        return timed("alias"), timed("log_bidding")
+
+    alias_t, race_t = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert alias_t < race_t
+    benchmark.extra_info["alias_seconds"] = alias_t
+    benchmark.extra_info["log_bidding_seconds"] = race_t

@@ -1,0 +1,26 @@
+"""Power analysis — how many draws the paper's tables actually need.
+
+Not a paper experiment but the justification for this reproduction's
+Monte-Carlo scale (EXPERIMENTS.md's scale note): the noncentral
+chi-square analysis shows each table's effect is detectable orders of
+magnitude below both the paper's 10^9 draws and our 10^6 default.
+"""
+
+from repro.bench.experiments import power_analysis
+
+
+def test_power_analysis(benchmark):
+    report = benchmark.pedantic(power_analysis, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    d = report.data
+
+    # The tables' bias effects vs. the detection floors.
+    assert d["effects"]["table1"] > 100 * d["detectable"][10**6]
+    assert d["effects"]["table2"] > 10 * d["detectable"][10**6]
+    # Detection floor scales as 1/sqrt(N).
+    assert d["detectable"][10**4] / d["detectable"][10**6] == \
+        __import__("pytest").approx(10.0, rel=0.05)
+
+    benchmark.extra_info["detectable_w_1e6"] = d["detectable"][10**6]
+    benchmark.extra_info["table1_bias_w"] = d["effects"]["table1"]

@@ -1,0 +1,54 @@
+"""§III PRAM cost table — prefix-sum vs log-bidding on the simulator.
+
+The paper's complexity claims, measured:
+
+* prefix-sum selection: Theta(log n) steps, Theta(n) shared cells (EREW);
+* log-bidding selection: O(log k) expected steps, exactly 2 shared cells
+  (CRCW-RANDOM).
+"""
+
+import numpy as np
+
+from repro.bench.experiments import pram_costs
+
+
+def test_pram_cost_table(benchmark):
+    ns = (4, 16, 64, 256, 1024)
+    report = benchmark.pedantic(
+        pram_costs, kwargs={"ns": ns, "seed": 0}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    d = report.data
+
+    # Space: prefix-sum linear, race constant.
+    assert d["prefix_cells"] == [3 * n + 1 for n in ns]
+    assert d["race_cells"] == [2] * len(ns)
+
+    # Time: prefix-sum grows ~ c*log n (ratio 1024/4 in n = 256x, in steps
+    # must stay ~5x); the race stays in the low tens of steps throughout.
+    assert d["prefix_steps"][-1] < 6 * d["prefix_steps"][0]
+    assert max(d["race_steps"]) < 40
+    assert all(np.diff(d["prefix_steps"]) > 0)
+
+    benchmark.extra_info["prefix_steps"] = d["prefix_steps"]
+    benchmark.extra_info["race_steps"] = d["race_steps"]
+
+
+def test_scan_depth_vs_work(benchmark):
+    """Supporting measurement: Hillis–Steele (depth-optimal) vs Blelloch
+    (work-optimal) — the §III building-block trade-off."""
+    from repro.pram.algorithms import blelloch_scan, hillis_steele_scan
+
+    values = list(np.random.default_rng(0).random(256))
+
+    def both():
+        _, hs = hillis_steele_scan(values)
+        _, bl = blelloch_scan(values)
+        return hs, bl
+
+    hs, bl = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert bl.work < hs.work          # Blelloch does less total work
+    assert hs.steps < bl.steps        # Hillis-Steele has lower depth
+    benchmark.extra_info["hillis_steele"] = hs.as_dict()
+    benchmark.extra_info["blelloch"] = bl.as_dict()

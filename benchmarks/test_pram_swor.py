@@ -1,0 +1,57 @@
+"""Extension bench: k distinct winners on the PRAM, O(1) shared cells.
+
+Sampling without replacement by repeated races: round ``j`` races the
+remaining support of size ``k-j`` and zeroes the winner locally.  Total
+expected steps ``sum_j O(log(k - j)) = O(k log k)`` with the shared
+memory still at exactly 2 cells — the natural k-winner extension of
+Theorem 1 (used by parallel ACO when several ants pick simultaneously
+from disjoint wheels).
+"""
+
+import numpy as np
+
+from repro.pram.algorithms import log_bidding_roulette_without_replacement as pram_swor
+
+
+def test_pram_swor_scaling(benchmark):
+    f = 1.0 - np.random.default_rng(0).random(64)
+
+    counter = {"seed": 0}
+
+    def sample_eight():
+        counter["seed"] += 1
+        return pram_swor(f, 8, seed=counter["seed"] * 100)
+
+    out = benchmark(sample_eight)
+    assert len(set(out.winners)) == 8
+    assert out.memory_cells == 2
+
+    # Cost shape: per-round iterations stay O(log k') as support shrinks.
+    per_round = out.race_iterations
+    assert len(per_round) == 8
+    assert max(per_round) <= 2 * int(np.ceil(np.log2(64))) + 4
+
+
+def test_pram_swor_joint_distribution(benchmark):
+    """First two winners follow draw-and-remove (spot-checked pair law)."""
+    from repro.stats.gof import chi_square_gof
+
+    f = np.array([1.0, 2.0, 3.0])
+    total = f.sum()
+    exact = np.zeros((3, 3))
+    for i in range(3):
+        for j in range(3):
+            if i != j:
+                exact[i, j] = (f[i] / total) * (f[j] / (total - f[i]))
+
+    def collect():
+        pair = np.zeros((3, 3), dtype=np.int64)
+        for seed in range(1500):
+            i, j = pram_swor(f, 2, seed=seed * 31).winners
+            pair[i, j] += 1
+        return pair
+
+    pair = benchmark.pedantic(collect, rounds=1, iterations=1)
+    res = chi_square_gof(pair.ravel(), exact.ravel())
+    assert not res.reject(1e-5)
+    benchmark.extra_info["chi2_p"] = res.p_value

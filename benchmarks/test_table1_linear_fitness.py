@@ -1,0 +1,57 @@
+"""Table I — selection probabilities with f_i = i (paper §II, Table I).
+
+Regenerates the paper's first table: the independent roulette wheel is
+badly biased (starves small fitness; exact Pr[1] = 0, Pr[9] ~ 0.3935
+instead of 0.2) while logarithmic bidding matches F_i = i/45 to within
+Monte-Carlo error.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import table1
+from repro.stats import independent_win_probabilities
+
+
+def test_table1_reproduction(benchmark, table_draws):
+    report = benchmark.pedantic(
+        table1, kwargs={"iterations": table_draws, "seed": 0}, rounds=1, iterations=1
+    )
+    data = report.data
+    print()
+    print(report.render())
+
+    # Paper shape: logarithmic is exact, independent is not.
+    assert data["tv_logarithmic"] < 0.01
+    assert data["tv_independent"] > 0.25
+    assert data["gof_p_logarithmic"] > 1e-6
+
+    # Row-level anchors from the paper's Table I.
+    target = data["target"]
+    assert target[1] == np.float64(1.0 / 45.0)
+    assert data["independent"][1] < 1e-4          # paper: 0.000000
+    assert abs(data["independent"][9] - 0.393536) < 0.01
+    assert abs(data["logarithmic"][9] - 0.2) < 0.01
+
+    # The observed independent column matches the closed form we derived.
+    exact = independent_win_probabilities(data["fitness"])
+    assert np.allclose(data["independent"], exact, atol=0.01)
+
+    benchmark.extra_info["tv_independent"] = data["tv_independent"]
+    benchmark.extra_info["tv_logarithmic"] = data["tv_logarithmic"]
+
+
+def test_table1_paper_scale_rate(benchmark, table_draws):
+    """Throughput of the Table-I Monte Carlo (draws/second) — the number
+    that says how long the paper's 1e9-draw run would take here."""
+    from repro.core import get_method
+    from repro.core.fitness import validate_fitness
+
+    f = validate_fitness(np.arange(10, dtype=np.float64))
+    sel = get_method("log_bidding")
+    rng = np.random.default_rng(0)
+
+    def draw_batch():
+        return sel.select_many(f, rng, table_draws)
+
+    draws = benchmark(draw_batch)
+    assert draws.shape == (table_draws,)

@@ -1,0 +1,67 @@
+"""Theorem 1 — expected O(log k) iterations of the CRCW max race.
+
+The paper proves the race's while loop runs O(log k) expected iterations
+on the random-arbitration CRCW PRAM and that 2*ceil(log2 k) iterations
+suffice in expectation.  We measure the full simulated race and the
+exact rank-process model (mean = H_k, the harmonic number) side by side.
+"""
+
+import math
+
+import numpy as np
+
+from repro.bench.experiments import theorem1_iterations
+
+
+def test_theorem1_scaling(benchmark):
+    report = benchmark.pedantic(
+        theorem1_iterations,
+        kwargs={
+            "ks": (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096),
+            "reps": 400,
+            "pram_reps": 20,
+            "pram_k_limit": 256,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    ks = report.data["ks"]
+    means = report.data["model_mean"]
+
+    for k, mean in zip(ks, means):
+        harmonic = sum(1.0 / i for i in range(1, k + 1))
+        bound = 2 * math.ceil(math.log2(k)) if k > 1 else 1
+        # The paper's sufficient bound holds with margin...
+        assert mean <= bound + 0.5, (k, mean, bound)
+        # ...and the measurement tracks the exact expectation H_k.
+        assert abs(mean - harmonic) < max(0.5, 0.15 * harmonic), (k, mean, harmonic)
+
+    # PRAM race and model agree wherever both ran.
+    for model, pram in zip(means, report.data["pram_mean"]):
+        if pram is not None:
+            assert abs(model - pram) < 1.0
+
+    # Logarithmic growth: quadrupling k adds ~log(4)=1.39 rounds, never 4x.
+    idx16, idx1024 = ks.index(16), ks.index(1024)
+    assert means[idx1024] < means[idx16] + 5.0
+    benchmark.extra_info["model_means"] = dict(zip(map(str, ks), means))
+
+
+def test_single_race_latency(benchmark):
+    """Wall-clock of one simulated race at k = 256 (the harness cost)."""
+    from repro.pram.algorithms import max_random_write_race
+
+    rng = np.random.default_rng(0)
+    values = rng.random(256)
+
+    counter = {"seed": 0}
+
+    def one_race():
+        counter["seed"] += 1
+        return max_random_write_race(values, seed=counter["seed"])
+
+    result = benchmark(one_race)
+    assert result.winner == int(np.argmax(values))

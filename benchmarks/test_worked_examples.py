@@ -1,0 +1,19 @@
+"""§I worked example — n=2, f=(2,1): independent picks 0 w.p. 3/4 != 2/3."""
+
+import pytest
+
+from repro.bench.experiments import worked_example
+
+
+def test_worked_example(benchmark, table_draws):
+    report = benchmark.pedantic(
+        worked_example, kwargs={"iterations": table_draws, "seed": 0}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    d = report.data
+    assert d["analytic_independent"][0] == pytest.approx(0.75, abs=1e-12)
+    assert d["observed_independent"][0] == pytest.approx(0.75, abs=0.005)
+    assert d["observed_logarithmic"][0] == pytest.approx(2 / 3, abs=0.005)
+    benchmark.extra_info["independent_pr0"] = float(d["observed_independent"][0])
+    benchmark.extra_info["logarithmic_pr0"] = float(d["observed_logarithmic"][0])

@@ -1,0 +1,45 @@
+"""Zero-fitness sweep — the race's cost tracks k, not n (paper §I claim).
+
+"In ant-colony based TSP algorithms, fitness values are often set to
+zero for cities that have already been visited.  In such scenarios with
+many zero fitness values, the logarithmic random bidding technique
+exhibits accelerated performance."  Fix n, sweep the non-zero count k,
+and watch the race's measured steps follow log k while the prefix-sum
+baseline stays pinned at its log n cost.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import zero_fitness_sweep
+
+
+def test_zero_fitness_sweep(benchmark):
+    report = benchmark.pedantic(
+        zero_fitness_sweep,
+        kwargs={"n": 1024, "ks": (1, 4, 16, 64, 256, 1024), "reps": 8, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    d = report.data
+
+    # Race iterations grow with k (log-like), monotonically on average.
+    assert d["race_iters"][0] == 1.0          # k=1: one write settles it
+    assert d["race_iters"][-1] > d["race_iters"][0]
+    # Crossover shape: at k=1 the race is far cheaper than prefix-sum;
+    # even at k=n it remains cheaper on this machine (log k <= log n).
+    assert d["race_steps"][0] < d["prefix_steps"][0] / 4
+    assert d["race_steps"][-1] < d["prefix_steps"][-1]
+    # Prefix-sum cost is a function of n only.
+    assert len(set(d["prefix_steps"])) == 1
+
+    # log-shape: each 4x jump in k adds ~ln(4)=1.4 expected rounds; with
+    # 8-rep sampling noise the increments must stay small and bounded,
+    # never proportional to the 4x growth of k itself.
+    diffs = np.diff(d["race_iters"])
+    assert np.all(diffs < 4.0)
+    assert float(np.mean(diffs)) < 2.5
+
+    benchmark.extra_info["race_iters"] = d["race_iters"]
+    benchmark.extra_info["prefix_steps"] = d["prefix_steps"][0]

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Accuracy study: regenerate the paper's Tables I and II.
+
+Uses the experiment harness with a configurable draw count.  The paper
+ran 10^9 iterations; the default 10^6 here reproduces every qualitative
+feature in seconds.  An extra closed-form column shows the *exact*
+independent-roulette bias (which the paper could only estimate).
+
+Run:  python examples/accuracy_study.py [iterations]
+"""
+
+import sys
+
+from repro.bench.experiments import table1, table2, worked_example
+
+
+def main(iterations: int = 1_000_000) -> None:
+    print(worked_example(iterations=min(iterations, 10**6), seed=0).render())
+    print()
+
+    rep1 = table1(iterations=iterations, seed=0)
+    print(rep1.render())
+    print(f"\n  TV distance from F_i:  independent = {rep1.data['tv_independent']:.4f}, "
+          f"logarithmic = {rep1.data['tv_logarithmic']:.4f}")
+    print(f"  chi-square GOF p (logarithmic): {rep1.data['gof_p_logarithmic']:.3f}")
+    print()
+
+    rep2 = table2(iterations=iterations, seed=0)
+    print(rep2.render())
+    print(f"\n  exact Pr[processor 0] under independent roulette: "
+          f"{rep2.data['p0_exact_independent']:.3e}")
+    print("  (the paper's (1/2)^99 / 100 ~ 1.58e-32 — processor 0 is never")
+    print("   selected by the baseline at any feasible sample size, while the")
+    print(f"   logarithmic method observed {rep2.data['p0_observed_logarithmic']:.6f}"
+          f" vs target {rep2.data['p0_target']:.6f}.)")
+
+
+if __name__ == "__main__":
+    its = int(sys.argv[1]) if len(sys.argv) > 1 else 1_000_000
+    main(its)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The CRCW-PRAM max race, step by step (paper §III / Theorem 1).
+
+Runs both parallel roulette selections on the simulator and prints the
+exact machine costs the paper reasons about, then sweeps k to show the
+O(log k) behaviour, and finally runs the same race on real threads.
+
+Run:  python examples/pram_race_demo.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.bench.workloads import sparse_fitness
+from repro.parallel import threaded_select
+from repro.pram.algorithms import log_bidding_roulette, prefix_sum_roulette
+
+
+def main() -> None:
+    f = np.array([0.0, 3.0, 1.0, 0.0, 2.0, 5.0, 0.0, 4.0])
+    print(f"fitness: {f.tolist()}  (n = {len(f)}, k = {int((f > 0).sum())})\n")
+
+    # ------------------------------------------------------------------
+    # The paper's two parallel algorithms, with exact machine costs.
+    # ------------------------------------------------------------------
+    pre = prefix_sum_roulette(f, seed=1)
+    race = log_bidding_roulette(f, seed=1)
+    print("prefix-sum selection (EREW, paper §I):")
+    print(f"  winner={pre.winner}  steps={pre.metrics.steps}  "
+          f"cells={pre.memory_cells}  work={pre.metrics.work}")
+    print("log-bidding race (CRCW-RANDOM, paper §II/III):")
+    print(f"  winner={race.winner}  steps={race.metrics.steps}  "
+          f"cells={race.memory_cells}  race iterations={race.race_iterations}")
+
+    # ------------------------------------------------------------------
+    # Theorem 1: expected race iterations ~ H_k = Theta(log k),
+    # bounded by 2*ceil(log2 k).
+    # ------------------------------------------------------------------
+    print("\nTheorem 1 sweep (n = 2048 fixed, k varies; 30 runs each):")
+    print(f"{'k':>6} {'mean iters':>11} {'H_k':>7} {'2⌈log2 k⌉':>10}")
+    rng = np.random.default_rng(0)
+    for k in (1, 4, 16, 64, 256, 1024):
+        iters = []
+        for _ in range(30):
+            fk = sparse_fitness(2048, k, seed=int(rng.integers(2**31)))
+            iters.append(log_bidding_roulette(fk, seed=int(rng.integers(2**31))).race_iterations)
+        harmonic = sum(1.0 / i for i in range(1, k + 1))
+        bound = 2 * math.ceil(math.log2(k)) if k > 1 else 1
+        print(f"{k:>6} {np.mean(iters):>11.2f} {harmonic:>7.2f} {bound:>10}")
+
+    # ------------------------------------------------------------------
+    # Watch one race, step by step (execution tracer).
+    # ------------------------------------------------------------------
+    from repro.pram import PRAM, AccessMode, Tracer, render_trace
+    from repro.pram.algorithms.max_random_write import race_program
+
+    tracer = Tracer()
+    pram = PRAM(nprocs=4, memory_size=2, mode=AccessMode.CRCW, seed=5)
+    pram.memory[0] = -math.inf
+    pram.run(race_program, [-0.7, -0.2, -0.9, -0.4], tracer=tracer)
+    print("\none traced race, 4 processors, bids (-0.7, -0.2, -0.9, -0.4):")
+    print("  (W[0]=v! means the write survived arbitration; x means lost)")
+    for line in render_trace(tracer).splitlines():
+        print(" ", line)
+
+    # ------------------------------------------------------------------
+    # Same algorithm on real threads (unsynchronised cell + retry rounds).
+    # ------------------------------------------------------------------
+    out = threaded_select(f, nthreads=4, seed=3)
+    print(f"\nthreaded race (4 OS threads, unsynchronised cell):")
+    print(f"  winner={out.winner}  attempts/thread={out.attempts}  "
+          f"verify rounds={out.rounds}")
+    print("\nThe shared cell needs O(1) memory in every realisation — the")
+    print("paper's headline advantage over the O(n)-cell prefix-sum method.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quadratic assignment with ant colonies — the third roulette workload.
+
+Facilities are placed on locations one at a time; each placement is a
+roulette over the *free* locations (occupied ones carry fitness zero),
+so the candidate count k counts down n, n-1, ..., 1 within every ant —
+the same shrinking-support pattern as TSP city selection.
+
+Run:  python examples/qap_assignment.py
+"""
+
+import numpy as np
+
+from repro.aco.qap import QAPColony, QAPConfig, QAPInstance
+
+
+def main() -> None:
+    # Small instance with a known optimum for reference.
+    inst = QAPInstance.random_uniform(7, seed=11)
+    _, opt = inst.brute_force_optimum()
+    print(f"instance: {inst}  (brute-force optimum = {opt:.1f})\n")
+
+    rng = np.random.default_rng(0)
+    random_mean = np.mean([inst.cost(rng.permutation(7)) for _ in range(200)])
+    print(f"random assignment (mean of 200): {random_mean:9.1f}")
+
+    for method in ("log_bidding", "prefix_sum", "independent"):
+        colony = QAPColony(inst, QAPConfig(n_ants=10, selection=method), rng=1)
+        best = colony.run(25)
+        gap = 100.0 * (best.cost - opt) / opt
+        print(f"ACO ({method:<12}):             {best.cost:9.1f}   (gap {gap:5.1f}%)")
+
+    colony = QAPColony(inst, QAPConfig(n_ants=10, local_search=True), rng=2)
+    best = colony.run(10)
+    print(f"ACO + 2-exchange local search:   {best.cost:9.1f}   "
+          f"(gap {100.0 * (best.cost - opt) / opt:5.1f}%)")
+
+    # The sparsity pattern (the paper's k << n regime, third incarnation).
+    print(f"\nroulette calls: {colony.stats.selections}, "
+          f"mean candidates k = {colony.stats.mean_k:.1f} of n = {inst.n}")
+    print("Each placement removes one location, so half of all roulette")
+    print("calls run below k = n/2 — where O(log k) beats O(log n).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""ACO vertex coloring (the paper's ref [4] application).
+
+Colors a few benchmark graphs with the ant colony, comparing against the
+greedy baseline and showing the feasible-color sparsity of the roulette.
+
+Run:  python examples/vertex_coloring.py
+"""
+
+from repro.aco.coloring import ColoringColony, ColoringConfig, ColoringInstance
+
+
+def solve(instance: ColoringInstance, iterations: int = 25) -> None:
+    colony = ColoringColony(instance, ColoringConfig(n_ants=10), rng=0)
+    result = colony.run(iterations)
+    greedy = instance.greedy_chromatic_upper_bound()
+    status = "proper" if result.conflicts == 0 else f"{result.conflicts} conflicts"
+    print(
+        f"{instance.name:<16} n={instance.n:<4} greedy={greedy:<3} "
+        f"ACO={result.n_colors:<3} ({status}; mean feasible k per pick = "
+        f"{colony.stats.mean_k:.1f} of budget {colony.n_colors_budget})"
+    )
+
+
+def main() -> None:
+    print("graph            size  greedy  ACO colors")
+    solve(ColoringInstance.cycle(20))          # chromatic number 2
+    solve(ColoringInstance.cycle(21))          # chromatic number 3
+    solve(ColoringInstance.complete(8))        # chromatic number 8
+    solve(ColoringInstance.queen(5))           # queen5x5: chromatic number 5
+    solve(ColoringInstance.random_gnp(40, 0.25, seed=1))
+    solve(ColoringInstance.random_gnp(40, 0.5, seed=2))
+    print(
+        "\nEach color pick is a roulette over *feasible* colors only —\n"
+        "infeasible colors carry fitness zero, so k is typically far below\n"
+        "the color budget: the paper's sparse-selection regime again."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so that ``pip install -e .`` works on environments without the
+``wheel`` package (legacy ``setup.py develop`` editable path); all project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

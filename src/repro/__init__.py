@@ -1,0 +1,60 @@
+"""repro — Logarithmic Random Bidding for Parallel Roulette Wheel Selection.
+
+A full reproduction of Nakano (IPPS 2024): the logarithmic random bidding
+selection rule, its CRCW-PRAM O(log k) max race, the prefix-sum and
+independent-roulette baselines, a step-exact PRAM simulator, from-scratch
+PRNGs (incl. the paper's Mersenne Twister), exact bias analytics for the
+baseline, and the ant-colony TSP / vertex-coloring applications that
+motivate the method.
+
+Quick start::
+
+    >>> import repro
+    >>> repro.select([0, 1, 2, 3], rng=42)          # Pr[i] = i/6, exact
+    >>> repro.select_many([5, 1, 4], 1000, rng=0)   # vectorised batch
+
+See README.md for the architecture tour and ``python -m repro --list``
+for the paper-reproduction experiments.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    FitnessVector,
+    RouletteWheel,
+    available_methods,
+    exact_methods,
+    exact_probabilities,
+    get_method,
+    sample_without_replacement,
+    select,
+    select_many,
+    selection_counts,
+    streaming_select,
+    StreamingSelector,
+)
+from repro import aco, bench, core, msg, parallel, pram, rng, simt, stats
+
+__all__ = [
+    "__version__",
+    "select",
+    "select_many",
+    "selection_counts",
+    "sample_without_replacement",
+    "streaming_select",
+    "StreamingSelector",
+    "RouletteWheel",
+    "FitnessVector",
+    "exact_probabilities",
+    "available_methods",
+    "exact_methods",
+    "get_method",
+    "core",
+    "pram",
+    "parallel",
+    "msg",
+    "simt",
+    "rng",
+    "stats",
+    "aco",
+    "bench",
+]

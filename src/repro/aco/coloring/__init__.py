@@ -1,0 +1,6 @@
+"""Vertex-coloring ACO substrate (the paper's ref [4] application)."""
+
+from repro.aco.coloring.instance import ColoringInstance
+from repro.aco.coloring.colony import ColoringColony, ColoringConfig, ColoringResult
+
+__all__ = ["ColoringInstance", "ColoringColony", "ColoringConfig", "ColoringResult"]

@@ -1,0 +1,15 @@
+"""Quadratic assignment problem (QAP) substrate.
+
+The third classic ACO domain (after TSP and coloring): assign ``n``
+facilities to ``n`` locations minimising ``sum_ij flow[i,j] *
+distance[loc(i), loc(j)]``.  Construction assigns facilities one at a
+time, selecting a *free* location by roulette over ``tau[facility,
+location]`` — occupied locations carry fitness zero, so once again the
+candidate count ``k`` shrinks as construction proceeds: the paper's
+sparse-selection regime in a third incarnation.
+"""
+
+from repro.aco.qap.instance import QAPInstance
+from repro.aco.qap.colony import QAPColony, QAPConfig, QAPResult
+
+__all__ = ["QAPInstance", "QAPColony", "QAPConfig", "QAPResult"]

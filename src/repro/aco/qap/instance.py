@@ -1,0 +1,108 @@
+"""QAP instances: flow and distance matrices.
+
+An assignment is a permutation ``perm`` with ``perm[f]`` = the location
+of facility ``f``; its cost is ``sum_{i,j} flow[i,j] *
+distance[perm[i], perm[j]]``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ACOError
+
+__all__ = ["QAPInstance"]
+
+
+class QAPInstance:
+    """A quadratic assignment problem of size ``n``."""
+
+    def __init__(
+        self,
+        flow: np.ndarray,
+        distance: np.ndarray,
+        name: str = "qap",
+    ) -> None:
+        """Wrap flow/distance matrices (square, same size, non-negative)."""
+        f = np.asarray(flow, dtype=np.float64)
+        d = np.asarray(distance, dtype=np.float64)
+        if f.ndim != 2 or f.shape[0] != f.shape[1]:
+            raise ACOError(f"flow matrix must be square, got {f.shape}")
+        if d.shape != f.shape:
+            raise ACOError(f"distance shape {d.shape} != flow shape {f.shape}")
+        if f.shape[0] < 2:
+            raise ACOError("a QAP needs at least 2 facilities")
+        for name_, m in (("flow", f), ("distance", d)):
+            if not np.all(np.isfinite(m)):
+                raise ACOError(f"{name_} must be finite")
+            if np.any(m < 0):
+                raise ACOError(f"{name_} must be non-negative")
+        self._flow = f.copy()
+        self._dist = d.copy()
+        self._flow.setflags(write=False)
+        self._dist.setflags(write=False)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random_uniform(cls, n: int, seed: int = 0, scale: float = 10.0) -> "QAPInstance":
+        """Uniform random flows and Euclidean location distances."""
+        if n < 2:
+            raise ACOError(f"need n >= 2, got {n}")
+        rng = np.random.default_rng(seed)
+        flow = np.floor(rng.random((n, n)) * scale)
+        flow = np.triu(flow, 1)
+        flow = flow + flow.T  # symmetric, zero diagonal
+        coords = rng.random((n, 2)) * scale
+        diff = coords[:, None, :] - coords[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=2))
+        return cls(flow, dist, name=f"qap-rand{n}-s{seed}")
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of facilities (= locations)."""
+        return self._flow.shape[0]
+
+    @property
+    def flow(self) -> np.ndarray:
+        """Read-only flow matrix."""
+        return self._flow
+
+    @property
+    def distance(self) -> np.ndarray:
+        """Read-only distance matrix."""
+        return self._dist
+
+    def cost(self, assignment: Sequence[int]) -> float:
+        """Cost of a facility -> location permutation."""
+        perm = self._validated(assignment)
+        return float((self._flow * self._dist[np.ix_(perm, perm)]).sum())
+
+    def brute_force_optimum(self) -> Tuple[np.ndarray, float]:
+        """Exact optimum by enumeration (n <= 9 only)."""
+        if self.n > 9:
+            raise ACOError(f"brute force limited to n <= 9, got {self.n}")
+        best_perm: Optional[Tuple[int, ...]] = None
+        best_cost = np.inf
+        for perm in itertools.permutations(range(self.n)):
+            c = self.cost(perm)
+            if c < best_cost:
+                best_cost = c
+                best_perm = perm
+        assert best_perm is not None
+        return np.asarray(best_perm, dtype=np.int64), float(best_cost)
+
+    def _validated(self, assignment: Sequence[int]) -> np.ndarray:
+        perm = np.asarray(assignment, dtype=np.int64)
+        if perm.shape != (self.n,):
+            raise ACOError(f"assignment must have length {self.n}, got {perm.shape}")
+        if sorted(perm.tolist()) != list(range(self.n)):
+            raise ACOError("assignment is not a permutation of the locations")
+        return perm
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QAPInstance(name={self.name!r}, n={self.n})"

@@ -1,0 +1,24 @@
+"""Travelling-salesman substrate: instances, tours, heuristics, colonies."""
+
+from repro.aco.tsp.instance import TSPInstance
+from repro.aco.tsp.tour import Tour
+from repro.aco.tsp.heuristics import greedy_edge_tour, nearest_neighbour_tour, two_opt
+from repro.aco.tsp.colony import AntSystem, AntSystemConfig, ConstructionStats
+from repro.aco.tsp.acs import ACSConfig, AntColonySystem
+from repro.aco.tsp.tsplib import load_tsplib, parse_tsplib, to_tsplib
+
+__all__ = [
+    "TSPInstance",
+    "Tour",
+    "nearest_neighbour_tour",
+    "greedy_edge_tour",
+    "two_opt",
+    "AntSystem",
+    "AntSystemConfig",
+    "ConstructionStats",
+    "AntColonySystem",
+    "ACSConfig",
+    "parse_tsplib",
+    "load_tsplib",
+    "to_tsplib",
+]

@@ -1,0 +1,118 @@
+"""Ant Colony System (Dorigo & Gambardella 1997 — the paper's ref [1]).
+
+ACS differs from the Ant System in three ways, all implemented here:
+
+* **pseudo-random proportional rule** — with probability ``q0`` the ant
+  moves greedily to ``argmax tau * eta^beta``; otherwise it spins the
+  roulette (the paper's selection is the non-greedy branch),
+* **local pheromone update** — each traversed edge decays toward
+  ``tau0`` immediately (``tau <- (1-phi) tau + phi tau0``), decorrelating
+  ants within an iteration,
+* **global update on the best tour only** — evaporation and deposit
+  apply solely to the best-so-far tour's edges.
+
+The roulette branch still goes through the pluggable selection method,
+so the exact-vs-biased comparison extends to ACS unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.aco.tsp.colony import AntSystem, AntSystemConfig
+from repro.aco.tsp.heuristics import two_opt
+from repro.aco.tsp.instance import TSPInstance
+from repro.aco.tsp.tour import Tour
+from repro.errors import ACOError
+
+__all__ = ["ACSConfig", "AntColonySystem"]
+
+
+@dataclass
+class ACSConfig(AntSystemConfig):
+    """ACS hyper-parameters (extends :class:`AntSystemConfig`).
+
+    Dorigo & Gambardella's published defaults: ``q0=0.9``, ``phi=0.1``,
+    ``rho=0.1``, ``beta=2``.
+    """
+
+    #: Probability of the greedy (exploitation) branch.
+    q0: float = 0.9
+    #: Local pheromone evaporation rate.
+    phi: float = 0.1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.q0 <= 1.0:
+            raise ACOError(f"q0 must be in [0, 1], got {self.q0}")
+        if not 0.0 < self.phi <= 1.0:
+            raise ACOError(f"phi must be in (0, 1], got {self.phi}")
+
+
+class AntColonySystem(AntSystem):
+    """ACS colony; reuses the Ant System's pheromone/visibility plumbing."""
+
+    def __init__(
+        self,
+        instance: TSPInstance,
+        config: Optional[ACSConfig] = None,
+        rng=None,
+    ) -> None:
+        super().__init__(instance, config or ACSConfig(), rng=rng)
+
+    # ------------------------------------------------------------------
+    def construct_tour(self, start: Optional[int] = None) -> Tour:
+        """One ant's tour under the pseudo-random proportional rule.
+
+        The local update mutates ``self.pheromone`` *during* construction
+        (ACS semantics), so desirability is recomputed per step from the
+        live matrices rather than snapshotted.
+        """
+        cfg: ACSConfig = self.config  # type: ignore[assignment]
+        inst = self.instance
+        n = inst.n
+        tau = self.pheromone
+        eta_beta = self._eta_beta
+        order = np.empty(n, dtype=np.int64)
+        visited = np.zeros(n, dtype=bool)
+        current = int(self.rng.random() * n) % n if start is None else int(start)
+        order[0] = current
+        visited[current] = True
+        for step in range(1, n):
+            fitness = np.where(
+                visited, 0.0, (tau[current] ** cfg.alpha) * eta_beta[current]
+            )
+            k = int(np.count_nonzero(fitness))
+            if k == 0:
+                fitness = (~visited).astype(np.float64)
+                k = int(fitness.sum())
+            if float(self.rng.random()) < cfg.q0:
+                nxt = int(np.argmax(fitness))  # exploitation
+            else:
+                self.stats.record(k)  # only the roulette branch races
+                nxt = self.selector.select(fitness, self.rng)
+            # Local update: traversed edge decays toward tau0.
+            tau[current, nxt] = (1.0 - cfg.phi) * tau[current, nxt] + cfg.phi * self._tau0
+            tau[nxt, current] = tau[current, nxt]
+            order[step] = nxt
+            visited[nxt] = True
+            current = nxt
+        tour = Tour(inst, order)
+        if cfg.local_search:
+            tour = two_opt(inst, tour)
+        return tour
+
+    # ------------------------------------------------------------------
+    def _deposit(self, tours) -> None:
+        """Global update: best-so-far tour only (canonical ACS)."""
+        cfg: ACSConfig = self.config  # type: ignore[assignment]
+        assert self.best_tour is not None
+        a = self.best_tour.order
+        b = np.roll(a, -1)
+        deposit = cfg.q / self.best_tour.length
+        self.pheromone[a, b] = (1.0 - cfg.rho) * self.pheromone[a, b] + cfg.rho * deposit
+        self.pheromone[b, a] = self.pheromone[a, b]
+        np.fill_diagonal(self.pheromone, 0.0)

@@ -1,0 +1,168 @@
+"""TSP instances: symmetric distance matrices with generators.
+
+Instances are immutable value objects holding a full ``n x n`` distance
+matrix (dense is fine at ACO scales) plus optional planar coordinates.
+Generators cover the evaluation needs: uniform random Euclidean (the
+standard ACO benchmark family), clustered Euclidean, points on a circle
+(known optimal tour = the convex hull order, handy for asserting solver
+correctness), and explicit matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ACOError
+
+__all__ = ["TSPInstance"]
+
+
+class TSPInstance:
+    """A symmetric TSP over cities ``0 .. n-1``."""
+
+    def __init__(
+        self,
+        distances: np.ndarray,
+        coords: Optional[np.ndarray] = None,
+        name: str = "tsp",
+    ) -> None:
+        """Wrap a distance matrix.
+
+        Parameters
+        ----------
+        distances:
+            ``(n, n)`` symmetric matrix, zero diagonal, non-negative,
+            finite.
+        coords:
+            Optional ``(n, 2)`` planar coordinates (for plotting and for
+            regenerating distances).
+        name:
+            Label used in benchmark output.
+        """
+        d = np.asarray(distances, dtype=np.float64)
+        if d.ndim != 2 or d.shape[0] != d.shape[1]:
+            raise ACOError(f"distance matrix must be square, got {d.shape}")
+        n = d.shape[0]
+        if n < 2:
+            raise ACOError(f"a TSP needs at least 2 cities, got {n}")
+        if not np.all(np.isfinite(d)):
+            raise ACOError("distances must be finite")
+        if np.any(d < 0):
+            raise ACOError("distances must be non-negative")
+        if np.any(np.abs(np.diag(d)) > 0):
+            raise ACOError("diagonal must be zero")
+        if not np.allclose(d, d.T):
+            raise ACOError("distance matrix must be symmetric")
+        self._d = d.copy()
+        self._d.setflags(write=False)
+        if coords is not None:
+            coords = np.asarray(coords, dtype=np.float64)
+            if coords.shape != (n, 2):
+                raise ACOError(f"coords must be ({n}, 2), got {coords.shape}")
+            coords = coords.copy()
+            coords.setflags(write=False)
+        self._coords = coords
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coords(cls, coords: np.ndarray, name: str = "euclidean") -> "TSPInstance":
+        """Euclidean instance from ``(n, 2)`` coordinates."""
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise ACOError(f"coords must be (n, 2), got {coords.shape}")
+        diff = coords[:, None, :] - coords[None, :, :]
+        d = np.sqrt((diff**2).sum(axis=2))
+        return cls(d, coords=coords, name=name)
+
+    @classmethod
+    def random_euclidean(
+        cls, n: int, seed: int = 0, box: float = 100.0, name: Optional[str] = None
+    ) -> "TSPInstance":
+        """``n`` uniform points in a ``box x box`` square."""
+        if n < 2:
+            raise ACOError(f"need at least 2 cities, got {n}")
+        rng = np.random.default_rng(seed)
+        coords = rng.random((n, 2)) * box
+        return cls.from_coords(coords, name=name or f"rand{n}-s{seed}")
+
+    @classmethod
+    def clustered(
+        cls,
+        n: int,
+        clusters: int = 4,
+        seed: int = 0,
+        box: float = 100.0,
+        spread: float = 5.0,
+        name: Optional[str] = None,
+    ) -> "TSPInstance":
+        """``n`` points in Gaussian clusters — the structured ACO testbed."""
+        if clusters < 1:
+            raise ACOError(f"need at least 1 cluster, got {clusters}")
+        rng = np.random.default_rng(seed)
+        centres = rng.random((clusters, 2)) * box
+        assign = rng.integers(0, clusters, size=n)
+        coords = centres[assign] + rng.normal(scale=spread, size=(n, 2))
+        return cls.from_coords(coords, name=name or f"clust{n}x{clusters}-s{seed}")
+
+    @classmethod
+    def circle(cls, n: int, radius: float = 100.0, name: Optional[str] = None) -> "TSPInstance":
+        """``n`` points on a circle; the optimal tour visits them in order.
+
+        The known optimum (perimeter of the regular n-gon) makes this the
+        correctness oracle for solver tests.
+        """
+        if n < 3:
+            raise ACOError(f"circle instance needs >= 3 cities, got {n}")
+        angles = 2.0 * np.pi * np.arange(n) / n
+        coords = radius * np.column_stack([np.cos(angles), np.sin(angles)])
+        return cls.from_coords(coords, name=name or f"circle{n}")
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of cities."""
+        return self._d.shape[0]
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Read-only distance matrix."""
+        return self._d
+
+    @property
+    def coords(self) -> Optional[np.ndarray]:
+        """Read-only coordinates, if the instance is planar."""
+        return self._coords
+
+    def distance(self, a: int, b: int) -> float:
+        """Distance between two cities."""
+        return float(self._d[a, b])
+
+    def tour_length(self, order: Sequence[int]) -> float:
+        """Length of the closed tour visiting ``order`` then returning."""
+        idx = np.asarray(order, dtype=np.int64)
+        if idx.size != self.n:
+            raise ACOError(f"tour visits {idx.size} cities, instance has {self.n}")
+        return float(self._d[idx, np.roll(idx, -1)].sum())
+
+    def optimal_circle_length(self) -> float:
+        """Perimeter of the regular n-gon (only meaningful for circle())."""
+        if self._coords is None:
+            raise ACOError("optimal_circle_length needs a coordinate instance")
+        radius = float(np.linalg.norm(self._coords[0]))
+        return self.n * 2.0 * radius * np.sin(np.pi / self.n)
+
+    def visibility(self) -> np.ndarray:
+        """The ACO heuristic matrix ``eta = 1/d`` (inf-free, zero diagonal)."""
+        with np.errstate(divide="ignore"):
+            eta = 1.0 / self._d
+        # Self-loops and coincident cities: no heuristic preference signal.
+        eta[~np.isfinite(eta)] = 0.0
+        return eta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TSPInstance(name={self.name!r}, n={self.n})"

@@ -1,0 +1,84 @@
+"""Tour value objects with validity invariants."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.aco.tsp.instance import TSPInstance
+from repro.errors import InvalidTourError
+
+__all__ = ["Tour"]
+
+
+class Tour:
+    """A closed tour: a permutation of the instance's cities.
+
+    Immutable; the length is computed once on construction so comparisons
+    are cheap.
+    """
+
+    __slots__ = ("_order", "_length", "_n")
+
+    def __init__(self, instance: TSPInstance, order: Sequence[int]) -> None:
+        arr = np.asarray(order, dtype=np.int64)
+        if arr.ndim != 1 or arr.size != instance.n:
+            raise InvalidTourError(
+                f"tour must visit each of {instance.n} cities once, got shape {arr.shape}"
+            )
+        seen = np.zeros(instance.n, dtype=bool)
+        if arr.min(initial=0) < 0 or arr.max(initial=0) >= instance.n:
+            raise InvalidTourError("tour contains out-of-range city indices")
+        seen[arr] = True
+        if not seen.all():
+            missing = int(np.flatnonzero(~seen)[0])
+            raise InvalidTourError(f"tour is not a permutation (missing city {missing})")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self._order = arr
+        self._n = instance.n
+        self._length = instance.tour_length(arr)
+
+    @property
+    def order(self) -> np.ndarray:
+        """Read-only visiting order."""
+        return self._order
+
+    @property
+    def length(self) -> float:
+        """Closed-tour length."""
+        return self._length
+
+    @property
+    def n(self) -> int:
+        """Number of cities."""
+        return self._n
+
+    def canonical(self) -> np.ndarray:
+        """Rotation/reflection-normalised order (for equality testing).
+
+        Starts at city 0 and takes the direction whose second city has the
+        smaller index, so all 2n representations of a closed tour map to
+        one array.
+        """
+        arr = self._order
+        start = int(np.flatnonzero(arr == 0)[0])
+        rotated = np.roll(arr, -start)
+        if rotated[1] > rotated[-1]:
+            rotated = np.roll(rotated[::-1], 1)
+        return rotated
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Tour):
+            return self._n == other._n and np.array_equal(self.canonical(), other.canonical())
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.canonical().tobytes())
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tour(n={self._n}, length={self._length:.3f})"

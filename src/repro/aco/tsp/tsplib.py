@@ -1,0 +1,196 @@
+"""TSPLIB95 file format support.
+
+Reads and writes the de-facto standard TSP instance format so the colony
+runs on published benchmark instances.  Supported ``EDGE_WEIGHT_TYPE``s:
+
+* ``EUC_2D`` — rounded Euclidean (the format's ``nint`` convention),
+* ``CEIL_2D`` — ceiling Euclidean,
+* ``ATT`` — the pseudo-Euclidean att48/att532 metric,
+* ``EXPLICIT`` with ``FULL_MATRIX``, ``UPPER_ROW``, ``LOWER_DIAG_ROW``,
+  or ``UPPER_DIAG_ROW`` edge-weight sections.
+
+The parser is deliberately strict: unknown types raise instead of
+guessing, and dimensions must match the declared ``DIMENSION``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.aco.tsp.instance import TSPInstance
+from repro.errors import ACOError
+
+__all__ = ["parse_tsplib", "load_tsplib", "to_tsplib"]
+
+
+class TSPLIBError(ACOError):
+    """Malformed or unsupported TSPLIB content."""
+
+
+def _euc_2d(coords: np.ndarray) -> np.ndarray:
+    diff = coords[:, None, :] - coords[None, :, :]
+    return np.floor(np.sqrt((diff**2).sum(axis=2)) + 0.5)  # nint()
+
+
+def _ceil_2d(coords: np.ndarray) -> np.ndarray:
+    diff = coords[:, None, :] - coords[None, :, :]
+    return np.ceil(np.sqrt((diff**2).sum(axis=2)))
+
+
+def _att(coords: np.ndarray) -> np.ndarray:
+    diff = coords[:, None, :] - coords[None, :, :]
+    rij = np.sqrt((diff**2).sum(axis=2) / 10.0)
+    tij = np.floor(rij + 0.5)
+    return np.where(tij < rij, tij + 1.0, tij)
+
+
+_COORD_METRICS = {"EUC_2D": _euc_2d, "CEIL_2D": _ceil_2d, "ATT": _att}
+
+
+def _parse_header(lines: List[str]) -> Dict[str, str]:
+    header: Dict[str, str] = {}
+    for line in lines:
+        if ":" not in line:
+            continue
+        key, _, value = line.partition(":")
+        header[key.strip().upper()] = value.strip()
+    return header
+
+
+def parse_tsplib(text: str) -> TSPInstance:
+    """Parse TSPLIB content into a :class:`TSPInstance`."""
+    raw_lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+    if not raw_lines:
+        raise TSPLIBError("empty TSPLIB content")
+    # Split into header and sections.
+    section: Optional[str] = None
+    header_lines: List[str] = []
+    coords_tokens: List[str] = []
+    weights_tokens: List[str] = []
+    for line in raw_lines:
+        upper = line.upper()
+        if upper.startswith("NODE_COORD_SECTION"):
+            section = "coords"
+            continue
+        if upper.startswith("EDGE_WEIGHT_SECTION"):
+            section = "weights"
+            continue
+        if upper.startswith(("DISPLAY_DATA_SECTION", "TOUR_SECTION")):
+            section = "ignored"
+            continue
+        if upper == "EOF":
+            section = None
+            continue
+        if section == "coords":
+            coords_tokens.extend(line.split())
+        elif section == "weights":
+            weights_tokens.extend(line.split())
+        elif section is None:
+            header_lines.append(line)
+
+    header = _parse_header(header_lines)
+    problem_type = header.get("TYPE", "TSP").upper()
+    if not problem_type.startswith("TSP"):
+        raise TSPLIBError(f"unsupported TYPE {problem_type!r} (only TSP)")
+    try:
+        dimension = int(header["DIMENSION"])
+    except KeyError:
+        raise TSPLIBError("missing DIMENSION") from None
+    except ValueError:
+        raise TSPLIBError(f"bad DIMENSION {header['DIMENSION']!r}") from None
+    name = header.get("NAME", "tsplib")
+    weight_type = header.get("EDGE_WEIGHT_TYPE", "EUC_2D").upper()
+
+    if weight_type in _COORD_METRICS:
+        if len(coords_tokens) != 3 * dimension:
+            raise TSPLIBError(
+                f"NODE_COORD_SECTION has {len(coords_tokens)} tokens, "
+                f"expected {3 * dimension}"
+            )
+        rows = np.asarray(coords_tokens, dtype=np.float64).reshape(dimension, 3)
+        # Column 0 is the (1-based) node id; verify it to catch shuffles.
+        ids = rows[:, 0].astype(np.int64)
+        order = np.argsort(ids)
+        rows = rows[order]
+        if not np.array_equal(rows[:, 0].astype(np.int64), np.arange(1, dimension + 1)):
+            raise TSPLIBError("node ids must be 1..DIMENSION")
+        coords = rows[:, 1:3]
+        distances = _COORD_METRICS[weight_type](coords)
+        np.fill_diagonal(distances, 0.0)
+        return TSPInstance(distances, coords=coords, name=name)
+
+    if weight_type == "EXPLICIT":
+        fmt = header.get("EDGE_WEIGHT_FORMAT", "FULL_MATRIX").upper()
+        values = np.asarray(weights_tokens, dtype=np.float64)
+        n = dimension
+        d = np.zeros((n, n), dtype=np.float64)
+        if fmt == "FULL_MATRIX":
+            if values.size != n * n:
+                raise TSPLIBError(f"FULL_MATRIX needs {n * n} values, got {values.size}")
+            d = values.reshape(n, n)
+        elif fmt in ("UPPER_ROW", "UPPER_DIAG_ROW", "LOWER_DIAG_ROW"):
+            expected = {
+                "UPPER_ROW": n * (n - 1) // 2,
+                "UPPER_DIAG_ROW": n * (n + 1) // 2,
+                "LOWER_DIAG_ROW": n * (n + 1) // 2,
+            }[fmt]
+            if values.size != expected:
+                raise TSPLIBError(f"{fmt} needs {expected} values, got {values.size}")
+            it = iter(values)
+            if fmt == "UPPER_ROW":
+                for i in range(n):
+                    for j in range(i + 1, n):
+                        d[i, j] = d[j, i] = next(it)
+            elif fmt == "UPPER_DIAG_ROW":
+                for i in range(n):
+                    for j in range(i, n):
+                        d[i, j] = d[j, i] = next(it)
+            else:  # LOWER_DIAG_ROW
+                for i in range(n):
+                    for j in range(0, i + 1):
+                        d[i, j] = d[j, i] = next(it)
+            np.fill_diagonal(d, 0.0)
+        else:
+            raise TSPLIBError(f"unsupported EDGE_WEIGHT_FORMAT {fmt!r}")
+        np.fill_diagonal(d, 0.0)
+        return TSPInstance(d, name=name)
+
+    raise TSPLIBError(f"unsupported EDGE_WEIGHT_TYPE {weight_type!r}")
+
+
+def load_tsplib(path) -> TSPInstance:
+    """Parse a ``.tsp`` file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_tsplib(fh.read())
+
+
+def to_tsplib(instance: TSPInstance, weight_type: str = "EUC_2D") -> str:
+    """Serialise an instance to TSPLIB text.
+
+    Coordinate instances are written as ``EUC_2D`` (note TSPLIB's rounded
+    metric: a parse round-trip yields the *rounded* distances);
+    matrix-only instances are written as ``EXPLICIT FULL_MATRIX``.
+    """
+    n = instance.n
+    lines = [
+        f"NAME : {instance.name}",
+        "TYPE : TSP",
+        f"COMMENT : written by repro",
+        f"DIMENSION : {n}",
+    ]
+    if instance.coords is not None and weight_type.upper() in _COORD_METRICS:
+        lines.append(f"EDGE_WEIGHT_TYPE : {weight_type.upper()}")
+        lines.append("NODE_COORD_SECTION")
+        for i, (x, y) in enumerate(instance.coords, start=1):
+            lines.append(f"{i} {x:.6f} {y:.6f}")
+    else:
+        lines.append("EDGE_WEIGHT_TYPE : EXPLICIT")
+        lines.append("EDGE_WEIGHT_FORMAT : FULL_MATRIX")
+        lines.append("EDGE_WEIGHT_SECTION")
+        for row in instance.distances:
+            lines.append(" ".join(f"{v:.6f}" for v in row))
+    lines.append("EOF")
+    return "\n".join(lines) + "\n"

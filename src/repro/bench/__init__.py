@@ -1,0 +1,34 @@
+"""Experiment harness: workloads, Monte-Carlo runner, paper-style tables.
+
+Each experiment in DESIGN.md's per-experiment index has a driver in
+:mod:`repro.bench.experiments`; the CLI (``python -m repro``) and the
+pytest benchmarks in ``benchmarks/`` are thin wrappers over these.
+"""
+
+from repro.bench.workloads import (
+    WORKLOADS,
+    linear_fitness,
+    make_workload,
+    sparse_fitness,
+    two_level_fitness,
+    uniform_fitness,
+    zipf_fitness,
+)
+from repro.bench.runner import MonteCarloResult, monte_carlo_selection
+from repro.bench.tables import format_table, paper_style_table
+from repro.bench import experiments
+
+__all__ = [
+    "WORKLOADS",
+    "make_workload",
+    "linear_fitness",
+    "two_level_fitness",
+    "uniform_fitness",
+    "zipf_fitness",
+    "sparse_fitness",
+    "MonteCarloResult",
+    "monte_carlo_selection",
+    "format_table",
+    "paper_style_table",
+    "experiments",
+]

@@ -1,0 +1,82 @@
+"""Terminal-friendly chart rendering for the experiment reports.
+
+The paper's evaluation is tables; the scaling experiments are naturally
+*figures*.  These helpers render them as ASCII so the CLI and examples
+can show shapes (log growth, crossovers) without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["bar_chart", "sparkline", "scatter_log2"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of ``values``."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart with right-aligned labels and values."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels vs {len(values)} values")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    vals = [float(v) for v in values]
+    top = max(vals) if vals else 0.0
+    label_w = max((len(str(lb)) for lb in labels), default=0)
+    lines = [title] if title else []
+    for label, v in zip(labels, vals):
+        bar = "#" * (int(round(width * v / top)) if top > 0 else 0)
+        lines.append(f"{str(label):>{label_w}} | {bar} {v:g}")
+    return "\n".join(lines)
+
+
+def scatter_log2(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    height: int = 10,
+    title: Optional[str] = None,
+) -> str:
+    """A crude log2-x scatter — shows O(log n) growth as a straight edge.
+
+    One column per point (points are assumed x-sorted); the y axis is
+    linear with ``height`` rows.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"{len(xs)} xs vs {len(ys)} ys")
+    if height <= 1:
+        raise ValueError(f"height must be > 1, got {height}")
+    if not xs:
+        return title or ""
+    yv = [float(y) for y in ys]
+    lo, hi = min(yv), max(yv)
+    span = (hi - lo) or 1.0
+    rows = [[" "] * len(xs) for _ in range(height)]
+    for col, y in enumerate(yv):
+        row = height - 1 - int((y - lo) / span * (height - 1))
+        rows[row][col] = "*"
+    lines = [title] if title else []
+    lines.extend("".join(r) for r in rows)
+    lines.append("-" * len(xs))
+    lines.append(f"x: {xs[0]:g} .. {xs[-1]:g} (one column per point); y: {lo:g} .. {hi:g}")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Plain-text table rendering in the paper's format."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "paper_style_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a padded ASCII table.
+
+    Floats are shown with 6 decimals (the paper's precision); everything
+    else via ``str``.
+    """
+
+    def cell(v: object) -> str:
+        if isinstance(v, float) or isinstance(v, np.floating):
+            return f"{v:.6f}"
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[c]) for r in str_rows)) if str_rows else len(str(h))
+        for c, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def paper_style_table(
+    fitness: np.ndarray,
+    target: np.ndarray,
+    columns: Dict[str, np.ndarray],
+    limit: Optional[int] = None,
+    title: Optional[str] = None,
+) -> str:
+    """The paper's table layout: ``i | f_i | F_i | <method columns>``.
+
+    ``limit`` truncates to the first rows (Table II shows 10 of 100).
+    """
+    n = len(fitness) if limit is None else min(limit, len(fitness))
+    headers = ["i", "f_i", "F_i"] + list(columns)
+    rows = []
+    for i in range(n):
+        row: List[object] = [i, float(fitness[i]), float(target[i])]
+        row.extend(float(col[i]) for col in columns.values())
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,101 @@
+"""Fitness-vector workload generators for the experiments.
+
+The paper's two table workloads plus the families needed for the scaling
+and ablation benches.  All generators return plain ``float64`` arrays and
+are registered in :data:`WORKLOADS` for CLI/config access.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "linear_fitness",
+    "two_level_fitness",
+    "uniform_fitness",
+    "exponential_fitness",
+    "zipf_fitness",
+    "sparse_fitness",
+    "WORKLOADS",
+    "make_workload",
+]
+
+
+def linear_fitness(n: int = 10) -> np.ndarray:
+    """Table I's workload: ``f_i = i`` for ``0 <= i < n``."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    return np.arange(n, dtype=np.float64)
+
+
+def two_level_fitness(n: int = 100, low: float = 1.0, high: float = 2.0) -> np.ndarray:
+    """Table II's workload: ``f_0 = low``, ``f_1 .. f_{n-1} = high``."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if low < 0 or high < 0:
+        raise ValueError("fitness levels must be non-negative")
+    f = np.full(n, high, dtype=np.float64)
+    f[0] = low
+    return f
+
+
+def uniform_fitness(n: int, seed: int = 0, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """i.i.d. uniform fitness on ``[low, high)``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    return low + (high - low) * rng.random(n)
+
+
+def exponential_fitness(n: int, seed: int = 0, scale: float = 1.0) -> np.ndarray:
+    """i.i.d. exponential fitness — a heavy-ish natural landscape."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return np.random.default_rng(seed).exponential(scale, size=n)
+
+
+def zipf_fitness(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Power-law fitness ``f_i = (i+1)^-exponent`` — extreme skew."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    return (np.arange(1, n + 1, dtype=np.float64)) ** (-exponent)
+
+
+def sparse_fitness(n: int, k: int, seed: int = 0, value: float = 1.0) -> np.ndarray:
+    """``k`` uniform-random positive entries among ``n`` zeros.
+
+    The ACO late-construction regime the paper's O(log k) bound targets.
+    Positive entries get i.i.d. uniforms on ``(0, value]`` so the race
+    has a non-trivial winner distribution.
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    rng = np.random.default_rng(seed)
+    f = np.zeros(n, dtype=np.float64)
+    support = rng.choice(n, size=k, replace=False)
+    f[support] = value * (1.0 - rng.random(k))  # (0, value]
+    return f
+
+
+#: Name -> factory registry for CLI/config-driven experiments.
+WORKLOADS: Dict[str, Callable[..., np.ndarray]] = {
+    "linear": linear_fitness,
+    "two_level": two_level_fitness,
+    "uniform": uniform_fitness,
+    "exponential": exponential_fitness,
+    "zipf": zipf_fitness,
+    "sparse": sparse_fitness,
+}
+
+
+def make_workload(name: str, **kwargs) -> np.ndarray:
+    """Instantiate a registered workload by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}") from None
+    return factory(**kwargs)

@@ -1,0 +1,125 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Runs the paper-reproduction experiments registered in
+:data:`repro.bench.experiments.EXPERIMENTS` and prints their tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.bench.experiments import EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def _jsonable(obj):
+    """Recursively convert experiment data (ndarrays etc.) to JSON types."""
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    return obj
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the experiments of 'The Logarithmic Random Bidding "
+            "for the Parallel Roulette Wheel Selection with Precise "
+            "Probabilities' (IPPS 2024)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="Monte-Carlo draws for table experiments (default: driver's default; "
+        "the paper used 10**9)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--engine",
+        type=str,
+        default=None,
+        help=(
+            "drive table1/table2 with a from-scratch RNG engine at 32-bit "
+            "resolution (e.g. 'mt19937' = the paper's exact rand(); slower)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the experiment's raw data as JSON instead of a table",
+    )
+    return parser
+
+
+def _run_one(
+    name: str,
+    iterations: Optional[int],
+    seed: int,
+    as_json: bool = False,
+    engine: Optional[str] = None,
+) -> str:
+    driver = EXPERIMENTS[name]
+    kwargs = {"seed": seed}
+    if iterations is not None and name in ("table1", "table2", "worked-example", "rng"):
+        kwargs["iterations"] = iterations
+    if engine is not None and name in ("table1", "table2"):
+        kwargs["engine"] = engine
+    report = driver(**kwargs)
+    if as_json:
+        return json.dumps(
+            {"name": report.name, "title": report.title, "data": _jsonable(report.data)},
+            indent=2,
+        )
+    return report.render()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.experiment is None:
+        parser.print_help()
+        return 2
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(
+            _run_one(
+                name, args.iterations, args.seed, as_json=args.json, engine=args.engine
+            )
+        )
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

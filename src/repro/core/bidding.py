@@ -1,0 +1,192 @@
+"""Bidding-key transforms — the mathematical heart of the paper.
+
+The paper's *logarithmic random bidding* assigns processor ``i`` the key
+
+.. math:: r_i = \\frac{\\log(\\mathrm{rand}())}{f_i},
+
+and selects the arg-max.  Writing ``E_i = -log(rand())`` (a standard
+Exp(1) variate), the key is ``-E_i / f_i``, so the arg-max of the keys is
+the arg-min of ``E_i / f_i`` — the winner of an *exponential race* whose
+lanes run at rates ``f_i``.  By the race lemma,
+``Pr[i wins] = f_i / sum(f)`` exactly.
+
+Two classical transforms are monotone-equivalent and produce the *same
+winner from the same uniforms*:
+
+* Efraimidis–Spirakis keys ``u_i ** (1/f_i)`` (log of the ES key is the
+  paper's key),
+* Gumbel-max keys ``log f_i - log(-log u_i)`` (a decreasing transform of
+  ``E_i / f_i``).
+
+This module exposes all three, plus the *incorrect* independent-roulette
+key ``f_i * u_i`` used as the paper's baseline, each in scalar and
+vectorised (batch) forms.  Zero-fitness entries always receive the
+identity-losing key (``-inf`` / ``0``), so they can never win — matching
+the paper's convention that visited ACO cities have fitness 0.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "log_bid_key",
+    "log_bid_keys",
+    "gumbel_keys",
+    "es_keys",
+    "independent_keys",
+    "winner_from_uniforms",
+]
+
+
+def log_bid_key(u: float, f: float) -> float:
+    """The paper's scalar bid ``log(u)/f`` for one processor.
+
+    Parameters
+    ----------
+    u:
+        A uniform variate in ``(0, 1]``.  (The half-open interval avoids
+        ``log(0)``; because the distribution is continuous this changes no
+        probability.)
+    f:
+        The processor's non-negative fitness.
+
+    Returns
+    -------
+    float
+        The bid; ``-inf`` when ``f == 0`` so zero-fitness processors never
+        win the race.
+    """
+    if f < 0.0:
+        raise ValueError(f"fitness must be non-negative, got {f}")
+    if not 0.0 < u <= 1.0:
+        raise ValueError(f"uniform variate must be in (0, 1], got {u}")
+    if f == 0.0:
+        return -math.inf
+    return math.log(u) / f
+
+
+def _uniforms(rng, shape) -> np.ndarray:
+    """Draw uniforms on ``(0, 1]`` (safe under log) from a UniformSource."""
+    u = np.asarray(rng.random(shape), dtype=np.float64)
+    # rng.random() is [0, 1); reflect to (0, 1].
+    return 1.0 - u
+
+
+def log_bid_keys(
+    fitness: np.ndarray, rng, *, size: Optional[int] = None, uniforms: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Vectorised logarithmic bids for a whole fitness vector.
+
+    Parameters
+    ----------
+    fitness:
+        Validated non-negative ``float64`` vector of length ``n``.
+    rng:
+        A :class:`repro.typing.UniformSource`; ignored when ``uniforms``
+        is given.
+    size:
+        If given, return a ``(size, n)`` matrix of independent key rows.
+    uniforms:
+        Optional pre-drawn uniforms in ``(0, 1]`` with the output shape —
+        used by the equivalence tests to feed identical randomness to all
+        key transforms.
+
+    Returns
+    -------
+    numpy.ndarray
+        Keys; ``-inf`` where ``fitness == 0``.
+    """
+    shape = (len(fitness),) if size is None else (size, len(fitness))
+    u = _uniforms(rng, shape) if uniforms is None else np.asarray(uniforms, dtype=np.float64)
+    # divide: f == 0 -> -inf (masked below); over: subnormal f overflows
+    # the quotient; invalid: 0/0 when u == 1 and f == 0, masked below.
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+        keys = np.log(u) / fitness
+    # A subnormal-but-positive fitness must still beat every zero-fitness
+    # item: clamp its overflowed bid to the largest finite loser instead
+    # of -inf.  (Ties among clamped bids resolve by argmax order — a
+    # regime 300 orders of magnitude beyond double precision.)
+    overflowed = np.isneginf(keys) & (fitness > 0.0)
+    if overflowed.any():
+        keys[overflowed] = np.finfo(np.float64).min
+    keys[..., fitness == 0.0] = -np.inf
+    return keys
+
+
+def gumbel_keys(
+    fitness: np.ndarray, rng, *, size: Optional[int] = None, uniforms: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Gumbel-max keys ``log f_i + G_i`` with ``G_i = -log(-log u_i)``.
+
+    Monotone-equivalent to :func:`log_bid_keys`: identical uniforms give an
+    identical arg-max.  Zero fitness maps to ``-inf``.
+    """
+    shape = (len(fitness),) if size is None else (size, len(fitness))
+    u = _uniforms(rng, shape) if uniforms is None else np.asarray(uniforms, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # -log(u) in [0, inf); a second log needs the open interval guard:
+        # u == 1 gives E == 0 and a +inf Gumbel, a measure-zero event that
+        # still produces the correct winner (it beats every finite key and
+        # corresponds to E_i/f_i == 0 winning the race).  invalid covers
+        # the -inf + inf = nan of (f == 0, u == 1), masked below.
+        gumbel = -np.log(-np.log(u))
+        keys = np.log(fitness) + gumbel
+    keys[..., fitness == 0.0] = -np.inf
+    return keys
+
+
+def es_keys(
+    fitness: np.ndarray, rng, *, size: Optional[int] = None, uniforms: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Efraimidis–Spirakis keys ``u_i ** (1/f_i)``.
+
+    The exponential of the paper's key; identical uniforms give an
+    identical arg-max.  Zero fitness maps to key ``0`` (``u ** inf`` for
+    ``u < 1``), the unique losing value since positive-fitness keys are
+    positive.
+    """
+    shape = (len(fitness),) if size is None else (size, len(fitness))
+    u = _uniforms(rng, shape) if uniforms is None else np.asarray(uniforms, dtype=np.float64)
+    with np.errstate(divide="ignore", over="ignore"):
+        keys = np.power(u, 1.0 / fitness)
+    # Mirror of the log-form clamp: a tiny positive fitness underflows
+    # u**(1/f) to 0, colliding with the zero-fitness losers; lift it to
+    # the smallest positive double so it still outranks them.
+    underflowed = (keys == 0.0) & (fitness > 0.0)
+    if underflowed.any():
+        keys[underflowed] = np.nextafter(0.0, 1.0)
+    keys[..., fitness == 0.0] = 0.0
+    return keys
+
+
+def independent_keys(
+    fitness: np.ndarray, rng, *, size: Optional[int] = None, uniforms: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """The *incorrect* independent-roulette key ``f_i * u_i`` (paper §I).
+
+    Kept as the paper's baseline: its arg-max is biased toward large
+    fitness values and is **not** distributed as ``F_i``.
+    """
+    shape = (len(fitness),) if size is None else (size, len(fitness))
+    u = _uniforms(rng, shape) if uniforms is None else np.asarray(uniforms, dtype=np.float64)
+    return fitness * u
+
+
+def winner_from_uniforms(fitness: Sequence[float], uniforms: Sequence[float]) -> int:
+    """Deterministic race winner given explicit uniforms (for testing).
+
+    Computes the paper's keys from the supplied uniforms and returns the
+    arg-max index.  Raises if every key is ``-inf`` (all-zero fitness).
+    """
+    f = np.asarray(fitness, dtype=np.float64)
+    u = np.asarray(uniforms, dtype=np.float64)
+    if f.shape != u.shape:
+        raise ValueError("fitness and uniforms must have the same shape")
+    keys = log_bid_keys(f, rng=None, uniforms=u)
+    if np.all(np.isneginf(keys)):
+        raise ValueError("no positive-fitness processor to win the race")
+    return int(np.argmax(keys))

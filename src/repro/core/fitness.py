@@ -1,0 +1,145 @@
+"""Fitness vectors and their validation.
+
+A *fitness vector* is the paper's ``f_0, ..., f_{n-1}``: finite,
+non-negative reals, at least one of them positive.  Every selection method
+in :mod:`repro.core.methods` assumes its input has passed
+:func:`validate_fitness`; the :class:`RouletteWheel` facade validates once
+so repeated draws pay no re-validation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import DegenerateFitnessError, FitnessError
+from repro.typing import FitnessLike
+
+__all__ = ["validate_fitness", "exact_probabilities", "FitnessVector"]
+
+
+def validate_fitness(fitness: FitnessLike) -> np.ndarray:
+    """Validate and canonicalise a fitness vector.
+
+    Returns a contiguous ``float64`` copy (methods may rely on dtype and
+    must never mutate a caller's array).
+
+    Raises
+    ------
+    FitnessError
+        If the vector is empty, has a non-1-D shape, or contains negative,
+        NaN, or infinite entries.
+    DegenerateFitnessError
+        If every entry is zero (no selection probability exists).
+    """
+    arr = np.asarray(fitness, dtype=np.float64)
+    if arr.ndim != 1:
+        raise FitnessError(f"fitness must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise FitnessError("fitness vector is empty")
+    if not np.all(np.isfinite(arr)):
+        raise FitnessError("fitness values must be finite (no NaN/inf)")
+    if np.any(arr < 0.0):
+        raise FitnessError("fitness values must be non-negative")
+    if not np.any(arr > 0.0):
+        raise DegenerateFitnessError("all fitness values are zero")
+    # Copy defensively; np.asarray may alias caller memory.
+    return np.array(arr, dtype=np.float64, copy=True)
+
+
+def exact_probabilities(fitness: FitnessLike) -> np.ndarray:
+    """The paper's target distribution ``F_i = f_i / sum(f)``."""
+    f = validate_fitness(fitness)
+    return f / f.sum()
+
+
+class FitnessVector:
+    """A validated, immutable fitness vector with cached derived quantities.
+
+    Wraps the raw array together with the quantities every selection method
+    wants — total, prefix sums, the non-zero support, and the exact target
+    probabilities — each computed lazily and cached.
+    """
+
+    __slots__ = ("_values", "_total", "_prefix", "_support", "_probs")
+
+    def __init__(self, fitness: FitnessLike) -> None:
+        values = validate_fitness(fitness)
+        values.setflags(write=False)
+        self._values = values
+        self._total: float | None = None
+        self._prefix: np.ndarray | None = None
+        self._support: np.ndarray | None = None
+        self._probs: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The validated read-only ``float64`` array."""
+        return self._values
+
+    @property
+    def n(self) -> int:
+        """Number of processors/items (the paper's ``n``)."""
+        return int(self._values.size)
+
+    @property
+    def total(self) -> float:
+        """``sum(f)`` — the roulette wheel's circumference."""
+        if self._total is None:
+            self._total = float(self._values.sum())
+        return self._total
+
+    @property
+    def prefix_sums(self) -> np.ndarray:
+        """The paper's ``p_i = f_0 + ... + f_i`` (inclusive prefix sums)."""
+        if self._prefix is None:
+            prefix = np.cumsum(self._values)
+            prefix.setflags(write=False)
+            self._prefix = prefix
+        return self._prefix
+
+    @property
+    def support(self) -> np.ndarray:
+        """Indices with non-zero fitness (the paper's ``k`` active set)."""
+        if self._support is None:
+            support = np.flatnonzero(self._values > 0.0)
+            support.setflags(write=False)
+            self._support = support
+        return self._support
+
+    @property
+    def k(self) -> int:
+        """Number of non-zero fitness values (the paper's ``k``)."""
+        return int(self.support.size)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Exact target distribution ``F_i``."""
+        if self._probs is None:
+            probs = self._values / self.total
+            probs.setflags(write=False)
+            self._probs = probs
+        return self._probs
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __getitem__(self, idx):
+        return self._values[idx]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FitnessVector):
+            return np.array_equal(self._values, other._values)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._values.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FitnessVector(n={self.n}, k={self.k}, total={self.total:g})"

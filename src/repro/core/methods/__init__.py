@@ -1,0 +1,59 @@
+"""Selection-method registry and implementations.
+
+Methods from the paper:
+
+* :class:`LogBiddingSelection` — the contribution (§II),
+* :class:`PrefixSumSelection` — the exact prefix-sum baseline (§I),
+* :class:`IndependentSelection` — the *inexact* independent roulette (§I).
+
+Classical exact samplers included as references and for the throughput
+benchmarks:
+
+* :class:`LinearScanSelection` — O(n) sequential scan,
+* :class:`BinarySearchSelection` — O(log n) CDF bisection,
+* :class:`AliasSelection` — Walker/Vose O(1)-per-draw alias tables,
+* :class:`StochasticAcceptanceSelection` — Lipowski–Lipowska rejection,
+* :class:`GumbelMaxSelection` — the Gumbel-max formulation of the race,
+* :class:`EfraimidisSpirakisSelection` — ES ``u**(1/f)`` keys.
+
+Every method is registered by name; :func:`get_method` resolves names,
+:func:`available_methods` lists them, and :func:`exact_methods` lists the
+ones whose selection distribution is exactly ``F_i``.
+"""
+
+from repro.core.methods.base import (
+    SelectionMethod,
+    available_methods,
+    exact_methods,
+    get_method,
+    register_method,
+)
+from repro.core.methods.linear_scan import LinearScanSelection
+from repro.core.methods.binary_search import BinarySearchSelection
+from repro.core.methods.prefix_sum import PrefixSumSelection
+from repro.core.methods.alias import AliasSelection, AliasTable
+from repro.core.methods.stochastic_acceptance import StochasticAcceptanceSelection
+from repro.core.methods.independent import IndependentSelection
+from repro.core.methods.log_bidding import LogBiddingSelection
+from repro.core.methods.gumbel import GumbelMaxSelection
+from repro.core.methods.efraimidis_spirakis import EfraimidisSpirakisSelection
+from repro.core.methods.fenwick import FenwickSelection
+
+__all__ = [
+    "SelectionMethod",
+    "available_methods",
+    "exact_methods",
+    "get_method",
+    "register_method",
+    "LinearScanSelection",
+    "BinarySearchSelection",
+    "PrefixSumSelection",
+    "AliasSelection",
+    "AliasTable",
+    "StochasticAcceptanceSelection",
+    "IndependentSelection",
+    "LogBiddingSelection",
+    "GumbelMaxSelection",
+    "EfraimidisSpirakisSelection",
+    "FenwickSelection",
+]

@@ -1,0 +1,109 @@
+"""Abstract base class and registry for selection methods.
+
+A :class:`SelectionMethod` turns a validated fitness vector and a uniform
+source into a selected index.  Methods are stateless value objects; batch
+selection (:meth:`SelectionMethod.select_many`) has a generic loop
+implementation that subclasses override with vectorised versions.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Type
+
+import numpy as np
+
+from repro.core.fitness import validate_fitness
+from repro.errors import UnknownMethodError
+
+__all__ = [
+    "SelectionMethod",
+    "register_method",
+    "get_method",
+    "available_methods",
+    "exact_methods",
+]
+
+_REGISTRY: Dict[str, Type["SelectionMethod"]] = {}
+
+
+def register_method(cls: Type["SelectionMethod"]) -> Type["SelectionMethod"]:
+    """Class decorator adding ``cls`` to the global method registry."""
+    name = cls.name
+    if not name:
+        raise ValueError(f"{cls.__name__} must define a non-empty `name`")
+    if name in _REGISTRY:
+        raise ValueError(f"selection method {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_method(name: str) -> "SelectionMethod":
+    """Instantiate the registered method called ``name``."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise UnknownMethodError(
+            f"unknown selection method {name!r}; available: {available_methods()}"
+        ) from None
+
+
+def available_methods() -> List[str]:
+    """Sorted names of every registered method."""
+    return sorted(_REGISTRY)
+
+
+def exact_methods() -> List[str]:
+    """Names of methods whose selection distribution is exactly ``F_i``."""
+    return sorted(name for name, cls in _REGISTRY.items() if cls.exact)
+
+
+class SelectionMethod(abc.ABC):
+    """One roulette-wheel selection algorithm.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also used in experiment configs and the CLI).
+    exact:
+        ``True`` when the induced distribution is exactly ``F_i``
+        (the paper's logarithmic bidding, prefix-sum, and the classical
+        samplers); ``False`` for the independent-roulette baseline.
+    """
+
+    name: str = ""
+    exact: bool = True
+
+    @abc.abstractmethod
+    def select(self, fitness: np.ndarray, rng) -> int:
+        """Select one index from a *validated* fitness vector.
+
+        ``fitness`` must have passed :func:`repro.core.fitness.validate_fitness`
+        (the :class:`repro.core.selector.RouletteWheel` facade guarantees
+        this); ``rng`` satisfies :class:`repro.typing.UniformSource`.
+        """
+
+    def select_many(self, fitness: np.ndarray, rng, size: int) -> np.ndarray:
+        """Draw ``size`` independent selections.
+
+        Generic loop; subclasses override with vectorised batch paths.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        out = np.empty(size, dtype=np.int64)
+        for i in range(size):
+            out[i] = self.select(fitness, rng)
+        return out
+
+    def select_checked(self, fitness, rng) -> int:
+        """Validate then select — convenience for direct method use."""
+        return self.select(validate_fitness(fitness), rng)
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,69 @@
+"""CDF bisection roulette selection — O(n) build, O(log n) per draw.
+
+Compute the inclusive prefix sums ``p_i`` once, then locate the spin
+``R ~ U[0, p_{n-1})`` with binary search for the smallest ``i`` with
+``R < p_i``.  Exact; zero-fitness items occupy zero-length intervals and
+the search is right-biased so they cannot be returned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.methods.base import SelectionMethod, register_method
+
+__all__ = ["BinarySearchSelection"]
+
+
+def _searchsorted_select(prefix: np.ndarray, spins: np.ndarray) -> np.ndarray:
+    """Map spin values to indices via right-continuous inverse CDF.
+
+    ``side='right'`` makes a spin landing exactly on a boundary ``p_i``
+    resolve to the *next* interval, which (a) matches the half-open
+    ``[p_{i-1}, p_i)`` intervals of the paper's prefix-sum algorithm and
+    (b) skips the empty intervals of zero-fitness items.
+    """
+    idx = np.searchsorted(prefix, spins, side="right")
+    # Guard the measure-zero R == p_{n-1} case produced by FP rounding.
+    return np.minimum(idx, len(prefix) - 1)
+
+
+@register_method
+class BinarySearchSelection(SelectionMethod):
+    """Inverse-CDF selection by bisection over prefix sums."""
+
+    name = "binary_search"
+    exact = True
+
+    def select(self, fitness: np.ndarray, rng) -> int:
+        prefix = np.cumsum(fitness)
+        r = float(rng.random()) * prefix[-1]
+        idx = int(_searchsorted_select(prefix, np.asarray([r]))[0])
+        return self._skip_zeros(fitness, prefix, idx, r)
+
+    def select_many(self, fitness: np.ndarray, rng, size: int) -> np.ndarray:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        prefix = np.cumsum(fitness)
+        spins = np.asarray(rng.random(size), dtype=np.float64) * prefix[-1]
+        idx = _searchsorted_select(prefix, spins).astype(np.int64)
+        # Vectorised zero-skip: indices pointing at zero-fitness cells can
+        # only arise from FP boundary collisions; repair them one by one
+        # (measure-zero frequency, so the loop body almost never runs).
+        bad = np.flatnonzero(fitness[idx] == 0.0)
+        for b in bad:
+            idx[b] = self._skip_zeros(fitness, prefix, int(idx[b]), float(spins[b]))
+        return idx
+
+    @staticmethod
+    def _skip_zeros(fitness: np.ndarray, prefix: np.ndarray, idx: int, r: float) -> int:
+        """Advance past zero-length intervals hit by exact boundary spins."""
+        n = len(fitness)
+        while idx < n and fitness[idx] == 0.0:
+            idx += 1
+        if idx >= n:
+            # r rounded to (or past) the total: the last positive item owns
+            # the closing boundary.
+            positive = np.flatnonzero(fitness > 0.0)
+            idx = int(positive[-1])
+        return idx

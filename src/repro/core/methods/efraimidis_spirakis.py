@@ -1,0 +1,51 @@
+"""Efraimidis–Spirakis key selection — ``argmax u_i ** (1/f_i)``.
+
+The weighted-reservoir-sampling keys of Efraimidis & Spirakis (2006).
+Their logarithm is precisely the paper's bid, so single-item selection is
+again the same exponential race; the ES form is numerically *worse* for
+tiny ``f`` (``u**(1/f)`` underflows to 0 for ``1/f`` large) — a practical
+reason to prefer the paper's logarithmic form, quantified in the tests.
+The k-item generalisation (top-k keys = weighted sampling *without*
+replacement) lives in :mod:`repro.core.without_replacement`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bidding import es_keys
+from repro.core.methods.base import SelectionMethod, register_method
+
+__all__ = ["EfraimidisSpirakisSelection"]
+
+
+@register_method
+class EfraimidisSpirakisSelection(SelectionMethod):
+    """Arg-max of ``u_i ** (1/f_i)`` — exact up to floating-point underflow."""
+
+    name = "efraimidis_spirakis"
+    exact = True
+
+    _CHUNK = 65536
+
+    def select(self, fitness: np.ndarray, rng) -> int:
+        keys = es_keys(fitness, rng)
+        winner = int(np.argmax(keys))
+        if keys[winner] == 0.0:
+            # Every key underflowed (all 1/f_i huge); fall back to the
+            # numerically robust logarithmic form of the same race.
+            from repro.core.bidding import log_bid_keys
+
+            return int(np.argmax(log_bid_keys(fitness, rng)))
+        return winner
+
+    def select_many(self, fitness: np.ndarray, rng, size: int) -> np.ndarray:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        out = np.empty(size, dtype=np.int64)
+        chunk = max(1, self._CHUNK // max(1, len(fitness)))
+        for start in range(0, size, chunk):
+            stop = min(start + chunk, size)
+            keys = es_keys(fitness, rng, size=stop - start)
+            out[start:stop] = np.argmax(keys, axis=1)
+        return out

@@ -1,0 +1,37 @@
+"""Registry adapter for the dynamic Fenwick-tree wheel.
+
+Exposes :class:`repro.core.dynamic.FenwickSampler` through the
+:class:`SelectionMethod` interface so it participates in the common
+contract tests and the throughput benchmarks: O(n) build, O(log n) per
+draw — between alias (O(1)) and the key race (O(n)) — with the unique
+ability (used directly, not via this adapter) to mutate fitness between
+draws in O(log n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.methods.base import SelectionMethod, register_method
+
+__all__ = ["FenwickSelection"]
+
+
+@register_method
+class FenwickSelection(SelectionMethod):
+    """Inverse-CDF selection through a Fenwick tree."""
+
+    name = "fenwick"
+    exact = True
+
+    def select(self, fitness: np.ndarray, rng) -> int:
+        from repro.core.dynamic import FenwickSampler
+
+        return FenwickSampler(fitness).select(rng)
+
+    def select_many(self, fitness: np.ndarray, rng, size: int) -> np.ndarray:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        from repro.core.dynamic import FenwickSampler
+
+        return FenwickSampler(fitness).select_many(size, rng)

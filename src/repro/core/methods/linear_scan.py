@@ -1,0 +1,44 @@
+"""Sequential linear-scan roulette selection — the textbook O(n) algorithm.
+
+Spin the wheel once (``R = rand() * sum(f)``) and walk the items
+accumulating fitness until the running sum exceeds ``R``.  Exact, requires
+one uniform per draw, and serves as the ground-truth oracle the parallel
+methods are compared against in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.methods.base import SelectionMethod, register_method
+
+__all__ = ["LinearScanSelection"]
+
+
+@register_method
+class LinearScanSelection(SelectionMethod):
+    """O(n) accumulate-and-scan selection."""
+
+    name = "linear_scan"
+    exact = True
+
+    def select(self, fitness: np.ndarray, rng) -> int:
+        total = float(fitness.sum())
+        r = float(rng.random()) * total
+        acc = 0.0
+        last_positive = -1
+        for i, f in enumerate(fitness):
+            if f > 0.0:
+                last_positive = i
+                acc += f
+                if r < acc:
+                    return i
+        # Floating-point accumulation can leave r marginally >= acc at the
+        # end (r < total but acc rounded below total); the mass belongs to
+        # the final positive-fitness item.
+        return last_positive
+
+    def select_many(self, fitness: np.ndarray, rng, size: int) -> np.ndarray:
+        # A vectorised scan is exactly the prefix-sum method; keep the loop
+        # so this class stays a faithful sequential reference.
+        return super().select_many(fitness, rng, size)

@@ -1,0 +1,49 @@
+"""Logarithmic random bidding — the paper's contribution (§II).
+
+Each processor draws ``r_i = log(rand()) / f_i`` and the maximum wins.
+Because ``-log(rand())`` is Exp(1), the keys run an exponential race at
+rates ``f_i``, so ``Pr[i wins] = f_i / sum(f)`` **exactly** (the paper's
+§II integral).  Zero-fitness processors receive ``-inf`` and can never
+win, which is what makes the CRCW race's running time depend on ``k``
+(non-zero count) rather than ``n``.
+
+This module is the *data-parallel* realisation (one vectorised key batch
+plus an arg-max); the step-faithful PRAM realisation with the O(log k)
+max race lives in :mod:`repro.pram.algorithms.roulette`, and a true
+thread-backed race in :mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bidding import log_bid_keys
+from repro.core.methods.base import SelectionMethod, register_method
+
+__all__ = ["LogBiddingSelection"]
+
+
+@register_method
+class LogBiddingSelection(SelectionMethod):
+    """Arg-max of ``log(u_i)/f_i`` — exact roulette selection (paper §II)."""
+
+    name = "log_bidding"
+    exact = True
+
+    #: Uniform draws per memory chunk in the batched path.
+    _CHUNK = 65536
+
+    def select(self, fitness: np.ndarray, rng) -> int:
+        keys = log_bid_keys(fitness, rng)
+        return int(np.argmax(keys))
+
+    def select_many(self, fitness: np.ndarray, rng, size: int) -> np.ndarray:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        out = np.empty(size, dtype=np.int64)
+        chunk = max(1, self._CHUNK // max(1, len(fitness)))
+        for start in range(0, size, chunk):
+            stop = min(start + chunk, size)
+            keys = log_bid_keys(fitness, rng, size=stop - start)
+            out[start:stop] = np.argmax(keys, axis=1)
+        return out

@@ -1,0 +1,139 @@
+"""High-level selection facade.
+
+:class:`RouletteWheel` binds a fitness vector to a method and an RNG and
+is the API most users touch::
+
+    >>> from repro.core import RouletteWheel
+    >>> wheel = RouletteWheel([0, 1, 2, 3], method="log_bidding", rng=42)
+    >>> wheel.select()                     # one index, Pr[i] = f_i / 6
+    >>> wheel.select_many(10_000)          # vectorised batch
+    >>> wheel.counts(10_000)               # empirical histogram
+
+Module-level :func:`select` / :func:`select_many` are one-shot
+conveniences over the same machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.fitness import FitnessVector
+from repro.core.methods.base import SelectionMethod, get_method
+from repro.rng.adapters import resolve_rng
+from repro.typing import FitnessLike
+
+__all__ = ["RouletteWheel", "select", "select_many", "selection_counts"]
+
+_DEFAULT_METHOD = "log_bidding"
+
+
+def _resolve_method(method: Union[str, SelectionMethod, None]) -> SelectionMethod:
+    if method is None:
+        return get_method(_DEFAULT_METHOD)
+    if isinstance(method, SelectionMethod):
+        return method
+    return get_method(method)
+
+
+class RouletteWheel:
+    """A fitness vector bound to a selection method and an RNG.
+
+    Parameters
+    ----------
+    fitness:
+        Non-negative fitness values, at least one positive.
+    method:
+        Registry name (default ``"log_bidding"``, the paper's method) or a
+        :class:`SelectionMethod` instance.
+    rng:
+        ``None`` (fresh NumPy generator), an int seed, a
+        ``numpy.random.Generator``, a :class:`repro.rng.BitGenerator`, or
+        anything satisfying :class:`repro.typing.UniformSource`.
+    """
+
+    def __init__(
+        self,
+        fitness: FitnessLike,
+        method: Union[str, SelectionMethod, None] = None,
+        rng=None,
+    ) -> None:
+        self.fitness = fitness if isinstance(fitness, FitnessVector) else FitnessVector(fitness)
+        self.method = _resolve_method(method)
+        self.rng = resolve_rng(rng)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of items on the wheel."""
+        return self.fitness.n
+
+    @property
+    def k(self) -> int:
+        """Number of items with non-zero fitness."""
+        return self.fitness.k
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Exact target distribution ``F_i``."""
+        return self.fitness.probabilities
+
+    # ------------------------------------------------------------------
+    def select(self) -> int:
+        """Draw one index."""
+        return self.method.select(self.fitness.values, self.rng)
+
+    def select_many(self, size: int) -> np.ndarray:
+        """Draw ``size`` independent indices (vectorised where possible)."""
+        return self.method.select_many(self.fitness.values, self.rng, size)
+
+    def counts(self, size: int) -> np.ndarray:
+        """Histogram of ``size`` draws (length ``n``)."""
+        draws = self.select_many(size)
+        return np.bincount(draws, minlength=self.n).astype(np.int64)
+
+    def empirical_probabilities(self, size: int) -> np.ndarray:
+        """Relative frequencies over ``size`` draws."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        return self.counts(size) / float(size)
+
+    def with_method(self, method: Union[str, SelectionMethod]) -> "RouletteWheel":
+        """A new wheel over the same fitness/RNG with a different method."""
+        wheel = RouletteWheel.__new__(RouletteWheel)
+        wheel.fitness = self.fitness
+        wheel.method = _resolve_method(method)
+        wheel.rng = self.rng
+        return wheel
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RouletteWheel(n={self.n}, k={self.k}, "
+            f"method={self.method.name!r})"
+        )
+
+
+def select(fitness: FitnessLike, rng=None, method: Union[str, SelectionMethod, None] = None) -> int:
+    """One-shot selection: validate, draw once, return the index."""
+    return RouletteWheel(fitness, method=method, rng=rng).select()
+
+
+def select_many(
+    fitness: FitnessLike,
+    size: int,
+    rng=None,
+    method: Union[str, SelectionMethod, None] = None,
+) -> np.ndarray:
+    """One-shot batch selection."""
+    return RouletteWheel(fitness, method=method, rng=rng).select_many(size)
+
+
+def selection_counts(
+    fitness: FitnessLike,
+    size: int,
+    rng=None,
+    method: Union[str, SelectionMethod, None] = None,
+) -> np.ndarray:
+    """One-shot histogram of ``size`` draws."""
+    return RouletteWheel(fitness, method=method, rng=rng).counts(size)

@@ -1,0 +1,203 @@
+"""Streaming (one-pass, O(1)-memory) roulette selection.
+
+The race view makes online selection trivial: feed items one at a time,
+keep only the best bid seen so far.  After any prefix of the stream the
+retained item is distributed exactly as the roulette wheel over that
+prefix — the same invariant the paper's CRCW shared cell ``s`` maintains,
+so :class:`StreamingSelector` doubles as the sequential reference model
+for the PRAM race.
+
+Also provides A-ExpJ-style exponential jumps (:meth:`StreamingSelector.skip_weight`)
+so that long runs of low-fitness items can be consumed with O(1) RNG
+draws per *winner change* instead of per item.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Tuple
+
+import heapq
+
+from repro.errors import SelectionError
+from repro.rng.adapters import resolve_rng
+
+__all__ = ["StreamingSelector", "StreamingReservoir", "streaming_select"]
+
+
+class StreamingSelector:
+    """Online arg-max of logarithmic bids over a fitness stream."""
+
+    def __init__(self, rng=None) -> None:
+        self._rng = resolve_rng(rng)
+        self._best_key = -math.inf
+        self._best_index: Optional[int] = None
+        self._count = 0
+        self._total = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def winner(self) -> Optional[int]:
+        """Index of the current roulette winner (None before any f > 0)."""
+        return self._best_index
+
+    @property
+    def best_key(self) -> float:
+        """The winning bid so far (the shared cell ``s`` of the paper)."""
+        return self._best_key
+
+    @property
+    def items_seen(self) -> int:
+        """How many items have been offered."""
+        return self._count
+
+    @property
+    def total_fitness(self) -> float:
+        """Running ``sum(f)`` over the stream."""
+        return self._total
+
+    # ------------------------------------------------------------------
+    def offer(self, fitness: float, index: Optional[int] = None) -> bool:
+        """Feed one item; return True iff it becomes the new winner.
+
+        Parameters
+        ----------
+        fitness:
+            The item's non-negative fitness.
+        index:
+            Identifier stored for the item; defaults to its stream
+            position.
+        """
+        if fitness < 0.0 or not math.isfinite(fitness):
+            raise SelectionError(f"fitness must be finite and >= 0, got {fitness}")
+        idx = self._count if index is None else index
+        self._count += 1
+        self._total += fitness
+        if fitness == 0.0:
+            return False
+        u = self._rng.random()
+        key = math.log(1.0 - u) / fitness  # 1-u in (0,1], log <= 0
+        if key > self._best_key:
+            self._best_key = key
+            self._best_index = idx
+            return True
+        return False
+
+    def offer_many(self, fitnesses: Iterable[float]) -> Optional[int]:
+        """Feed a whole iterable; return the winner afterwards."""
+        for f in fitnesses:
+            self.offer(f)
+        return self._best_index
+
+    def skip_weight(self) -> float:
+        """Total future fitness that will pass before the winner changes.
+
+        A-ExpJ jump: given the current best key ``s``, the amount of
+        cumulative fitness ``W`` consumed until some later item beats it is
+        distributed as ``Exp`` with rate ``-s`` — so
+        ``W = log(u') / s`` for a fresh uniform.  Callers can skip whole
+        blocks of items whose total fitness is below this threshold.
+        """
+        if self._best_index is None:
+            return 0.0
+        u = self._rng.random()
+        return math.log(1.0 - u) / self._best_key  # both logs negative -> W > 0
+
+    def merge(self, other: "StreamingSelector") -> "StreamingSelector":
+        """Combine two independent stream prefixes (parallel reduce).
+
+        The winner of the merged stream is whichever partial winner holds
+        the larger bid — exactly the tree-reduction the paper's §III
+        describes for EREW machines.
+        """
+        merged = StreamingSelector(self._rng)
+        merged._count = self._count + other._count
+        merged._total = self._total + other._total
+        if other._best_key > self._best_key:
+            merged._best_key, merged._best_index = other._best_key, other._best_index
+        else:
+            merged._best_key, merged._best_index = self._best_key, self._best_index
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingSelector(items_seen={self._count}, winner={self._best_index})"
+        )
+
+
+class StreamingReservoir:
+    """Weighted reservoir sampling of ``k`` items *without* replacement.
+
+    Efraimidis–Spirakis A-ES with the paper's logarithmic keys: keep the
+    ``k`` largest bids ``log(u_i)/f_i`` in a min-heap.  After any stream
+    prefix, the retained set is distributed exactly as sequential
+    roulette draw-and-remove over that prefix; the single-item case
+    (``k=1``) degenerates to :class:`StreamingSelector`.
+
+    O(k) memory, O(log k) per offered item.
+    """
+
+    def __init__(self, k: int, rng=None) -> None:
+        if k <= 0:
+            raise SelectionError(f"reservoir size must be positive, got {k}")
+        self.k = k
+        self._rng = resolve_rng(rng)
+        self._heap: list = []  # (key, index) min-heap on key
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def items_seen(self) -> int:
+        """How many items have been offered."""
+        return self._count
+
+    @property
+    def threshold(self) -> float:
+        """The smallest retained key (-inf while the reservoir has room)."""
+        if len(self._heap) < self.k:
+            return -math.inf
+        return self._heap[0][0]
+
+    def offer(self, fitness: float, index: Optional[int] = None) -> bool:
+        """Feed one item; return True iff it entered the reservoir."""
+        if fitness < 0.0 or not math.isfinite(fitness):
+            raise SelectionError(f"fitness must be finite and >= 0, got {fitness}")
+        idx = self._count if index is None else index
+        self._count += 1
+        if fitness == 0.0:
+            return False
+        u = self._rng.random()
+        key = math.log(1.0 - u) / fitness
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (key, idx))
+            return True
+        if key > self._heap[0][0]:
+            heapq.heapreplace(self._heap, (key, idx))
+            return True
+        return False
+
+    def offer_many(self, fitnesses: Iterable[float]) -> None:
+        """Feed a whole iterable."""
+        for f in fitnesses:
+            self.offer(f)
+
+    def sample(self) -> list:
+        """Current reservoir, in selection order (best key first)."""
+        return [idx for _key, idx in sorted(self._heap, reverse=True)]
+
+
+def streaming_select(fitnesses: Iterable[float], rng=None) -> Tuple[int, int]:
+    """One-pass selection over an iterable.
+
+    Returns ``(winner_index, items_seen)``.
+
+    Raises
+    ------
+    SelectionError
+        If the stream contained no positive fitness.
+    """
+    sel = StreamingSelector(rng)
+    sel.offer_many(fitnesses)
+    if sel.winner is None:
+        raise SelectionError("stream contained no positive fitness value")
+    return sel.winner, sel.items_seen

@@ -1,0 +1,107 @@
+"""Weighted sampling *without* replacement via the race keys.
+
+A direct corollary of the paper's construction: ranking items by the
+logarithmic bid ``log(u_i)/f_i`` (descending) gives the same joint
+distribution as sequentially drawing by roulette wheel and removing each
+winner — the Efraimidis–Spirakis theorem with the numerically robust
+logarithmic keys.  The whole k-sample costs one key per item plus a
+partial sort, and parallelises exactly like the single-item race.
+
+:func:`sequential_sample_without_replacement` implements the
+draw-remove-renormalise reference the equivalence tests compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.core.bidding import log_bid_keys
+from repro.core.fitness import validate_fitness
+from repro.core.methods.base import SelectionMethod, get_method
+from repro.errors import SelectionError
+from repro.rng.adapters import resolve_rng
+from repro.typing import FitnessLike
+
+__all__ = ["sample_without_replacement", "sequential_sample_without_replacement"]
+
+
+def sample_without_replacement(fitness: FitnessLike, k: int, rng=None) -> np.ndarray:
+    """Draw ``k`` distinct indices, weighted without replacement.
+
+    Item ``i`` appears first with probability ``F_i``; conditioned on the
+    prefix, each later position follows the renormalised wheel over the
+    remaining items (Efraimidis–Spirakis).
+
+    Parameters
+    ----------
+    fitness:
+        Non-negative weights; the number of *positive* weights must be at
+        least ``k``.
+    k:
+        Sample size.
+    rng:
+        Anything :func:`repro.rng.adapters.resolve_rng` accepts.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``k`` distinct indices, in selection order (first = wheel winner).
+    """
+    f = validate_fitness(fitness)
+    rng = resolve_rng(rng)
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    support = int(np.count_nonzero(f > 0.0))
+    if k > support:
+        raise SelectionError(
+            f"cannot sample {k} items without replacement from {support} "
+            "positive-fitness items"
+        )
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    keys = log_bid_keys(f, rng)
+    # Top-k keys, descending: partial selection then exact ordering of the
+    # selected block — O(n + k log k).
+    if k < len(f):
+        top = np.argpartition(keys, len(f) - k)[len(f) - k :]
+    else:
+        top = np.arange(len(f))
+    order = np.argsort(keys[top])[::-1]
+    return top[order].astype(np.int64)
+
+
+def sequential_sample_without_replacement(
+    fitness: FitnessLike,
+    k: int,
+    rng=None,
+    method: Union[str, SelectionMethod, None] = None,
+) -> np.ndarray:
+    """Reference implementation: draw, zero the winner, repeat.
+
+    Distributionally identical to :func:`sample_without_replacement`
+    (asserted statistically in the tests) but costs ``k`` full selections.
+    """
+    f = validate_fitness(fitness)
+    rng = resolve_rng(rng)
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    support = int(np.count_nonzero(f > 0.0))
+    if k > support:
+        raise SelectionError(
+            f"cannot sample {k} items without replacement from {support} "
+            "positive-fitness items"
+        )
+    sel: SelectionMethod = (
+        get_method("log_bidding")
+        if method is None
+        else (method if isinstance(method, SelectionMethod) else get_method(method))
+    )
+    out = np.empty(k, dtype=np.int64)
+    remaining = f.copy()
+    for j in range(k):
+        winner = sel.select(remaining, rng)
+        out[j] = winner
+        remaining[winner] = 0.0
+    return out

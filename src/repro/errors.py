@@ -1,0 +1,94 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still discriminating finer-grained failure classes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FitnessError",
+    "DegenerateFitnessError",
+    "SelectionError",
+    "UnknownMethodError",
+    "RNGError",
+    "PRAMError",
+    "MemoryAccessError",
+    "ReadConflictError",
+    "WriteConflictError",
+    "CommonWriteViolation",
+    "ProgramError",
+    "DeadlockError",
+    "ACOError",
+    "InvalidTourError",
+    "InvalidColoringError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class FitnessError(ReproError, ValueError):
+    """A fitness vector violates the algorithm's preconditions.
+
+    Raised for negative entries, NaN/inf entries, or empty vectors.
+    """
+
+
+class DegenerateFitnessError(FitnessError):
+    """Every fitness value is zero, so no selection probability exists."""
+
+
+class SelectionError(ReproError):
+    """A selection method failed to produce an index."""
+
+
+class UnknownMethodError(SelectionError, KeyError):
+    """A selection-method name was not found in the registry."""
+
+
+class RNGError(ReproError):
+    """A pseudo-random number generator was misused or mis-seeded."""
+
+
+class PRAMError(ReproError):
+    """Base class for PRAM simulator errors."""
+
+
+class MemoryAccessError(PRAMError):
+    """An out-of-range or otherwise illegal shared-memory access."""
+
+
+class ReadConflictError(PRAMError):
+    """Two processors read the same cell in one step under EREW."""
+
+
+class WriteConflictError(PRAMError):
+    """Two processors wrote the same cell in one step under EREW/CREW."""
+
+
+class CommonWriteViolation(PRAMError):
+    """CRCW-COMMON processors wrote *different* values to one cell."""
+
+
+class ProgramError(PRAMError):
+    """A processor program yielded an unknown request object."""
+
+
+class DeadlockError(PRAMError):
+    """No processor can make progress (e.g. mismatched barriers)."""
+
+
+class ACOError(ReproError):
+    """Base class for ant-colony application errors."""
+
+
+class InvalidTourError(ACOError, ValueError):
+    """A tour is not a permutation of the instance's cities."""
+
+
+class InvalidColoringError(ACOError, ValueError):
+    """A color assignment references unknown vertices or colors."""

@@ -1,0 +1,43 @@
+"""Message-passing (distributed-memory) substrate.
+
+The paper's race needs a CRCW shared cell; on distributed-memory
+machines (MPI clusters) the same selection is realised by *reducing* the
+logarithmic bids: each rank draws its local bid and the arg-max is
+computed by collectives.  This package provides a deterministic
+simulator of synchronous message-passing ranks —
+:class:`repro.msg.network.Network` — with the classic collectives built
+from point-to-point sends:
+
+* binomial-tree broadcast and reduce (``ceil(log2 p)`` rounds),
+* butterfly (recursive-doubling) all-reduce,
+* :func:`repro.msg.roulette.distributed_roulette` — the full selection:
+  local bids + arg-max reduce + winner broadcast, O(log p) rounds and
+  O(1) memory per rank, the message-passing mirror of Theorem 1.
+
+Costs are counted the way MPI papers count them: rounds (network
+latency), messages, and bytes-equivalent payload units.
+"""
+
+from repro.msg.network import Network, Rank, RankContext
+from repro.msg.collectives import (
+    all_reduce_max,
+    binomial_broadcast,
+    binomial_reduce,
+)
+from repro.msg.roulette import (
+    DistributedOutcome,
+    distributed_prefix_roulette,
+    distributed_roulette,
+)
+
+__all__ = [
+    "Network",
+    "Rank",
+    "RankContext",
+    "binomial_broadcast",
+    "binomial_reduce",
+    "all_reduce_max",
+    "distributed_roulette",
+    "distributed_prefix_roulette",
+    "DistributedOutcome",
+]

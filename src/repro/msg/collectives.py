@@ -1,0 +1,155 @@
+"""Collective operations built from point-to-point messages.
+
+All are generator sub-programs used inside a rank program with
+``result = yield from collective(ctx, ...)``; every rank of the network
+must call the same collective with compatible arguments (the usual MPI
+contract).
+
+* :func:`binomial_broadcast` — root-to-all in ``ceil(log2 p)`` rounds,
+* :func:`binomial_reduce` — all-to-root fold in ``ceil(log2 p)`` rounds,
+* :func:`all_reduce` / :func:`all_reduce_max` — recursive-doubling
+  butterfly (with the standard fold for non-power-of-two sizes), leaving
+  the reduction on *every* rank.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.msg.network import Recv, RankContext, Send, SendRecv
+
+__all__ = [
+    "binomial_broadcast",
+    "binomial_reduce",
+    "all_reduce",
+    "all_reduce_max",
+    "exclusive_scan",
+]
+
+
+def binomial_broadcast(ctx: RankContext, value: Any, root: int = 0):
+    """Broadcast ``value`` (significant at ``root``) to every rank.
+
+    Round ``t``: ranks with relative id < 2**t forward to relative id
+    + 2**t.  Returns the broadcast value on every rank.
+    """
+    if not 0 <= root < ctx.size:
+        raise ValueError(f"root {root} out of range for size {ctx.size}")
+    rel = (ctx.rank - root) % ctx.size
+    have = rel == 0
+    t = 1
+    while t < ctx.size:
+        if have and rel + t < ctx.size:
+            dest = (root + rel + t) % ctx.size
+            yield Send(dest, value)
+        elif not have and t <= rel < 2 * t:
+            src = (root + rel - t) % ctx.size
+            value = yield Recv(src)
+            have = True
+        t *= 2
+    return value
+
+
+def binomial_reduce(ctx: RankContext, value: Any, combine: Callable, root: int = 0):
+    """Fold every rank's ``value`` with ``combine`` onto ``root``.
+
+    Returns the full reduction at ``root`` and a partial (meaningless)
+    value elsewhere — exactly MPI_Reduce's contract.
+    """
+    if not 0 <= root < ctx.size:
+        raise ValueError(f"root {root} out of range for size {ctx.size}")
+    rel = (ctx.rank - root) % ctx.size
+    t = 1
+    while t < ctx.size:
+        if rel % (2 * t) == 0:
+            if rel + t < ctx.size:
+                src = (root + rel + t) % ctx.size
+                other = yield Recv(src)
+                value = combine(value, other)
+        elif rel % (2 * t) == t:
+            dest = (root + rel - t) % ctx.size
+            yield Send(dest, value)
+            return value  # sent upward; this rank is done reducing
+        t *= 2
+    return value
+
+
+def all_reduce(ctx: RankContext, value: Any, combine: Callable):
+    """Recursive-doubling all-reduce; the result lands on every rank.
+
+    For non-power-of-two sizes the classic fold applies: the ``r`` extra
+    ranks first push their values into the power-of-two "core", the core
+    runs the butterfly, and the results are pushed back out.  Rounds:
+    ``log2(p') + 2`` with ``p'`` the core size.
+    """
+    p = ctx.size
+    core = 1
+    while core * 2 <= p:
+        core *= 2
+    extra = p - core
+    rank = ctx.rank
+
+    # Fold-in: ranks core..p-1 send to rank - core.
+    if rank >= core:
+        yield Send(rank - core, value)
+        result = yield Recv(rank - core)  # wait for the folded-out result
+        return result
+    if rank < extra:
+        other = yield Recv(rank + core)
+        value = combine(value, other)
+
+    # Butterfly over the core.
+    t = 1
+    while t < core:
+        partner = rank ^ t
+        other = yield SendRecv(partner, value, partner)
+        value = combine(value, other)
+        t *= 2
+
+    # Fold-out.
+    if rank < extra:
+        yield Send(rank + core, value)
+    return value
+
+
+def all_reduce_max(ctx: RankContext, value: Any):
+    """All-reduce with ``max`` — the distributed race's core operation.
+
+    ``value`` may be any comparable, typically a ``(bid, rank)`` tuple so
+    the arg-max rides along with the max.
+    """
+    result = yield from all_reduce(ctx, value, max)
+    return result
+
+
+def exclusive_scan(ctx: RankContext, value: Any, combine: Callable, zero: Any):
+    """Exclusive prefix scan across ranks (MPI_Exscan).
+
+    Rank ``r`` receives ``combine`` folded over ranks ``0 .. r-1``
+    (``zero`` at rank 0).  Hillis–Steele over the rank space:
+    ``ceil(log2 p)`` full-duplex rounds.
+    """
+    p = ctx.size
+    rank = ctx.rank
+    # Inclusive running value plus the carried exclusive part.
+    inclusive = value
+    exclusive = zero
+    t = 1
+    while t < p:
+        # Pair (rank) <- (rank - t) and (rank) -> (rank + t).
+        send_to = rank + t
+        recv_from = rank - t
+        if send_to < p and recv_from >= 0:
+            other = yield SendRecv(send_to, inclusive, recv_from)
+        elif send_to < p:
+            yield Send(send_to, inclusive)
+            other = None
+        elif recv_from >= 0:
+            other = yield Recv(recv_from)
+        else:
+            other = None
+        if other is not None:
+            exclusive = combine(other, exclusive) if exclusive is not zero else other
+            inclusive = combine(other, inclusive)
+        t *= 2
+    return exclusive

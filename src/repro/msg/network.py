@@ -1,0 +1,224 @@
+"""A deterministic simulator of synchronous message-passing ranks.
+
+Rank programs are generator coroutines (the same execution style as
+:mod:`repro.pram`) yielding communication requests:
+
+* ``yield Send(dest, payload)`` — enqueue a message; it becomes visible
+  to ``dest`` at the end of the current round (one round of latency),
+* ``payload = yield Recv(source)`` — block until a message from
+  ``source`` is available, then consume it (FIFO per sender),
+* ``payload = yield SendRecv(dest, payload, source)`` — both in one
+  round, the full-duplex exchange collectives are built from.
+
+Costs are counted per run: ``rounds`` (synchronous steps — the latency
+term), ``messages`` and ``payload_units`` (the bandwidth term; one unit
+per scalar, ``len`` units per sized payload).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import DeadlockError, ProgramError, ReproError
+from repro.rng.adapters import UniformAdapter
+from repro.rng.philox import Philox4x32
+from repro.rng.splitmix import SplitMix64
+
+__all__ = ["Send", "Recv", "SendRecv", "Rank", "RankContext", "NetworkMetrics", "Network"]
+
+_DEFAULT_MAX_ROUNDS = 1_000_000
+
+
+class MessageError(ReproError):
+    """An invalid source or destination rank in a communication request."""
+
+
+@dataclass(frozen=True)
+class Send:
+    """Asynchronous send: visible to ``dest`` at the end of this round."""
+
+    dest: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive of the next message from ``source``."""
+
+    source: int
+
+
+@dataclass(frozen=True)
+class SendRecv:
+    """Full-duplex exchange: send to ``dest``, then receive from ``source``."""
+
+    dest: int
+    payload: Any
+    source: int
+
+
+@dataclass
+class RankContext:
+    """Per-rank execution context."""
+
+    rank: int
+    size: int
+    rng: UniformAdapter
+
+
+#: Back-compat alias mirroring common MPI wrapper naming.
+Rank = RankContext
+
+
+@dataclass
+class NetworkMetrics:
+    """Cost counters for one network run."""
+
+    #: Synchronous rounds (the latency term).
+    rounds: int = 0
+    #: Total messages sent.
+    messages: int = 0
+    #: Total payload size (1 per scalar, len() per sized object).
+    payload_units: int = 0
+    #: Number of ranks.
+    size: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "payload_units": self.payload_units,
+            "size": self.size,
+        }
+
+
+@dataclass
+class NetworkResult:
+    """Per-rank return values plus the run's cost counters."""
+
+    returns: List[Any] = field(default_factory=list)
+    metrics: NetworkMetrics = field(default_factory=NetworkMetrics)
+
+
+def _payload_size(payload: Any) -> int:
+    try:
+        return max(1, len(payload))  # type: ignore[arg-type]
+    except TypeError:
+        return 1
+
+
+class Network:
+    """``size`` synchronous ranks connected all-to-all.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    seed:
+        Master seed; each rank gets an independent counter-based stream.
+    """
+
+    def __init__(self, size: int, seed: int = 0) -> None:
+        if size <= 0:
+            raise ValueError(f"network size must be positive, got {size}")
+        self.size = size
+        self.seed = seed
+        self._rank_seed = SplitMix64(seed).next_uint64()
+
+    def rank_rng(self, rank: int) -> UniformAdapter:
+        """The private stream of ``rank`` (deterministic per seed)."""
+        return UniformAdapter(Philox4x32(self._rank_seed, stream=rank))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Callable[..., Any],
+        *args: Any,
+        max_rounds: Optional[int] = None,
+        **kwargs: Any,
+    ) -> NetworkResult:
+        """Execute ``program(ctx, *args, **kwargs)`` on every rank."""
+        budget = _DEFAULT_MAX_ROUNDS if max_rounds is None else max_rounds
+        gens: Dict[int, Any] = {}
+        for rank in range(self.size):
+            ctx = RankContext(rank=rank, size=self.size, rng=self.rank_rng(rank))
+            gens[rank] = program(ctx, *args, **kwargs)
+
+        metrics = NetworkMetrics(size=self.size)
+        returns: List[Any] = [None] * self.size
+        # inbox[dest][source] -> FIFO of payloads (delivered, receivable).
+        inbox: List[Dict[int, deque]] = [dict() for _ in range(self.size)]
+        send_values: Dict[int, Any] = {}
+        # Ranks blocked on a Recv(source) they could not satisfy yet.
+        blocked: Dict[int, int] = {}
+        live = set(gens)
+
+        def check_rank(r: int, kind: str) -> None:
+            if not 0 <= r < self.size:
+                raise MessageError(f"{kind} rank {r} out of range [0, {self.size})")
+
+        def try_recv(rank: int, source: int) -> Tuple[bool, Any]:
+            queue = inbox[rank].get(source)
+            if queue:
+                return True, queue.popleft()
+            return False, None
+
+        while live:
+            if metrics.rounds >= budget:
+                raise DeadlockError(
+                    f"network exceeded {budget} rounds; blocked ranks: "
+                    f"{sorted(blocked)} of live {sorted(live)}"
+                )
+            metrics.rounds += 1
+            deliveries: List[Tuple[int, int, Any]] = []  # (dest, src, payload)
+            progressed = False
+            for rank in sorted(live):
+                if rank in blocked:
+                    ok, payload = try_recv(rank, blocked[rank])
+                    if not ok:
+                        continue  # still blocked; consumes the round
+                    del blocked[rank]
+                    send_values[rank] = payload
+                    progressed = True
+                gen = gens[rank]
+                try:
+                    request = gen.send(send_values.pop(rank, None))
+                except StopIteration as stop:
+                    returns[rank] = stop.value
+                    live.discard(rank)
+                    progressed = True
+                    continue
+                progressed = True
+                if isinstance(request, Send):
+                    check_rank(request.dest, "destination")
+                    deliveries.append((request.dest, rank, request.payload))
+                    metrics.messages += 1
+                    metrics.payload_units += _payload_size(request.payload)
+                elif isinstance(request, SendRecv):
+                    check_rank(request.dest, "destination")
+                    check_rank(request.source, "source")
+                    deliveries.append((request.dest, rank, request.payload))
+                    metrics.messages += 1
+                    metrics.payload_units += _payload_size(request.payload)
+                    blocked[rank] = request.source
+                elif isinstance(request, Recv):
+                    check_rank(request.source, "source")
+                    blocked[rank] = request.source
+                else:
+                    raise ProgramError(
+                        f"rank {rank} yielded {request!r}; expected Send, Recv, or SendRecv"
+                    )
+            # End of round: commit deliveries (visible from the next round).
+            for dest, src, payload in deliveries:
+                inbox[dest].setdefault(src, deque()).append(payload)
+            if not progressed and not deliveries:
+                raise DeadlockError(
+                    f"no rank can progress; blocked: { {r: s for r, s in blocked.items()} }"
+                )
+        return NetworkResult(returns=returns, metrics=metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Network(size={self.size}, seed={self.seed})"

@@ -1,0 +1,37 @@
+"""Thread-backed realisation of the paper's shared-cell race.
+
+The PRAM simulator (:mod:`repro.pram`) counts the paper's steps exactly
+but serialises execution.  This package runs the same algorithm under
+*genuine* concurrent scheduling with :mod:`threading`:
+
+* :class:`repro.parallel.race.SharedMaxCell` — a lock-protected max cell,
+* :class:`repro.parallel.race.RacyMaxCell` — an *unsynchronised* cell
+  whose lost updates are tolerated by the algorithm's retry loop, the
+  closest CPython analogue of the paper's CRCW random-winner writes,
+* :func:`repro.parallel.race.threaded_select` — full roulette selection
+  with the fitness vector sharded across worker threads.
+
+CPython's GIL serialises bytecodes, so these threads interleave rather
+than truly overlap; the value demonstrated here is *correctness under
+nondeterministic interleaving* (and the iteration counts of the retry
+loop), not wall-clock speed-up — see DESIGN.md's substitution table.
+"""
+
+from repro.parallel.team import ThreadTeam, TeamResult
+from repro.parallel.race import (
+    RaceOutcome,
+    RacyMaxCell,
+    SharedMaxCell,
+    threaded_race,
+    threaded_select,
+)
+
+__all__ = [
+    "ThreadTeam",
+    "TeamResult",
+    "SharedMaxCell",
+    "RacyMaxCell",
+    "RaceOutcome",
+    "threaded_race",
+    "threaded_select",
+]

@@ -1,0 +1,303 @@
+"""The shared-max-cell race under real thread scheduling.
+
+Two cell flavours:
+
+* :class:`SharedMaxCell` — conventional lock-protected compare-and-set;
+  linearisable, used as ground truth.
+* :class:`RacyMaxCell` — the paper's loop verbatim: read without a lock,
+  write without a lock, retry while the cell is below your bid.  Lost
+  updates (a write overwritten by a concurrent writer holding a stale
+  read) are possible exactly as in CRCW arbitration.
+
+The paper's synchronous model re-checks ``s < r_i`` every round, so a
+lost update is always repaired.  Asynchronous threads do not get that for
+free: a thread can exit its loop and *then* be overwritten by a straggler
+with a smaller stale bid.  :func:`threaded_race` therefore reproduces the
+paper's round structure explicitly — race phase, barrier, verify phase —
+repeating until a round ends with no thread observing the cell below its
+bid.  At that fixed point the cell provably holds the maximum (every bid
+was verified ``<= cell`` during a write-free window).  The tests hammer
+this with adversarial thread counts.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.bidding import log_bid_keys
+from repro.core.fitness import validate_fitness
+from repro.errors import SelectionError
+from repro.parallel.team import TeamContext, ThreadTeam
+
+__all__ = [
+    "SharedMaxCell",
+    "RacyMaxCell",
+    "RaceOutcome",
+    "threaded_race",
+    "threaded_select",
+]
+
+#: Safety valve for the verify-round loop; in practice 1-2 rounds settle.
+_MAX_ROUNDS = 1000
+
+
+class SharedMaxCell:
+    """Lock-protected (value, payload) max cell — the linearisable reference."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = -math.inf
+        self._payload: Optional[int] = None
+
+    def offer(self, value: float, payload: int) -> bool:
+        """Atomically raise the cell to ``value``; True iff it won."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+                self._payload = payload
+                return True
+            return False
+
+    @property
+    def value(self) -> float:
+        """Current maximum."""
+        return self._value
+
+    @property
+    def payload(self) -> Optional[int]:
+        """Payload of the current maximum."""
+        return self._payload
+
+    def snapshot(self) -> Tuple[float, Optional[int]]:
+        """Consistent (value, payload) pair."""
+        with self._lock:
+            return self._value, self._payload
+
+
+class RacyMaxCell:
+    """The paper's unsynchronised cell: plain reads and writes, no lock.
+
+    A single attribute store is atomic in CPython (no torn tuples), but
+    read-modify-write is not — concurrent offers can overwrite each
+    other, which is precisely the CRCW "one write survives" behaviour the
+    paper assumes.  Safety comes from the caller's retry-and-verify
+    protocol, not from this class.
+    """
+
+    def __init__(self) -> None:
+        # One tuple attribute so value+payload stay consistent per write.
+        self._cell: Tuple[float, Optional[int]] = (-math.inf, None)
+
+    def read(self) -> Tuple[float, Optional[int]]:
+        """Unsynchronised read of (value, payload)."""
+        return self._cell
+
+    def write(self, value: float, payload: int) -> None:
+        """Unsynchronised write — may be lost to a concurrent writer."""
+        self._cell = (value, payload)
+
+    def offer_until_settled(self, value: float, payload: int) -> int:
+        """The paper's while loop: retry until the cell reads >= our bid.
+
+        Returns the number of write attempts (the thread's active
+        iteration count in Theorem 1's sense).  Note this alone does not
+        guarantee the cell ends at the global maximum — see the module
+        docstring — which is why :func:`threaded_race` adds verify rounds.
+        """
+        attempts = 0
+        while True:
+            current, _ = self._cell
+            if not (current < value):
+                return attempts
+            attempts += 1
+            self._cell = (value, payload)
+
+    @property
+    def value(self) -> float:
+        return self._cell[0]
+
+    @property
+    def payload(self) -> Optional[int]:
+        return self._cell[1]
+
+
+@dataclass
+class RaceOutcome:
+    """Result of a threaded race/selection."""
+
+    #: Winning index.
+    winner: int
+    #: Winning bid value.
+    maximum: float
+    #: Per-thread write attempts in the retry loop.
+    attempts: List[int]
+    #: Verify rounds needed before the cell settled (racy mode; 1 = clean).
+    rounds: int
+    #: Number of worker threads used.
+    nthreads: int
+    #: Wall-clock seconds of the parallel section.
+    elapsed: float
+
+
+def _race_rounds(
+    cell: RacyMaxCell,
+    bid: float,
+    payload: int,
+    participating: bool,
+    ctx: TeamContext,
+    flag: List[bool],
+) -> Tuple[int, int]:
+    """Race/verify round protocol; returns (write attempts, rounds).
+
+    Three barriers per round:
+
+    1. after the race phase — the cell is write-free and stable,
+    2. after the verify phase — every unsatisfied thread has raised
+       ``flag``,
+    3. after everyone has read the flag — rank 0 may then safely reset it
+       for the next round (its reset happens-before barrier 1 of that
+       round, which happens-before any verify write).
+    """
+    attempts = 0
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > _MAX_ROUNDS:  # pragma: no cover - requires pathological scheduling
+            raise SelectionError(f"racy max cell failed to settle in {_MAX_ROUNDS} rounds")
+        if participating:
+            attempts += cell.offer_until_settled(bid, payload)
+        ctx.sync()  # B1: race phase over; no thread is writing
+        if participating and cell.value < bid:
+            flag[0] = True
+        ctx.sync()  # B2: all verify results recorded
+        unsettled = flag[0]
+        ctx.sync()  # B3: everyone has read the flag
+        if ctx.rank == 0:
+            flag[0] = False
+        if not unsettled:
+            return attempts, rounds
+
+
+def _run_race(
+    n: int,
+    nthreads: int,
+    seed: int,
+    racy: bool,
+    bids: Optional[np.ndarray] = None,
+    per_thread_bid=None,
+) -> RaceOutcome:
+    """Shared machinery for :func:`threaded_race` / :func:`threaded_select`.
+
+    Exactly one of ``bids`` (a precomputed length-``n`` bid vector) or
+    ``per_thread_bid`` (``(ctx, lo, hi) -> (value, index)``, drawing from
+    the worker's private stream) must be provided.
+    """
+    cell: Union[RacyMaxCell, SharedMaxCell] = RacyMaxCell() if racy else SharedMaxCell()
+    flag = [False]
+
+    def worker(ctx: TeamContext):
+        lo = ctx.rank * n // ctx.size
+        hi = (ctx.rank + 1) * n // ctx.size
+        bid, payload = -math.inf, -1
+        if lo < hi:
+            if per_thread_bid is None:
+                shard = bids[lo:hi]  # type: ignore[index]
+                best = int(np.argmax(shard))
+                bid, payload = float(shard[best]), lo + best
+            else:
+                bid, payload = per_thread_bid(ctx, lo, hi)
+        participating = bid > -math.inf
+        if racy:
+            return _race_rounds(cell, bid, payload, participating, ctx, flag)
+        if participating:
+            cell.offer(bid, payload)
+        ctx.sync()
+        return (1 if participating else 0), 1
+
+    team = ThreadTeam(nthreads, seed=seed)
+    result = team.run(worker)
+    value, payload = (cell.read() if racy else cell.snapshot())
+    if payload is None:
+        raise SelectionError("threaded race finished without a winner")
+    attempts = [a for (a, _r) in result.returns]
+    rounds = max(r for (_a, r) in result.returns)
+    return RaceOutcome(
+        winner=int(payload),
+        maximum=float(value),
+        attempts=[int(a) for a in attempts],
+        rounds=int(rounds),
+        nthreads=nthreads,
+        elapsed=result.elapsed,
+    )
+
+
+def threaded_race(
+    values: Sequence[float],
+    nthreads: Optional[int] = None,
+    seed: int = 0,
+    racy: bool = True,
+) -> RaceOutcome:
+    """Find the arg-max of ``values`` with the index space sharded over threads.
+
+    Parameters
+    ----------
+    values:
+        Bids; ``-inf`` entries are non-participants (at least one finite
+        bid required).
+    nthreads:
+        Worker count (default: one per value, capped at 64).
+    seed:
+        Seed for the per-thread streams (unused when bids are given, kept
+        for signature symmetry).
+    racy:
+        Use the unsynchronised :class:`RacyMaxCell` with the paper's
+        retry/verify protocol; ``False`` switches to the lock-based cell.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.size == 0:
+        raise SelectionError("race needs at least one value")
+    if np.isnan(vals).any():
+        raise SelectionError("NaN bids are not comparable")
+    if not np.any(vals > -math.inf):
+        raise SelectionError("all bids are -inf; nothing can win")
+    nthreads = min(int(vals.size), 64) if nthreads is None else nthreads
+    if nthreads <= 0:
+        raise ValueError(f"nthreads must be positive, got {nthreads}")
+    return _run_race(int(vals.size), nthreads, seed, racy, bids=vals)
+
+
+def threaded_select(
+    fitness: Sequence[float],
+    nthreads: Optional[int] = None,
+    seed: int = 0,
+    racy: bool = True,
+) -> RaceOutcome:
+    """Full roulette selection with logarithmic bids across threads.
+
+    Each worker draws the bids for its shard from its private stream
+    (vectorised), races its local champion, and the settled cell holds
+    the roulette winner: ``Pr[i] = F_i`` exactly, as in Theorem 1.
+    """
+    f = validate_fitness(fitness)
+    n = len(f)
+    nthreads = min(n, 64) if nthreads is None else nthreads
+    if nthreads <= 0:
+        raise ValueError(f"nthreads must be positive, got {nthreads}")
+
+    def shard_bid(ctx: TeamContext, lo: int, hi: int) -> Tuple[float, int]:
+        keys = log_bid_keys(f[lo:hi], ctx.rng)
+        best = int(np.argmax(keys))
+        return float(keys[best]), lo + best
+
+    return _run_race(n, nthreads, seed, racy, per_thread_bid=shard_bid)
+
+
+def race_is_settled(cell: RacyMaxCell, bids: Sequence[float]) -> bool:
+    """True iff the cell holds the maximum finite bid (test helper)."""
+    finite = [b for b in bids if b != -math.inf]
+    return bool(finite) and cell.value == max(finite)

@@ -1,0 +1,102 @@
+"""A small SPMD thread team with barrier support.
+
+Mirrors the mpi4py/OpenMP programming model at thread scale: every worker
+runs the same function with a rank, a team size, a shared barrier and a
+private random stream.  Exceptions in any worker are captured and
+re-raised in the caller, never swallowed.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.rng.adapters import UniformAdapter
+from repro.rng.philox import Philox4x32
+
+__all__ = ["TeamContext", "TeamResult", "ThreadTeam"]
+
+
+@dataclass
+class TeamContext:
+    """Per-worker context (the thread-world analogue of ProcContext)."""
+
+    rank: int
+    size: int
+    barrier: threading.Barrier
+    rng: UniformAdapter
+
+    def sync(self) -> None:
+        """Block until every worker reaches this barrier."""
+        self.barrier.wait()
+
+
+@dataclass
+class TeamResult:
+    """Aggregate outcome of one team run."""
+
+    #: Per-rank return values.
+    returns: List[Any] = field(default_factory=list)
+    #: Wall-clock seconds for the parallel section.
+    elapsed: float = 0.0
+
+
+class ThreadTeam:
+    """Run ``fn(ctx, *args)`` on ``size`` threads and join them.
+
+    Parameters
+    ----------
+    size:
+        Number of worker threads.
+    seed:
+        Master seed; each rank receives an independent counter-based
+        stream (Philox keyed by rank).
+    """
+
+    def __init__(self, size: int, seed: int = 0) -> None:
+        if size <= 0:
+            raise ValueError(f"team size must be positive, got {size}")
+        self.size = size
+        self.seed = seed
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        timeout: Optional[float] = None,
+    ) -> TeamResult:
+        """Execute the SPMD section; re-raises the first worker exception."""
+        import time
+
+        barrier = threading.Barrier(self.size)
+        returns: List[Any] = [None] * self.size
+        errors: List[Optional[BaseException]] = [None] * self.size
+
+        def worker(rank: int) -> None:
+            ctx = TeamContext(
+                rank=rank,
+                size=self.size,
+                barrier=barrier,
+                rng=UniformAdapter(Philox4x32(self.seed, stream=rank)),
+            )
+            try:
+                returns[rank] = fn(ctx, *args)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors[rank] = exc
+                barrier.abort()  # unblock peers waiting on us
+
+        threads = [
+            threading.Thread(target=worker, args=(rank,), name=f"team-{rank}")
+            for rank in range(self.size)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout)
+        elapsed = time.perf_counter() - start
+        for exc in errors:
+            if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
+                raise exc
+        return TeamResult(returns=returns, elapsed=elapsed)

@@ -1,0 +1,51 @@
+"""A discrete-step PRAM (parallel random access machine) simulator.
+
+The paper analyses its algorithms on the PRAM model [Gibbons & Rytter
+1988]: ``n`` synchronous processors sharing a memory, with EREW
+(exclusive read / exclusive write) or CRCW (concurrent read / concurrent
+write) access disciplines.  In the paper's CRCW variant, when several
+processors write one cell in the same step, *a randomly selected write
+succeeds* — the arbitration mode that drives Theorem 1.
+
+This package implements that machine faithfully enough to *count* what
+the paper counts:
+
+* one simulated step = one shared-memory access per processor
+  (local computation between accesses is free, as in the unit-cost PRAM),
+* reads observe the memory as of the end of the previous step; writes
+  commit at the end of the step (read-before-write step semantics),
+* access-discipline violations raise (EREW/CREW), and CRCW write
+  conflicts are resolved by a pluggable :class:`WritePolicy`
+  (COMMON / ARBITRARY / PRIORITY / RANDOM),
+* every run returns a :class:`repro.pram.metrics.RunMetrics` with step,
+  read, write, conflict, and peak-memory counts.
+
+Programs are Python generator functions that ``yield`` access requests
+(:class:`Read`, :class:`Write`, :class:`Barrier`); see
+:mod:`repro.pram.program`.  The paper's algorithms are implemented on top
+in :mod:`repro.pram.algorithms`.
+"""
+
+from repro.pram.policies import AccessMode, WritePolicy
+from repro.pram.program import Barrier, Noop, ProcContext, Read, Write
+from repro.pram.memory import SharedMemory
+from repro.pram.metrics import RunMetrics, RunResult
+from repro.pram.machine import PRAM
+from repro.pram.trace import TraceEvent, Tracer, render_trace
+
+__all__ = [
+    "PRAM",
+    "AccessMode",
+    "WritePolicy",
+    "Read",
+    "Write",
+    "Barrier",
+    "Noop",
+    "ProcContext",
+    "SharedMemory",
+    "RunMetrics",
+    "RunResult",
+    "Tracer",
+    "TraceEvent",
+    "render_trace",
+]

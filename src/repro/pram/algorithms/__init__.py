@@ -1,0 +1,46 @@
+"""Classic PRAM algorithms plus the paper's max race and roulette selections.
+
+Each function builds a machine, runs the program, and returns both the
+algorithmic result and the run's cost metrics, so the benchmarks can chart
+steps/memory against the paper's O-claims:
+
+* :func:`broadcast` — O(log n) EREW one-to-all,
+* :func:`tree_reduce_max` / :func:`tree_reduce_sum` — O(log n) EREW reduction,
+* :func:`hillis_steele_scan` / :func:`blelloch_scan` — O(log n) prefix sums,
+* :func:`max_random_write_race` — the paper's §III CRCW race (O(log k) expected),
+* :func:`prefix_sum_roulette` — the §I baseline selection on an EREW machine,
+* :func:`log_bidding_roulette` — the paper's full selection on a CRCW machine.
+"""
+
+from repro.pram.algorithms.broadcast import broadcast
+from repro.pram.algorithms.compaction import compact_indices, compact_nonzero
+from repro.pram.algorithms.reduction import tree_reduce_max, tree_reduce_sum
+from repro.pram.algorithms.prefix_sum import blelloch_scan, hillis_steele_scan
+from repro.pram.algorithms.sorting import bitonic_sort, pram_selection_order
+from repro.pram.algorithms.max_random_write import RaceResult, max_random_write_race
+from repro.pram.algorithms.roulette import (
+    MultiSelectionOutcome,
+    SelectionOutcome,
+    log_bidding_roulette,
+    log_bidding_roulette_without_replacement,
+    prefix_sum_roulette,
+)
+
+__all__ = [
+    "broadcast",
+    "compact_indices",
+    "compact_nonzero",
+    "tree_reduce_max",
+    "tree_reduce_sum",
+    "hillis_steele_scan",
+    "blelloch_scan",
+    "bitonic_sort",
+    "pram_selection_order",
+    "max_random_write_race",
+    "RaceResult",
+    "prefix_sum_roulette",
+    "log_bidding_roulette",
+    "log_bidding_roulette_without_replacement",
+    "SelectionOutcome",
+    "MultiSelectionOutcome",
+]

@@ -1,0 +1,80 @@
+"""One-to-all broadcast on an EREW PRAM by recursive doubling.
+
+After round ``d`` the value occupies cells ``0 .. 2**d - 1``; processor
+``i`` copies from cell ``i - 2**d`` in round ``d`` (both accesses are
+exclusive), so ``ceil(log2 n)`` rounds fill all ``n`` cells.  Used by the
+prefix-sum roulette to distribute the spin ``R`` without violating EREW.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.pram.machine import PRAM
+from repro.pram.metrics import RunMetrics
+from repro.pram.policies import AccessMode
+from repro.pram.program import Noop, ProcContext, Read, Write
+
+__all__ = ["broadcast", "broadcast_program", "crew_broadcast"]
+
+
+def broadcast_program(proc: ProcContext, base: int, n: int):
+    """Program: replicate ``mem[base]`` into ``mem[base .. base+n-1]``.
+
+    Every processor executes the same number of steps (Noop padding), so
+    callers may embed this in longer lockstep programs.
+    """
+    i = proc.pid
+    d = 1
+    value = None
+    have = i == 0
+    if have:
+        value = yield Read(base)
+    else:
+        yield Noop()
+    while d < n:
+        if not have and d <= i < 2 * d:
+            value = yield Read(base + i - d)
+            have = True
+            yield Write(base + i, value)
+        else:
+            yield Noop()
+            yield Noop()
+        d *= 2
+    return value
+
+
+def broadcast(value: Any, n: int, seed: int = 0) -> Tuple[list, RunMetrics]:
+    """Broadcast ``value`` to ``n`` cells on a fresh EREW machine.
+
+    Returns the final cell contents and the run metrics (steps must be
+    ``Theta(log n)`` — asserted in the tests).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    pram = PRAM(nprocs=n, memory_size=n, mode=AccessMode.EREW, seed=seed)
+    pram.memory[0] = value
+    result = pram.run(broadcast_program, 0, n)
+    return result.memory, result.metrics
+
+
+def crew_broadcast(value: Any, n: int, seed: int = 0) -> Tuple[list, RunMetrics]:
+    """Broadcast in O(1) steps on a CREW machine (concurrent reads).
+
+    The mode hierarchy made concrete: what costs Theta(log n) under EREW
+    is a single concurrent read under CREW — every processor reads cell 0
+    in the same step and writes its own cell in the next.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    from repro.pram.policies import AccessMode
+
+    def program(proc: ProcContext):
+        v = yield Read(0)
+        yield Write(1 + proc.pid, v)
+        return v
+
+    pram = PRAM(nprocs=n, memory_size=n + 1, mode=AccessMode.CREW, seed=seed)
+    pram.memory[0] = value
+    result = pram.run(program)
+    return result.memory[1:], result.metrics

@@ -1,0 +1,75 @@
+"""Stream compaction on an EREW PRAM.
+
+Gathers the indices of all marked processors into a contiguous prefix of
+memory in O(log n) steps — the standard scan application.  In the
+paper's setting this is how the ``k`` active (non-zero-fitness)
+processors would be collected if an algorithm wanted to renumber them
+densely (e.g. to hand the race exactly ``k`` processors, or to build the
+compacted candidate lists GPU ACO kernels use).
+
+Schedule: each processor computes its flag, an exclusive scan of the
+flags yields each marked processor's output slot, and one exclusive
+write per marked processor scatters its index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.pram.machine import PRAM
+from repro.pram.metrics import RunMetrics
+from repro.pram.policies import AccessMode
+from repro.pram.program import Barrier, Noop, ProcContext, Read, Write
+
+__all__ = ["compact_indices", "compact_nonzero"]
+
+
+def _compaction_program(proc: ProcContext, n: int, predicate: Callable):
+    """Memory: [0, n) input; [n, 3n) scan ping/pong; [3n, 4n) output."""
+    i = proc.pid
+    value = yield Read(i)
+    flag = 1 if predicate(value) else 0
+
+    # Hillis–Steele inclusive scan of the flags over [n, 2n) / [2n, 3n).
+    acc = flag
+    yield Write(n + i, acc)
+    yield Barrier()
+    src, dst = n, 2 * n
+    d = 1
+    while d < n:
+        if i >= d:
+            left = yield Read(src + i - d)
+            acc = acc + left
+        else:
+            yield Noop()
+        yield Write(dst + i, acc)
+        yield Barrier()
+        src, dst = dst, src
+        d *= 2
+    # acc is the inclusive scan: slot = acc - flag (the exclusive value).
+    if flag:
+        yield Write(3 * n + (acc - flag), i)
+    return acc  # processor n-1 returns the total count
+
+
+def compact_indices(
+    values: Sequence, predicate: Callable, seed: int = 0
+) -> Tuple[List[int], RunMetrics]:
+    """Indices ``i`` with ``predicate(values[i])``, in order, via PRAM.
+
+    Returns ``(indices, metrics)``; ``metrics.steps`` is Θ(log n).
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot compact an empty sequence")
+    pram = PRAM(nprocs=n, memory_size=4 * n, mode=AccessMode.EREW, seed=seed)
+    pram.memory.load(list(values))
+    result = pram.run(_compaction_program, n, predicate)
+    count = int(result.returns[n - 1])
+    indices = [int(x) for x in result.memory[3 * n : 3 * n + count]]
+    return indices, result.metrics
+
+
+def compact_nonzero(fitness: Sequence[float], seed: int = 0) -> Tuple[List[int], RunMetrics]:
+    """The paper's active set: indices with ``f_i > 0``, densely packed."""
+    return compact_indices(fitness, lambda v: v > 0.0, seed=seed)

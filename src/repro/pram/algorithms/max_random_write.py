@@ -1,0 +1,141 @@
+"""The paper's §III CRCW max race — the core of Theorem 1.
+
+Each processor repeatedly executes ``while s < r_i: s <- r_i`` against a
+single shared cell ``s``; simultaneous writes are resolved by the
+machine's write policy (RANDOM in the paper's model).  Once no processor
+is active, ``s`` holds the maximum, and after a barrier each processor
+writes its id to ``output`` if ``s == r_i``.
+
+The quantity the paper analyses is the number of *iterations* of the
+while loop (one read + one conditional write per iteration).  With RANDOM
+arbitration each iteration's surviving value is a uniformly random active
+bid, so at least half of the active processors retire with probability
+>= 1/2, giving an expected iteration count of O(log k) where ``k`` is the
+number of processors with finite bids (non-zero fitness).
+
+Deviation from the paper's text: the paper initialises ``s`` to zero, but
+the logarithmic bids are strictly negative, so a literal zero would win
+the race outright and no processor would ever satisfy ``s == r_i``.  We
+initialise ``s = -inf`` (the race identity), which is clearly the
+intended semantics.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import SelectionError
+from repro.pram.machine import PRAM
+from repro.pram.metrics import RunMetrics
+from repro.pram.policies import AccessMode, WritePolicy
+from repro.pram.program import Barrier, ProcContext, Read, Write
+
+__all__ = ["RaceResult", "max_random_write_race", "race_program"]
+
+#: Shared-memory layout: the whole algorithm needs O(1) cells.
+_CELL_S = 0
+_CELL_OUTPUT = 1
+_MEMORY_SIZE = 2
+
+
+@dataclass
+class RaceResult:
+    """Outcome of one max race."""
+
+    #: Index written to ``output`` (arg-max of the values).
+    winner: int
+    #: The maximum value (final contents of ``s``).
+    maximum: float
+    #: Global while-loop iterations: rounds in which >= 1 processor wrote.
+    iterations: int
+    #: Per-processor count of (read, write) loop iterations performed.
+    per_proc_writes: List[int]
+    #: Machine cost counters.
+    metrics: RunMetrics
+    #: Number of participants with a finite value (the paper's ``k``).
+    k: int
+
+
+def race_program(proc: ProcContext, values: Sequence[float]):
+    """Program: the paper's while loop, barrier, then winner announcement.
+
+    ``values[pid]`` is processor ``pid``'s bid; ``-inf`` marks a
+    non-participant (zero fitness).  Returns the number of writes this
+    processor performed (its active-iteration count).
+    """
+    r = values[proc.pid]
+    writes = 0
+    if r != -math.inf:
+        while True:
+            s = yield Read(_CELL_S)
+            if not (s < r):
+                break
+            writes += 1
+            yield Write(_CELL_S, r)
+    yield Barrier()
+    s = yield Read(_CELL_S)
+    if s == r and r != -math.inf:
+        yield Write(_CELL_OUTPUT, proc.pid)
+    return writes
+
+
+def max_random_write_race(
+    values: Sequence[float],
+    seed: int = 0,
+    policy: WritePolicy = WritePolicy.RANDOM,
+    max_steps: Optional[int] = None,
+) -> RaceResult:
+    """Run the CRCW max race over ``values`` on a fresh machine.
+
+    Parameters
+    ----------
+    values:
+        One bid per processor; ``-inf`` entries sit the race out.  At
+        least one bid must be finite.
+    seed:
+        Machine seed (drives the RANDOM write arbitration).
+    policy:
+        CRCW write policy; the paper's analysis assumes RANDOM, the other
+        policies are exposed for the arbitration ablation.
+    max_steps:
+        Optional step budget (DeadlockError beyond it).
+
+    Notes
+    -----
+    The *global* iteration count reported is ``max`` over processors of
+    their personal loop iterations that performed a write, plus the final
+    non-writing check round — matching "the while loop is iterated until
+    no active processor exists".
+    """
+    values = [float(v) for v in values]
+    n = len(values)
+    if n == 0:
+        raise SelectionError("race needs at least one processor")
+    finite = [v for v in values if v != -math.inf]
+    if not finite:
+        raise SelectionError("all bids are -inf; no processor can win the race")
+    if any(math.isnan(v) for v in values):
+        raise SelectionError("NaN bids are not comparable")
+    pram = PRAM(
+        nprocs=n,
+        memory_size=_MEMORY_SIZE,
+        mode=AccessMode.CRCW,
+        policy=policy,
+        seed=seed,
+    )
+    pram.memory[_CELL_S] = -math.inf
+    result = pram.run(race_program, values, max_steps=max_steps)
+    winner = result.memory[_CELL_OUTPUT]
+    if winner is None:
+        raise SelectionError("race finished without announcing a winner")
+    per_proc = [int(x) for x in result.returns]
+    return RaceResult(
+        winner=int(winner),
+        maximum=result.memory[_CELL_S],
+        iterations=max(per_proc) if per_proc else 0,
+        per_proc_writes=per_proc,
+        metrics=result.metrics,
+        k=len(finite),
+    )

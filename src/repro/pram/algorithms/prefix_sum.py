@@ -1,0 +1,138 @@
+"""Parallel prefix sums (scans) on an EREW PRAM.
+
+Two classic schedules:
+
+* **Hillis–Steele** (:func:`hillis_steele_scan`): ``ceil(log2 n)`` rounds,
+  O(n log n) work, double-buffered so each round is EREW-clean.  This is
+  the O(log n)-time, O(n)-memory scan the paper's §I prefix-sum selection
+  assumes.
+* **Blelloch** (:func:`blelloch_scan`): work-efficient O(n) two-phase
+  (up-sweep / down-sweep) exclusive scan, ``2 log2 n`` rounds; included to
+  let the benchmarks compare work against depth.
+
+Both return inclusive prefix sums ``p_i = f_0 + ... + f_i`` to match the
+paper's notation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.pram.machine import PRAM
+from repro.pram.metrics import RunMetrics
+from repro.pram.policies import AccessMode
+from repro.pram.program import Barrier, Noop, ProcContext, Read, Write
+
+__all__ = ["hillis_steele_scan", "blelloch_scan", "hillis_steele_program"]
+
+
+def hillis_steele_program(proc: ProcContext, n: int, buf_a: int, buf_b: int):
+    """Program: inclusive scan of ``mem[buf_a..buf_a+n-1]``.
+
+    Round ``d``: processor ``i`` adds the value ``d`` positions to its
+    left and writes into the other buffer; buffers swap each round.  All
+    processors stay active every round (Noop padding for ``i < d``), and a
+    barrier separates rounds so writes commit before the next round reads.
+    Returns the buffer base holding the final scan.
+    """
+    i = proc.pid
+    value = yield Read(buf_a + i)
+    src, dst = buf_a, buf_b
+    d = 1
+    while d < n:
+        if i >= d:
+            left = yield Read(src + i - d)
+            value = value + left
+        else:
+            yield Noop()
+        yield Write(dst + i, value)
+        yield Barrier()
+        src, dst = dst, src
+        d *= 2
+    return src  # after the swap, src points at the buffer just written
+
+
+def hillis_steele_scan(
+    values: Sequence[float], seed: int = 0
+) -> Tuple[List[float], RunMetrics]:
+    """Inclusive prefix sums of ``values`` via Hillis–Steele.
+
+    Returns ``(prefix_sums, metrics)``; ``metrics.steps`` is
+    ``Theta(log n)`` and the machine uses ``2n`` data cells.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot scan an empty sequence")
+    pram = PRAM(nprocs=n, memory_size=2 * n, mode=AccessMode.EREW, seed=seed)
+    pram.memory.load(list(values))
+    result = pram.run(hillis_steele_program, n, 0, n)
+    base = result.returns[0]
+    return result.memory[base : base + n], result.metrics
+
+
+def _blelloch_program(proc: ProcContext, n_pad: int):
+    """Program: exclusive scan over a zero-padded power-of-two buffer.
+
+    Up-sweep: round ``d`` has processor ``i`` (multiples of ``2d``)
+    combine ``mem[i+d-1]`` into ``mem[i+2d-1]``.  Down-sweep mirrors it
+    after the root is cleared.  Barriers keep rounds aligned since active
+    sets differ between phases.
+    """
+    i = proc.pid
+    # Up-sweep.
+    d = 1
+    while d < n_pad:
+        if i % (2 * d) == 0 and i + 2 * d - 1 < n_pad:
+            left = yield Read(i + d - 1)
+            right = yield Read(i + 2 * d - 1)
+            yield Write(i + 2 * d - 1, left + right)
+        else:
+            yield Noop()
+            yield Noop()
+            yield Noop()
+        yield Barrier()
+        d *= 2
+    # Clear the root.
+    if i == 0:
+        yield Write(n_pad - 1, 0.0)
+    else:
+        yield Noop()
+    yield Barrier()
+    # Down-sweep.
+    d = n_pad // 2
+    while d >= 1:
+        if i % (2 * d) == 0 and i + 2 * d - 1 < n_pad:
+            left = yield Read(i + d - 1)
+            right = yield Read(i + 2 * d - 1)
+            yield Write(i + d - 1, right)
+            yield Write(i + 2 * d - 1, left + right)
+        else:
+            yield Noop()
+            yield Noop()
+            yield Noop()
+            yield Noop()
+        yield Barrier()
+        d //= 2
+    return None
+
+
+def blelloch_scan(
+    values: Sequence[float], seed: int = 0
+) -> Tuple[List[float], RunMetrics]:
+    """Inclusive prefix sums via the work-efficient Blelloch scan.
+
+    The machine computes the exclusive scan; the host adds each input back
+    to convert to the paper's inclusive ``p_i``.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot scan an empty sequence")
+    n_pad = 1
+    while n_pad < n:
+        n_pad *= 2
+    pram = PRAM(nprocs=n_pad, memory_size=n_pad, mode=AccessMode.EREW, seed=seed)
+    pram.memory.load(list(values) + [0.0] * (n_pad - n))
+    result = pram.run(_blelloch_program, n_pad)
+    exclusive = result.memory[:n]
+    inclusive = [e + v for e, v in zip(exclusive, values)]
+    return inclusive, result.metrics

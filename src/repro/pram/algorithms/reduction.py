@@ -1,0 +1,69 @@
+"""Tree reduction (max / sum) on an EREW PRAM.
+
+The binary-tree schedule the paper sketches in §III for finding the
+maximum bid: round ``d`` lets every processor whose id is a multiple of
+``2d`` combine its running value with cell ``id + d``; after
+``ceil(log2 n)`` rounds cell 0 holds the reduction.  O(log n) steps,
+O(n) cells — the costs the paper contrasts with its O(log k)/O(1) race.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.pram.machine import PRAM
+from repro.pram.metrics import RunMetrics
+from repro.pram.policies import AccessMode
+from repro.pram.program import ProcContext, Read, Write
+
+__all__ = ["tree_reduce", "tree_reduce_max", "tree_reduce_sum", "tree_reduce_program"]
+
+
+def tree_reduce_program(proc: ProcContext, n: int, combine: Callable):
+    """Program: fold ``mem[0..n-1]`` into ``mem[0]`` with ``combine``.
+
+    Processor ``i`` owns cell ``i``.  A processor is active in round ``d``
+    (``d = 1, 2, 4, ...``) iff ``i % (2d) == 0`` and ``i + d < n``; active
+    sets shrink geometrically and an active processor was active in every
+    earlier round, so the lockstep alignment holds without barriers.
+    """
+    i = proc.pid
+    value = yield Read(i)
+    d = 1
+    while d < n:
+        if i % (2 * d) == 0 and i + d < n:
+            other = yield Read(i + d)
+            value = combine(value, other)
+            yield Write(i, value)
+        else:
+            return value  # never active again: retire immediately
+        d *= 2
+    return value
+
+
+def tree_reduce(
+    values: Sequence[float], combine: Callable, seed: int = 0
+) -> Tuple[float, RunMetrics, List[float]]:
+    """Reduce ``values`` with ``combine`` on a fresh EREW machine.
+
+    Returns ``(result, metrics, final_memory)``.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot reduce an empty sequence")
+    pram = PRAM(nprocs=n, memory_size=n, mode=AccessMode.EREW, seed=seed)
+    pram.memory.load(list(values))
+    result = pram.run(tree_reduce_program, n, combine)
+    return result.memory[0], result.metrics, result.memory
+
+
+def tree_reduce_max(values: Sequence[float], seed: int = 0) -> Tuple[float, RunMetrics]:
+    """Maximum of ``values`` in O(log n) EREW steps."""
+    top, metrics, _ = tree_reduce(values, max, seed=seed)
+    return top, metrics
+
+
+def tree_reduce_sum(values: Sequence[float], seed: int = 0) -> Tuple[float, RunMetrics]:
+    """Sum of ``values`` in O(log n) EREW steps."""
+    total, metrics, _ = tree_reduce(values, lambda a, b: a + b, seed=seed)
+    return total, metrics

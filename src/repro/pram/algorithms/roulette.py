@@ -1,0 +1,276 @@
+"""Complete roulette wheel selections executed on the PRAM simulator.
+
+Two end-to-end implementations matching the paper's two parallel
+algorithms:
+
+* :func:`prefix_sum_roulette` — §I baseline: Hillis–Steele scan, a single
+  spin by processor 0, an O(log n) EREW broadcast of the spin, and the
+  data-parallel interval test.  Θ(log n) steps, Θ(n) shared cells.
+* :func:`log_bidding_roulette` — the paper's method: every processor
+  computes its logarithmic bid locally (free in the PRAM cost model,
+  using its private stream) and enters the CRCW max race.  O(log k)
+  expected steps, O(1) shared cells.
+
+Both return a :class:`SelectionOutcome` carrying the winner and the
+measured costs, so the benchmarks can compare against the paper's
+complexity table directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.fitness import validate_fitness
+from repro.errors import SelectionError
+from repro.pram.algorithms.max_random_write import race_program
+from repro.pram.machine import PRAM
+from repro.pram.metrics import RunMetrics
+from repro.pram.policies import AccessMode, WritePolicy
+from repro.pram.program import Barrier, Noop, ProcContext, Read, Write
+
+__all__ = [
+    "SelectionOutcome",
+    "prefix_sum_roulette",
+    "log_bidding_roulette",
+    "log_bidding_roulette_without_replacement",
+]
+
+
+@dataclass
+class SelectionOutcome:
+    """Result of a full PRAM roulette selection."""
+
+    #: Selected index.
+    winner: int
+    #: Machine cost counters for the whole selection.
+    metrics: RunMetrics
+    #: Shared cells the algorithm required (the paper's space bound).
+    memory_cells: int
+    #: While-loop iterations (log-bidding only; None for prefix-sum).
+    race_iterations: Optional[int] = None
+    #: Non-zero fitness count (the paper's ``k``; log-bidding only).
+    k: Optional[int] = None
+
+
+# ----------------------------------------------------------------------
+# §I baseline: prefix-sum selection on an EREW machine
+# ----------------------------------------------------------------------
+# Memory layout for n processors:
+#   [0, n)      input fitness, then scan ping buffer
+#   [n, 2n)     scan pong buffer
+#   [2n, 3n)    broadcast buffer for the spin R
+#   3n          output cell
+def _prefix_sum_roulette_program(proc: ProcContext, n: int):
+    i = proc.pid
+    # --- Hillis–Steele inclusive scan over cells [0, n) / [n, 2n).
+    value = yield Read(i)
+    src, dst = 0, n
+    d = 1
+    while d < n:
+        if i >= d:
+            left = yield Read(src + i - d)
+            value = value + left
+        else:
+            yield Noop()
+        yield Write(dst + i, value)
+        yield Barrier()
+        src, dst = dst, src
+        d *= 2
+    # src now holds the scan; value == p_i for processor i.
+    p_i = value
+
+    # --- Processor 0 spins R = rand() * p_{n-1} and seeds the broadcast.
+    if i == 0:
+        total = yield Read(src + n - 1)
+        spin = proc.rng.random() * total
+        yield Write(2 * n, spin)
+    else:
+        yield Noop()
+        yield Noop()
+    yield Barrier()
+
+    # --- O(log n) EREW broadcast of R through cells [2n, 3n).
+    d = 1
+    have = i == 0
+    spin_val = None
+    if have:
+        spin_val = yield Read(2 * n)
+    else:
+        yield Noop()
+    while d < n:
+        if not have and d <= i < 2 * d:
+            spin_val = yield Read(2 * n + i - d)
+            have = True
+            yield Write(2 * n + i, spin_val)
+        else:
+            yield Noop()
+            yield Noop()
+        d *= 2
+    yield Barrier()
+
+    # --- Interval test p_{i-1} <= R < p_i; staggered reads stay EREW.
+    if i > 0:
+        p_prev = yield Read(src + i - 1)
+    else:
+        p_prev = 0.0
+        yield Noop()
+    if p_prev <= spin_val < p_i:
+        yield Write(3 * n, i)
+    return p_i
+
+
+def prefix_sum_roulette(fitness: Sequence[float], seed: int = 0) -> SelectionOutcome:
+    """The paper's §I prefix-sum-based parallel selection, on EREW.
+
+    Exact (``Pr[i] = F_i``) and deterministic in cost: Θ(log n) steps,
+    3n + 1 shared cells.
+    """
+    f = validate_fitness(fitness)
+    n = len(f)
+    pram = PRAM(nprocs=n, memory_size=3 * n + 1, mode=AccessMode.EREW, seed=seed)
+    pram.memory.load(list(f))
+    result = pram.run(_prefix_sum_roulette_program, n)
+    winner = result.memory[3 * n]
+    if winner is None:
+        # R landed exactly on a boundary shared with zero-width intervals;
+        # with continuous fitness this is measure-zero, but FP spins can
+        # collide. The final positive item owns the closing boundary.
+        positive = [j for j in range(n) if f[j] > 0.0]
+        winner = positive[-1]
+    return SelectionOutcome(
+        winner=int(winner),
+        metrics=result.metrics,
+        memory_cells=3 * n + 1,
+    )
+
+
+# ----------------------------------------------------------------------
+# The paper's method: local bids + CRCW race, O(1) shared cells
+# ----------------------------------------------------------------------
+def _log_bidding_program(proc: ProcContext, fitness: Sequence[float]):
+    f = fitness[proc.pid]
+    if f > 0.0:
+        # Local computation (free in the PRAM cost model): one private
+        # uniform and the logarithmic bid. 1-u keeps the argument in (0,1].
+        u = proc.rng.random()
+        r = math.log(1.0 - u) / f
+    else:
+        r = -math.inf
+    # Delegate to the §III race program; its per-processor return value
+    # (write count) becomes ours.
+    writes = yield from race_program(proc, _Indexable(r))
+    return writes, r
+
+
+class _Indexable:
+    """Adapter presenting one scalar as ``values[pid]`` for race_program."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def __getitem__(self, _pid: int) -> float:
+        return self.value
+
+
+def log_bidding_roulette(
+    fitness: Sequence[float],
+    seed: int = 0,
+    policy: WritePolicy = WritePolicy.RANDOM,
+    max_steps: Optional[int] = None,
+) -> SelectionOutcome:
+    """The paper's complete parallel roulette selection (Theorem 1).
+
+    Every processor draws its bid privately and races for the shared
+    maximum cell; expected O(log k) steps, exactly 2 shared cells.
+    """
+    f = validate_fitness(fitness)
+    n = len(f)
+    pram = PRAM(
+        nprocs=n,
+        memory_size=2,
+        mode=AccessMode.CRCW,
+        policy=policy,
+        seed=seed,
+    )
+    pram.memory[0] = -math.inf
+    result = pram.run(_log_bidding_program, list(f), max_steps=max_steps)
+    winner = result.memory[1]
+    if winner is None:
+        raise SelectionError("log-bidding race finished without a winner")
+    per_proc_writes = [w for (w, _r) in result.returns]
+    return SelectionOutcome(
+        winner=int(winner),
+        metrics=result.metrics,
+        memory_cells=2,
+        race_iterations=max(per_proc_writes),
+        k=int((f > 0.0).sum()),
+    )
+
+
+# ----------------------------------------------------------------------
+# Extension: k winners without replacement, still O(1) shared cells
+# ----------------------------------------------------------------------
+@dataclass
+class MultiSelectionOutcome:
+    """Result of sampling k distinct processors on the PRAM."""
+
+    #: Selected indices in draw order (first = first race winner).
+    winners: list
+    #: Summed machine steps across the k races.
+    total_steps: int
+    #: Summed memory operations across the k races.
+    total_work: int
+    #: Race iterations of each round.
+    race_iterations: list
+    #: Shared cells required (unchanged: the race's 2).
+    memory_cells: int
+
+
+def log_bidding_roulette_without_replacement(
+    fitness: Sequence[float],
+    k: int,
+    seed: int = 0,
+    policy: WritePolicy = WritePolicy.RANDOM,
+) -> MultiSelectionOutcome:
+    """Sample ``k`` distinct processors, each round a fresh race.
+
+    A natural extension of the paper's method: after each race the winner
+    sets its fitness to zero (one local operation) and the survivors race
+    again with fresh private bids.  Expected time ``O(sum_j log k_j)``
+    with ``k_j`` the shrinking support — still O(1) shared memory.  The
+    joint winner distribution equals sequential roulette
+    draw-and-remove, i.e. Efraimidis–Spirakis sampling without
+    replacement (asserted in the tests against
+    :func:`repro.core.without_replacement.sample_without_replacement`).
+    """
+    f = validate_fitness(fitness).copy()
+    support = int((f > 0.0).sum())
+    if k < 0:
+        raise SelectionError(f"k must be non-negative, got {k}")
+    if k > support:
+        raise SelectionError(
+            f"cannot sample {k} processors without replacement from "
+            f"{support} with positive fitness"
+        )
+    winners: list = []
+    iterations: list = []
+    total_steps = 0
+    total_work = 0
+    for round_no in range(k):
+        out = log_bidding_roulette(f, seed=seed + round_no, policy=policy)
+        winners.append(out.winner)
+        iterations.append(out.race_iterations)
+        total_steps += out.metrics.steps
+        total_work += out.metrics.work
+        f[out.winner] = 0.0
+    return MultiSelectionOutcome(
+        winners=winners,
+        total_steps=total_steps,
+        total_work=total_work,
+        race_iterations=iterations,
+        memory_cells=2,
+    )

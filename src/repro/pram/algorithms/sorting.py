@@ -1,0 +1,123 @@
+"""Bitonic sort on an EREW PRAM — O(log^2 n) steps, n processors.
+
+Batcher's bitonic network is the canonical PRAM/parallel-hardware sort.
+Here it closes a loop with the paper's construction: sorting the
+logarithmic bids descending yields the full without-replacement
+selection *order* (§3 of docs/THEORY.md) in one parallel sort instead of
+k successive races — the classic time/work trade-off.
+
+Schedule: the network's compare-exchange stages; in each stage processor
+``i`` with ``i < partner`` reads both cells and rewrites them ordered.
+Reads/writes are exclusive per stage, so EREW suffices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.pram.machine import PRAM
+from repro.pram.metrics import RunMetrics
+from repro.pram.policies import AccessMode
+from repro.pram.program import Barrier, Noop, ProcContext, Read, Write
+
+__all__ = ["bitonic_sort", "pram_selection_order"]
+
+
+def _bitonic_program(proc: ProcContext, n_pad: int, descending: bool):
+    i = proc.pid
+    k = 2
+    while k <= n_pad:
+        j = k // 2
+        while j >= 1:
+            partner = i ^ j
+            if partner > i:
+                # This processor owns the compare-exchange for (i, partner).
+                mine = yield Read(i)
+                theirs = yield Read(partner)
+                # Direction of the bitonic sequence containing i.
+                ascending = (i & k) == 0
+                if descending:
+                    ascending = not ascending
+                if (mine > theirs) == ascending:
+                    yield Write(i, theirs)
+                    yield Write(partner, mine)
+                else:
+                    yield Noop()
+                    yield Noop()
+            else:
+                yield Noop()
+                yield Noop()
+                yield Noop()
+                yield Noop()
+            yield Barrier()
+            j //= 2
+        k *= 2
+    return None
+
+
+def bitonic_sort(
+    values: Sequence[float], descending: bool = False, seed: int = 0
+) -> Tuple[List[float], RunMetrics]:
+    """Sort ``values`` on an EREW PRAM; returns (sorted, metrics).
+
+    Non-power-of-two inputs are padded with sentinels that sort to the
+    far end and are stripped afterwards.  Steps are Θ(log² n).
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot sort an empty sequence")
+    n_pad = 1
+    while n_pad < n:
+        n_pad *= 2
+    pad_value = float("-inf") if descending else float("inf")
+    data = [float(v) for v in values] + [pad_value] * (n_pad - n)
+    pram = PRAM(nprocs=n_pad, memory_size=n_pad, mode=AccessMode.EREW, seed=seed)
+    pram.memory.load(data)
+    result = pram.run(_bitonic_program, n_pad, descending)
+    out = [v for v in result.memory if v != pad_value][:n]
+    # All-equal-to-sentinel corner: strip only the padding count.
+    if len(out) < n:  # pragma: no cover - only if input contains the sentinel
+        out = result.memory[:n]
+    return out, result.metrics
+
+
+def pram_selection_order(
+    fitness: Sequence[float], seed: int = 0
+) -> Tuple[List[int], RunMetrics]:
+    """Full without-replacement selection order via one bitonic sort.
+
+    Each processor draws its logarithmic bid locally; sorting the
+    ``(bid, index)`` pairs descending yields the complete
+    Efraimidis–Spirakis selection order (positive-fitness items first,
+    ordered by the race; zero-fitness items excluded).
+    """
+    import math
+
+    from repro.core.fitness import validate_fitness
+
+    f = validate_fitness(fitness)
+    n = len(f)
+    # Bids drawn host-side from per-processor streams (local computation
+    # is free in the PRAM model; the sort is what we meter).
+    pram_for_streams = PRAM(nprocs=n, memory_size=1, seed=seed)
+    keys = []
+    for i in range(n):
+        if f[i] > 0.0:
+            u = pram_for_streams.processor_rng(i).random()
+            keys.append(math.log(1.0 - u) / f[i])
+        else:
+            keys.append(-math.inf)
+    # The network compares cells with > only, and cells hold arbitrary
+    # Python values, so (key, index) tuples sort directly (lexicographic)
+    # and the index rides along with its bid.
+    pairs = [(keys[i], i) for i in range(n)]
+    n_pad = 1
+    while n_pad < n:
+        n_pad *= 2
+    sentinel = (-math.inf, n_pad)
+    data = pairs + [sentinel] * (n_pad - n)
+    pram = PRAM(nprocs=n_pad, memory_size=n_pad, mode=AccessMode.EREW, seed=seed)
+    pram.memory.load(data)
+    result = pram.run(_bitonic_program, n_pad, True)
+    order = [idx for (key, idx) in result.memory if key != -math.inf and idx < n]
+    return order, result.metrics

@@ -1,0 +1,180 @@
+"""The synchronous PRAM executor.
+
+Runs one generator program per processor in lockstep.  In every machine
+step each live, non-blocked processor is resumed once and must yield one
+request; reads are serviced against the memory state of the previous
+step, writes commit together at the end of the step under the machine's
+access discipline.  Barriers block a processor until every other live
+processor is blocked at a barrier (or has halted).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import DeadlockError, ProgramError
+from repro.pram.memory import SharedMemory
+from repro.pram.metrics import RunMetrics, RunResult
+from repro.pram.policies import AccessMode, WritePolicy
+from repro.pram.program import Barrier, Noop, ProcContext, Read, Write
+from repro.rng.adapters import UniformAdapter
+from repro.rng.philox import Philox4x32
+from repro.rng.splitmix import SplitMix64
+
+__all__ = ["PRAM"]
+
+#: Hard default on simulated steps, to turn accidental livelock into an error.
+_DEFAULT_MAX_STEPS = 10_000_000
+
+
+class PRAM:
+    """A simulated parallel random access machine.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of synchronous processors.
+    memory_size:
+        Number of shared cells.
+    mode:
+        Access discipline (default CRCW, the paper's model).
+    policy:
+        CRCW write-conflict policy (default RANDOM, the paper's model).
+    seed:
+        Master seed: deterministically derives one private stream per
+        processor (counter-based Philox keyed by pid) and the machine's
+        write-arbitration stream.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        memory_size: int,
+        mode: AccessMode = AccessMode.CRCW,
+        policy: WritePolicy = WritePolicy.RANDOM,
+        seed: int = 0,
+    ) -> None:
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        self.nprocs = nprocs
+        self.mode = mode
+        self.policy = policy
+        self.seed = seed
+        self.memory = SharedMemory(memory_size, mode=mode, policy=policy)
+        # Distinct sub-seeds for processors vs. arbitration so the two
+        # random sources never correlate.
+        sm = SplitMix64(seed)
+        self._proc_seed = sm.next_uint64()
+        self._arbiter = SplitMix64(sm.next_uint64())
+
+    # ------------------------------------------------------------------
+    def processor_rng(self, pid: int) -> UniformAdapter:
+        """The private uniform stream of processor ``pid`` (deterministic)."""
+        return UniformAdapter(Philox4x32(self._proc_seed, stream=pid))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Callable[..., Any],
+        *args: Any,
+        max_steps: Optional[int] = None,
+        tracer: Optional[Any] = None,
+        **kwargs: Any,
+    ) -> RunResult:
+        """Execute ``program(proc, *args, **kwargs)`` on every processor.
+
+        Returns a :class:`RunResult`; raises :class:`DeadlockError` if the
+        step budget is exhausted, and propagates any discipline violation
+        from the shared memory.  Pass a :class:`repro.pram.trace.Tracer`
+        as ``tracer`` to record the per-step event timeline.
+        """
+        from repro.pram.trace import TraceEvent
+        budget = _DEFAULT_MAX_STEPS if max_steps is None else max_steps
+        gens: Dict[int, Any] = {}
+        returns: list = [None] * self.nprocs
+        for pid in range(self.nprocs):
+            ctx = ProcContext(pid, self.nprocs, self.processor_rng(pid))
+            gens[pid] = program(ctx, *args, **kwargs)
+
+        metrics = RunMetrics(nprocs=self.nprocs, memory_cells=self.memory.size)
+        send_values: Dict[int, Any] = {}
+        at_barrier: set = set()
+        live = set(gens)
+
+        reads_before = self.memory.total_reads
+        writes_before = self.memory.total_writes
+        conflicts_before = self.memory.conflicted_writes
+
+        while live:
+            runnable = [pid for pid in sorted(live) if pid not in at_barrier]
+            if not runnable:
+                # Everyone alive is at a barrier: release it.
+                at_barrier.clear()
+                metrics.barriers += 1
+                # The barrier release itself is a synchronisation step.
+                metrics.steps += 1
+                continue
+            if metrics.steps >= budget:
+                raise DeadlockError(
+                    f"PRAM exceeded {budget} steps "
+                    f"({len(live)} processors still live)"
+                )
+            metrics.steps += 1
+            step_writes: list = []  # (pid, addr, value) issued this step
+            for pid in runnable:
+                gen = gens[pid]
+                try:
+                    request = gen.send(send_values.pop(pid, None))
+                except StopIteration as stop:
+                    returns[pid] = stop.value
+                    live.discard(pid)
+                    if tracer is not None:
+                        tracer.record(TraceEvent(metrics.steps, pid, "halt"))
+                    continue
+                if isinstance(request, Read):
+                    value = self.memory.request_read(pid, request.addr)
+                    send_values[pid] = value
+                    if tracer is not None:
+                        tracer.record(
+                            TraceEvent(metrics.steps, pid, "read", request.addr, value)
+                        )
+                elif isinstance(request, Write):
+                    self.memory.request_write(pid, request.addr, request.value)
+                    step_writes.append((pid, request.addr, request.value))
+                elif isinstance(request, Barrier):
+                    at_barrier.add(pid)
+                    if tracer is not None:
+                        tracer.record(TraceEvent(metrics.steps, pid, "barrier"))
+                elif isinstance(request, Noop):
+                    if tracer is not None:
+                        tracer.record(TraceEvent(metrics.steps, pid, "noop"))
+                else:
+                    raise ProgramError(
+                        f"processor {pid} yielded {request!r}; expected "
+                        "Read, Write, or Barrier"
+                    )
+            winners = self.memory.commit_step(self._arbiter)
+            if tracer is not None:
+                for pid, addr, value in step_writes:
+                    tracer.record(
+                        TraceEvent(
+                            metrics.steps,
+                            pid,
+                            "write",
+                            addr,
+                            value,
+                            survived=(winners.get(addr) == pid),
+                        )
+                    )
+
+        metrics.reads = self.memory.total_reads - reads_before
+        metrics.writes = self.memory.total_writes - writes_before
+        metrics.write_conflicts = self.memory.conflicted_writes - conflicts_before
+        metrics.cells_touched = len(self.memory.cells_touched)
+        return RunResult(returns=returns, metrics=metrics, memory=self.memory.dump())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PRAM(nprocs={self.nprocs}, memory={self.memory.size}, "
+            f"mode={self.mode.value}, policy={self.policy.value})"
+        )

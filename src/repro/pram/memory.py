@@ -1,0 +1,165 @@
+"""Shared memory with per-step access accounting and conflict detection.
+
+The memory operates in steps: all reads of a step are serviced from the
+state left by the previous step; writes are buffered and committed at
+:meth:`SharedMemory.commit_step`, where the access-mode discipline is
+enforced and CRCW conflicts are resolved by the write policy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    MemoryAccessError,
+    ReadConflictError,
+    WriteConflictError,
+)
+from repro.pram.policies import AccessMode, WritePolicy, resolve_write
+
+__all__ = ["SharedMemory"]
+
+
+class SharedMemory:
+    """A vector of cells with EREW/CREW/CRCW step semantics.
+
+    Parameters
+    ----------
+    size:
+        Number of cells.  Cells hold arbitrary Python values and start as
+        ``None`` unless ``initial`` is given.
+    mode:
+        Access discipline enforced at each step commit.
+    policy:
+        CRCW write-conflict policy (ignored in EREW/CREW).
+    initial:
+        Optional initial cell contents (length ``<= size``).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        mode: AccessMode = AccessMode.CRCW,
+        policy: WritePolicy = WritePolicy.RANDOM,
+        initial: Optional[List[Any]] = None,
+    ) -> None:
+        if size <= 0:
+            raise MemoryAccessError(f"memory size must be positive, got {size}")
+        self.size = size
+        self.mode = mode
+        self.policy = policy
+        self._cells: List[Any] = [None] * size
+        if initial is not None:
+            if len(initial) > size:
+                raise MemoryAccessError(
+                    f"initial contents ({len(initial)}) exceed memory size ({size})"
+                )
+            self._cells[: len(initial)] = list(initial)
+        self._pending_reads: Dict[int, List[int]] = {}
+        self._pending_writes: Dict[int, List[Tuple[int, Any]]] = {}
+        # Accounting.
+        self.total_reads = 0
+        self.total_writes = 0
+        self.conflicted_writes = 0  # cells with >1 writer resolved by policy
+        self.cells_touched: set = set()
+
+    # ------------------------------------------------------------------
+    # step protocol
+    # ------------------------------------------------------------------
+    def _check_addr(self, addr: int) -> None:
+        if not isinstance(addr, int) or isinstance(addr, bool):
+            raise MemoryAccessError(f"address must be an int, got {addr!r}")
+        if not 0 <= addr < self.size:
+            raise MemoryAccessError(f"address {addr} out of range [0, {self.size})")
+
+    def request_read(self, pid: int, addr: int) -> Any:
+        """Register a read for this step; returns the pre-step value."""
+        self._check_addr(addr)
+        self._pending_reads.setdefault(addr, []).append(pid)
+        self.total_reads += 1
+        self.cells_touched.add(addr)
+        return self._cells[addr]
+
+    def request_write(self, pid: int, addr: int, value: Any) -> None:
+        """Register a write for this step (committed at commit_step)."""
+        self._check_addr(addr)
+        self._pending_writes.setdefault(addr, []).append((pid, value))
+        self.total_writes += 1
+        self.cells_touched.add(addr)
+
+    def commit_step(self, rng) -> Dict[int, int]:
+        """Enforce the access discipline and apply this step's writes.
+
+        ``rng`` is the machine's arbitration generator (RANDOM policy).
+        Returns ``{addr: winning pid}`` for every cell written this step
+        (used by the tracer to mark surviving writes).
+        """
+        reads, writes = self._pending_reads, self._pending_writes
+        self._pending_reads, self._pending_writes = {}, {}
+        if self.mode is AccessMode.EREW:
+            for addr, pids in reads.items():
+                accesses = len(pids) + len(writes.get(addr, ()))
+                if accesses > 1:
+                    raise ReadConflictError(
+                        f"EREW violation: cell {addr} accessed by processors "
+                        f"{sorted(pids) + [p for p, _ in writes.get(addr, [])]} in one step"
+                    )
+            for addr, writers in writes.items():
+                if len(writers) + len(reads.get(addr, ())) > 1:
+                    raise WriteConflictError(
+                        f"EREW violation: cell {addr} written by processors "
+                        f"{[p for p, _ in writers]} (readers: {reads.get(addr, [])})"
+                    )
+        elif self.mode is AccessMode.CREW:
+            for addr, writers in writes.items():
+                if len(writers) > 1:
+                    raise WriteConflictError(
+                        f"CREW violation: cell {addr} written by processors "
+                        f"{[p for p, _ in writers]} in one step"
+                    )
+                if reads.get(addr):
+                    raise WriteConflictError(
+                        f"CREW violation: cell {addr} written by processor "
+                        f"{writers[0][0]} while read by {sorted(reads[addr])}"
+                    )
+        # Apply writes (CRCW resolves; EREW/CREW reach here with single writers).
+        winners: Dict[int, int] = {}
+        for addr, writers in writes.items():
+            if len(writers) > 1:
+                self.conflicted_writes += 1
+            pid, value = resolve_write(writers, self.policy, rng)
+            self._cells[addr] = value
+            winners[addr] = pid
+        return winners
+
+    # ------------------------------------------------------------------
+    # direct host access (outside the step protocol, for setup/inspection)
+    # ------------------------------------------------------------------
+    def load(self, values: List[Any], offset: int = 0) -> None:
+        """Host-side bulk store (no step accounting)."""
+        if offset < 0 or offset + len(values) > self.size:
+            raise MemoryAccessError(
+                f"load of {len(values)} values at offset {offset} exceeds size {self.size}"
+            )
+        self._cells[offset : offset + len(values)] = list(values)
+
+    def dump(self, start: int = 0, stop: Optional[int] = None) -> List[Any]:
+        """Host-side bulk read (no step accounting)."""
+        stop = self.size if stop is None else stop
+        if not 0 <= start <= stop <= self.size:
+            raise MemoryAccessError(f"dump range [{start}, {stop}) invalid for size {self.size}")
+        return list(self._cells[start:stop])
+
+    def __getitem__(self, addr: int) -> Any:
+        self._check_addr(addr)
+        return self._cells[addr]
+
+    def __setitem__(self, addr: int, value: Any) -> None:
+        self._check_addr(addr)
+        self._cells[addr] = value
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SharedMemory(size={self.size}, mode={self.mode.value}, policy={self.policy.value})"

@@ -1,0 +1,73 @@
+"""Cost accounting for PRAM runs.
+
+The paper's complexity claims are statements about these counters:
+*time* = synchronous steps, *memory* = shared cells used, plus the
+derived *work* (total memory operations).  :class:`RunMetrics` is what
+the benchmark harness records for each experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["RunMetrics", "RunResult"]
+
+
+@dataclass
+class RunMetrics:
+    """Counters accumulated over one :meth:`repro.pram.PRAM.run`."""
+
+    #: Synchronous machine steps (the PRAM's "time").
+    steps: int = 0
+    #: Total read operations issued.
+    reads: int = 0
+    #: Total write operations issued.
+    writes: int = 0
+    #: Cells that received >1 simultaneous write (CRCW conflicts resolved).
+    write_conflicts: int = 0
+    #: Barrier release events.
+    barriers: int = 0
+    #: Number of processors the machine was built with.
+    nprocs: int = 0
+    #: Shared-memory size in cells (the PRAM's "space").
+    memory_cells: int = 0
+    #: Distinct cells actually touched during the run.
+    cells_touched: int = 0
+
+    @property
+    def work(self) -> int:
+        """Total memory operations — the sequential-equivalent cost."""
+        return self.reads + self.writes
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for table/JSON output."""
+        return {
+            "steps": self.steps,
+            "reads": self.reads,
+            "writes": self.writes,
+            "work": self.work,
+            "write_conflicts": self.write_conflicts,
+            "barriers": self.barriers,
+            "nprocs": self.nprocs,
+            "memory_cells": self.memory_cells,
+            "cells_touched": self.cells_touched,
+        }
+
+
+@dataclass
+class RunResult:
+    """Outcome of one PRAM program execution."""
+
+    #: Per-processor ``return`` values (index = processor id).
+    returns: List[Any] = field(default_factory=list)
+    #: Cost counters for the run.
+    metrics: RunMetrics = field(default_factory=RunMetrics)
+    #: Final shared-memory contents.
+    memory: List[Any] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunResult(steps={self.metrics.steps}, nprocs={self.metrics.nprocs}, "
+            f"work={self.metrics.work})"
+        )

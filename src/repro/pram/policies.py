@@ -1,0 +1,78 @@
+"""Memory-access disciplines and CRCW write-conflict policies."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.errors import CommonWriteViolation
+
+__all__ = ["AccessMode", "WritePolicy", "resolve_write"]
+
+
+class AccessMode(enum.Enum):
+    """The PRAM memory-access discipline."""
+
+    #: Exclusive read, exclusive write: at most one access per cell per step.
+    EREW = "erew"
+    #: Concurrent read, exclusive write: any number of readers; a written
+    #: cell admits exactly one writer and no simultaneous readers.
+    CREW = "crew"
+    #: Concurrent read, concurrent write; conflicts resolved by a
+    #: :class:`WritePolicy`.
+    CRCW = "crcw"
+
+
+class WritePolicy(enum.Enum):
+    """How a CRCW machine resolves simultaneous writes to one cell."""
+
+    #: All written values must be equal, else :class:`CommonWriteViolation`.
+    COMMON = "common"
+    #: Implementation-defined winner; this implementation takes the
+    #: *highest* processor id (deliberately different from PRIORITY so the
+    #: two policies are distinguishable in tests).
+    ARBITRARY = "arbitrary"
+    #: The lowest processor id wins.
+    PRIORITY = "priority"
+    #: A uniformly random writer wins — the paper's model, and the
+    #: assumption behind Theorem 1's halving argument.
+    RANDOM = "random"
+
+
+def resolve_write(
+    writers: List[Tuple[int, object]], policy: WritePolicy, rng
+) -> Tuple[int, object]:
+    """Pick the winning ``(pid, value)`` among simultaneous writers.
+
+    Parameters
+    ----------
+    writers:
+        Non-empty list of ``(processor id, value)`` pairs for one cell.
+    policy:
+        The machine's CRCW write policy.
+    rng:
+        The machine's arbitration RNG (used only by RANDOM).
+
+    Raises
+    ------
+    CommonWriteViolation
+        Under COMMON when values differ.
+    """
+    if len(writers) == 1:
+        return writers[0]
+    if policy is WritePolicy.COMMON:
+        first_value = writers[0][1]
+        for pid, value in writers[1:]:
+            if value != first_value:
+                raise CommonWriteViolation(
+                    f"CRCW-COMMON conflict: processors wrote differing values "
+                    f"({writers[0][0]} wrote {first_value!r}, {pid} wrote {value!r})"
+                )
+        return writers[0]
+    if policy is WritePolicy.PRIORITY:
+        return min(writers, key=lambda w: w[0])
+    if policy is WritePolicy.ARBITRARY:
+        return max(writers, key=lambda w: w[0])
+    if policy is WritePolicy.RANDOM:
+        return writers[rng.randint_below(len(writers))]
+    raise ValueError(f"unknown write policy: {policy!r}")  # pragma: no cover

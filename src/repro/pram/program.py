@@ -1,0 +1,80 @@
+"""The processor-program abstraction.
+
+A PRAM program is a generator function ``program(proc)`` where ``proc`` is
+a :class:`ProcContext`.  Each ``yield`` of a request object consumes one
+machine step for that processor:
+
+* ``value = yield Read(addr)`` — read cell ``addr`` (value as of the end
+  of the previous step),
+* ``yield Write(addr, value)`` — write ``value`` (commits at end of step,
+  subject to the machine's conflict policy),
+* ``yield Barrier()`` — block until every live processor has reached a
+  barrier.
+
+Local computation between yields is free, matching the unit-cost PRAM in
+which a step is "read, compute, write".  A program's ``return`` value is
+collected into :class:`repro.pram.metrics.RunResult.returns`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Read", "Write", "Barrier", "Noop", "ProcContext"]
+
+
+@dataclass(frozen=True)
+class Read:
+    """Request to read shared-memory cell ``addr``."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """Request to write ``value`` to shared-memory cell ``addr``."""
+
+    addr: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Request to wait until all live processors reach a barrier."""
+
+
+@dataclass(frozen=True)
+class Noop:
+    """Burn one step without touching memory (keeps lockstep alignment)."""
+
+
+class ProcContext:
+    """Per-processor execution context handed to program functions.
+
+    Attributes
+    ----------
+    pid:
+        This processor's id, ``0 <= pid < nprocs``.
+    nprocs:
+        Total number of processors in the machine.
+    rng:
+        This processor's private random stream (a
+        :class:`repro.rng.adapters.UniformAdapter` over a counter-based
+        generator keyed by ``pid`` — independent across processors by
+        construction).
+    local:
+        Scratch dict for per-processor state (purely a convenience; local
+        variables in the generator work equally well).
+    """
+
+    __slots__ = ("pid", "nprocs", "rng", "local")
+
+    def __init__(self, pid: int, nprocs: int, rng) -> None:
+        self.pid = pid
+        self.nprocs = nprocs
+        self.rng = rng
+        self.local: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcContext(pid={self.pid}, nprocs={self.nprocs})"

@@ -1,0 +1,89 @@
+"""Step-by-step execution traces of PRAM runs.
+
+``PRAM.run(..., tracer=Tracer())`` records one event per memory request
+per step; :func:`render_trace` prints the timeline — the fastest way to
+*see* the race's rounds, who wrote, and whose write survived the
+arbitration.  Used by the docs/examples and by tests that assert on the
+fine-grained schedule rather than aggregate counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+__all__ = ["TraceEvent", "Tracer", "render_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One memory request observed during a traced run."""
+
+    #: Machine step the request was issued in.
+    step: int
+    #: Requesting processor.
+    pid: int
+    #: "read" / "write" / "barrier" / "noop" / "halt".
+    kind: str
+    #: Address for read/write events (None otherwise).
+    addr: Optional[int] = None
+    #: Value written, or value observed by a read.
+    value: Any = None
+    #: For writes: did this write survive the conflict resolution?
+    survived: Optional[bool] = None
+
+
+@dataclass
+class Tracer:
+    """Event collector passed to :meth:`repro.pram.PRAM.run`.
+
+    ``limit`` bounds memory use on long runs; once reached, further
+    events are dropped and :attr:`truncated` is set.
+    """
+
+    limit: int = 100_000
+    events: List[TraceEvent] = field(default_factory=list)
+    truncated: bool = False
+
+    def record(self, event: TraceEvent) -> None:
+        """Append one event (drops silently past the limit)."""
+        if len(self.events) >= self.limit:
+            self.truncated = True
+            return
+        self.events.append(event)
+
+    def steps(self) -> List[int]:
+        """Sorted distinct step numbers present in the trace."""
+        return sorted({e.step for e in self.events})
+
+    def at_step(self, step: int) -> List[TraceEvent]:
+        """Events of one step, in pid order."""
+        return sorted(
+            (e for e in self.events if e.step == step), key=lambda e: e.pid
+        )
+
+    def writes_to(self, addr: int) -> List[TraceEvent]:
+        """All write events touching ``addr``, in time order."""
+        return [e for e in self.events if e.kind == "write" and e.addr == addr]
+
+
+def render_trace(tracer: Tracer, max_steps: Optional[int] = None) -> str:
+    """Human-readable timeline, one line per step."""
+    lines: List[str] = []
+    steps = tracer.steps()
+    if max_steps is not None:
+        steps = steps[:max_steps]
+    for step in steps:
+        parts = []
+        for e in tracer.at_step(step):
+            if e.kind == "read":
+                parts.append(f"P{e.pid} R[{e.addr}]->{e.value!r}")
+            elif e.kind == "write":
+                marker = "" if e.survived is None else ("!" if e.survived else "x")
+                parts.append(f"P{e.pid} W[{e.addr}]={e.value!r}{marker}")
+            else:
+                parts.append(f"P{e.pid} {e.kind}")
+        lines.append(f"step {step:>4}: " + "  ".join(parts))
+    if tracer.truncated:
+        lines.append("... (trace truncated)")
+    return "\n".join(lines)

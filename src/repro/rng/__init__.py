@@ -1,0 +1,77 @@
+"""From-scratch pseudo-random number generators.
+
+The paper implements ``rand()`` with the Mersenne Twister [Matsumoto &
+Nishimura 1998]; :class:`MT19937` reproduces that generator bit-exactly
+(validated against NumPy's raw MT19937 stream and the C++ ``std::mt19937``
+known-answer values).  For parallel workloads each simulated processor needs
+its own statistically independent stream, for which we provide the
+counter-based :class:`Philox4x32` and the splittable :class:`SplitMix64`
+/ :class:`Xoshiro256StarStar` family, plus :func:`spawn_streams`.
+
+All generators share the :class:`BitGenerator` interface and can be adapted
+to the :class:`repro.typing.UniformSource` protocol (the interface every
+selection method consumes) via :class:`UniformAdapter`.
+"""
+
+from repro.rng.base import BitGenerator
+from repro.rng.splitmix import SplitMix64
+from repro.rng.mt19937 import MT19937
+from repro.rng.mt19937_64 import MT19937_64
+from repro.rng.xoshiro import Xorshift64Star, Xoshiro256StarStar
+from repro.rng.pcg import PCG32
+from repro.rng.philox import Philox4x32
+from repro.rng.streams import spawn_streams, stream_seeds
+from repro.rng.adapters import UniformAdapter, as_uniform_source, resolve_rng
+
+__all__ = [
+    "BitGenerator",
+    "SplitMix64",
+    "MT19937",
+    "MT19937_64",
+    "Xorshift64Star",
+    "Xoshiro256StarStar",
+    "PCG32",
+    "Philox4x32",
+    "spawn_streams",
+    "stream_seeds",
+    "UniformAdapter",
+    "as_uniform_source",
+    "resolve_rng",
+    "ENGINES",
+    "make_engine",
+]
+
+#: Registry of engine names usable from the CLI / experiment configs.
+ENGINES = {
+    "mt19937": MT19937,
+    "mt19937_64": MT19937_64,
+    "xorshift64star": Xorshift64Star,
+    "xoshiro256starstar": Xoshiro256StarStar,
+    "pcg32": PCG32,
+    "philox4x32": Philox4x32,
+    "splitmix64": SplitMix64,
+}
+
+
+def make_engine(name: str, seed: int = 0) -> BitGenerator:
+    """Instantiate a registered engine by name.
+
+    Parameters
+    ----------
+    name:
+        Key in :data:`ENGINES` (case-insensitive).
+    seed:
+        Non-negative integer seed.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a registered engine.
+    """
+    try:
+        cls = ENGINES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown RNG engine {name!r}; available: {sorted(ENGINES)}"
+        ) from None
+    return cls(seed)

@@ -1,0 +1,100 @@
+"""Adapters between the from-scratch generators and the NumPy-style API.
+
+Selection methods in :mod:`repro.core` consume the
+:class:`repro.typing.UniformSource` protocol (``.random(size=None)``).
+NumPy's :class:`numpy.random.Generator` satisfies it directly;
+:class:`UniformAdapter` lifts any :class:`repro.rng.base.BitGenerator` to
+the same interface so the paper-faithful MT19937 can drive every method.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import RNGError
+from repro.rng.base import BitGenerator
+
+__all__ = ["UniformAdapter", "as_uniform_source", "resolve_rng"]
+
+
+class UniformAdapter:
+    """Expose a :class:`BitGenerator` through the ``UniformSource`` protocol.
+
+    Vector draws are materialised with a Python loop (these generators are
+    reference implementations, not the throughput path), but return proper
+    ``float64`` ndarrays so downstream NumPy code is indifferent to the
+    source.
+    """
+
+    def __init__(self, gen: BitGenerator, *, resolution: int = 53) -> None:
+        """Wrap ``gen``.
+
+        Parameters
+        ----------
+        gen:
+            The underlying bit generator.
+        resolution:
+            53 (default) for full-double uniforms, or 32 to reproduce the
+            paper's MT ``genrand_real2`` exactly.
+        """
+        if resolution not in (32, 53):
+            raise RNGError(f"resolution must be 32 or 53, got {resolution}")
+        self.gen = gen
+        self._draw = gen.random32 if resolution == 32 else gen.random
+
+    def random(self, size: Optional[Union[int, tuple]] = None):
+        """Uniform variates on ``[0, 1)``; scalar if ``size`` is None."""
+        if size is None:
+            return self._draw()
+        if isinstance(size, tuple):
+            total = int(np.prod(size)) if size else 1
+            flat = np.fromiter(
+                (self._draw() for _ in range(total)), dtype=np.float64, count=total
+            )
+            return flat.reshape(size)
+        return np.fromiter(
+            (self._draw() for _ in range(int(size))), dtype=np.float64, count=int(size)
+        )
+
+    def integers(self, low: int, high: Optional[int] = None, size=None):
+        """NumPy-style bounded integers (subset of the Generator API)."""
+        if high is None:
+            low, high = 0, low
+        if size is None:
+            return self.gen.randrange(low, high)
+        total = int(np.prod(size)) if isinstance(size, tuple) else int(size)
+        flat = np.fromiter(
+            (self.gen.randrange(low, high) for _ in range(total)), dtype=np.int64, count=total
+        )
+        return flat.reshape(size) if isinstance(size, tuple) else flat
+
+    def shuffle(self, seq) -> None:
+        """Fisher–Yates shuffle delegating to the wrapped generator."""
+        self.gen.shuffle(seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformAdapter({self.gen!r})"
+
+
+def as_uniform_source(obj) -> object:
+    """Coerce ``obj`` to something satisfying ``UniformSource``.
+
+    Accepts a ``numpy.random.Generator``, an existing adapter, a
+    :class:`BitGenerator` (wrapped), or ``None`` / an int seed (NumPy
+    default generator).
+    """
+    if obj is None:
+        return np.random.default_rng()
+    if isinstance(obj, (int, np.integer)):
+        return np.random.default_rng(int(obj))
+    if isinstance(obj, BitGenerator):
+        return UniformAdapter(obj)
+    if hasattr(obj, "random"):
+        return obj
+    raise RNGError(f"cannot interpret {type(obj).__name__} as a uniform source")
+
+
+# ``resolve_rng`` is the name used throughout the selection methods.
+resolve_rng = as_uniform_source

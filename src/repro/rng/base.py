@@ -1,0 +1,181 @@
+"""Common interface for the from-scratch bit generators.
+
+Each concrete generator implements a single native-width output method
+(:meth:`BitGenerator._next_native`); the base class derives 32- and 64-bit
+words, floats at several resolutions, bounded integers and shuffling from
+that primitive.  This mirrors how hardware RNG libraries are layered and
+keeps every derived operation identical across engines, so distributional
+tests exercise the engines rather than ad-hoc conversion code.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, List, MutableSequence, Sequence, TypeVar
+
+from repro.errors import RNGError
+
+__all__ = ["BitGenerator", "MASK32", "MASK64"]
+
+MASK32 = 0xFFFFFFFF
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_T = TypeVar("_T")
+
+#: 2**-32, the spacing of ``random32`` outputs (paper's ``genrand_real2``).
+_INV32 = 1.0 / 4294967296.0
+#: 2**-53, the spacing of 53-bit resolution doubles in [0, 1).
+_INV53 = 1.0 / 9007199254740992.0
+
+
+class BitGenerator(abc.ABC):
+    """Abstract deterministic generator of uniformly distributed words.
+
+    Subclasses set :attr:`native_bits` (32 or 64) and implement
+    :meth:`_next_native` and :meth:`seed`.  Everything else — floats,
+    bounded integers, permutations — derives from those.
+    """
+
+    #: Output width of :meth:`_next_native` in bits; 32 or 64.
+    native_bits: int = 64
+
+    def __init__(self, seed: int = 0) -> None:
+        if not isinstance(seed, int):
+            raise RNGError(f"seed must be an int, got {type(seed).__name__}")
+        if seed < 0:
+            raise RNGError(f"seed must be non-negative, got {seed}")
+        self._initial_seed = seed
+        self.seed(seed)
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def seed(self, seed: int) -> None:
+        """(Re-)initialise the internal state from ``seed``."""
+
+    @abc.abstractmethod
+    def _next_native(self) -> int:
+        """Return the next native-width unsigned word."""
+
+    # ------------------------------------------------------------------
+    # derived word sizes
+    # ------------------------------------------------------------------
+    def next_uint32(self) -> int:
+        """Next 32-bit unsigned integer."""
+        if self.native_bits == 32:
+            return self._next_native()
+        # High bits of a 64-bit generator are conventionally the better half.
+        return self._next_native() >> 32
+
+    def next_uint64(self) -> int:
+        """Next 64-bit unsigned integer."""
+        if self.native_bits == 64:
+            return self._next_native()
+        hi = self._next_native()
+        lo = self._next_native()
+        return (hi << 32) | lo
+
+    # ------------------------------------------------------------------
+    # floats
+    # ------------------------------------------------------------------
+    def random(self) -> float:
+        """Uniform double in ``[0, 1)`` with 53-bit resolution."""
+        if self.native_bits == 64:
+            return (self._next_native() >> 11) * _INV53
+        # MT19937-style genrand_res53: a has 27 bits, b has 26 bits.
+        a = self._next_native() >> 5
+        b = self._next_native() >> 6
+        return (a * 67108864.0 + b) * _INV53
+
+    def random32(self) -> float:
+        """Uniform double in ``[0, 1)`` with 32-bit resolution.
+
+        This is exactly the paper's ``rand()`` (MT's ``genrand_real2``):
+        ``next_uint32() / 2**32``.
+        """
+        return self.next_uint32() * _INV32
+
+    def random_open(self) -> float:
+        """Uniform double in ``(0, 1)`` — safe as an argument to ``log``.
+
+        Rejection of the single value 0.0 preserves uniformity; the
+        rejection probability is 2**-53 per draw.
+        """
+        while True:
+            u = self.random()
+            if u > 0.0:
+                return u
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform double in ``[low, high)``."""
+        if not high > low:
+            raise RNGError(f"uniform requires high > low, got [{low}, {high})")
+        return low + (high - low) * self.random()
+
+    # ------------------------------------------------------------------
+    # bounded integers
+    # ------------------------------------------------------------------
+    def randint_below(self, n: int) -> int:
+        """Unbiased uniform integer in ``[0, n)`` via rejection sampling."""
+        if n <= 0:
+            raise RNGError(f"randint_below requires n > 0, got {n}")
+        if n == 1:
+            return 0
+        span = MASK64 if self.native_bits == 64 else MASK32
+        if n - 1 > span:
+            raise RNGError(f"n={n} exceeds the generator's native range")
+        # Classic threshold rejection: accept draws below the largest
+        # multiple of n representable in the native range.
+        limit = ((span + 1) // n) * n
+        while True:
+            x = self._next_native()
+            if x < limit:
+                return x % n
+
+    def randrange(self, start: int, stop: int) -> int:
+        """Uniform integer in ``[start, stop)``."""
+        if stop <= start:
+            raise RNGError(f"empty randrange [{start}, {stop})")
+        return start + self.randint_below(stop - start)
+
+    # ------------------------------------------------------------------
+    # sequences
+    # ------------------------------------------------------------------
+    def shuffle(self, seq: MutableSequence[Any]) -> None:
+        """In-place Fisher–Yates shuffle."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.randint_below(i + 1)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def permutation(self, n: int) -> List[int]:
+        """A uniformly random permutation of ``range(n)``."""
+        out = list(range(n))
+        self.shuffle(out)
+        return out
+
+    def choice(self, seq: Sequence[_T]) -> _T:
+        """A uniformly random element of ``seq``."""
+        if len(seq) == 0:
+            raise RNGError("cannot choose from an empty sequence")
+        return seq[self.randint_below(len(seq))]
+
+    # ------------------------------------------------------------------
+    # iteration / cloning helpers
+    # ------------------------------------------------------------------
+    def iter_random(self, count: int) -> Iterator[float]:
+        """Yield ``count`` uniform doubles in ``[0, 1)``."""
+        for _ in range(count):
+            yield self.random()
+
+    def clone(self) -> "BitGenerator":
+        """A fresh generator of the same type re-seeded with the initial seed.
+
+        Note: this rewinds to the *initial* seed, not to the current state;
+        use ``getstate``/``setstate`` on engines that provide them to fork
+        mid-stream.
+        """
+        return type(self)(self._initial_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(seed={self._initial_seed})"

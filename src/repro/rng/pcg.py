@@ -1,0 +1,76 @@
+"""PCG32 (XSH-RR 64/32) — O'Neill's permuted congruential generator.
+
+Provides ``2**63`` selectable streams through the odd increment, making it a
+convenient per-processor engine for the thread substrate, and an efficient
+``advance`` (jump-ahead) in ``O(log n)`` via Brown's LCG power algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.rng.base import MASK32, MASK64, BitGenerator
+
+__all__ = ["PCG32"]
+
+_MULT = 6364136223846793005
+_DEFAULT_STREAM = 1442695040888963407  # PCG reference "default sequence"
+
+
+class PCG32(BitGenerator):
+    """64-bit LCG state with the XSH-RR output permutation (32-bit output)."""
+
+    native_bits = 32
+
+    def __init__(self, seed: int = 0, stream: int = 0) -> None:
+        self._stream = stream
+        super().__init__(seed)
+
+    def seed(self, seed: int) -> None:  # noqa: D102 - inherited docstring
+        # pcg32_srandom: state=0; inc from stream; step; state += seed; step.
+        self._inc = ((self._stream << 1) | 1) & MASK64 if self._stream else _DEFAULT_STREAM
+        self._state = 0
+        self._step()
+        self._state = (self._state + (seed & MASK64)) & MASK64
+        self._step()
+
+    def _step(self) -> None:
+        self._state = (self._state * _MULT + self._inc) & MASK64
+
+    def _next_native(self) -> int:
+        old = self._state
+        self._step()
+        xorshifted = (((old >> 18) ^ old) >> 27) & MASK32
+        rot = old >> 59
+        return ((xorshifted >> rot) | (xorshifted << ((-rot) & 31))) & MASK32
+
+    def advance(self, delta: int) -> None:
+        """Jump the stream forward by ``delta`` outputs in O(log delta).
+
+        Implements Brown's "random number generation with arbitrary strides":
+        computes ``mult**delta`` and the matching accumulated increment by
+        binary decomposition of ``delta`` (mod 2**64).
+        """
+        delta &= MASK64
+        cur_mult, cur_plus = _MULT, self._inc
+        acc_mult, acc_plus = 1, 0
+        while delta > 0:
+            if delta & 1:
+                acc_mult = (acc_mult * cur_mult) & MASK64
+                acc_plus = (acc_plus * cur_mult + cur_plus) & MASK64
+            cur_plus = ((cur_mult + 1) * cur_plus) & MASK64
+            cur_mult = (cur_mult * cur_mult) & MASK64
+            delta >>= 1
+        self._state = (acc_mult * self._state + acc_plus) & MASK64
+
+    def getstate(self) -> Tuple[int, int]:
+        """Return ``(state, inc)``."""
+        return self._state, self._inc
+
+    def setstate(self, state: Tuple[int, int]) -> None:
+        """Restore ``(state, inc)`` from :meth:`getstate`."""
+        st, inc = state
+        if inc % 2 == 0:
+            raise ValueError("PCG32 increment must be odd")
+        self._state = st & MASK64
+        self._inc = inc & MASK64

@@ -1,0 +1,124 @@
+"""Philox4x32-10 — Salmon et al.'s counter-based generator (SC'11).
+
+Counter-based RNGs are the canonical choice for massively parallel
+processors: the stream is a pure function ``output = bijection(key, counter)``
+with no sequential state, so processor ``i`` can be given key ``i`` (or a
+counter offset) and draw independent variates with zero coordination —
+exactly the access pattern of the paper's CRCW processors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.rng.base import MASK32, MASK64, BitGenerator
+
+__all__ = ["Philox4x32", "philox4x32_block"]
+
+_M0 = 0xD2511F53
+_M1 = 0xCD9E8D57
+_W0 = 0x9E3779B9  # golden ratio
+_W1 = 0xBB67AE85  # sqrt(3) - 1
+_ROUNDS = 10
+
+
+def _mulhilo32(a: int, b: int) -> Tuple[int, int]:
+    """(high, low) 32-bit halves of the 64-bit product a*b."""
+    prod = (a * b) & MASK64
+    return prod >> 32, prod & MASK32
+
+
+def philox4x32_block(counter: Tuple[int, int, int, int], key: Tuple[int, int]) -> List[int]:
+    """Apply the 10-round Philox4x32 bijection to one counter block.
+
+    Parameters
+    ----------
+    counter:
+        Four 32-bit counter words.
+    key:
+        Two 32-bit key words.
+
+    Returns
+    -------
+    list of int
+        Four 32-bit output words.
+    """
+    x0, x1, x2, x3 = (c & MASK32 for c in counter)
+    k0, k1 = key[0] & MASK32, key[1] & MASK32
+    for _ in range(_ROUNDS):
+        hi0, lo0 = _mulhilo32(_M0, x0)
+        hi1, lo1 = _mulhilo32(_M1, x2)
+        x0, x1, x2, x3 = (
+            (hi1 ^ x1 ^ k0) & MASK32,
+            lo1,
+            (hi0 ^ x3 ^ k1) & MASK32,
+            lo0,
+        )
+        k0 = (k0 + _W0) & MASK32
+        k1 = (k1 + _W1) & MASK32
+    return [x0, x1, x2, x3]
+
+
+class Philox4x32(BitGenerator):
+    """Stateless-core CBRNG exposed through the sequential interface.
+
+    The 128-bit counter is incremented once per 4-word block; individual
+    32-bit words are served from the block buffer.  Use distinct ``stream``
+    values (mapped to the 64-bit key) for independent parallel streams.
+    """
+
+    native_bits = 32
+
+    def __init__(self, seed: int = 0, stream: int = 0) -> None:
+        self._stream = stream & MASK64
+        super().__init__(seed)
+
+    def seed(self, seed: int) -> None:  # noqa: D102 - inherited docstring
+        # Key = (low32(seed ^ stream-mix), high32): both seed and stream
+        # select independent bijections.
+        key64 = (seed & MASK64) ^ ((self._stream * 0x9E3779B97F4A7C15) & MASK64)
+        self._key = (key64 & MASK32, (key64 >> 32) & MASK32)
+        self._counter = [0, 0, 0, 0]
+        self._buffer: List[int] = []
+
+    def _increment_counter(self) -> None:
+        for i in range(4):
+            self._counter[i] = (self._counter[i] + 1) & MASK32
+            if self._counter[i] != 0:
+                return
+
+    def _next_native(self) -> int:
+        if not self._buffer:
+            self._buffer = philox4x32_block(tuple(self._counter), self._key)
+            self._increment_counter()
+        return self._buffer.pop()
+
+    def skip_blocks(self, n: int) -> None:
+        """Advance the counter by ``n`` blocks (4n outputs), discarding buffer."""
+        if n < 0:
+            raise ValueError("cannot skip a negative number of blocks")
+        self._buffer = []
+        carry = n
+        for i in range(4):
+            total = self._counter[i] + (carry & MASK32)
+            self._counter[i] = total & MASK32
+            carry = (carry >> 32) + (total >> 32)
+            if carry == 0:
+                break
+
+    def at_counter(self, counter: Tuple[int, int, int, int]) -> List[int]:
+        """Evaluate the bijection at an arbitrary counter with this key."""
+        return philox4x32_block(counter, self._key)
+
+    def getstate(self) -> Tuple[Tuple[int, ...], Tuple[int, int], Tuple[int, ...]]:
+        """Return ``(counter, key, buffer)``."""
+        return tuple(self._counter), self._key, tuple(self._buffer)
+
+    def setstate(
+        self, state: Tuple[Tuple[int, ...], Tuple[int, int], Tuple[int, ...]]
+    ) -> None:
+        """Restore a state from :meth:`getstate`."""
+        counter, key, buffer = state
+        self._counter = [c & MASK32 for c in counter]
+        self._key = (key[0] & MASK32, key[1] & MASK32)
+        self._buffer = list(buffer)

@@ -1,0 +1,49 @@
+"""SplitMix64 — Steele, Lea & Flood's splittable generator.
+
+Used directly as a tiny fast engine and, more importantly, as the seed
+expander for :class:`repro.rng.xoshiro.Xoshiro256StarStar` and for deriving
+statistically independent child seeds in :func:`repro.rng.streams.stream_seeds`
+(the same construction ``java.util.SplittableRandom`` uses).
+"""
+
+from __future__ import annotations
+
+from repro.rng.base import MASK64, BitGenerator
+
+__all__ = ["SplitMix64", "GOLDEN_GAMMA"]
+
+#: 2**64 / phi, the additive constant ("gamma") of the Weyl sequence.
+GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _mix64(z: int) -> int:
+    """David Stafford's variant 13 finaliser (the SplitMix64 output mix)."""
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & MASK64
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & MASK64
+    return (z ^ (z >> 31)) & MASK64
+
+
+class SplitMix64(BitGenerator):
+    """64-bit splittable PRNG with a 64-bit Weyl-sequence state.
+
+    Passes BigCrush; its period is exactly 2**64 and every seed gives a
+    full-period sequence, which makes it the standard choice for expanding
+    a small seed into larger generator states.
+    """
+
+    native_bits = 64
+
+    def seed(self, seed: int) -> None:  # noqa: D102 - inherited docstring
+        self._state = seed & MASK64
+
+    def _next_native(self) -> int:
+        self._state = (self._state + GOLDEN_GAMMA) & MASK64
+        return _mix64(self._state)
+
+    def getstate(self) -> int:
+        """Return the 64-bit Weyl counter."""
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        """Restore a state previously returned by :meth:`getstate`."""
+        self._state = state & MASK64

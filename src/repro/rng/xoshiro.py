@@ -1,0 +1,106 @@
+"""Xorshift-family generators: xorshift64* and xoshiro256**.
+
+Small-state alternatives to the Mersenne Twister used in the RNG-engine
+ablation (the paper's results should not — and, as we measure, do not —
+depend on the generator family).  xoshiro256** additionally provides a
+polynomial jump function, giving 2**128 non-overlapping subsequences for
+per-processor streams.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.rng.base import MASK64, BitGenerator
+from repro.rng.splitmix import SplitMix64
+
+__all__ = ["Xorshift64Star", "Xoshiro256StarStar"]
+
+
+def _rotl(x: int, k: int) -> int:
+    return ((x << k) | (x >> (64 - k))) & MASK64
+
+
+class Xorshift64Star(BitGenerator):
+    """Marsaglia xorshift64 with a multiplicative finaliser (xorshift64*)."""
+
+    native_bits = 64
+
+    def seed(self, seed: int) -> None:  # noqa: D102 - inherited docstring
+        # A zero state would be absorbing; mix the seed so that seed=0 works.
+        self._state = SplitMix64(seed).next_uint64() or 0x9E3779B97F4A7C15
+
+    def _next_native(self) -> int:
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & MASK64
+        x ^= (x >> 27)
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & MASK64
+
+    def getstate(self) -> int:
+        """Return the 64-bit internal state word."""
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        """Restore a state from :meth:`getstate`."""
+        if state & MASK64 == 0:
+            raise ValueError("xorshift64* state must be non-zero")
+        self._state = state & MASK64
+
+
+class Xoshiro256StarStar(BitGenerator):
+    """Blackman & Vigna's xoshiro256** 1.0 (256-bit state, period 2**256-1)."""
+
+    native_bits = 64
+
+    #: Jump polynomial advancing the stream by 2**128 steps.
+    _JUMP = (0x180EC6D33CFD0ABA, 0xD5A61266F0C9392C, 0xA9582618E03FC9AA, 0x39ABDC4529B1661C)
+
+    def seed(self, seed: int) -> None:  # noqa: D102 - inherited docstring
+        sm = SplitMix64(seed)
+        self._s = [sm.next_uint64() for _ in range(4)]
+        if not any(self._s):  # pragma: no cover - splitmix never yields 4 zeros
+            self._s[0] = 1
+
+    def _next_native(self) -> int:
+        s0, s1, s2, s3 = self._s
+        result = (_rotl((s1 * 5) & MASK64, 7) * 9) & MASK64
+        t = (s1 << 17) & MASK64
+        s2 ^= s0
+        s3 ^= s1
+        s1 ^= s2
+        s0 ^= s3
+        s2 ^= t
+        s3 = _rotl(s3, 45)
+        self._s = [s0, s1, s2, s3]
+        return result
+
+    def jump(self) -> None:
+        """Advance the state by 2**128 steps (for non-overlapping streams)."""
+        s = [0, 0, 0, 0]
+        for word in self._JUMP:
+            for b in range(64):
+                if word & (1 << b):
+                    for i in range(4):
+                        s[i] ^= self._s[i]
+                self._next_native()
+        self._s = s
+
+    def jumped(self, n: int = 1) -> "Xoshiro256StarStar":
+        """Return a copy jumped ahead by ``n * 2**128`` steps."""
+        child = Xoshiro256StarStar(self._initial_seed)
+        child.setstate(self.getstate())
+        for _ in range(n):
+            child.jump()
+        return child
+
+    def getstate(self) -> Tuple[int, int, int, int]:
+        """Return the four 64-bit state words."""
+        return tuple(self._s)  # type: ignore[return-value]
+
+    def setstate(self, state: Tuple[int, int, int, int]) -> None:
+        """Restore a state from :meth:`getstate`."""
+        if len(state) != 4 or not any(state):
+            raise ValueError("xoshiro256** state must be 4 words, not all zero")
+        self._s = [w & MASK64 for w in state]

@@ -1,0 +1,56 @@
+"""A SIMT (GPU-style) execution substrate.
+
+The paper grew out of GPU ant-colony implementations (its refs [3], [4]
+and [6] are all CUDA ACO papers), where roulette selection runs inside a
+kernel and the max race is realised with ``atomicMax``.  This package
+simulates the essentials of that execution model well enough to *count*
+what GPU papers count:
+
+* warps of ``warp_width`` threads advancing in lockstep
+  (:class:`repro.simt.machine.SIMTMachine`),
+* a coalescing cost model — a warp's global reads in one instruction
+  cost one transaction per distinct memory segment touched,
+* atomics that **serialise** when lanes of a warp hit one address — the
+  crucial difference from the paper's CRCW step, where n conflicting
+  writes cost a single time unit,
+* block-wide barriers (``Sync``).
+
+:mod:`repro.simt.roulette` then implements the selection three ways —
+naive per-thread ``atomicMax``, warp-reduce-then-atomic, and the biased
+independent baseline — and the benchmarks compare their measured costs
+against the paper's PRAM accounting.
+"""
+
+from repro.simt.machine import (
+    AtomicAdd,
+    AtomicMax,
+    KernelMetrics,
+    Read,
+    SIMTMachine,
+    Sync,
+    ThreadContext,
+    WarpMax,
+    Write,
+)
+from repro.simt.roulette import (
+    SIMTOutcome,
+    atomic_roulette,
+    independent_atomic_roulette,
+    warp_reduced_roulette,
+)
+
+__all__ = [
+    "SIMTMachine",
+    "ThreadContext",
+    "Read",
+    "Write",
+    "AtomicMax",
+    "AtomicAdd",
+    "WarpMax",
+    "Sync",
+    "KernelMetrics",
+    "atomic_roulette",
+    "warp_reduced_roulette",
+    "independent_atomic_roulette",
+    "SIMTOutcome",
+]

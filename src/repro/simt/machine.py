@@ -1,0 +1,347 @@
+"""The SIMT executor: warps, coalescing, serialised atomics, barriers.
+
+Thread programs are generator coroutines (the house style of this
+repository's machine models).  Execution advances one *warp instruction*
+at a time: every live, unblocked thread of the warp contributes one
+yielded operation to the slot, and the slot is charged according to the
+GPU cost model:
+
+* **global reads/writes** — one memory transaction per distinct
+  ``segment_width``-cell segment the warp touches (coalescing),
+* **atomics** — one transaction per lane, *serialised* when several
+  lanes target one address (the counter the paper's CRCW model avoids),
+* **warp intrinsics** (``WarpMax``) — one instruction, no memory
+  traffic (models ``__shfl_down_sync`` reductions),
+* **Sync** — block-wide barrier.
+
+Same-slot plain writes to one address are resolved by a random winner
+(CUDA leaves the survivor undefined; random matches the paper's CRCW
+assumption and makes the tie behaviour testable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import DeadlockError, MemoryAccessError, ProgramError
+from repro.rng.adapters import UniformAdapter
+from repro.rng.philox import Philox4x32
+from repro.rng.splitmix import SplitMix64
+
+__all__ = [
+    "Read",
+    "Write",
+    "AtomicMax",
+    "AtomicAdd",
+    "WarpMax",
+    "Sync",
+    "ThreadContext",
+    "KernelMetrics",
+    "KernelResult",
+    "SIMTMachine",
+]
+
+_DEFAULT_MAX_SLOTS = 1_000_000
+
+
+@dataclass(frozen=True)
+class Read:
+    """Global-memory read of ``addr``."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """Global-memory write (same-slot conflicts: random survivor)."""
+
+    addr: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class AtomicMax:
+    """Atomic max on ``addr``; yields back the *old* value (CUDA semantics)."""
+
+    addr: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class AtomicAdd:
+    """Atomic add on ``addr``; yields back the old value."""
+
+    addr: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class WarpMax:
+    """Warp-level max of ``value`` across the warp's live lanes.
+
+    Models a ``__shfl_down_sync`` butterfly: every live lane receives the
+    warp maximum; costs log2(warp_width) instructions and no memory
+    traffic.
+    """
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Sync:
+    """Block-wide barrier (``__syncthreads``)."""
+
+
+@dataclass
+class ThreadContext:
+    """Per-thread context handed to kernels."""
+
+    thread_id: int
+    lane: int
+    warp_id: int
+    nthreads: int
+    warp_width: int
+    rng: UniformAdapter
+
+
+@dataclass
+class KernelMetrics:
+    """Cost counters for one kernel launch."""
+
+    #: Warp instruction slots issued (the compute term).
+    warp_instructions: int = 0
+    #: Coalesced global-memory transactions.
+    memory_transactions: int = 0
+    #: Serialised atomic operations (one per lane per contended address).
+    atomic_serializations: int = 0
+    #: Block-wide barriers.
+    barriers: int = 0
+    #: Threads launched.
+    nthreads: int = 0
+    #: Warp width.
+    warp_width: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for table output."""
+        return {
+            "warp_instructions": self.warp_instructions,
+            "memory_transactions": self.memory_transactions,
+            "atomic_serializations": self.atomic_serializations,
+            "barriers": self.barriers,
+            "nthreads": self.nthreads,
+            "warp_width": self.warp_width,
+        }
+
+
+@dataclass
+class KernelResult:
+    """Return values, metrics, and final global memory of a launch."""
+
+    returns: List[Any] = field(default_factory=list)
+    metrics: KernelMetrics = field(default_factory=KernelMetrics)
+    memory: List[Any] = field(default_factory=list)
+
+
+class SIMTMachine:
+    """One thread block of ``nthreads`` threads in warps of ``warp_width``.
+
+    Parameters
+    ----------
+    nthreads:
+        Threads to launch.
+    memory_size:
+        Global memory cells.
+    warp_width:
+        Lanes per warp (default 32, CUDA's).
+    segment_width:
+        Cells per coalescing segment (default 32).
+    seed:
+        Master seed: per-thread Philox streams plus the arbitration
+        stream for write conflicts and atomic ordering.
+    """
+
+    def __init__(
+        self,
+        nthreads: int,
+        memory_size: int,
+        warp_width: int = 32,
+        segment_width: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if nthreads <= 0:
+            raise ValueError(f"nthreads must be positive, got {nthreads}")
+        if warp_width <= 0:
+            raise ValueError(f"warp_width must be positive, got {warp_width}")
+        if memory_size <= 0:
+            raise MemoryAccessError(f"memory size must be positive, got {memory_size}")
+        if segment_width <= 0:
+            raise ValueError(f"segment_width must be positive, got {segment_width}")
+        self.nthreads = nthreads
+        self.warp_width = warp_width
+        self.segment_width = segment_width
+        self.memory: List[Any] = [None] * memory_size
+        sm = SplitMix64(seed)
+        self._thread_seed = sm.next_uint64()
+        self._arbiter = SplitMix64(sm.next_uint64())
+
+    # ------------------------------------------------------------------
+    def thread_rng(self, tid: int) -> UniformAdapter:
+        """The private stream of thread ``tid``."""
+        return UniformAdapter(Philox4x32(self._thread_seed, stream=tid))
+
+    def _check_addr(self, addr: int) -> None:
+        if not isinstance(addr, int) or isinstance(addr, bool):
+            raise MemoryAccessError(f"address must be an int, got {addr!r}")
+        if not 0 <= addr < len(self.memory):
+            raise MemoryAccessError(f"address {addr} out of range [0, {len(self.memory)})")
+
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: Callable[..., Any],
+        *args: Any,
+        max_slots: Optional[int] = None,
+        **kwargs: Any,
+    ) -> KernelResult:
+        """Run ``kernel(ctx, *args, **kwargs)`` on every thread to completion."""
+        budget = _DEFAULT_MAX_SLOTS if max_slots is None else max_slots
+        W = self.warp_width
+        nwarps = (self.nthreads + W - 1) // W
+        gens: Dict[int, Any] = {}
+        for tid in range(self.nthreads):
+            ctx = ThreadContext(
+                thread_id=tid,
+                lane=tid % W,
+                warp_id=tid // W,
+                nthreads=self.nthreads,
+                warp_width=W,
+                rng=self.thread_rng(tid),
+            )
+            gens[tid] = kernel(ctx, *args, **kwargs)
+
+        metrics = KernelMetrics(nthreads=self.nthreads, warp_width=W)
+        returns: List[Any] = [None] * self.nthreads
+        send_values: Dict[int, Any] = {}
+        at_barrier: set = set()
+        live = set(gens)
+        import math as _math
+
+        warp_shuffle_cost = max(1, int(_math.ceil(_math.log2(max(2, W)))))
+
+        while live:
+            runnable_warps = [
+                w
+                for w in range(nwarps)
+                if any(
+                    tid in live and tid not in at_barrier
+                    for tid in range(w * W, min((w + 1) * W, self.nthreads))
+                )
+            ]
+            if not runnable_warps:
+                # Everyone alive is at the barrier.
+                at_barrier.clear()
+                metrics.barriers += 1
+                continue
+            if metrics.warp_instructions >= budget:
+                raise DeadlockError(
+                    f"kernel exceeded {budget} warp instructions "
+                    f"({len(live)} threads still live)"
+                )
+            for w in runnable_warps:
+                lanes = [
+                    tid
+                    for tid in range(w * W, min((w + 1) * W, self.nthreads))
+                    if tid in live and tid not in at_barrier
+                ]
+                if not lanes:
+                    continue
+                metrics.warp_instructions += 1
+                slot: Dict[int, Any] = {}
+                for tid in lanes:
+                    gen = gens[tid]
+                    try:
+                        request = gen.send(send_values.pop(tid, None))
+                    except StopIteration as stop:
+                        returns[tid] = stop.value
+                        live.discard(tid)
+                        continue
+                    slot[tid] = request
+                self._execute_slot(slot, send_values, at_barrier, metrics)
+                # WarpMax is an intra-warp butterfly: extra instructions.
+                if any(isinstance(r, WarpMax) for r in slot.values()):
+                    metrics.warp_instructions += warp_shuffle_cost - 1
+        return KernelResult(returns=returns, metrics=metrics, memory=list(self.memory))
+
+    # ------------------------------------------------------------------
+    def _execute_slot(
+        self,
+        slot: Dict[int, Any],
+        send_values: Dict[int, Any],
+        at_barrier: set,
+        metrics: KernelMetrics,
+    ) -> None:
+        """Apply one warp instruction slot with the GPU cost model."""
+        read_segments: set = set()
+        write_segments: set = set()
+        plain_writes: Dict[int, List[Any]] = {}
+        warpmax_tids: List[int] = []
+        # Atomics execute in a random lane order (CUDA leaves it undefined).
+        atomic_tids = [t for t, r in slot.items() if isinstance(r, (AtomicMax, AtomicAdd))]
+        order = list(atomic_tids)
+        for i in range(len(order) - 1, 0, -1):
+            j = self._arbiter.randint_below(i + 1)
+            order[i], order[j] = order[j], order[i]
+
+        for tid, request in slot.items():
+            if isinstance(request, Read):
+                self._check_addr(request.addr)
+                read_segments.add(request.addr // self.segment_width)
+                send_values[tid] = self.memory[request.addr]
+            elif isinstance(request, Write):
+                self._check_addr(request.addr)
+                write_segments.add(request.addr // self.segment_width)
+                plain_writes.setdefault(request.addr, []).append(request.value)
+            elif isinstance(request, (AtomicMax, AtomicAdd)):
+                self._check_addr(request.addr)
+            elif isinstance(request, WarpMax):
+                warpmax_tids.append(tid)
+            elif isinstance(request, Sync):
+                at_barrier.add(tid)
+            else:
+                raise ProgramError(
+                    f"thread {tid} yielded {request!r}; expected Read, Write, "
+                    "AtomicMax, AtomicAdd, WarpMax, or Sync"
+                )
+
+        metrics.memory_transactions += len(read_segments) + len(write_segments)
+
+        # Serialised atomics, in the shuffled order.
+        for tid in order:
+            request = slot[tid]
+            old = self.memory[request.addr]
+            if isinstance(request, AtomicMax):
+                if old is None or request.value > old:
+                    self.memory[request.addr] = request.value
+            else:  # AtomicAdd
+                self.memory[request.addr] = (0 if old is None else old) + request.value
+                old = 0 if old is None else old
+            send_values[tid] = old
+            metrics.atomic_serializations += 1
+        metrics.memory_transactions += len(order)
+
+        # Plain writes: random survivor per address.
+        for addr, values in plain_writes.items():
+            self.memory[addr] = values[self._arbiter.randint_below(len(values))]
+
+        # Warp max intrinsic: all live lanes receive the max.
+        if warpmax_tids:
+            top = max(slot[tid].value for tid in warpmax_tids)
+            for tid in warpmax_tids:
+                send_values[tid] = top
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SIMTMachine(nthreads={self.nthreads}, warp_width={self.warp_width}, "
+            f"memory={len(self.memory)})"
+        )

@@ -1,0 +1,91 @@
+"""Empirical distributions over selection draws."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+__all__ = ["EmpiricalDistribution", "collect_counts"]
+
+
+def collect_counts(draws: Iterable[int], n: int) -> np.ndarray:
+    """Histogram an iterable of indices into ``n`` bins."""
+    arr = np.fromiter((int(d) for d in draws), dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= n):
+        raise ValueError(f"draw outside [0, {n}): min={arr.min()}, max={arr.max()}")
+    return np.bincount(arr, minlength=n).astype(np.int64)
+
+
+class EmpiricalDistribution:
+    """Counts over ``n`` outcomes with convenience accessors.
+
+    Supports incremental accumulation (``add`` / ``add_counts``) so
+    Monte-Carlo harnesses can stream draws in chunks without holding
+    them all.
+    """
+
+    def __init__(self, n: int, counts: Optional[np.ndarray] = None) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        if counts is None:
+            self._counts = np.zeros(n, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != (n,):
+                raise ValueError(f"counts shape {counts.shape} != ({n},)")
+            if (counts < 0).any():
+                raise ValueError("counts must be non-negative")
+            self._counts = counts.copy()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_draws(cls, draws: Union[Iterable[int], np.ndarray], n: int) -> "EmpiricalDistribution":
+        """Build directly from a sequence of drawn indices."""
+        if isinstance(draws, np.ndarray):
+            return cls(n, np.bincount(draws.astype(np.int64), minlength=n))
+        return cls(n, collect_counts(draws, n))
+
+    def add(self, index: int) -> None:
+        """Record one draw."""
+        self._counts[index] += 1
+
+    def add_counts(self, counts: np.ndarray) -> None:
+        """Merge a histogram chunk (e.g. from a vectorised batch)."""
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.n,):
+            raise ValueError(f"counts shape {counts.shape} != ({self.n},)")
+        self._counts += counts
+
+    def add_draws(self, draws: np.ndarray) -> None:
+        """Record a batch of drawn indices."""
+        self._counts += np.bincount(np.asarray(draws, dtype=np.int64), minlength=self.n)
+
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> np.ndarray:
+        """Copy of the per-outcome counts."""
+        return self._counts.copy()
+
+    @property
+    def total(self) -> int:
+        """Total recorded draws."""
+        return int(self._counts.sum())
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Relative frequencies (zeros if no draws recorded)."""
+        t = self.total
+        if t == 0:
+            return np.zeros(self.n, dtype=np.float64)
+        return self._counts / float(t)
+
+    def __getitem__(self, i: int) -> int:
+        return int(self._counts[i])
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EmpiricalDistribution(n={self.n}, total={self.total})"

@@ -1,0 +1,99 @@
+"""Exact theory of the paper's race round-count (Theorem 1, sharpened).
+
+Under RANDOM arbitration only ranks matter: with ``m`` active bidders
+the surviving write is uniform among them, leaving ``U{0, .., m-1}``
+bidders active.  The round count ``T(k)`` of that absorbing chain has a
+classical closed form:
+
+* ``E[T(k)] = H_k`` (the k-th harmonic number) — *tighter* than the
+  paper's sufficient bound ``2·⌈log₂ k⌉``,
+* ``Var[T(k)] = H_k - H_k^{(2)}`` (second-order harmonic),
+* the full distribution ``Pr[T(k) = t]`` equals ``c(k, t) / k!`` with
+  ``c`` the unsigned Stirling numbers of the first kind (the chain is
+  the record-count process of a random permutation), computed here by
+  the direct DP.
+
+These are used to validate the simulator (the measured race must match
+the exact law, not merely an O-bound) and to quantify how much slack the
+paper's bound carries.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import List
+
+import numpy as np
+
+__all__ = [
+    "harmonic",
+    "expected_rounds",
+    "variance_rounds",
+    "rounds_distribution",
+    "rounds_tail_bound",
+    "paper_bound",
+]
+
+
+def harmonic(k: int, order: int = 1) -> float:
+    """Generalised harmonic number ``H_k^{(order)}``."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return float(sum(1.0 / i**order for i in range(1, k + 1)))
+
+
+def expected_rounds(k: int) -> float:
+    """Exact expected race rounds for ``k`` active bidders: ``H_k``."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return harmonic(k)
+
+
+def variance_rounds(k: int) -> float:
+    """Exact variance of the round count: ``H_k - H_k^{(2)}``."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return harmonic(k) - harmonic(k, order=2)
+
+
+@lru_cache(maxsize=64)
+def _distribution(k: int) -> tuple:
+    """Pr[T(k) = t] for t = 0..k via the m -> U{0..m-1} recursion."""
+    # dist[m][t]; dist[0] = point mass at 0 rounds.
+    prev: List[np.ndarray] = [np.array([1.0])]
+    for m in range(1, k + 1):
+        # T(m) = 1 + T(J), J ~ U{0..m-1}.
+        out = np.zeros(m + 1, dtype=np.float64)
+        for j in range(m):
+            dj = prev[j]
+            out[1 : 1 + len(dj)] += dj / m
+        prev.append(out)
+    return tuple(prev[k].tolist())
+
+
+def rounds_distribution(k: int) -> np.ndarray:
+    """Exact pmf of the race's round count, ``Pr[T(k) = t]`` for t=0..k."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k > 60:
+        raise ValueError("exact pmf limited to k <= 60 (O(k^2) DP); use moments")
+    return np.asarray(_distribution(k), dtype=np.float64)
+
+
+def rounds_tail_bound(k: int, t: float) -> float:
+    """Chebyshev tail bound ``Pr[T(k) >= t]`` from the exact moments."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    mean = expected_rounds(k)
+    if t <= mean:
+        return 1.0
+    var = variance_rounds(k)
+    return min(1.0, var / (t - mean) ** 2)
+
+
+def paper_bound(k: int) -> int:
+    """The paper's sufficient expected-round bound ``2 * ceil(log2 k)``."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return 2 * math.ceil(math.log2(k)) if k > 1 else 1

@@ -1,0 +1,37 @@
+"""Shared protocols and type aliases used across :mod:`repro`.
+
+The central abstraction is :class:`UniformSource`: anything with a
+``random()`` method returning floats uniform on ``[0, 1)`` (scalar, or an
+ndarray when called with a ``size``).  Both :class:`numpy.random.Generator`
+and the adapters in :mod:`repro.rng.adapters` satisfy it, so every selection
+method can be driven either by NumPy's vectorised generators (fast path) or
+by the from-scratch generators in :mod:`repro.rng` (paper-faithful path).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence, Union, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+    import numpy.typing as npt
+
+    FitnessLike = Union[Sequence[float], "npt.NDArray[np.floating]"]
+else:  # pragma: no cover - runtime alias
+    FitnessLike = Union[Sequence, object]
+
+__all__ = ["UniformSource", "FitnessLike"]
+
+
+@runtime_checkable
+class UniformSource(Protocol):
+    """Anything producing uniform variates on ``[0, 1)``.
+
+    ``numpy.random.Generator`` satisfies this protocol natively; the pure
+    Python generators in :mod:`repro.rng` satisfy it through
+    :class:`repro.rng.adapters.UniformAdapter`.
+    """
+
+    def random(self, size=None):
+        """Uniform variates on ``[0, 1)``: a scalar, or an array of ``size``."""
+        ...

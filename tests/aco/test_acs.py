@@ -1,0 +1,106 @@
+"""Ant Colony System variant."""
+
+import numpy as np
+import pytest
+
+from repro.aco import ACSConfig, AntColonySystem, TSPInstance, nearest_neighbour_tour
+from repro.errors import ACOError
+
+
+@pytest.fixture
+def inst():
+    return TSPInstance.random_euclidean(15, seed=21)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = ACSConfig()
+        assert cfg.q0 == 0.9 and cfg.phi == 0.1
+
+    def test_q0_bounds(self):
+        with pytest.raises(ACOError):
+            ACSConfig(q0=1.5)
+        with pytest.raises(ACOError):
+            ACSConfig(q0=-0.1)
+
+    def test_phi_bounds(self):
+        with pytest.raises(ACOError):
+            ACSConfig(phi=0.0)
+        with pytest.raises(ACOError):
+            ACSConfig(phi=1.5)
+
+    def test_inherits_base_validation(self):
+        with pytest.raises(ACOError):
+            ACSConfig(n_ants=0)
+
+
+class TestConstruction:
+    def test_tour_valid(self, inst):
+        colony = AntColonySystem(inst, rng=0)
+        t = colony.construct_tour()
+        assert sorted(t.order.tolist()) == list(range(15))
+
+    def test_pure_greedy_is_deterministic_tour(self, inst):
+        """q0 = 1: construction from a fixed start is fully greedy."""
+        cfg = ACSConfig(q0=1.0, n_ants=1)
+        a = AntColonySystem(inst, cfg, rng=0).construct_tour(start=0)
+        b = AntColonySystem(inst, cfg, rng=99).construct_tour(start=0)
+        assert np.array_equal(a.order, b.order)
+
+    def test_pure_roulette_records_stats(self, inst):
+        """q0 = 0: every step goes through the roulette."""
+        cfg = ACSConfig(q0=0.0, n_ants=1)
+        colony = AntColonySystem(inst, cfg, rng=0)
+        colony.construct_tour()
+        assert colony.stats.selections == 14
+
+    def test_greedy_branch_not_recorded(self, inst):
+        cfg = ACSConfig(q0=1.0, n_ants=1)
+        colony = AntColonySystem(inst, cfg, rng=0)
+        colony.construct_tour()
+        assert colony.stats.selections == 0
+
+    def test_local_update_decays_toward_tau0(self, inst):
+        colony = AntColonySystem(inst, ACSConfig(q0=0.5), rng=1)
+        colony.pheromone[:] = colony._tau0 * 10  # inflate
+        np.fill_diagonal(colony.pheromone, 0.0)
+        before = colony.pheromone.copy()
+        tour = colony.construct_tour()
+        # The closing edge (last -> first) is not traversed during
+        # construction, so only the n-1 constructed edges decay.
+        a, b = tour.order[:-1], tour.order[1:]
+        assert np.all(colony.pheromone[a, b] < before[a, b])
+
+    def test_pheromone_symmetric_after_run(self, inst):
+        colony = AntColonySystem(inst, ACSConfig(n_ants=4), rng=2)
+        colony.run(5)
+        assert np.allclose(colony.pheromone, colony.pheromone.T)
+
+
+class TestEvolution:
+    def test_best_never_worsens(self, inst):
+        colony = AntColonySystem(inst, ACSConfig(n_ants=6), rng=3)
+        colony.run(10)
+        assert colony.history == sorted(colony.history, reverse=True)
+
+    def test_competitive_with_nn(self, inst):
+        colony = AntColonySystem(inst, ACSConfig(n_ants=10), rng=4)
+        best = colony.run(20)
+        assert best.length <= 1.2 * nearest_neighbour_tour(inst).length
+
+    def test_exact_vs_biased_selection_pluggable(self, inst):
+        for method in ("log_bidding", "independent"):
+            cfg = ACSConfig(n_ants=4, selection=method, q0=0.5)
+            best = AntColonySystem(inst, cfg, rng=5).run(5)
+            assert best.length > 0
+
+    def test_reproducible(self, inst):
+        a = AntColonySystem(inst, ACSConfig(n_ants=4), rng=6).run(5).length
+        b = AntColonySystem(inst, ACSConfig(n_ants=4), rng=6).run(5).length
+        assert a == b
+
+    def test_circle_with_local_search(self):
+        inst = TSPInstance.circle(10)
+        cfg = ACSConfig(n_ants=4, local_search=True)
+        best = AntColonySystem(inst, cfg, rng=0).run(3)
+        assert best.length == pytest.approx(inst.optimal_circle_length(), rel=1e-9)

@@ -1,0 +1,128 @@
+"""Ant System behaviour and the paper's sparse-roulette connection."""
+
+import numpy as np
+import pytest
+
+from repro.aco import AntSystem, AntSystemConfig, TSPInstance, nearest_neighbour_tour
+from repro.errors import ACOError
+
+
+@pytest.fixture
+def small_instance():
+    return TSPInstance.random_euclidean(15, seed=11)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        AntSystemConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_ants": 0},
+            {"rho": 0.0},
+            {"rho": 1.5},
+            {"alpha": -1.0},
+            {"q": 0.0},
+            {"elitist_weight": -1.0},
+            {"tau_min": 0.1},  # tau_max missing
+            {"tau_min": 0.5, "tau_max": 0.1},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ACOError):
+            AntSystemConfig(**kwargs)
+
+
+class TestConstruction:
+    def test_tour_is_valid(self, small_instance):
+        colony = AntSystem(small_instance, rng=0)
+        t = colony.construct_tour()
+        assert sorted(t.order.tolist()) == list(range(15))
+
+    def test_fixed_start(self, small_instance):
+        colony = AntSystem(small_instance, rng=0)
+        assert colony.construct_tour(start=7).order[0] == 7
+
+    def test_k_stats_count_down(self, small_instance):
+        """The roulette's k must sweep n-1 .. 1 for each ant."""
+        colony = AntSystem(small_instance, rng=0)
+        colony.construct_tour()
+        # One tour of n cities performs n-1 selections with k = n-1 .. 1.
+        assert colony.stats.selections == 14
+        assert colony.stats.k_histogram[1:15] == [1] * 14
+        assert colony.stats.mean_k == pytest.approx(np.mean(range(1, 15)))
+
+    def test_selection_method_pluggable(self, small_instance):
+        for method in ("prefix_sum", "independent", "alias"):
+            colony = AntSystem(
+                small_instance, AntSystemConfig(n_ants=2, selection=method), rng=0
+            )
+            t = colony.construct_tour()
+            assert sorted(t.order.tolist()) == list(range(15))
+
+
+class TestEvolution:
+    def test_best_never_worsens(self, small_instance):
+        colony = AntSystem(small_instance, AntSystemConfig(n_ants=6), rng=1)
+        colony.run(8)
+        assert colony.history == sorted(colony.history, reverse=True)
+
+    def test_improves_over_random(self, small_instance):
+        colony = AntSystem(small_instance, AntSystemConfig(n_ants=8), rng=2)
+        best = colony.run(12)
+        rng = np.random.default_rng(0)
+        random_mean = np.mean(
+            [small_instance.tour_length(rng.permutation(15)) for _ in range(30)]
+        )
+        assert best.length < random_mean
+
+    def test_competitive_with_nearest_neighbour(self, small_instance):
+        colony = AntSystem(small_instance, AntSystemConfig(n_ants=10), rng=3)
+        best = colony.run(20)
+        assert best.length <= 1.25 * nearest_neighbour_tour(small_instance).length
+
+    def test_pheromone_stays_positive_and_finite(self, small_instance):
+        colony = AntSystem(small_instance, AntSystemConfig(n_ants=5), rng=4)
+        colony.run(10)
+        off_diag = colony.pheromone[~np.eye(15, dtype=bool)]
+        assert np.all(off_diag > 0.0) and np.all(np.isfinite(off_diag))
+
+    def test_mmas_clamping(self, small_instance):
+        cfg = AntSystemConfig(n_ants=5, tau_min=0.01, tau_max=0.5)
+        colony = AntSystem(small_instance, cfg, rng=5)
+        colony.run(10)
+        off_diag = colony.pheromone[~np.eye(15, dtype=bool)]
+        assert np.all(off_diag >= 0.01 - 1e-12) and np.all(off_diag <= 0.5 + 1e-12)
+
+    def test_elitist_reinforces_best_edges(self, small_instance):
+        cfg = AntSystemConfig(n_ants=5, elitist_weight=5.0)
+        colony = AntSystem(small_instance, cfg, rng=6)
+        colony.run(10)
+        best = colony.best_tour
+        a, b = best.order, np.roll(best.order, -1)
+        best_edge_tau = colony.pheromone[a, b].mean()
+        overall_tau = colony.pheromone[~np.eye(15, dtype=bool)].mean()
+        assert best_edge_tau > overall_tau
+
+    def test_local_search_variant(self, small_instance):
+        cfg = AntSystemConfig(n_ants=3, local_search=True)
+        colony = AntSystem(small_instance, cfg, rng=7)
+        best_ls = colony.run(3)
+        plain = AntSystem(small_instance, AntSystemConfig(n_ants=3), rng=7).run(3)
+        assert best_ls.length <= plain.length + 1e-9
+
+    def test_run_validation(self, small_instance):
+        with pytest.raises(ACOError):
+            AntSystem(small_instance, rng=0).run(0)
+
+    def test_reproducible(self, small_instance):
+        a = AntSystem(small_instance, AntSystemConfig(n_ants=4), rng=9).run(5)
+        b = AntSystem(small_instance, AntSystemConfig(n_ants=4), rng=9).run(5)
+        assert a.length == b.length
+
+    def test_circle_solved_with_local_search(self):
+        inst = TSPInstance.circle(10)
+        cfg = AntSystemConfig(n_ants=5, local_search=True)
+        best = AntSystem(inst, cfg, rng=0).run(5)
+        assert best.length == pytest.approx(inst.optimal_circle_length(), rel=1e-9)

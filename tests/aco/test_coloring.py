@@ -1,0 +1,126 @@
+"""Vertex-coloring instances and the coloring colony."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.aco.coloring import ColoringColony, ColoringConfig, ColoringInstance
+from repro.errors import ACOError, InvalidColoringError
+
+
+class TestInstance:
+    def test_from_graph(self):
+        inst = ColoringInstance(nx.path_graph(4))
+        assert inst.n == 4
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(InvalidColoringError):
+            ColoringInstance(nx.Graph())
+
+    def test_self_loop_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 0)
+        with pytest.raises(InvalidColoringError):
+            ColoringInstance(g)
+
+    def test_conflicts_counting(self):
+        inst = ColoringInstance.cycle(4)
+        assert inst.conflicts([0, 1, 0, 1]) == 0
+        assert inst.conflicts([0, 0, 0, 0]) == 4
+        assert inst.conflicts([0, 0, 1, 1]) == 2
+
+    def test_is_proper(self):
+        inst = ColoringInstance.cycle(4)
+        assert inst.is_proper([0, 1, 0, 1])
+        assert not inst.is_proper([0, 0, 1, 1])
+
+    def test_color_count(self):
+        inst = ColoringInstance.cycle(4)
+        assert inst.color_count([0, 1, 0, 1]) == 2
+        assert inst.color_count([0, 1, 2, 3]) == 4
+
+    def test_coloring_shape_checked(self):
+        inst = ColoringInstance.cycle(5)
+        with pytest.raises(InvalidColoringError):
+            inst.conflicts([0, 1])
+        with pytest.raises(InvalidColoringError):
+            inst.conflicts([-1, 0, 1, 0, 1])
+
+    def test_complete_graph_bound(self):
+        inst = ColoringInstance.complete(6)
+        assert inst.greedy_chromatic_upper_bound() == 6
+
+    def test_gnp_generator(self):
+        inst = ColoringInstance.random_gnp(20, 0.3, seed=0)
+        assert inst.n == 20
+        with pytest.raises(InvalidColoringError):
+            ColoringInstance.random_gnp(10, 1.5)
+
+    def test_queen_graph(self):
+        inst = ColoringInstance.queen(4)
+        assert inst.n == 16
+        # queen4x4 has chromatic number 5; greedy gives >= 5.
+        assert inst.greedy_chromatic_upper_bound() >= 5
+
+    def test_neighbours(self):
+        inst = ColoringInstance.cycle(5)
+        assert set(inst.neighbours(0)) == {1, 4}
+
+
+class TestColony:
+    def test_config_validation(self):
+        with pytest.raises(ACOError):
+            ColoringConfig(n_ants=0)
+        with pytest.raises(ACOError):
+            ColoringConfig(rho=0.0)
+        with pytest.raises(ACOError):
+            ColoringConfig(max_colors=0)
+
+    def test_finds_proper_coloring_on_cycle(self):
+        inst = ColoringInstance.cycle(12)
+        colony = ColoringColony(inst, ColoringConfig(n_ants=6), rng=0)
+        res = colony.run(15)
+        assert res.conflicts == 0
+        assert 2 <= res.n_colors <= 3
+
+    def test_complete_graph_needs_n_colors(self):
+        inst = ColoringInstance.complete(5)
+        colony = ColoringColony(inst, ColoringConfig(n_ants=6, max_colors=5), rng=1)
+        res = colony.run(15)
+        assert res.conflicts == 0 and res.n_colors == 5
+
+    def test_beats_or_matches_budget(self):
+        inst = ColoringInstance.random_gnp(25, 0.3, seed=3)
+        colony = ColoringColony(inst, ColoringConfig(n_ants=8), rng=2)
+        res = colony.run(15)
+        assert res.conflicts == 0
+        assert res.n_colors <= colony.n_colors_budget
+
+    def test_stats_recorded(self):
+        inst = ColoringInstance.cycle(8)
+        colony = ColoringColony(inst, ColoringConfig(n_ants=3), rng=4)
+        colony.run(2)
+        # 8 vertices * 3 ants * 2 iterations selections.
+        assert colony.stats.selections == 48
+        assert colony.stats.mean_k > 0
+
+    def test_selection_pluggable(self):
+        inst = ColoringInstance.cycle(8)
+        for method in ("prefix_sum", "independent"):
+            colony = ColoringColony(
+                inst, ColoringConfig(n_ants=3, selection=method), rng=5
+            )
+            res = colony.run(5)
+            assert res.colors.shape == (8,)
+
+    def test_run_validation(self):
+        inst = ColoringInstance.cycle(5)
+        with pytest.raises(ACOError):
+            ColoringColony(inst, rng=0).run(0)
+
+    def test_history_monotone(self):
+        inst = ColoringInstance.random_gnp(15, 0.4, seed=6)
+        colony = ColoringColony(inst, ColoringConfig(n_ants=4), rng=7)
+        colony.run(10)
+        hist = colony.best.history
+        assert hist == sorted(hist, reverse=True)

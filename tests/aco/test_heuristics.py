@@ -1,0 +1,89 @@
+"""Constructive heuristics and 2-opt local search."""
+
+import numpy as np
+import pytest
+
+from repro.aco import TSPInstance, nearest_neighbour_tour, two_opt
+from repro.aco.tsp import greedy_edge_tour
+from repro.aco.tsp.tour import Tour
+from repro.errors import ACOError
+
+
+class TestNearestNeighbour:
+    def test_valid_tour(self):
+        inst = TSPInstance.random_euclidean(15, seed=0)
+        t = nearest_neighbour_tour(inst)
+        assert sorted(t.order.tolist()) == list(range(15))
+
+    def test_starts_at_start(self):
+        inst = TSPInstance.random_euclidean(10, seed=1)
+        assert nearest_neighbour_tour(inst, start=4).order[0] == 4
+
+    def test_invalid_start(self):
+        inst = TSPInstance.random_euclidean(5, seed=0)
+        with pytest.raises(ACOError):
+            nearest_neighbour_tour(inst, start=7)
+
+    def test_optimal_on_circle(self):
+        inst = TSPInstance.circle(24)
+        t = nearest_neighbour_tour(inst)
+        assert t.length == pytest.approx(inst.optimal_circle_length())
+
+    def test_beats_random_on_average(self):
+        inst = TSPInstance.random_euclidean(40, seed=5)
+        rng = np.random.default_rng(0)
+        random_len = np.mean(
+            [inst.tour_length(rng.permutation(40)) for _ in range(20)]
+        )
+        assert nearest_neighbour_tour(inst).length < random_len
+
+
+class TestGreedyEdge:
+    @pytest.mark.parametrize("n", [4, 7, 12, 25])
+    def test_valid_tour(self, n):
+        inst = TSPInstance.random_euclidean(n, seed=3)
+        t = greedy_edge_tour(inst)
+        assert sorted(t.order.tolist()) == list(range(n))
+
+    def test_competitive_with_nn(self):
+        lens_ge, lens_nn = [], []
+        for seed in range(5):
+            inst = TSPInstance.random_euclidean(30, seed=seed)
+            lens_ge.append(greedy_edge_tour(inst).length)
+            lens_nn.append(nearest_neighbour_tour(inst).length)
+        assert np.mean(lens_ge) < 1.1 * np.mean(lens_nn)
+
+
+class TestTwoOpt:
+    def test_never_worsens(self):
+        for seed in range(5):
+            inst = TSPInstance.random_euclidean(25, seed=seed)
+            start = Tour(inst, np.random.default_rng(seed).permutation(25))
+            improved = two_opt(inst, start)
+            assert improved.length <= start.length + 1e-9
+
+    def test_reaches_circle_optimum(self):
+        inst = TSPInstance.circle(12)
+        start = Tour(inst, np.random.default_rng(0).permutation(12))
+        improved = two_opt(inst, start)
+        assert improved.length == pytest.approx(inst.optimal_circle_length(), rel=1e-9)
+
+    def test_result_is_valid_tour(self):
+        inst = TSPInstance.random_euclidean(20, seed=9)
+        start = Tour(inst, np.random.default_rng(1).permutation(20))
+        improved = two_opt(inst, start)
+        assert sorted(improved.order.tolist()) == list(range(20))
+
+    def test_max_rounds_respected(self):
+        inst = TSPInstance.random_euclidean(30, seed=2)
+        start = Tour(inst, np.random.default_rng(2).permutation(30))
+        capped = two_opt(inst, start, max_rounds=1)
+        full = two_opt(inst, start)
+        assert full.length <= capped.length + 1e-9
+
+    def test_local_optimum_is_fixed_point(self):
+        inst = TSPInstance.random_euclidean(15, seed=4)
+        start = Tour(inst, np.random.default_rng(3).permutation(15))
+        once = two_opt(inst, start)
+        twice = two_opt(inst, once)
+        assert twice.length == pytest.approx(once.length)

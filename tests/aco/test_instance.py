@@ -1,0 +1,124 @@
+"""TSP instance construction and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.aco import TSPInstance
+from repro.errors import ACOError
+
+
+class TestConstruction:
+    def test_from_distance_matrix(self):
+        d = np.array([[0.0, 1.0], [1.0, 0.0]])
+        inst = TSPInstance(d)
+        assert inst.n == 2 and inst.distance(0, 1) == 1.0
+
+    def test_rejects_asymmetric(self):
+        d = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ACOError):
+            TSPInstance(d)
+
+    def test_rejects_nonzero_diagonal(self):
+        d = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ACOError):
+            TSPInstance(d)
+
+    def test_rejects_negative(self):
+        d = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ACOError):
+            TSPInstance(d)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ACOError):
+            TSPInstance(np.zeros((2, 3)))
+
+    def test_rejects_single_city(self):
+        with pytest.raises(ACOError):
+            TSPInstance(np.zeros((1, 1)))
+
+    def test_rejects_inf(self):
+        d = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        with pytest.raises(ACOError):
+            TSPInstance(d)
+
+    def test_distances_read_only(self):
+        inst = TSPInstance.random_euclidean(5, seed=0)
+        with pytest.raises(ValueError):
+            inst.distances[0, 1] = 99.0
+
+
+class TestGenerators:
+    def test_random_euclidean_shape(self):
+        inst = TSPInstance.random_euclidean(12, seed=3)
+        assert inst.n == 12 and inst.coords.shape == (12, 2)
+
+    def test_random_euclidean_deterministic(self):
+        a = TSPInstance.random_euclidean(8, seed=5)
+        b = TSPInstance.random_euclidean(8, seed=5)
+        assert np.array_equal(a.distances, b.distances)
+
+    def test_clustered(self):
+        inst = TSPInstance.clustered(20, clusters=3, seed=1)
+        assert inst.n == 20
+
+    def test_clustered_validation(self):
+        with pytest.raises(ACOError):
+            TSPInstance.clustered(10, clusters=0)
+
+    def test_circle_optimal_length(self):
+        inst = TSPInstance.circle(16, radius=10.0)
+        opt = inst.optimal_circle_length()
+        identity = inst.tour_length(range(16))
+        assert identity == pytest.approx(opt)
+
+    def test_circle_min_size(self):
+        with pytest.raises(ACOError):
+            TSPInstance.circle(2)
+
+    def test_euclidean_triangle_inequality(self):
+        inst = TSPInstance.random_euclidean(10, seed=7)
+        d = inst.distances
+        for a in range(10):
+            for b in range(10):
+                for c in range(10):
+                    assert d[a, c] <= d[a, b] + d[b, c] + 1e-9
+
+
+class TestTourLength:
+    def test_known_square(self):
+        coords = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        inst = TSPInstance.from_coords(coords)
+        assert inst.tour_length([0, 1, 2, 3]) == pytest.approx(4.0)
+        assert inst.tour_length([0, 2, 1, 3]) == pytest.approx(2 + 2 * np.sqrt(2))
+
+    def test_wrong_length_rejected(self):
+        inst = TSPInstance.random_euclidean(5, seed=0)
+        with pytest.raises(ACOError):
+            inst.tour_length([0, 1, 2])
+
+    def test_rotation_invariance(self):
+        inst = TSPInstance.random_euclidean(9, seed=2)
+        order = list(range(9))
+        rotated = order[3:] + order[:3]
+        assert inst.tour_length(order) == pytest.approx(inst.tour_length(rotated))
+
+    def test_reversal_invariance(self):
+        inst = TSPInstance.random_euclidean(9, seed=2)
+        order = np.random.default_rng(1).permutation(9)
+        assert inst.tour_length(order) == pytest.approx(inst.tour_length(order[::-1]))
+
+
+class TestVisibility:
+    def test_inverse_distance(self):
+        inst = TSPInstance.random_euclidean(6, seed=0)
+        eta = inst.visibility()
+        assert eta[1, 2] == pytest.approx(1.0 / inst.distance(1, 2))
+
+    def test_diagonal_zero(self):
+        inst = TSPInstance.random_euclidean(6, seed=0)
+        assert np.all(np.diag(inst.visibility()) == 0.0)
+
+    def test_coincident_cities_no_inf(self):
+        coords = np.array([[0, 0], [0, 0], [1, 1]], dtype=float)
+        inst = TSPInstance.from_coords(coords)
+        assert np.all(np.isfinite(inst.visibility()))

@@ -1,0 +1,155 @@
+"""Quadratic assignment substrate and colony."""
+
+import numpy as np
+import pytest
+
+from repro.aco.qap import QAPColony, QAPConfig, QAPInstance
+from repro.aco.qap.colony import swap_local_search
+from repro.errors import ACOError
+
+
+@pytest.fixture
+def small():
+    return QAPInstance.random_uniform(6, seed=3)
+
+
+class TestInstance:
+    def test_construction(self, small):
+        assert small.n == 6
+
+    def test_validation(self):
+        with pytest.raises(ACOError):
+            QAPInstance(np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(ACOError):
+            QAPInstance(np.zeros((2, 2)), np.zeros((3, 3)))
+        with pytest.raises(ACOError):
+            QAPInstance(-np.ones((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ACOError):
+            QAPInstance(np.full((2, 2), np.inf), np.ones((2, 2)))
+        with pytest.raises(ACOError):
+            QAPInstance(np.ones((1, 1)), np.ones((1, 1)))
+
+    def test_cost_known_example(self):
+        # 2 facilities, flow 5 between them; locations 3 apart.
+        flow = np.array([[0.0, 5.0], [5.0, 0.0]])
+        dist = np.array([[0.0, 3.0], [3.0, 0.0]])
+        inst = QAPInstance(flow, dist)
+        assert inst.cost([0, 1]) == 30.0  # 5*3 counted both directions
+        assert inst.cost([1, 0]) == 30.0
+
+    def test_cost_prefers_heavy_flow_close(self):
+        # 3 facilities: heavy flow (0,1); locations 0,1 close, 2 far.
+        flow = np.zeros((3, 3))
+        flow[0, 1] = flow[1, 0] = 10.0
+        flow[0, 2] = flow[2, 0] = 1.0
+        dist = np.array(
+            [[0.0, 1.0, 9.0], [1.0, 0.0, 9.0], [9.0, 9.0, 0.0]]
+        )
+        inst = QAPInstance(flow, dist)
+        good = inst.cost([0, 1, 2])  # heavy pair on close locations
+        bad = inst.cost([0, 2, 1])  # heavy pair split far
+        assert good < bad
+
+    def test_cost_rejects_non_permutation(self, small):
+        with pytest.raises(ACOError):
+            small.cost([0, 0, 1, 2, 3, 4])
+        with pytest.raises(ACOError):
+            small.cost([0, 1, 2])
+
+    def test_brute_force_small(self):
+        inst = QAPInstance.random_uniform(4, seed=0)
+        perm, cost = inst.brute_force_optimum()
+        assert sorted(perm.tolist()) == [0, 1, 2, 3]
+        # No permutation beats it.
+        import itertools
+
+        for p in itertools.permutations(range(4)):
+            assert inst.cost(p) >= cost - 1e-9
+
+    def test_brute_force_size_guard(self):
+        with pytest.raises(ACOError):
+            QAPInstance.random_uniform(10, seed=0).brute_force_optimum()
+
+    def test_matrices_read_only(self, small):
+        with pytest.raises(ValueError):
+            small.flow[0, 1] = 3.0
+
+
+class TestLocalSearch:
+    def test_never_worsens(self, small):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            perm = rng.permutation(6)
+            improved = swap_local_search(small, perm)
+            assert small.cost(improved) <= small.cost(perm) + 1e-9
+
+    def test_result_is_permutation(self, small):
+        improved = swap_local_search(small, np.random.default_rng(1).permutation(6))
+        assert sorted(improved.tolist()) == list(range(6))
+
+    def test_reaches_optimum_on_tiny(self):
+        inst = QAPInstance.random_uniform(4, seed=5)
+        _, opt = inst.brute_force_optimum()
+        # 2-exchange from several starts should find the optimum of n=4.
+        costs = [
+            inst.cost(swap_local_search(inst, np.random.default_rng(s).permutation(4)))
+            for s in range(5)
+        ]
+        assert min(costs) == pytest.approx(opt)
+
+
+class TestColony:
+    def test_config_validation(self):
+        with pytest.raises(ACOError):
+            QAPConfig(n_ants=0)
+        with pytest.raises(ACOError):
+            QAPConfig(rho=0.0)
+        with pytest.raises(ACOError):
+            QAPConfig(alpha=-1.0)
+
+    def test_assignment_valid(self, small):
+        colony = QAPColony(small, rng=0)
+        a = colony.construct()
+        assert sorted(a.tolist()) == list(range(6))
+
+    def test_k_counts_down(self, small):
+        colony = QAPColony(small, rng=0)
+        colony.construct()
+        # 6 placements with k = 6, 5, ..., 1 free locations.
+        assert colony.stats.selections == 6
+        assert colony.stats.k_histogram[1:7] == [1] * 6
+
+    def test_best_never_worsens(self, small):
+        colony = QAPColony(small, QAPConfig(n_ants=6), rng=1)
+        colony.run(10)
+        hist = colony.best.history
+        assert hist == sorted(hist, reverse=True)
+
+    def test_beats_random_average(self, small):
+        colony = QAPColony(small, QAPConfig(n_ants=8), rng=2)
+        best = colony.run(15)
+        rng = np.random.default_rng(0)
+        random_mean = np.mean([small.cost(rng.permutation(6)) for _ in range(50)])
+        assert best.cost < random_mean
+
+    def test_finds_optimum_with_local_search(self):
+        inst = QAPInstance.random_uniform(5, seed=7)
+        _, opt = inst.brute_force_optimum()
+        colony = QAPColony(inst, QAPConfig(n_ants=6, local_search=True), rng=3)
+        best = colony.run(10)
+        assert best.cost == pytest.approx(opt)
+
+    def test_selection_pluggable(self, small):
+        for method in ("prefix_sum", "independent", "alias"):
+            colony = QAPColony(small, QAPConfig(n_ants=3, selection=method), rng=4)
+            res = colony.run(3)
+            assert sorted(res.assignment.tolist()) == list(range(6))
+
+    def test_run_validation(self, small):
+        with pytest.raises(ACOError):
+            QAPColony(small, rng=0).run(0)
+
+    def test_reproducible(self, small):
+        a = QAPColony(small, QAPConfig(n_ants=4), rng=9).run(5).cost
+        b = QAPColony(small, QAPConfig(n_ants=4), rng=9).run(5).cost
+        assert a == b

@@ -1,0 +1,64 @@
+"""Tour value object invariants."""
+
+import numpy as np
+import pytest
+
+from repro.aco import TSPInstance, Tour
+from repro.errors import InvalidTourError
+
+
+@pytest.fixture
+def inst():
+    return TSPInstance.random_euclidean(8, seed=0)
+
+
+class TestValidation:
+    def test_valid_permutation(self, inst):
+        t = Tour(inst, list(range(8)))
+        assert t.n == 8 and t.length > 0
+
+    def test_rejects_short(self, inst):
+        with pytest.raises(InvalidTourError):
+            Tour(inst, [0, 1, 2])
+
+    def test_rejects_duplicates(self, inst):
+        with pytest.raises(InvalidTourError):
+            Tour(inst, [0, 1, 2, 3, 4, 5, 6, 6])
+
+    def test_rejects_out_of_range(self, inst):
+        with pytest.raises(InvalidTourError):
+            Tour(inst, [0, 1, 2, 3, 4, 5, 6, 99])
+
+    def test_rejects_negative(self, inst):
+        with pytest.raises(InvalidTourError):
+            Tour(inst, [0, 1, 2, 3, 4, 5, 6, -1])
+
+    def test_order_read_only(self, inst):
+        t = Tour(inst, list(range(8)))
+        with pytest.raises(ValueError):
+            t.order[0] = 5
+
+
+class TestCanonicalisation:
+    def test_rotations_equal(self, inst):
+        a = Tour(inst, [0, 1, 2, 3, 4, 5, 6, 7])
+        b = Tour(inst, [3, 4, 5, 6, 7, 0, 1, 2])
+        assert a == b and hash(a) == hash(b)
+
+    def test_reversal_equal(self, inst):
+        a = Tour(inst, [0, 1, 2, 3, 4, 5, 6, 7])
+        b = Tour(inst, [0, 7, 6, 5, 4, 3, 2, 1])
+        assert a == b
+
+    def test_different_tours_differ(self, inst):
+        a = Tour(inst, [0, 1, 2, 3, 4, 5, 6, 7])
+        b = Tour(inst, [0, 2, 1, 3, 4, 5, 6, 7])
+        assert a != b
+
+    def test_length_matches_instance(self, inst):
+        order = np.random.default_rng(4).permutation(8)
+        t = Tour(inst, order)
+        assert t.length == pytest.approx(inst.tour_length(order))
+
+    def test_eq_other_type(self, inst):
+        assert Tour(inst, range(8)).__eq__("x") is NotImplemented

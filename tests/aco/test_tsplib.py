@@ -1,0 +1,216 @@
+"""TSPLIB parsing and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.aco import TSPInstance
+from repro.aco.tsp.tsplib import TSPLIBError, load_tsplib, parse_tsplib, to_tsplib
+
+SIMPLE_EUC = """\
+NAME : tiny
+TYPE : TSP
+DIMENSION : 4
+EDGE_WEIGHT_TYPE : EUC_2D
+NODE_COORD_SECTION
+1 0 0
+2 3 0
+3 3 4
+4 0 4
+EOF
+"""
+
+
+class TestParseCoords:
+    def test_euc_2d_rounds_to_nint(self):
+        inst = parse_tsplib(SIMPLE_EUC)
+        assert inst.n == 4
+        assert inst.distance(0, 1) == 3.0
+        assert inst.distance(1, 2) == 4.0
+        assert inst.distance(0, 2) == 5.0  # 3-4-5 triangle
+
+    def test_name_preserved(self):
+        assert parse_tsplib(SIMPLE_EUC).name == "tiny"
+
+    def test_shuffled_node_ids_sorted(self):
+        text = SIMPLE_EUC.replace(
+            "1 0 0\n2 3 0\n3 3 4\n4 0 4", "3 3 4\n1 0 0\n4 0 4\n2 3 0"
+        )
+        inst = parse_tsplib(text)
+        assert inst.distance(0, 2) == 5.0
+
+    def test_bad_node_ids_rejected(self):
+        text = SIMPLE_EUC.replace("4 0 4", "9 0 4")
+        with pytest.raises(TSPLIBError):
+            parse_tsplib(text)
+
+    def test_ceil_2d(self):
+        text = SIMPLE_EUC.replace("EUC_2D", "CEIL_2D").replace("2 3 0", "2 3 1")
+        inst = parse_tsplib(text)
+        # dist(0,1) = sqrt(10) ~ 3.162 -> ceil = 4.
+        assert inst.distance(0, 1) == 4.0
+
+    def test_att_metric(self):
+        text = SIMPLE_EUC.replace("EUC_2D", "ATT")
+        inst = parse_tsplib(text)
+        # r = sqrt(25/10) ~ 1.581, t = nint = 2, t >= r -> 2.
+        assert inst.distance(0, 2) == 2.0
+
+    def test_coordinate_count_mismatch(self):
+        text = SIMPLE_EUC.replace("4 0 4\n", "")
+        with pytest.raises(TSPLIBError):
+            parse_tsplib(text)
+
+
+class TestParseExplicit:
+    def test_full_matrix(self):
+        text = """\
+NAME : m
+TYPE : TSP
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EXPLICIT
+EDGE_WEIGHT_FORMAT : FULL_MATRIX
+EDGE_WEIGHT_SECTION
+0 1 2
+1 0 3
+2 3 0
+EOF
+"""
+        inst = parse_tsplib(text)
+        assert inst.distance(0, 2) == 2.0 and inst.distance(1, 2) == 3.0
+
+    def test_upper_row(self):
+        text = """\
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EXPLICIT
+EDGE_WEIGHT_FORMAT : UPPER_ROW
+EDGE_WEIGHT_SECTION
+1 2
+3
+EOF
+"""
+        inst = parse_tsplib(text)
+        assert inst.distance(0, 1) == 1.0
+        assert inst.distance(0, 2) == 2.0
+        assert inst.distance(1, 2) == 3.0
+
+    def test_upper_diag_row(self):
+        text = """\
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EXPLICIT
+EDGE_WEIGHT_FORMAT : UPPER_DIAG_ROW
+EDGE_WEIGHT_SECTION
+0 1 2
+0 3
+0
+EOF
+"""
+        inst = parse_tsplib(text)
+        assert inst.distance(0, 1) == 1.0 and inst.distance(1, 2) == 3.0
+
+    def test_lower_diag_row(self):
+        text = """\
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EXPLICIT
+EDGE_WEIGHT_FORMAT : LOWER_DIAG_ROW
+EDGE_WEIGHT_SECTION
+0
+1 0
+2 3 0
+EOF
+"""
+        inst = parse_tsplib(text)
+        assert inst.distance(0, 1) == 1.0 and inst.distance(1, 2) == 3.0
+
+    def test_value_count_mismatch(self):
+        text = """\
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EXPLICIT
+EDGE_WEIGHT_FORMAT : FULL_MATRIX
+EDGE_WEIGHT_SECTION
+0 1
+EOF
+"""
+        with pytest.raises(TSPLIBError):
+            parse_tsplib(text)
+
+    def test_unsupported_format(self):
+        text = "DIMENSION : 2\nEDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : WEIRD\nEDGE_WEIGHT_SECTION\n0 0 0 0\nEOF\n"
+        with pytest.raises(TSPLIBError):
+            parse_tsplib(text)
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(TSPLIBError):
+            parse_tsplib("")
+
+    def test_missing_dimension(self):
+        with pytest.raises(TSPLIBError):
+            parse_tsplib("NAME : x\nEDGE_WEIGHT_TYPE : EUC_2D\nEOF\n")
+
+    def test_unsupported_type(self):
+        with pytest.raises(TSPLIBError):
+            parse_tsplib("TYPE : CVRP\nDIMENSION : 2\nEOF\n")
+
+    def test_unsupported_weight_type(self):
+        with pytest.raises(TSPLIBError):
+            parse_tsplib("DIMENSION : 2\nEDGE_WEIGHT_TYPE : GEO\nEOF\n")
+
+
+class TestRoundTrip:
+    def test_coords_round_trip(self, tmp_path):
+        inst = TSPInstance.random_euclidean(12, seed=0)
+        text = to_tsplib(inst)
+        path = tmp_path / "rt.tsp"
+        path.write_text(text)
+        back = load_tsplib(path)
+        assert back.n == 12
+        # EUC_2D rounds: distances agree to +/- 0.5.
+        assert np.max(np.abs(back.distances - np.round(inst.distances))) == 0.0
+
+    def test_matrix_round_trip(self):
+        d = np.array([[0.0, 1.5, 2.5], [1.5, 0.0, 3.5], [2.5, 3.5, 0.0]])
+        inst = TSPInstance(d, name="mat")
+        back = parse_tsplib(to_tsplib(inst))
+        assert np.allclose(back.distances, d)
+
+    def test_solver_runs_on_parsed_instance(self):
+        from repro.aco import AntSystem, AntSystemConfig
+
+        inst = parse_tsplib(SIMPLE_EUC)
+        best = AntSystem(inst, AntSystemConfig(n_ants=4), rng=0).run(5)
+        assert best.length == pytest.approx(14.0)  # the 3-4-3-4 rectangle
+
+
+class TestTSPLIBProperties:
+    """Hypothesis round-trips through the EXPLICIT format."""
+
+    def test_random_matrices_round_trip(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.integers(2, 12), st.integers(0, 2**31 - 1))
+        @settings(max_examples=25, deadline=None)
+        def inner(n, seed):
+            rng = np.random.default_rng(seed)
+            d = np.round(rng.random((n, n)) * 100, 3)
+            d = np.triu(d, 1)
+            d = d + d.T
+            inst = TSPInstance(d, name="prop")
+            back = parse_tsplib(to_tsplib(inst))
+            assert np.allclose(back.distances, d, atol=1e-6)
+
+        inner()
+
+    def test_coordinate_instances_preserve_rounded_metric(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.integers(3, 15), st.integers(0, 2**31 - 1))
+        @settings(max_examples=25, deadline=None)
+        def inner(n, seed):
+            inst = TSPInstance.random_euclidean(n, seed=seed)
+            back = parse_tsplib(to_tsplib(inst))
+            assert np.allclose(back.distances, np.floor(inst.distances + 0.5))
+
+        inner()

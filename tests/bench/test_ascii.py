@@ -1,0 +1,65 @@
+"""ASCII chart helpers."""
+
+import pytest
+
+from repro.bench.ascii import bar_chart, scatter_log2, sparkline
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_values_monotone_glyphs(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title(self):
+        out = bar_chart(["x"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_zero_values(self):
+        out = bar_chart(["x"], [0.0])
+        assert "#" not in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestScatter:
+    def test_dimensions(self):
+        out = scatter_log2([1, 2, 4, 8], [1, 2, 3, 4], height=5)
+        lines = out.splitlines()
+        assert len(lines) == 5 + 2  # rows + rule + axis note
+        assert sum(line.count("*") for line in lines) == 4
+
+    def test_extremes_hit_edges(self):
+        out = scatter_log2([1, 2], [0.0, 10.0], height=4)
+        lines = out.splitlines()
+        assert "*" in lines[0]  # max on top row
+        assert "*" in lines[3]  # min on bottom row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_log2([1], [1, 2])
+        with pytest.raises(ValueError):
+            scatter_log2([1], [1], height=1)
+
+    def test_empty(self):
+        assert scatter_log2([], [], title="t") == "t"

@@ -1,0 +1,154 @@
+"""Experiment drivers — fast-parameter smoke and shape tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments as exp
+from repro.pram.policies import WritePolicy
+
+
+class TestTable1:
+    def test_reproduces_paper_shape(self):
+        rep = exp.table1(iterations=40_000, seed=0)
+        data = rep.data
+        # Logarithmic tracks the target, independent does not.
+        assert data["tv_logarithmic"] < 0.02
+        assert data["tv_independent"] > 0.25
+        # Small-fitness starvation: independent never picks index 1.
+        assert data["independent"][1] < 1e-4
+        assert "Table I" in rep.render()
+
+    def test_analytic_column_matches_observation(self):
+        rep = exp.table1(iterations=60_000, seed=1)
+        assert np.allclose(
+            rep.data["independent"], rep.data["independent_exact"], atol=0.01
+        )
+
+
+class TestTable2:
+    def test_reproduces_starvation(self):
+        rep = exp.table2(iterations=60_000, seed=0)
+        d = rep.data
+        assert d["p0_exact_independent"] == pytest.approx(0.5**99 / 100, rel=1e-6)
+        assert d["p0_observed_independent"] == 0.0
+        assert d["p0_observed_logarithmic"] == pytest.approx(1 / 199, abs=0.002)
+
+    def test_row_limit_in_render(self):
+        rep = exp.table2(iterations=5_000, show_rows=10)
+        # 10 data rows + title + header + rule + report header.
+        assert len(rep.table.splitlines()) == 13
+
+
+class TestWorkedExample:
+    def test_three_quarters(self):
+        rep = exp.worked_example(iterations=50_000, seed=0)
+        obs = rep.data["observed_independent"][0]
+        assert obs == pytest.approx(0.75, abs=0.01)
+        assert rep.data["observed_logarithmic"][0] == pytest.approx(2 / 3, abs=0.01)
+
+
+class TestTheorem1:
+    def test_model_matches_pram(self):
+        rep = exp.theorem1_iterations(
+            ks=(4, 16, 64), reps=300, pram_reps=30, seed=0
+        )
+        for model, pram in zip(rep.data["model_mean"], rep.data["pram_mean"]):
+            assert pram is not None
+            assert abs(model - pram) < 1.0
+
+    def test_means_below_paper_bound(self):
+        rep = exp.theorem1_iterations(ks=(2, 8, 32, 128), reps=200, pram_reps=0,
+                                      pram_k_limit=0, seed=1)
+        for mean, bound in zip(rep.data["model_mean"], rep.data["bound"]):
+            assert mean <= bound
+
+    def test_logarithmic_growth(self):
+        rep = exp.theorem1_iterations(ks=(16, 256, 4096), reps=400, pram_reps=0,
+                                      pram_k_limit=0, seed=2)
+        m16, m256, m4096 = rep.data["model_mean"]
+        # 16 -> 4096 is 256x more work for ~2 extra rounds (harmonic).
+        assert m4096 - m16 < 7.0
+        assert m256 > m16
+
+    def test_round_process_validation(self):
+        with pytest.raises(ValueError):
+            exp.race_round_process(0, np.random.default_rng(0))
+
+    def test_round_process_expectation_is_harmonic(self):
+        rng = np.random.default_rng(3)
+        k = 32
+        mean = np.mean([exp.race_round_process(k, rng) for _ in range(4000)])
+        harmonic = sum(1.0 / i for i in range(1, k + 1))
+        assert mean == pytest.approx(harmonic, abs=0.2)
+
+
+class TestSweepsAndAblations:
+    def test_zero_fitness_sweep_shape(self):
+        rep = exp.zero_fitness_sweep(n=128, ks=(1, 8, 64), reps=3, seed=0)
+        assert len(rep.data["race_iters"]) == 3
+        # Race cost grows with k while prefix cost is constant in k.
+        assert rep.data["race_steps"][0] < rep.data["race_steps"][-1]
+        assert len(set(rep.data["prefix_steps"])) == 1
+
+    def test_pram_costs_scaling(self):
+        rep = exp.pram_costs(ns=(8, 64), seed=0)
+        d = rep.data
+        assert d["prefix_cells"] == [3 * 8 + 1, 3 * 64 + 1]
+        assert d["race_cells"] == [2, 2]
+        assert d["prefix_steps"][1] > d["prefix_steps"][0]
+
+    def test_arbitration_ablation(self):
+        rep = exp.ablation_arbitration(k=16, reps=5, seed=0)
+        d = rep.data
+        # Deterministic policies degrade to k on the adversarial layout.
+        assert d["adversarial"]["priority"] == 16
+        assert d["adversarial"]["arbitrary"] == 16
+        assert d["adversarial"]["random"] <= 2 * math.ceil(math.log2(16)) + 4
+
+    def test_rng_ablation_all_engines_accurate(self):
+        rep = exp.ablation_rng(iterations=30_000, seed=5)
+        for engine, tv in rep.data["tv"].items():
+            assert tv < 0.03, engine
+
+    def test_throughput_returns_all_methods(self):
+        rep = exp.method_throughput(ns=(10,), draws=500)
+        assert set(rep.data["us_per_draw"]) == set(rep.data["methods"])
+
+    def test_aco_comparison_runs(self):
+        rep = exp.aco_comparison(
+            n_cities=12, iterations=3, seeds=(0,), methods=("log_bidding",), n_ants=4
+        )
+        assert "log_bidding" in rep.data["lengths"]
+        # mean roulette k over a tour is (n-1+1)/2-ish: positive, < n.
+        assert 0 < rep.data["mean_k"]["log_bidding"] < 12
+
+
+class TestNewSubstrateDrivers:
+    def test_simt_driver(self):
+        rep = exp.ablation_simt(k=64, warp_widths=(4, 32), seed=0)
+        assert rep.data["naive"] == [64, 64]
+        assert rep.data["reduced"] == [16, 2]
+        assert rep.data["pram_iterations"] >= 1
+        assert "SIMT" in rep.table
+
+    def test_distributed_driver(self):
+        rep = exp.distributed_costs(n=128, ranks=(2, 8), seed=0)
+        assert len(rep.data["rounds"]) == 2
+        assert rep.data["rounds"][1] > rep.data["rounds"][0]
+        assert rep.data["messages"][1] > rep.data["messages"][0]
+
+    def test_power_driver(self):
+        rep = exp.power_analysis()
+        assert rep.data["effects"]["table1"] > 0.5
+        assert rep.data["detectable"][10**6] < rep.data["detectable"][10**3]
+        assert "power" in rep.name
+
+    def test_registry_covers_all_drivers(self):
+        """Every registered experiment resolves and is callable."""
+        from repro.bench.experiments import EXPERIMENTS
+
+        assert len(EXPERIMENTS) >= 13
+        for name, fn in EXPERIMENTS.items():
+            assert callable(fn), name

@@ -1,0 +1,65 @@
+"""Monte-Carlo runner."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import monte_carlo_selection
+from repro.rng import MT19937
+from repro.rng.adapters import UniformAdapter
+
+
+class TestMonteCarloSelection:
+    def test_collects_all_methods(self, table1_fitness):
+        res = monte_carlo_selection(
+            table1_fitness, ["log_bidding", "independent"], 5000, seed=0
+        )
+        assert set(res.distributions) == {"log_bidding", "independent"}
+        assert res.distributions["log_bidding"].total == 5000
+
+    def test_target_property(self, table1_fitness):
+        res = monte_carlo_selection(table1_fitness, ["alias"], 100, seed=0)
+        assert np.allclose(res.target, table1_fitness / 45.0)
+
+    def test_tv_and_max_error_ordering(self, table1_fitness):
+        res = monte_carlo_selection(
+            table1_fitness, ["log_bidding", "independent"], 50_000, seed=0
+        )
+        assert res.tv("log_bidding") < 0.02
+        assert res.tv("independent") > 0.2
+        assert res.max_error("independent") > res.max_error("log_bidding")
+
+    def test_gof_pvalue_split(self, table1_fitness):
+        res = monte_carlo_selection(
+            table1_fitness, ["log_bidding", "independent"], 50_000, seed=1
+        )
+        assert res.gof_pvalue("log_bidding") > 1e-4
+        assert res.gof_pvalue("independent") < 1e-10
+
+    def test_chunking_preserves_total(self, table1_fitness):
+        # More draws than one chunk (chunk = 100k).
+        res = monte_carlo_selection(table1_fitness, ["alias"], 150_000, seed=0)
+        assert res.distributions["alias"].total == 150_000
+
+    def test_custom_rng_paper_faithful(self, table1_fitness):
+        source = UniformAdapter(MT19937(1), resolution=32)
+        res = monte_carlo_selection(
+            table1_fitness, ["log_bidding"], 20_000, rng=source
+        )
+        assert res.tv("log_bidding") < 0.03
+
+    def test_validation(self, table1_fitness):
+        with pytest.raises(ValueError):
+            monte_carlo_selection(table1_fitness, ["alias"], 0)
+
+    def test_seed_reproducibility(self, table1_fitness):
+        a = monte_carlo_selection(table1_fitness, ["alias"], 5000, seed=7)
+        b = monte_carlo_selection(table1_fitness, ["alias"], 5000, seed=7)
+        assert np.array_equal(
+            a.distributions["alias"].counts, b.distributions["alias"].counts
+        )
+
+    def test_method_instances_accepted(self, table1_fitness):
+        from repro.core import get_method
+
+        res = monte_carlo_selection(table1_fitness, [get_method("alias")], 1000, seed=0)
+        assert "alias" in res.distributions

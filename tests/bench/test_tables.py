@@ -1,0 +1,52 @@
+"""Table rendering."""
+
+import numpy as np
+
+from repro.bench.tables import format_table, paper_style_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [3, 4.0]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.500000" in out and "4.000000" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        out = format_table(["x", "y"], [])
+        assert "x" in out and "y" in out
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [[1], [100000]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[3])  # header sep matches data width
+
+    def test_numpy_floats_formatted(self):
+        out = format_table(["v"], [[np.float64(0.1234567)]])
+        assert "0.123457" in out
+
+
+class TestPaperStyleTable:
+    def test_structure(self, table1_fitness):
+        target = table1_fitness / 45.0
+        out = paper_style_table(
+            table1_fitness, target, {"methodA": target}, title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "methodA" in lines[1]
+        assert len(lines) == 2 + 1 + 10  # title + header + rule + 10 rows
+
+    def test_limit(self, table2_fitness):
+        target = table2_fitness / table2_fitness.sum()
+        out = paper_style_table(table2_fitness, target, {"m": target}, limit=10)
+        assert len(out.splitlines()) == 2 + 10  # header + rule + 10 rows
+
+    def test_values_rendered_to_six_decimals(self, table1_fitness):
+        target = table1_fitness / 45.0
+        out = paper_style_table(table1_fitness, target, {"m": target})
+        assert "0.022222" in out  # F_1 from Table I

@@ -1,0 +1,101 @@
+"""Workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    WORKLOADS,
+    exponential_fitness,
+    linear_fitness,
+    make_workload,
+    sparse_fitness,
+    two_level_fitness,
+    uniform_fitness,
+    zipf_fitness,
+)
+
+
+class TestPaperWorkloads:
+    def test_linear_is_table1(self):
+        f = linear_fitness(10)
+        assert f.tolist() == list(range(10))
+
+    def test_linear_validation(self):
+        with pytest.raises(ValueError):
+            linear_fitness(1)
+
+    def test_two_level_is_table2(self):
+        f = two_level_fitness(100)
+        assert f[0] == 1.0 and np.all(f[1:] == 2.0)
+
+    def test_two_level_custom_levels(self):
+        f = two_level_fitness(5, low=0.5, high=3.0)
+        assert f.tolist() == [0.5, 3.0, 3.0, 3.0, 3.0]
+
+    def test_two_level_validation(self):
+        with pytest.raises(ValueError):
+            two_level_fitness(1)
+        with pytest.raises(ValueError):
+            two_level_fitness(5, low=-1.0)
+
+
+class TestOtherWorkloads:
+    def test_uniform_range(self):
+        f = uniform_fitness(100, seed=0, low=2.0, high=5.0)
+        assert f.min() >= 2.0 and f.max() < 5.0
+
+    def test_uniform_deterministic(self):
+        assert np.array_equal(uniform_fitness(10, seed=3), uniform_fitness(10, seed=3))
+
+    def test_exponential_positive(self):
+        assert np.all(exponential_fitness(50, seed=1) >= 0.0)
+
+    def test_zipf_decreasing(self):
+        f = zipf_fitness(20, exponent=1.5)
+        assert np.all(np.diff(f) < 0.0)
+
+    def test_zipf_flat_at_zero_exponent(self):
+        assert np.allclose(zipf_fitness(5, exponent=0.0), 1.0)
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_fitness(0)
+        with pytest.raises(ValueError):
+            zipf_fitness(5, exponent=-1.0)
+
+    def test_sparse_support_size(self):
+        f = sparse_fitness(100, 7, seed=0)
+        assert int(np.count_nonzero(f)) == 7
+
+    def test_sparse_values_positive(self):
+        f = sparse_fitness(50, 10, seed=1, value=3.0)
+        nz = f[f > 0]
+        assert np.all(nz <= 3.0) and np.all(nz > 0.0)
+
+    def test_sparse_validation(self):
+        with pytest.raises(ValueError):
+            sparse_fitness(10, 0)
+        with pytest.raises(ValueError):
+            sparse_fitness(10, 11)
+
+
+class TestRegistry:
+    def test_all_registered_names_work(self):
+        kwargs = {
+            "linear": {},
+            "two_level": {},
+            "uniform": {"n": 10},
+            "exponential": {"n": 10},
+            "zipf": {"n": 10},
+            "sparse": {"n": 10, "k": 3},
+        }
+        for name in WORKLOADS:
+            f = make_workload(name, **kwargs[name])
+            assert len(f) >= 1
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            make_workload("bogus")
+
+    def test_kwargs_forwarded(self):
+        assert len(make_workload("linear", n=17)) == 17

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh, deterministic NumPy generator per test."""
+    return np.random.default_rng(20240607)
+
+
+@pytest.fixture
+def table1_fitness():
+    """The paper's Table I workload: f_i = i, 0 <= i <= 9."""
+    return np.arange(10, dtype=np.float64)
+
+
+@pytest.fixture
+def table2_fitness():
+    """The paper's Table II workload: f_0 = 1, f_1..f_99 = 2."""
+    f = np.full(100, 2.0)
+    f[0] = 1.0
+    return f
+
+
+@pytest.fixture
+def sparse_wheel():
+    """A wheel with many zeros (the ACO late-construction regime)."""
+    f = np.zeros(64)
+    f[[3, 17, 31, 40, 59]] = [1.0, 2.0, 0.5, 4.0, 2.5]
+    return f

@@ -1,0 +1,67 @@
+"""Vose alias-table construction invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitness import exact_probabilities, validate_fitness
+from repro.core.methods.alias import AliasTable
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "fitness",
+        [
+            [1.0],
+            [1.0, 1.0],
+            [1.0, 2.0, 3.0],
+            [5.0, 0.0, 5.0],
+            list(range(1, 20)),
+            [1e-9, 1.0, 1e9],
+        ],
+    )
+    def test_implied_probabilities_match_target(self, fitness):
+        f = validate_fitness(fitness)
+        table = AliasTable(f)
+        assert np.allclose(table.implied_probabilities(), exact_probabilities(f), atol=1e-12)
+
+    def test_acceptance_in_unit_interval(self, table1_fitness):
+        table = AliasTable(validate_fitness(table1_fitness))
+        acc = table.acceptance
+        assert np.all(acc >= 0.0) and np.all(acc <= 1.0 + 1e-12)
+
+    def test_aliases_in_range(self, table1_fitness):
+        table = AliasTable(validate_fitness(table1_fitness))
+        assert np.all((table.aliases >= 0) & (table.aliases < 10))
+
+    def test_zero_column_never_accepted(self, sparse_wheel):
+        f = validate_fitness(sparse_wheel)
+        table = AliasTable(f)
+        zero_cols = np.flatnonzero(f == 0.0)
+        assert np.all(table.acceptance[zero_cols] == 0.0)
+        # Their aliases must point at positive outcomes.
+        assert np.all(f[table.aliases[zero_cols]] > 0.0)
+
+    def test_random_fuzz_many_shapes(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = int(rng.integers(1, 40))
+            f = rng.random(n)
+            f[rng.random(n) < 0.3] = 0.0
+            if not np.any(f > 0):
+                f[0] = 1.0
+            table = AliasTable(validate_fitness(f))
+            assert np.allclose(
+                table.implied_probabilities(), exact_probabilities(f), atol=1e-10
+            )
+
+
+class TestDraws:
+    def test_draw_many_matches_draw_distribution(self, rng):
+        f = validate_fitness([1.0, 3.0, 6.0])
+        table = AliasTable(f)
+        batch = table.draw_many(np.random.default_rng(1), 30_000)
+        loop = np.array([table.draw(np.random.default_rng(2)) for _ in range(1)])
+        assert set(np.unique(batch)) <= {0, 1, 2}
+        assert loop[0] in {0, 1, 2}
+        emp = np.bincount(batch, minlength=3) / 30_000
+        assert np.allclose(emp, [0.1, 0.3, 0.6], atol=0.02)

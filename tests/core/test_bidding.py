@@ -1,0 +1,136 @@
+"""Bidding-key transforms and their mathematical relationships."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bidding import (
+    es_keys,
+    gumbel_keys,
+    independent_keys,
+    log_bid_key,
+    log_bid_keys,
+    winner_from_uniforms,
+)
+
+
+class TestScalarKey:
+    def test_matches_formula(self):
+        assert log_bid_key(0.5, 2.0) == pytest.approx(math.log(0.5) / 2.0)
+
+    def test_zero_fitness_is_neg_inf(self):
+        assert log_bid_key(0.3, 0.0) == -math.inf
+
+    def test_u_one_gives_zero(self):
+        assert log_bid_key(1.0, 3.0) == 0.0
+
+    def test_rejects_u_zero(self):
+        with pytest.raises(ValueError):
+            log_bid_key(0.0, 1.0)
+
+    def test_rejects_u_above_one(self):
+        with pytest.raises(ValueError):
+            log_bid_key(1.5, 1.0)
+
+    def test_rejects_negative_fitness(self):
+        with pytest.raises(ValueError):
+            log_bid_key(0.5, -1.0)
+
+    def test_keys_always_nonpositive(self, rng):
+        for _ in range(200):
+            u = 1.0 - rng.random()
+            f = rng.random() * 10 + 0.01
+            assert log_bid_key(u, f) <= 0.0
+
+
+class TestVectorKeys:
+    def test_shape_single(self, table1_fitness, rng):
+        assert log_bid_keys(table1_fitness, rng).shape == (10,)
+
+    def test_shape_batch(self, table1_fitness, rng):
+        assert log_bid_keys(table1_fitness, rng, size=7).shape == (7, 10)
+
+    def test_zero_fitness_never_wins(self, sparse_wheel, rng):
+        keys = log_bid_keys(sparse_wheel, rng, size=100)
+        assert np.all(np.isneginf(keys[:, sparse_wheel == 0.0]))
+
+    def test_explicit_uniforms_deterministic(self, table1_fitness):
+        u = np.linspace(0.1, 0.9, 10)
+        a = log_bid_keys(table1_fitness, rng=None, uniforms=u)
+        b = log_bid_keys(table1_fitness, rng=None, uniforms=u)
+        assert np.array_equal(a, b)
+
+    def test_es_keys_zero_fitness_is_zero(self, sparse_wheel, rng):
+        keys = es_keys(sparse_wheel, rng)
+        assert np.all(keys[sparse_wheel == 0.0] == 0.0)
+
+    def test_gumbel_zero_fitness_is_neg_inf(self, sparse_wheel, rng):
+        keys = gumbel_keys(sparse_wheel, rng)
+        assert np.all(np.isneginf(keys[sparse_wheel == 0.0]))
+
+    def test_independent_keys_bounded_by_fitness(self, table1_fitness, rng):
+        keys = independent_keys(table1_fitness, rng, size=50)
+        assert np.all(keys <= table1_fitness) and np.all(keys >= 0.0)
+
+
+class TestEquivalence:
+    """The three exact transforms pick the same winner from the same uniforms."""
+
+    @pytest.mark.parametrize("trial", range(20))
+    def test_same_winner_all_transforms(self, trial):
+        rng = np.random.default_rng(trial)
+        n = int(rng.integers(2, 30))
+        f = rng.random(n) * 10
+        f[rng.random(n) < 0.3] = 0.0
+        if not np.any(f > 0):
+            f[0] = 1.0
+        u = 1.0 - rng.random(n)
+        log_w = int(np.argmax(log_bid_keys(f, None, uniforms=u)))
+        gum_w = int(np.argmax(gumbel_keys(f, None, uniforms=u)))
+        es_w = int(np.argmax(es_keys(f, None, uniforms=u)))
+        assert log_w == gum_w == es_w
+
+    def test_log_is_log_of_es(self):
+        f = np.array([0.5, 1.0, 2.0])
+        u = np.array([0.3, 0.6, 0.9])
+        log_k = log_bid_keys(f, None, uniforms=u)
+        es_k = es_keys(f, None, uniforms=u)
+        assert np.allclose(np.exp(log_k), es_k)
+
+    def test_es_underflow_where_log_form_survives(self):
+        """Tiny fitness underflows u**(1/f) but not log(u)/f.
+
+        The ES keys collapse to the underflow clamp (losing the relative
+        order information); the paper's logarithmic form keeps both keys
+        finite and correctly ordered — a concrete numerical advantage.
+        """
+        f = np.array([1e-3, 1e-3])
+        u = np.array([1e-9, 0.5])
+        es_k = es_keys(f, None, uniforms=u)
+        log_k = log_bid_keys(f, None, uniforms=u)
+        assert es_k[0] == np.nextafter(0.0, 1.0)  # clamped underflow
+        assert np.isfinite(log_k).all() and log_k[0] < log_k[1]
+
+    def test_subnormal_fitness_still_beats_zero(self):
+        """Overflowed bids of subnormal fitness must outrank -inf losers."""
+        f = np.array([0.0, 5e-324, 0.0])
+        u = np.array([0.5, 0.5, 0.5])
+        for keys_fn in (log_bid_keys, es_keys, gumbel_keys):
+            keys = keys_fn(f, None, uniforms=u)
+            assert int(np.argmax(keys)) == 1, keys_fn.__name__
+
+
+class TestWinnerFromUniforms:
+    def test_deterministic_winner(self):
+        # f = (1, 10): with equal uniforms, the larger fitness has the
+        # larger (less negative) key.
+        assert winner_from_uniforms([1.0, 10.0], [0.5, 0.5]) == 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            winner_from_uniforms([1.0, 2.0], [0.5])
+
+    def test_all_zero_fitness_rejected(self):
+        with pytest.raises(ValueError):
+            winner_from_uniforms([0.0, 0.0], [0.5, 0.5])

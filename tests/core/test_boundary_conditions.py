@@ -1,0 +1,95 @@
+"""Boundary-spin behaviour via deterministic stub RNGs.
+
+Selection methods consume uniforms; feeding exact boundary values probes
+the half-open interval semantics [p_{i-1}, p_i) and the FP-repair paths
+that real uniform draws hit with probability ~2^-53.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_method
+from repro.core.fitness import validate_fitness
+
+
+class StubRng:
+    """UniformSource returning a scripted sequence of values."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def random(self, size=None):
+        if size is None:
+            return self._values.pop(0)
+        out = [self._values.pop(0) for _ in range(int(size))]
+        return np.asarray(out, dtype=np.float64)
+
+
+@pytest.fixture
+def wheel():
+    # f = (1, 2, 0, 3): prefix sums 1, 3, 3, 6; boundaries at 1/6, 3/6, 1.
+    return validate_fitness([1.0, 2.0, 0.0, 3.0])
+
+
+class TestIntervalSemantics:
+    @pytest.mark.parametrize("method", ["linear_scan", "binary_search", "prefix_sum"])
+    def test_spin_zero_selects_first_positive(self, method, wheel):
+        assert get_method(method).select(wheel, StubRng([0.0])) == 0
+
+    @pytest.mark.parametrize("method", ["linear_scan", "binary_search", "prefix_sum"])
+    def test_spin_on_interior_boundary_selects_next(self, method, wheel):
+        # spin = 1/6 * total = p_0 exactly: belongs to item 1's interval.
+        assert get_method(method).select(wheel, StubRng([1.0 / 6.0])) == 1
+
+    @pytest.mark.parametrize("method", ["linear_scan", "binary_search", "prefix_sum"])
+    def test_spin_on_zero_width_boundary_skips_zero_item(self, method, wheel):
+        # spin = 3/6 * total = p_1 = p_2: item 2 has width 0; item 3 owns it.
+        assert get_method(method).select(wheel, StubRng([0.5])) == 3
+
+    @pytest.mark.parametrize("method", ["linear_scan", "binary_search", "prefix_sum"])
+    def test_spin_just_below_total_selects_last_positive(self, method, wheel):
+        u = np.nextafter(1.0, 0.0)
+        assert get_method(method).select(wheel, StubRng([u])) == 3
+
+    def test_fenwick_boundary_semantics(self, wheel):
+        from repro.core import FenwickSampler
+
+        s = FenwickSampler(wheel)
+        assert s.select(StubRng([0.0])) == 0
+        assert s.select(StubRng([1.0 / 6.0])) == 1
+        assert s.select(StubRng([0.5])) == 3
+
+    def test_binary_search_batch_boundary_repair(self, wheel):
+        # A batch where one spin hits the zero-width boundary exactly.
+        sel = get_method("binary_search")
+        draws = sel.select_many(wheel, StubRng([0.5, 0.0, 0.9]), 3)
+        assert draws.tolist() == [3, 0, 3]
+
+
+class TestTrailingZeroWheels:
+    def test_trailing_zero_fitness_never_selected(self):
+        f = validate_fitness([1.0, 2.0, 0.0, 0.0])
+        for method in ("linear_scan", "binary_search", "prefix_sum", "fenwick"):
+            u = np.nextafter(1.0, 0.0)
+            idx = get_method(method).select(f, StubRng([u]))
+            assert idx == 1, method
+
+    def test_leading_zero_fitness_never_selected(self):
+        f = validate_fitness([0.0, 0.0, 1.0])
+        for method in ("linear_scan", "binary_search", "prefix_sum", "fenwick"):
+            idx = get_method(method).select(f, StubRng([0.0]))
+            assert idx == 2, method
+
+
+class TestStochasticAcceptanceScripted:
+    def test_rejection_then_acceptance(self):
+        f = validate_fitness([1.0, 4.0])
+        # Propose index 0 (u=0.1 -> i=0), reject (u=0.9: 0.9*4 >= 1),
+        # propose index 1 (u=0.6 -> i=1), accept (u=0.5: 2.0 < 4).
+        rng = StubRng([0.1, 0.9, 0.6, 0.5])
+        assert get_method("stochastic_acceptance").select(f, rng) == 1
+
+    def test_immediate_acceptance_of_max(self):
+        f = validate_fitness([1.0, 4.0])
+        rng = StubRng([0.6, 0.99])  # i=1, 0.99*4 = 3.96 < 4 accept
+        assert get_method("stochastic_acceptance").select(f, rng) == 1

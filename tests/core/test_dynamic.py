@@ -1,0 +1,137 @@
+"""FenwickSampler: dynamic roulette wheel."""
+
+import numpy as np
+import pytest
+
+from repro.core import FenwickSampler, exact_probabilities
+from repro.errors import DegenerateFitnessError, FitnessError
+from repro.stats.gof import chi_square_gof
+
+
+class TestConstruction:
+    def test_basic(self, table1_fitness):
+        s = FenwickSampler(table1_fitness)
+        assert s.n == 10 and s.total == pytest.approx(45.0)
+
+    def test_values_copy(self, table1_fitness):
+        s = FenwickSampler(table1_fitness)
+        v = s.values
+        v[0] = 99.0
+        assert s[0] == 0.0
+
+    def test_invalid_fitness(self):
+        with pytest.raises(FitnessError):
+            FenwickSampler([-1.0, 2.0])
+
+    def test_prefix_sums_match_cumsum(self, table1_fitness):
+        s = FenwickSampler(table1_fitness)
+        ref = np.cumsum(table1_fitness)
+        for i in range(10):
+            assert s.prefix_sum(i) == pytest.approx(ref[i])
+
+    def test_getitem_bounds(self, table1_fitness):
+        s = FenwickSampler(table1_fitness)
+        with pytest.raises(IndexError):
+            s[10]
+        with pytest.raises(IndexError):
+            s.prefix_sum(-1)
+
+
+class TestUpdates:
+    def test_update_changes_total(self):
+        s = FenwickSampler([1.0, 2.0, 3.0])
+        s.update(1, 10.0)
+        assert s.total == pytest.approx(14.0)
+        assert s[1] == 10.0
+
+    def test_update_to_zero(self):
+        s = FenwickSampler([1.0, 2.0, 3.0])
+        s.update(2, 0.0)
+        assert s.total == pytest.approx(3.0)
+
+    def test_update_validation(self):
+        s = FenwickSampler([1.0])
+        with pytest.raises(IndexError):
+            s.update(5, 1.0)
+        with pytest.raises(FitnessError):
+            s.update(0, -1.0)
+        with pytest.raises(FitnessError):
+            s.update(0, float("nan"))
+
+    def test_many_random_updates_keep_prefixes_consistent(self, rng):
+        n = 37
+        values = rng.random(n)
+        s = FenwickSampler(values)
+        for _ in range(300):
+            i = int(rng.integers(n))
+            f = float(rng.random() * 5)
+            values[i] = f
+            s.update(i, f)
+        ref = np.cumsum(values)
+        for i in range(n):
+            assert s.prefix_sum(i) == pytest.approx(ref[i])
+
+    def test_scale_evaporation(self):
+        s = FenwickSampler([2.0, 4.0])
+        s.scale(0.5)
+        assert s.values.tolist() == [1.0, 2.0]
+        assert s.total == pytest.approx(3.0)
+
+    def test_scale_validation(self):
+        with pytest.raises(FitnessError):
+            FenwickSampler([1.0]).scale(-1.0)
+
+
+class TestSelection:
+    def test_distribution_static(self, table1_fitness):
+        s = FenwickSampler(table1_fitness)
+        rng = np.random.default_rng(0)
+        counts = np.bincount(s.select_many(60_000, rng), minlength=10)
+        res = chi_square_gof(counts, exact_probabilities(table1_fitness))
+        assert not res.reject(1e-4)
+
+    def test_distribution_after_updates(self):
+        s = FenwickSampler([1.0, 1.0, 1.0, 1.0])
+        s.update(0, 0.0)
+        s.update(3, 6.0)
+        target = np.array([0.0, 1.0, 1.0, 6.0]) / 8.0
+        rng = np.random.default_rng(1)
+        counts = np.bincount(s.select_many(40_000, rng), minlength=4)
+        res = chi_square_gof(counts, target)
+        assert not res.reject(1e-4)
+        assert counts[0] == 0
+
+    def test_never_selects_zero(self, sparse_wheel):
+        s = FenwickSampler(sparse_wheel)
+        rng = np.random.default_rng(2)
+        draws = s.select_many(2000, rng)
+        assert np.all(sparse_wheel[draws] > 0.0)
+
+    def test_all_zero_after_updates_rejected(self):
+        s = FenwickSampler([1.0, 2.0])
+        s.update(0, 0.0)
+        s.update(1, 0.0)
+        with pytest.raises(DegenerateFitnessError):
+            s.select(rng=0)
+
+    def test_select_many_validation(self):
+        with pytest.raises(ValueError):
+            FenwickSampler([1.0]).select_many(-1)
+
+    def test_single_item(self):
+        assert FenwickSampler([5.0]).select(rng=0) == 0
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 9, 16, 17, 31])
+    def test_various_sizes(self, n, rng):
+        f = 1.0 - np.random.default_rng(n).random(n)
+        s = FenwickSampler(f)
+        draws = s.select_many(200, rng)
+        assert np.all((draws >= 0) & (draws < n))
+
+    def test_matches_static_method_distribution(self):
+        """Fenwick draws agree with the registry's exact methods."""
+        f = np.array([1.0, 3.0, 6.0])
+        s = FenwickSampler(f)
+        counts = np.bincount(s.select_many(40_000, np.random.default_rng(3)), minlength=3)
+        res = chi_square_gof(counts, f / 10.0)
+        assert not res.reject(1e-4)

@@ -1,0 +1,106 @@
+"""Fitness validation and the FitnessVector value object."""
+
+import numpy as np
+import pytest
+
+from repro.core import FitnessVector, exact_probabilities, validate_fitness
+from repro.errors import DegenerateFitnessError, FitnessError
+
+
+class TestValidateFitness:
+    def test_accepts_lists(self):
+        out = validate_fitness([1, 2, 3])
+        assert out.dtype == np.float64 and out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_returns_copy(self):
+        src = np.array([1.0, 2.0])
+        out = validate_fitness(src)
+        out[0] = 99.0
+        assert src[0] == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(FitnessError):
+            validate_fitness([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(FitnessError):
+            validate_fitness([[1.0, 2.0]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(FitnessError):
+            validate_fitness([1.0, -0.5])
+
+    def test_rejects_nan(self):
+        with pytest.raises(FitnessError):
+            validate_fitness([1.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(FitnessError):
+            validate_fitness([1.0, float("inf")])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(DegenerateFitnessError):
+            validate_fitness([0.0, 0.0, 0.0])
+
+    def test_single_positive_ok(self):
+        assert validate_fitness([5.0]).tolist() == [5.0]
+
+    def test_degenerate_is_fitness_error(self):
+        """Callers catching FitnessError also catch the degenerate case."""
+        with pytest.raises(FitnessError):
+            validate_fitness([0.0])
+
+
+class TestExactProbabilities:
+    def test_table1(self, table1_fitness):
+        p = exact_probabilities(table1_fitness)
+        assert np.allclose(p, table1_fitness / 45.0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_table2_head(self, table2_fitness):
+        p = exact_probabilities(table2_fitness)
+        assert p[0] == pytest.approx(1.0 / 199.0)
+        assert p[1] == pytest.approx(2.0 / 199.0)
+
+
+class TestFitnessVector:
+    def test_basic_properties(self, sparse_wheel):
+        fv = FitnessVector(sparse_wheel)
+        assert fv.n == 64
+        assert fv.k == 5
+        assert fv.total == pytest.approx(10.0)
+        assert len(fv) == 64
+
+    def test_prefix_sums_match_cumsum(self, table1_fitness):
+        fv = FitnessVector(table1_fitness)
+        assert np.allclose(fv.prefix_sums, np.cumsum(table1_fitness))
+
+    def test_support_indices(self, sparse_wheel):
+        fv = FitnessVector(sparse_wheel)
+        assert fv.support.tolist() == [3, 17, 31, 40, 59]
+
+    def test_values_are_read_only(self, table1_fitness):
+        fv = FitnessVector(table1_fitness)
+        with pytest.raises(ValueError):
+            fv.values[0] = 1.0
+
+    def test_probabilities_cached_and_read_only(self, table1_fitness):
+        fv = FitnessVector(table1_fitness)
+        assert fv.probabilities is fv.probabilities
+        with pytest.raises(ValueError):
+            fv.probabilities[0] = 0.5
+
+    def test_equality_and_hash(self, table1_fitness):
+        a = FitnessVector(table1_fitness)
+        b = FitnessVector(table1_fitness.copy())
+        c = FitnessVector([1.0, 2.0])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_iteration_and_indexing(self):
+        fv = FitnessVector([1.0, 2.0, 3.0])
+        assert list(fv) == [1.0, 2.0, 3.0]
+        assert fv[1] == 2.0
+
+    def test_eq_other_type_not_implemented(self):
+        assert FitnessVector([1.0]).__eq__(42) is NotImplemented

@@ -1,0 +1,120 @@
+"""Behaviour specific to individual selection methods."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_method
+from repro.core.fitness import validate_fitness
+from repro.stats.exact import independent_win_probabilities
+
+INTERVAL_METHODS = ("linear_scan", "binary_search", "prefix_sum")
+
+
+class TestIntervalMethodsAgreeDeterministically:
+    """All three interval methods map the SAME spin to the SAME winner,
+    so with identical RNG streams they are draw-for-draw identical."""
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_identical_draws(self, trial):
+        rng_master = np.random.default_rng(trial)
+        n = int(rng_master.integers(2, 30))
+        f = rng_master.random(n)
+        f[rng_master.random(n) < 0.3] = 0.0
+        if not np.any(f > 0):
+            f[0] = 1.0
+        fv = validate_fitness(f)
+        winners = []
+        for name in INTERVAL_METHODS:
+            rng = np.random.default_rng(999 + trial)
+            winners.append([get_method(name).select(fv, rng) for _ in range(50)])
+        assert winners[0] == winners[1] == winners[2]
+
+    def test_fenwick_matches_interval_methods(self):
+        from repro.core import FenwickSampler
+
+        f = validate_fitness([1.0, 0.0, 2.0, 3.0, 0.0, 4.0])
+        a = [get_method("binary_search").select(f, np.random.default_rng(5)) for _ in range(1)]
+        s = FenwickSampler(f)
+        b = [s.select(np.random.default_rng(5)) for _ in range(1)]
+        assert a == b
+
+
+class TestIndependentSpecifics:
+    def test_win_probability_monotone_in_fitness(self):
+        """Even though biased, more fitness must never mean fewer wins."""
+        p = independent_win_probabilities([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert np.all(np.diff(p) > 0)
+
+    def test_bias_grows_with_n_of_equal_competitors(self):
+        """P(small item wins) decays geometrically with competitor count."""
+        p_small = []
+        for n in (2, 4, 8):
+            f = np.array([1.0] + [2.0] * (n - 1))
+            p_small.append(independent_win_probabilities(f)[0])
+        assert p_small[0] > 4 * p_small[1] > 16 * p_small[2]
+
+    def test_equal_fitness_unbiased(self):
+        """With equal fitness, independent is accidentally exact."""
+        sel = get_method("independent")
+        f = validate_fitness([2.0, 2.0, 2.0])
+        draws = sel.select_many(f, np.random.default_rng(0), 30_000)
+        freq = np.bincount(draws, minlength=3) / 30_000
+        assert np.allclose(freq, 1 / 3, atol=0.01)
+
+
+class TestBatchChunking:
+    """select_many paths that cross the internal chunk boundary."""
+
+    @pytest.mark.parametrize("method", ["log_bidding", "gumbel", "independent"])
+    def test_large_batch_consistent(self, method):
+        # chunk is 65536 / n; with n = 64 -> 1024 rows per chunk.
+        f = validate_fitness(1.0 - np.random.default_rng(1).random(64))
+        sel = get_method(method)
+        draws = sel.select_many(f, np.random.default_rng(2), 5000)
+        assert draws.shape == (5000,)
+        assert np.all((draws >= 0) & (draws < 64))
+        # Chunking must not skew the distribution: compare halves.
+        first = np.bincount(draws[:2500], minlength=64) / 2500
+        second = np.bincount(draws[2500:], minlength=64) / 2500
+        assert np.abs(first - second).max() < 0.05
+
+
+class TestStochasticAcceptanceCost:
+    def test_flat_fitness_accepts_quickly(self):
+        """Acceptance prob = mean/max; flat wheels accept on round one."""
+        sel = get_method("stochastic_acceptance")
+        f = validate_fitness(np.full(100, 3.0))
+
+        class CountingRng:
+            def __init__(self):
+                self.inner = np.random.default_rng(0)
+                self.calls = 0
+
+            def random(self, size=None):
+                self.calls += 1 if size is None else int(size)
+                return self.inner.random(size)
+
+        rng = CountingRng()
+        for _ in range(200):
+            sel.select(f, rng)
+        # 2 uniforms per attempt; flat fitness -> ~1 attempt per draw.
+        assert rng.calls < 200 * 2 * 1.5
+
+    def test_skewed_fitness_needs_more_attempts(self):
+        sel = get_method("stochastic_acceptance")
+        skewed = validate_fitness([1000.0] + [1.0] * 99)
+
+        class CountingRng:
+            def __init__(self):
+                self.inner = np.random.default_rng(0)
+                self.calls = 0
+
+            def random(self, size=None):
+                self.calls += 1 if size is None else int(size)
+                return self.inner.random(size)
+
+        rng = CountingRng()
+        for _ in range(50):
+            sel.select(skewed, rng)
+        # Acceptance ~ mean/max ~ 0.011 -> tens of attempts per draw.
+        assert rng.calls > 50 * 2 * 5

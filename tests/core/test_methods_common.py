@@ -1,0 +1,161 @@
+"""Contract tests parametrised over every registered selection method.
+
+Each exact method must (a) never return a zero-fitness index, (b) pass a
+chi-square goodness-of-fit test against F_i, (c) agree between its scalar
+and batch paths distributionally, and (d) honour basic input contracts.
+The independent baseline is exempt from (b) — its bias is the paper's
+subject — but must still satisfy the structural contracts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import available_methods, exact_methods, get_method
+from repro.core.fitness import exact_probabilities, validate_fitness
+from repro.errors import UnknownMethodError
+from repro.stats.gof import chi_square_gof
+
+ALL = available_methods()
+EXACT = exact_methods()
+
+
+@pytest.fixture(params=ALL)
+def method(request):
+    return get_method(request.param)
+
+
+@pytest.fixture(params=EXACT)
+def exact_method(request):
+    return get_method(request.param)
+
+
+class TestStructuralContract:
+    def test_select_returns_valid_index(self, method, table1_fitness, rng):
+        f = validate_fitness(table1_fitness)
+        for _ in range(50):
+            i = method.select(f, rng)
+            assert 0 <= i < len(f)
+
+    def test_never_selects_zero_fitness(self, method, sparse_wheel, rng):
+        f = validate_fitness(sparse_wheel)
+        draws = method.select_many(f, rng, 500)
+        assert np.all(f[draws] > 0.0)
+
+    def test_select_many_size(self, method, table1_fitness, rng):
+        f = validate_fitness(table1_fitness)
+        assert method.select_many(f, rng, 123).shape == (123,)
+
+    def test_select_many_zero(self, method, table1_fitness, rng):
+        f = validate_fitness(table1_fitness)
+        assert method.select_many(f, rng, 0).shape == (0,)
+
+    def test_select_many_negative_rejected(self, method, table1_fitness, rng):
+        f = validate_fitness(table1_fitness)
+        with pytest.raises(ValueError):
+            method.select_many(f, rng, -1)
+
+    def test_single_item_wheel(self, method, rng):
+        f = validate_fitness([3.0])
+        assert method.select(f, rng) == 0
+
+    def test_single_positive_among_zeros(self, method, rng):
+        f = validate_fitness([0.0, 0.0, 7.0, 0.0])
+        draws = method.select_many(f, rng, 100)
+        assert np.all(draws == 2)
+
+    def test_deterministic_under_seeded_rng(self, method, table1_fitness):
+        f = validate_fitness(table1_fitness)
+        a = method.select_many(f, np.random.default_rng(5), 200)
+        b = method.select_many(f, np.random.default_rng(5), 200)
+        assert np.array_equal(a, b)
+
+    def test_does_not_mutate_fitness(self, method, table1_fitness, rng):
+        f = validate_fitness(table1_fitness)
+        before = f.copy()
+        method.select_many(f, rng, 100)
+        assert np.array_equal(f, before)
+
+    def test_equality_and_hash_by_type(self, method):
+        other = get_method(method.name)
+        assert method == other and hash(method) == hash(other)
+
+    def test_select_checked_validates(self, method, rng):
+        from repro.errors import FitnessError
+
+        with pytest.raises(FitnessError):
+            method.select_checked([-1.0, 2.0], rng)
+
+
+class TestDistributionalContract:
+    DRAWS = 60_000
+    ALPHA = 1e-4  # loose enough to keep the parametrised suite stable
+
+    def test_gof_against_target(self, exact_method, table1_fitness):
+        f = validate_fitness(table1_fitness)
+        rng = np.random.default_rng(hash(exact_method.name) % 2**31)
+        draws = exact_method.select_many(f, rng, self.DRAWS)
+        counts = np.bincount(draws, minlength=len(f))
+        res = chi_square_gof(counts, exact_probabilities(f))
+        assert not res.reject(self.ALPHA), f"{exact_method.name}: p={res.p_value}"
+
+    def test_gof_on_sparse_wheel(self, exact_method, sparse_wheel):
+        f = validate_fitness(sparse_wheel)
+        rng = np.random.default_rng(hash(exact_method.name) % 2**31 + 1)
+        draws = exact_method.select_many(f, rng, self.DRAWS)
+        counts = np.bincount(draws, minlength=len(f))
+        res = chi_square_gof(counts, exact_probabilities(f))
+        assert not res.reject(self.ALPHA), f"{exact_method.name}: p={res.p_value}"
+
+    def test_scalar_path_gof(self, exact_method):
+        """The select() loop (not just select_many) follows F_i."""
+        f = validate_fitness([1.0, 2.0, 3.0])
+        rng = np.random.default_rng(hash(exact_method.name) % 2**31 + 2)
+        counts = np.zeros(3, dtype=np.int64)
+        for _ in range(6000):
+            counts[exact_method.select(f, rng)] += 1
+        res = chi_square_gof(counts, exact_probabilities(f))
+        assert not res.reject(self.ALPHA), f"{exact_method.name}: p={res.p_value}"
+
+    def test_independent_is_visibly_biased(self, table1_fitness):
+        """The baseline must FAIL the GOF test (that is the paper's point)."""
+        sel = get_method("independent")
+        f = validate_fitness(table1_fitness)
+        draws = sel.select_many(f, np.random.default_rng(0), self.DRAWS)
+        counts = np.bincount(draws, minlength=len(f))
+        res = chi_square_gof(counts, exact_probabilities(f))
+        assert res.reject(0.001)
+
+
+class TestRegistry:
+    def test_paper_methods_present(self):
+        assert {"log_bidding", "independent", "prefix_sum"} <= set(ALL)
+
+    def test_exact_flags(self):
+        assert "independent" not in EXACT
+        assert "log_bidding" in EXACT
+
+    def test_unknown_method(self):
+        with pytest.raises(UnknownMethodError):
+            get_method("does_not_exist")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.core.methods.base import SelectionMethod, register_method
+
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_method
+            class Dup(SelectionMethod):  # noqa: N801 - test class
+                name = "log_bidding"
+
+                def select(self, fitness, rng):  # pragma: no cover
+                    return 0
+
+    def test_empty_name_rejected(self):
+        from repro.core.methods.base import SelectionMethod, register_method
+
+        with pytest.raises(ValueError, match="non-empty"):
+
+            @register_method
+            class NoName(SelectionMethod):  # noqa: N801 - test class
+                def select(self, fitness, rng):  # pragma: no cover
+                    return 0

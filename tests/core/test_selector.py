@@ -1,0 +1,85 @@
+"""RouletteWheel facade and module-level convenience functions."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RouletteWheel,
+    get_method,
+    select,
+    select_many,
+    selection_counts,
+)
+from repro.errors import FitnessError, UnknownMethodError
+from repro.rng import MT19937
+
+
+class TestRouletteWheel:
+    def test_defaults_to_log_bidding(self, table1_fitness):
+        assert RouletteWheel(table1_fitness).method.name == "log_bidding"
+
+    def test_method_by_name_and_instance(self, table1_fitness):
+        assert RouletteWheel(table1_fitness, method="alias").method.name == "alias"
+        inst = get_method("prefix_sum")
+        assert RouletteWheel(table1_fitness, method=inst).method is inst
+
+    def test_unknown_method(self, table1_fitness):
+        with pytest.raises(UnknownMethodError):
+            RouletteWheel(table1_fitness, method="nope")
+
+    def test_n_and_k(self, sparse_wheel):
+        wheel = RouletteWheel(sparse_wheel)
+        assert wheel.n == 64 and wheel.k == 5
+
+    def test_invalid_fitness_raises_at_construction(self):
+        with pytest.raises(FitnessError):
+            RouletteWheel([-1.0, 2.0])
+
+    def test_seeded_reproducibility(self, table1_fitness):
+        a = RouletteWheel(table1_fitness, rng=42).select_many(100)
+        b = RouletteWheel(table1_fitness, rng=42).select_many(100)
+        assert np.array_equal(a, b)
+
+    def test_accepts_own_bitgenerator(self, table1_fitness):
+        wheel = RouletteWheel(table1_fitness, rng=MT19937(7))
+        assert 0 <= wheel.select() < 10
+
+    def test_counts_shape_and_total(self, table1_fitness):
+        counts = RouletteWheel(table1_fitness, rng=0).counts(5000)
+        assert counts.shape == (10,) and counts.sum() == 5000
+
+    def test_empirical_probabilities(self, table1_fitness):
+        wheel = RouletteWheel(table1_fitness, rng=0)
+        emp = wheel.empirical_probabilities(50_000)
+        assert np.allclose(emp, wheel.probabilities, atol=0.01)
+
+    def test_empirical_requires_positive_size(self, table1_fitness):
+        with pytest.raises(ValueError):
+            RouletteWheel(table1_fitness).empirical_probabilities(0)
+
+    def test_with_method_shares_fitness_and_rng(self, table1_fitness):
+        wheel = RouletteWheel(table1_fitness, rng=1)
+        other = wheel.with_method("alias")
+        assert other.fitness is wheel.fitness
+        assert other.rng is wheel.rng
+        assert other.method.name == "alias"
+
+
+class TestModuleFunctions:
+    def test_select(self, table1_fitness):
+        assert 1 <= select(table1_fitness, rng=0) <= 9
+
+    def test_select_many(self, table1_fitness):
+        draws = select_many(table1_fitness, 1000, rng=0)
+        assert draws.shape == (1000,)
+        assert draws.min() >= 1  # index 0 has zero fitness
+
+    def test_selection_counts(self, table1_fitness):
+        counts = selection_counts(table1_fitness, 1000, rng=0, method="alias")
+        assert counts.sum() == 1000 and counts[0] == 0
+
+    def test_select_different_methods_same_distribution(self, table1_fitness):
+        target = table1_fitness / table1_fitness.sum()
+        for m in ("log_bidding", "prefix_sum", "alias"):
+            counts = selection_counts(table1_fitness, 40_000, rng=3, method=m)
+            assert np.allclose(counts / 40_000, target, atol=0.012), m

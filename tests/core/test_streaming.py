@@ -1,0 +1,95 @@
+"""Streaming (one-pass) selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamingSelector, streaming_select
+from repro.errors import SelectionError
+from repro.stats.gof import chi_square_gof
+
+
+class TestStreamingSelector:
+    def test_empty_stream_has_no_winner(self):
+        assert StreamingSelector(rng=0).winner is None
+
+    def test_all_zero_stream_has_no_winner(self):
+        sel = StreamingSelector(rng=0)
+        sel.offer_many([0.0, 0.0, 0.0])
+        assert sel.winner is None and sel.items_seen == 3
+
+    def test_offer_rejects_negative(self):
+        with pytest.raises(SelectionError):
+            StreamingSelector(rng=0).offer(-1.0)
+
+    def test_offer_rejects_nan(self):
+        with pytest.raises(SelectionError):
+            StreamingSelector(rng=0).offer(float("nan"))
+
+    def test_total_fitness_accumulates(self):
+        sel = StreamingSelector(rng=0)
+        sel.offer_many([1.0, 2.0, 0.0, 3.0])
+        assert sel.total_fitness == pytest.approx(6.0)
+
+    def test_custom_index(self):
+        sel = StreamingSelector(rng=0)
+        sel.offer(5.0, index=42)
+        assert sel.winner == 42
+
+    def test_prefix_invariant_distribution(self):
+        """After any prefix, the winner is roulette-distributed over it."""
+        f = [1.0, 3.0, 6.0]
+        counts = np.zeros(3, dtype=np.int64)
+        for seed in range(15_000):
+            sel = StreamingSelector(rng=seed)
+            sel.offer_many(f)
+            counts[sel.winner] += 1
+        res = chi_square_gof(counts, np.array(f) / 10.0)
+        assert not res.reject(1e-4)
+
+    def test_merge_equals_single_stream(self):
+        """Merging two prefixes must preserve the better bid."""
+        a = StreamingSelector(rng=1)
+        a.offer_many([1.0, 2.0])
+        b = StreamingSelector(rng=2)
+        b.offer(10.0, index=7)
+        merged = a.merge(b)
+        expected = a if a.best_key >= b.best_key else b
+        assert merged.winner == expected.winner
+        assert merged.items_seen == 3
+        assert merged.total_fitness == pytest.approx(13.0)
+
+    def test_skip_weight_positive_after_winner(self):
+        sel = StreamingSelector(rng=0)
+        sel.offer(1.0)
+        assert sel.skip_weight() > 0.0
+
+    def test_skip_weight_zero_without_winner(self):
+        assert StreamingSelector(rng=0).skip_weight() == 0.0
+
+    def test_skip_weight_is_exponential_with_rate_neg_key(self):
+        """The jump length must be Exp(-best_key) distributed."""
+        draws = []
+        key = None
+        for seed in range(4000):
+            sel = StreamingSelector(rng=seed)
+            sel.offer(2.0, index=0)
+            # Normalise by the (varying) key to get Exp(1) samples.
+            draws.append(sel.skip_weight() * (-sel.best_key))
+        draws = np.asarray(draws)
+        assert draws.mean() == pytest.approx(1.0, abs=0.08)
+
+
+class TestStreamingSelect:
+    def test_matches_roulette_distribution(self):
+        f = [0.0, 1.0, 2.0, 3.0]
+        counts = np.zeros(4, dtype=np.int64)
+        for seed in range(12_000):
+            winner, seen = streaming_select(f, rng=seed)
+            counts[winner] += 1
+            assert seen == 4
+        res = chi_square_gof(counts, np.array(f) / 6.0)
+        assert not res.reject(1e-4)
+
+    def test_raises_on_no_positive(self):
+        with pytest.raises(SelectionError):
+            streaming_select([0.0, 0.0], rng=0)

@@ -1,0 +1,104 @@
+"""StreamingReservoir: k-item weighted sampling from a stream."""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamingReservoir
+from repro.errors import SelectionError
+from repro.stats.gof import chi_square_gof
+
+
+class TestBasics:
+    def test_size_validation(self):
+        with pytest.raises(SelectionError):
+            StreamingReservoir(0)
+
+    def test_fills_up_to_k(self):
+        r = StreamingReservoir(3, rng=0)
+        r.offer_many([1.0, 1.0])
+        assert len(r.sample()) == 2
+        r.offer_many([1.0, 1.0])
+        assert len(r.sample()) == 3
+
+    def test_zero_fitness_never_enters(self):
+        r = StreamingReservoir(2, rng=0)
+        r.offer(0.0)
+        r.offer(1.0)
+        assert r.sample() == [1]
+
+    def test_rejects_bad_fitness(self):
+        r = StreamingReservoir(1, rng=0)
+        with pytest.raises(SelectionError):
+            r.offer(-1.0)
+        with pytest.raises(SelectionError):
+            r.offer(float("inf"))
+
+    def test_custom_indices(self):
+        r = StreamingReservoir(2, rng=0)
+        r.offer(5.0, index="a")
+        r.offer(5.0, index="b")
+        assert set(r.sample()) == {"a", "b"}
+
+    def test_items_seen_counts_everything(self):
+        r = StreamingReservoir(1, rng=0)
+        r.offer_many([0.0, 1.0, 2.0])
+        assert r.items_seen == 3
+
+    def test_threshold_tracks_min_retained_key(self):
+        r = StreamingReservoir(2, rng=0)
+        assert r.threshold == -np.inf
+        r.offer_many([1.0, 1.0, 1.0])
+        assert np.isfinite(r.threshold)
+
+    def test_sample_is_distinct(self):
+        r = StreamingReservoir(5, rng=1)
+        r.offer_many([1.0] * 50)
+        s = r.sample()
+        assert len(s) == 5 and len(set(s)) == 5
+
+
+class TestDistribution:
+    def test_k1_matches_roulette(self):
+        f = [1.0, 2.0, 3.0]
+        counts = np.zeros(3, dtype=np.int64)
+        for seed in range(12_000):
+            r = StreamingReservoir(1, rng=seed)
+            r.offer_many(f)
+            counts[r.sample()[0]] += 1
+        res = chi_square_gof(counts, np.array(f) / 6.0)
+        assert not res.reject(1e-4)
+
+    def test_first_position_matches_swor(self):
+        """The best-key item is the roulette winner; the ordered pair
+        distribution matches draw-and-remove."""
+        f = np.array([1.0, 2.0, 3.0])
+        total = f.sum()
+        exact = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    exact[i, j] = (f[i] / total) * (f[j] / (total - f[i]))
+        pair = np.zeros((3, 3), dtype=np.int64)
+        for seed in range(15_000):
+            r = StreamingReservoir(2, rng=seed)
+            r.offer_many(f)
+            i, j = r.sample()
+            pair[i, j] += 1
+        res = chi_square_gof(pair.ravel(), exact.ravel())
+        assert not res.reject(1e-4)
+
+    def test_agrees_with_batch_swor(self):
+        """Streaming and batch sampling w/o replacement share the law."""
+        from repro.core import sample_without_replacement
+
+        f = np.array([4.0, 1.0, 2.0, 3.0])
+        stream_first = np.zeros(4, dtype=np.int64)
+        batch_first = np.zeros(4, dtype=np.int64)
+        for seed in range(8_000):
+            r = StreamingReservoir(2, rng=seed)
+            r.offer_many(f)
+            stream_first[r.sample()[0]] += 1
+            batch_first[sample_without_replacement(f, 2, rng=seed + 10**6)[0]] += 1
+        target = f / f.sum()
+        assert not chi_square_gof(stream_first, target).reject(1e-4)
+        assert not chi_square_gof(batch_first, target).reject(1e-4)

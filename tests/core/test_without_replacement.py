@@ -1,0 +1,90 @@
+"""Weighted sampling without replacement via race keys."""
+
+import numpy as np
+import pytest
+
+from repro.core import sample_without_replacement
+from repro.core.without_replacement import sequential_sample_without_replacement
+from repro.errors import SelectionError
+from repro.stats.gof import chi_square_gof
+
+
+class TestBasics:
+    def test_returns_k_distinct(self, table1_fitness):
+        out = sample_without_replacement(table1_fitness, 5, rng=0)
+        assert out.shape == (5,) and len(set(out.tolist())) == 5
+
+    def test_k_zero(self, table1_fitness):
+        assert sample_without_replacement(table1_fitness, 0, rng=0).shape == (0,)
+
+    def test_k_equals_support(self, sparse_wheel):
+        out = sample_without_replacement(sparse_wheel, 5, rng=0)
+        assert sorted(out.tolist()) == [3, 17, 31, 40, 59]
+
+    def test_k_exceeding_support_rejected(self, sparse_wheel):
+        with pytest.raises(SelectionError):
+            sample_without_replacement(sparse_wheel, 6, rng=0)
+
+    def test_negative_k_rejected(self, table1_fitness):
+        with pytest.raises(ValueError):
+            sample_without_replacement(table1_fitness, -1, rng=0)
+
+    def test_never_includes_zero_fitness(self, sparse_wheel):
+        for seed in range(30):
+            out = sample_without_replacement(sparse_wheel, 3, rng=seed)
+            assert np.all(sparse_wheel[out] > 0.0)
+
+    def test_full_permutation_of_support(self, table1_fitness):
+        out = sample_without_replacement(table1_fitness, 9, rng=1)
+        assert sorted(out.tolist()) == list(range(1, 10))
+
+    def test_deterministic(self, table1_fitness):
+        a = sample_without_replacement(table1_fitness, 4, rng=7)
+        b = sample_without_replacement(table1_fitness, 4, rng=7)
+        assert np.array_equal(a, b)
+
+
+class TestDistribution:
+    def test_first_position_is_roulette(self):
+        """Position 0 of the sample must be distributed as F_i."""
+        f = np.array([1.0, 2.0, 3.0, 4.0])
+        rng = np.random.default_rng(0)
+        counts = np.zeros(4, dtype=np.int64)
+        for _ in range(20_000):
+            counts[sample_without_replacement(f, 2, rng=rng)[0]] += 1
+        res = chi_square_gof(counts, f / f.sum())
+        assert not res.reject(1e-4)
+
+    def test_matches_sequential_reference(self):
+        """Joint (ordered-pair) distribution equals draw-remove-renormalise."""
+        f = np.array([1.0, 2.0, 3.0])
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(2)
+        trials = 20_000
+        pair_a = np.zeros((3, 3), dtype=np.int64)
+        pair_b = np.zeros((3, 3), dtype=np.int64)
+        for _ in range(trials):
+            i, j = sample_without_replacement(f, 2, rng=rng_a)
+            pair_a[i, j] += 1
+            i, j = sequential_sample_without_replacement(f, 2, rng=rng_b)
+            pair_b[i, j] += 1
+        # Compare the two empirical pair distributions against the exact one.
+        total = f.sum()
+        exact = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    exact[i, j] = (f[i] / total) * (f[j] / (total - f[i]))
+        flat = exact.ravel()
+        res_a = chi_square_gof(pair_a.ravel(), flat)
+        res_b = chi_square_gof(pair_b.ravel(), flat)
+        assert not res_a.reject(1e-4)
+        assert not res_b.reject(1e-4)
+
+    def test_sequential_k_exceeding_support_rejected(self, sparse_wheel):
+        with pytest.raises(SelectionError):
+            sequential_sample_without_replacement(sparse_wheel, 6, rng=0)
+
+    def test_sequential_negative_k_rejected(self, table1_fitness):
+        with pytest.raises(ValueError):
+            sequential_sample_without_replacement(table1_fitness, -2, rng=0)

@@ -1,0 +1,78 @@
+"""API hygiene: docstrings everywhere, importable __all__, no cycles."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    # __main__ executes the CLI on import; it is an entry point, not API.
+    if not name.endswith("__main__")
+]
+
+
+def _public_members(module):
+    for attr_name in getattr(module, "__all__", []):
+        yield attr_name, getattr(module, attr_name)
+
+
+class TestImportability:
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_all_entries_exist(self, module_name):
+        module = importlib.import_module(module_name)
+        for attr_name in getattr(module, "__all__", []):
+            assert hasattr(module, attr_name), f"{module_name}.__all__ lists {attr_name}"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_module_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_public_callables_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for attr_name, obj in _public_members(module):
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(attr_name)
+        assert not undocumented, f"{module_name}: {undocumented}"
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_public_methods_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for attr_name, obj in _public_members(module):
+            if inspect.isclass(obj) and obj.__module__.startswith("repro"):
+                for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                    if meth_name.startswith("_"):
+                        continue
+                    if meth.__qualname__.split(".")[0] != obj.__name__:
+                        continue  # inherited
+                    # getdoc walks the MRO: an override of a documented
+                    # base method counts as documented.
+                    doc = inspect.getdoc(getattr(obj, meth_name))
+                    if not (doc and doc.strip()):
+                        undocumented.append(f"{attr_name}.{meth_name}")
+        assert not undocumented, f"{module_name}: {undocumented}"
+
+
+class TestTopLevelSurface:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_version_is_pep440ish(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) >= 2 and all(p.isdigit() for p in parts[:2])

@@ -1,0 +1,110 @@
+"""Cross-module integration: the paper's claims exercised end-to-end.
+
+Each test strings several subsystems together the way a downstream user
+would: core selection + stats, PRAM + stats, ACO + core, threads + stats,
+RNG + core.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.workloads import sparse_fitness
+from repro.core import RouletteWheel, exact_probabilities
+from repro.pram.algorithms import log_bidding_roulette, prefix_sum_roulette
+from repro.parallel import threaded_select
+from repro.rng import MT19937
+from repro.rng.adapters import UniformAdapter
+from repro.stats import chi_square_gof, independent_win_probabilities, tv_distance
+
+
+class TestPublicAPI:
+    def test_top_level_select(self):
+        idx = repro.select([0.0, 1.0, 2.0], rng=0)
+        assert idx in (1, 2)
+
+    def test_top_level_batch(self):
+        draws = repro.select_many([1.0, 1.0], 100, rng=0)
+        assert draws.shape == (100,)
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestFourImplementationsAgree:
+    """The same wheel through four independent implementations of the
+    paper's selection must yield the same distribution."""
+
+    def test_vectorised_pram_threaded_streaming(self):
+        f = np.array([0.0, 1.0, 2.0, 3.0])
+        target = exact_probabilities(f)
+        n_trials = 2500
+
+        counts = {name: np.zeros(4, dtype=np.int64) for name in
+                  ("vectorised", "pram", "threaded", "streaming")}
+        wheel = RouletteWheel(f, method="log_bidding", rng=0)
+        counts["vectorised"] += np.bincount(wheel.select_many(n_trials), minlength=4)
+        for seed in range(n_trials):
+            counts["pram"][log_bidding_roulette(f, seed=seed).winner] += 1
+            counts["threaded"][threaded_select(f, nthreads=2, seed=seed).winner] += 1
+        for seed in range(n_trials):
+            winner, _ = repro.streaming_select(f, rng=seed)
+            counts["streaming"][winner] += 1
+
+        for name, c in counts.items():
+            res = chi_square_gof(c, target)
+            assert not res.reject(1e-5), (name, res)
+
+
+class TestPaperFaithfulPipeline:
+    def test_mt19937_drives_log_bidding(self):
+        """The full paper setup: MT19937 rand() into logarithmic bidding."""
+        f = np.arange(10, dtype=np.float64)
+        source = UniformAdapter(MT19937(20240607), resolution=32)
+        wheel = RouletteWheel(f, method="log_bidding", rng=source)
+        emp = wheel.empirical_probabilities(60_000)
+        assert tv_distance(emp, exact_probabilities(f)) < 0.02
+
+    def test_independent_bias_matches_closed_form(self):
+        """Monte Carlo through the library == analytic integral."""
+        f = np.array([1.0, 2.0, 3.0, 5.0])
+        wheel = RouletteWheel(f, method="independent", rng=7)
+        emp = wheel.empirical_probabilities(100_000)
+        exact = independent_win_probabilities(f)
+        assert tv_distance(emp, exact) < 0.01
+
+
+class TestACOSparsityClaim:
+    def test_visited_city_zeros_make_k_small(self):
+        """In a real ACO run, late selections have k << n — measured."""
+        from repro.aco import AntSystem, AntSystemConfig, TSPInstance
+
+        n = 30
+        inst = TSPInstance.random_euclidean(n, seed=0)
+        colony = AntSystem(inst, AntSystemConfig(n_ants=5), rng=0)
+        colony.run(2)
+        hist = colony.stats.k_histogram
+        # Selections at every k from 1 to n-1 occur, so a large share of
+        # roulette calls run far below n.
+        small_k = sum(hist[1 : n // 3])
+        assert small_k / colony.stats.selections > 0.25
+
+    def test_race_cost_on_real_aco_fitness(self):
+        """Feed genuine late-tour fitness rows into the PRAM race."""
+        f = sparse_fitness(512, 5, seed=0)
+        out = log_bidding_roulette(f, seed=0)
+        assert out.race_iterations <= 5
+        assert out.metrics.steps < prefix_sum_roulette(f, seed=0).metrics.steps
+
+
+class TestEndToEndCLI:
+    def test_all_experiments_listed_and_runnable_fast(self, capsys):
+        from repro.cli import main
+
+        assert main(["worked-example", "--iterations", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "0.75" in out or "0.74" in out or "0.76" in out

@@ -1,0 +1,122 @@
+"""Failure injection: user code raising inside the machine models.
+
+The simulators host arbitrary user programs; exceptions must propagate
+cleanly (not hang, not corrupt machine state for later runs).
+"""
+
+import pytest
+
+from repro.msg import Network
+from repro.msg.network import Recv, Send
+from repro.parallel import ThreadTeam
+from repro.pram import PRAM, Noop, Read, Write
+from repro.simt import SIMTMachine, Sync, WarpMax
+
+
+class TestPRAMFailures:
+    def test_program_exception_propagates(self):
+        def program(proc):
+            yield Noop()
+            raise RuntimeError("kaboom")
+
+        with pytest.raises(RuntimeError, match="kaboom"):
+            PRAM(nprocs=2, memory_size=1).run(program)
+
+    def test_machine_reusable_after_failure(self):
+        pram = PRAM(nprocs=2, memory_size=1)
+
+        def bad(proc):
+            yield Noop()
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            pram.run(bad)
+
+        def good(proc):
+            yield Write(0, proc.pid)
+            return True
+
+        assert pram.run(good).returns == [True, True]
+
+    def test_partial_failure_exact_processor(self):
+        def program(proc):
+            yield Noop()
+            if proc.pid == 3:
+                raise KeyError("only three")
+            yield Noop()
+
+        with pytest.raises(KeyError):
+            PRAM(nprocs=5, memory_size=1).run(program)
+
+
+class TestNetworkFailures:
+    def test_rank_exception_propagates(self):
+        def prog(ctx):
+            yield Send(ctx.rank, 1)
+            raise OSError("rank down")
+
+        with pytest.raises(OSError, match="rank down"):
+            Network(3, seed=0).run(prog)
+
+    def test_exception_before_any_yield(self):
+        def prog(ctx):
+            if False:
+                yield Send(0, 0)
+            raise RuntimeError("immediate")
+
+        with pytest.raises(RuntimeError, match="immediate"):
+            Network(2, seed=0).run(prog)
+
+    def test_receiver_of_dead_sender_deadlocks_detectably(self):
+        """If a peer dies before sending, the receiver must not hang."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield Send(0, "self")  # rank 0 never sends to 1
+                _ = yield Recv(0)
+                return None
+            _ = yield Recv(0)
+            return None
+
+        from repro.errors import DeadlockError
+
+        with pytest.raises(DeadlockError):
+            Network(2, seed=0).run(prog, max_rounds=100)
+
+
+class TestSIMTFailures:
+    def test_thread_exception_propagates(self):
+        def kernel(ctx):
+            yield WarpMax(0)
+            if ctx.thread_id == 1:
+                raise ZeroDivisionError("lane fault")
+            yield WarpMax(0)
+
+        with pytest.raises(ZeroDivisionError):
+            SIMTMachine(nthreads=4, memory_size=1, warp_width=2).launch(kernel)
+
+    def test_sync_with_early_exit_thread(self):
+        """Threads that return before a barrier must not deadlock it."""
+
+        def kernel(ctx):
+            if ctx.thread_id == 0:
+                return "early"
+            yield Sync()
+            return "late"
+
+        res = SIMTMachine(nthreads=3, memory_size=1, warp_width=2).launch(kernel)
+        assert res.returns == ["early", "late", "late"]
+
+
+class TestThreadTeamFailures:
+    def test_one_worker_raises_others_released(self):
+        team = ThreadTeam(4, seed=0)
+
+        def worker(ctx):
+            if ctx.rank == 2:
+                raise ArithmeticError("worker 2")
+            ctx.sync()  # would deadlock if the barrier were not aborted
+            return ctx.rank
+
+        with pytest.raises(ArithmeticError):
+            team.run(worker)

@@ -1,0 +1,179 @@
+"""Collectives: broadcast, reduce, all-reduce across sizes and roots."""
+
+import numpy as np
+import pytest
+
+from repro.msg import Network, all_reduce_max, binomial_broadcast, binomial_reduce
+from repro.msg.collectives import all_reduce
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17]
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_all_ranks_receive(self, p):
+        def prog(ctx):
+            v = "payload" if ctx.rank == 0 else None
+            out = yield from binomial_broadcast(ctx, v)
+            return out
+
+        assert Network(p, seed=0).run(prog).returns == ["payload"] * p
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_nonzero_root(self, root):
+        p = 6
+
+        def prog(ctx):
+            v = ctx.rank * 10 if ctx.rank == root else None
+            out = yield from binomial_broadcast(ctx, v, root=root)
+            return out
+
+        assert Network(p, seed=0).run(prog).returns == [root * 10] * p
+
+    def test_logarithmic_rounds(self):
+        def prog(ctx):
+            out = yield from binomial_broadcast(ctx, ctx.rank)
+            return out
+
+        r16 = Network(16, seed=0).run(prog).metrics.rounds
+        r256 = Network(256, seed=0).run(prog).metrics.rounds
+        assert r256 <= 2 * r16 + 2
+
+    def test_message_count_is_p_minus_1(self):
+        def prog(ctx):
+            out = yield from binomial_broadcast(ctx, 1 if ctx.rank == 0 else None)
+            return out
+
+        for p in (1, 2, 5, 8):
+            assert Network(p, seed=0).run(prog).metrics.messages == p - 1
+
+    def test_invalid_root(self):
+        def prog(ctx):
+            out = yield from binomial_broadcast(ctx, 1, root=9)
+            return out
+
+        with pytest.raises(ValueError):
+            Network(2, seed=0).run(prog)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sum_at_root(self, p):
+        def prog(ctx):
+            out = yield from binomial_reduce(ctx, ctx.rank + 1, lambda a, b: a + b)
+            return out
+
+        res = Network(p, seed=0).run(prog)
+        assert res.returns[0] == p * (p + 1) // 2
+
+    @pytest.mark.parametrize("p", [2, 3, 8, 13])
+    def test_max_at_nonzero_root(self, p):
+        root = p - 1
+
+        def prog(ctx):
+            out = yield from binomial_reduce(ctx, (ctx.rank * 3) % p, max, root=root)
+            return out
+
+        res = Network(p, seed=0).run(prog)
+        assert res.returns[root] == max((r * 3) % p for r in range(p))
+
+    def test_message_count_is_p_minus_1(self):
+        def prog(ctx):
+            out = yield from binomial_reduce(ctx, 1, lambda a, b: a + b)
+            return out
+
+        for p in (1, 2, 6, 8):
+            assert Network(p, seed=0).run(prog).metrics.messages == p - 1
+
+    def test_invalid_root(self):
+        def prog(ctx):
+            out = yield from binomial_reduce(ctx, 1, max, root=5)
+            return out
+
+        with pytest.raises(ValueError):
+            Network(2, seed=0).run(prog)
+
+
+class TestAllReduce:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sum_everywhere(self, p):
+        def prog(ctx):
+            out = yield from all_reduce(ctx, ctx.rank + 1, lambda a, b: a + b)
+            return out
+
+        res = Network(p, seed=0).run(prog)
+        assert res.returns == [p * (p + 1) // 2] * p
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_max_everywhere(self, p):
+        values = [(r * 13 + 5) % 29 for r in range(p)]
+
+        def prog(ctx):
+            out = yield from all_reduce_max(ctx, values[ctx.rank])
+            return out
+
+        res = Network(p, seed=0).run(prog)
+        assert res.returns == [max(values)] * p
+
+    def test_tuple_argmax_rides_along(self):
+        p = 9
+        bids = np.random.default_rng(0).random(p)
+
+        def prog(ctx):
+            out = yield from all_reduce_max(ctx, (float(bids[ctx.rank]), ctx.rank))
+            return out
+
+        res = Network(p, seed=0).run(prog)
+        winner = int(np.argmax(bids))
+        assert all(r == (bids[winner], winner) for r in res.returns)
+
+    def test_round_scaling_logarithmic(self):
+        def prog(ctx):
+            out = yield from all_reduce(ctx, 1, lambda a, b: a + b)
+            return out
+
+        r8 = Network(8, seed=0).run(prog).metrics.rounds
+        r128 = Network(128, seed=0).run(prog).metrics.rounds
+        assert r128 <= 3 * r8
+
+
+class TestExclusiveScan:
+    from repro.msg.collectives import exclusive_scan as _exscan  # noqa: F401
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sum_scan(self, p):
+        from repro.msg.collectives import exclusive_scan
+
+        def prog(ctx):
+            out = yield from exclusive_scan(ctx, ctx.rank + 1, lambda a, b: a + b, 0)
+            return out
+
+        res = Network(p, seed=0).run(prog)
+        assert res.returns == [r * (r + 1) // 2 for r in range(p)]
+
+    @pytest.mark.parametrize("p", [1, 2, 5, 8, 13])
+    def test_float_scan(self, p):
+        from repro.msg.collectives import exclusive_scan
+
+        values = np.random.default_rng(p).random(p)
+
+        def prog(ctx):
+            out = yield from exclusive_scan(
+                ctx, float(values[ctx.rank]), lambda a, b: a + b, 0.0
+            )
+            return out
+
+        res = Network(p, seed=0).run(prog)
+        expected = np.concatenate([[0.0], np.cumsum(values)[:-1]])
+        assert np.allclose(res.returns, expected)
+
+    def test_logarithmic_rounds(self):
+        from repro.msg.collectives import exclusive_scan
+
+        def prog(ctx):
+            out = yield from exclusive_scan(ctx, 1, lambda a, b: a + b, 0)
+            return out
+
+        r8 = Network(8, seed=0).run(prog).metrics.rounds
+        r128 = Network(128, seed=0).run(prog).metrics.rounds
+        assert r128 <= 3 * r8

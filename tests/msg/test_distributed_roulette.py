@@ -1,0 +1,122 @@
+"""Distributed-memory roulette selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitness import exact_probabilities
+from repro.errors import FitnessError
+from repro.msg import distributed_roulette
+from repro.stats.gof import chi_square_gof
+
+
+class TestCorrectness:
+    def test_every_rank_agrees(self, table1_fitness):
+        out = distributed_roulette(table1_fitness, nranks=4, seed=0)
+        assert len(set(out.per_rank_winner)) == 1
+
+    def test_winner_has_positive_fitness(self, sparse_wheel):
+        for seed in range(30):
+            out = distributed_roulette(sparse_wheel, nranks=8, seed=seed)
+            assert sparse_wheel[out.winner] > 0.0
+
+    def test_owner_holds_winner(self, table1_fitness):
+        out = distributed_roulette(table1_fitness, nranks=4, seed=1)
+        n, p = 10, 4
+        lo, hi = out.owner * n // p, (out.owner + 1) * n // p
+        assert lo <= out.winner < hi
+
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 7, 10])
+    def test_various_rank_counts(self, nranks, table1_fitness):
+        out = distributed_roulette(table1_fitness, nranks=nranks, seed=2)
+        assert 1 <= out.winner <= 9
+
+    def test_more_ranks_than_items(self):
+        out = distributed_roulette([1.0, 2.0], nranks=5, seed=0)
+        assert out.winner in (0, 1)
+
+    def test_invalid_fitness(self):
+        with pytest.raises(FitnessError):
+            distributed_roulette([0.0, 0.0], nranks=2)
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            distributed_roulette([1.0], nranks=0)
+
+
+class TestDistribution:
+    def test_matches_target(self):
+        f = np.array([0.0, 1.0, 2.0, 3.0])
+        counts = np.zeros(4, dtype=np.int64)
+        for seed in range(4000):
+            counts[distributed_roulette(f, nranks=3, seed=seed).winner] += 1
+        res = chi_square_gof(counts, exact_probabilities(f))
+        assert not res.reject(1e-4)
+
+    def test_sharding_does_not_bias(self):
+        """Different rank counts must give the same distribution."""
+        f = np.array([1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        for nranks in (2, 5):
+            counts = np.zeros(6, dtype=np.int64)
+            for seed in range(3000):
+                counts[distributed_roulette(f, nranks=nranks, seed=seed).winner] += 1
+            res = chi_square_gof(counts, np.full(6, 1 / 6))
+            assert not res.reject(1e-4), nranks
+
+
+class TestCosts:
+    def test_logarithmic_rounds(self):
+        f = np.ones(256)
+        r4 = distributed_roulette(f, nranks=4, seed=0).metrics.rounds
+        r64 = distributed_roulette(f, nranks=64, seed=0).metrics.rounds
+        assert r64 <= 4 * r4
+
+    def test_message_volume_linear_in_p(self):
+        f = np.ones(256)
+        m8 = distributed_roulette(f, nranks=8, seed=0).metrics.messages
+        m64 = distributed_roulette(f, nranks=64, seed=0).metrics.messages
+        # butterfly: p log p messages; 8->64 grows messages by ~12x, not 64x.
+        assert m64 < 20 * m8
+
+
+class TestDistributedPrefixRoulette:
+    def test_distribution_matches_target(self):
+        from repro.msg import distributed_prefix_roulette
+
+        f = np.array([0.0, 1.0, 2.0, 3.0])
+        counts = np.zeros(4, dtype=np.int64)
+        for seed in range(4000):
+            counts[distributed_prefix_roulette(f, nranks=3, seed=seed).winner] += 1
+        res = chi_square_gof(counts, exact_probabilities(f))
+        assert not res.reject(1e-4)
+
+    @pytest.mark.parametrize("nranks", [1, 2, 5, 10])
+    def test_every_rank_agrees(self, nranks, table1_fitness):
+        from repro.msg import distributed_prefix_roulette
+
+        out = distributed_prefix_roulette(table1_fitness, nranks=nranks, seed=3)
+        assert len(set(out.per_rank_winner)) == 1
+        assert 1 <= out.winner <= 9
+
+    def test_owner_holds_winner(self, table1_fitness):
+        from repro.msg import distributed_prefix_roulette
+
+        out = distributed_prefix_roulette(table1_fitness, nranks=4, seed=5)
+        lo, hi = out.owner * 10 // 4, (out.owner + 1) * 10 // 4
+        assert lo <= out.winner < hi
+
+    def test_costlier_than_bid_version(self):
+        """The baseline mirror needs ~3 collectives vs the race's 1."""
+        from repro.msg import distributed_prefix_roulette, distributed_roulette
+
+        f = np.ones(128)
+        bid = distributed_roulette(f, nranks=16, seed=0)
+        pre = distributed_prefix_roulette(f, nranks=16, seed=0)
+        assert pre.metrics.rounds > bid.metrics.rounds
+        assert pre.metrics.messages > bid.metrics.messages
+
+    def test_zero_shard_ranks_handled(self):
+        from repro.msg import distributed_prefix_roulette
+
+        # More ranks than items: some shards are empty.
+        out = distributed_prefix_roulette([1.0, 2.0], nranks=5, seed=0)
+        assert out.winner in (0, 1)

@@ -1,0 +1,113 @@
+"""Threaded shared-cell race: correctness under real scheduling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fitness import exact_probabilities
+from repro.errors import SelectionError
+from repro.parallel import RacyMaxCell, SharedMaxCell, threaded_race, threaded_select
+from repro.stats.gof import chi_square_gof
+
+
+class TestSharedMaxCell:
+    def test_offer_raises_monotonically(self):
+        cell = SharedMaxCell()
+        assert cell.offer(1.0, 10)
+        assert not cell.offer(0.5, 20)
+        assert cell.offer(2.0, 30)
+        assert cell.snapshot() == (2.0, 30)
+
+    def test_initial_state(self):
+        cell = SharedMaxCell()
+        assert cell.value == -math.inf and cell.payload is None
+
+
+class TestRacyMaxCell:
+    def test_settles_to_bid(self):
+        cell = RacyMaxCell()
+        attempts = cell.offer_until_settled(3.0, 7)
+        assert attempts == 1 and cell.read() == (3.0, 7)
+
+    def test_no_write_when_already_larger(self):
+        cell = RacyMaxCell()
+        cell.write(5.0, 1)
+        assert cell.offer_until_settled(3.0, 2) == 0
+        assert cell.payload == 1
+
+
+class TestThreadedRace:
+    @pytest.mark.parametrize("nthreads", [1, 2, 4, 16, 64])
+    def test_finds_argmax(self, nthreads, rng):
+        values = rng.normal(size=200).tolist()
+        out = threaded_race(values, nthreads=nthreads, seed=0)
+        assert out.winner == int(np.argmax(values))
+        assert out.maximum == max(values)
+
+    def test_more_threads_than_values(self, rng):
+        values = rng.random(3).tolist()
+        out = threaded_race(values, nthreads=16, seed=0)
+        assert out.winner == int(np.argmax(values))
+
+    def test_lock_based_reference(self, rng):
+        values = rng.random(50).tolist()
+        out = threaded_race(values, nthreads=8, seed=0, racy=False)
+        assert out.winner == int(np.argmax(values))
+
+    def test_neg_inf_nonparticipants(self):
+        out = threaded_race([-math.inf, 2.0, -math.inf], nthreads=3, seed=0)
+        assert out.winner == 1
+
+    def test_all_neg_inf_rejected(self):
+        with pytest.raises(SelectionError):
+            threaded_race([-math.inf, -math.inf])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SelectionError):
+            threaded_race([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(SelectionError):
+            threaded_race([1.0, float("nan")])
+
+    def test_invalid_nthreads(self):
+        with pytest.raises(ValueError):
+            threaded_race([1.0], nthreads=0)
+
+    def test_hammer_for_lost_update_repair(self, rng):
+        """Many repetitions with adversarial thread counts never miss."""
+        for trial in range(30):
+            values = rng.normal(size=64).tolist()
+            out = threaded_race(values, nthreads=32, seed=trial)
+            assert out.winner == int(np.argmax(values)), trial
+            assert out.rounds >= 1
+
+
+class TestThreadedSelect:
+    def test_winner_has_positive_fitness(self, sparse_wheel):
+        for seed in range(20):
+            out = threaded_select(sparse_wheel, nthreads=8, seed=seed)
+            assert sparse_wheel[out.winner] > 0.0
+
+    def test_distribution_matches_target(self):
+        f = np.array([1.0, 2.0, 3.0, 4.0])
+        counts = np.zeros(4, dtype=np.int64)
+        for seed in range(2500):
+            counts[threaded_select(f, nthreads=4, seed=seed).winner] += 1
+        res = chi_square_gof(counts, exact_probabilities(f))
+        assert not res.reject(1e-4)
+
+    def test_single_thread_degenerates_gracefully(self, table1_fitness):
+        out = threaded_select(table1_fitness, nthreads=1, seed=0)
+        assert 1 <= out.winner <= 9
+
+    def test_lock_based_variant(self, table1_fitness):
+        out = threaded_select(table1_fitness, nthreads=4, seed=0, racy=False)
+        assert 1 <= out.winner <= 9
+
+    def test_invalid_fitness_rejected(self):
+        from repro.errors import FitnessError
+
+        with pytest.raises(FitnessError):
+            threaded_select([0.0, 0.0])

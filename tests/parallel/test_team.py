@@ -1,0 +1,71 @@
+"""ThreadTeam SPMD semantics."""
+
+import threading
+
+import pytest
+
+from repro.parallel import ThreadTeam
+
+
+class TestTeam:
+    def test_all_ranks_run(self):
+        team = ThreadTeam(8, seed=0)
+        result = team.run(lambda ctx: ctx.rank)
+        assert result.returns == list(range(8))
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ThreadTeam(0)
+
+    def test_barrier_actually_blocks(self):
+        """Values published before a barrier are visible after it."""
+        team = ThreadTeam(4, seed=0)
+        shared = [None] * 4
+
+        def worker(ctx):
+            shared[ctx.rank] = ctx.rank * 2
+            ctx.sync()
+            return sum(v for v in shared)  # all slots must be filled
+
+        result = team.run(worker)
+        assert result.returns == [12, 12, 12, 12]
+
+    def test_worker_exception_reraised(self):
+        team = ThreadTeam(3, seed=0)
+
+        def worker(ctx):
+            if ctx.rank == 1:
+                raise RuntimeError("boom")
+            ctx.sync()
+
+        with pytest.raises(RuntimeError, match="boom"):
+            team.run(worker)
+
+    def test_rngs_are_independent(self):
+        team = ThreadTeam(6, seed=0)
+        result = team.run(lambda ctx: ctx.rng.random())
+        assert len(set(result.returns)) == 6
+
+    def test_rngs_deterministic_per_seed(self):
+        a = ThreadTeam(4, seed=7).run(lambda ctx: ctx.rng.random()).returns
+        b = ThreadTeam(4, seed=7).run(lambda ctx: ctx.rng.random()).returns
+        assert a == b
+
+    def test_args_forwarded(self):
+        team = ThreadTeam(2, seed=0)
+        result = team.run(lambda ctx, base: base + ctx.rank, 100)
+        assert result.returns == [100, 101]
+
+    def test_elapsed_recorded(self):
+        result = ThreadTeam(2, seed=0).run(lambda ctx: None)
+        assert result.elapsed >= 0.0
+
+    def test_threads_really_parallel_sections(self):
+        """Both threads must be alive inside the section simultaneously."""
+        gate = threading.Barrier(2, timeout=5)
+
+        def worker(ctx):
+            gate.wait()  # deadlocks unless both threads are concurrent
+            return True
+
+        assert ThreadTeam(2, seed=0).run(worker).returns == [True, True]

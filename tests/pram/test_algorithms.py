@@ -1,0 +1,113 @@
+"""Classic PRAM building blocks: broadcast, reduction, scans."""
+
+import numpy as np
+import pytest
+
+from repro.pram.algorithms import (
+    blelloch_scan,
+    broadcast,
+    hillis_steele_scan,
+    tree_reduce_max,
+    tree_reduce_sum,
+)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 16, 33])
+    def test_all_cells_filled(self, n):
+        mem, _ = broadcast("v", n)
+        assert mem == ["v"] * n
+
+    def test_logarithmic_steps(self):
+        _, m8 = broadcast(0, 8)
+        _, m1024 = broadcast(0, 1024)
+        # steps grow like log n: going 8 -> 1024 multiplies n by 128 but
+        # steps by < 4x.
+        assert m1024.steps < 4 * m8.steps
+        assert m1024.steps <= 2 * 11 + 3
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            broadcast(0, 0)
+
+
+class TestReduction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 17, 64])
+    def test_max_matches_numpy(self, n, rng):
+        values = rng.random(n).tolist()
+        top, _ = tree_reduce_max(values)
+        assert top == max(values)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 17, 64])
+    def test_sum_matches_numpy(self, n, rng):
+        values = rng.random(n).tolist()
+        total, _ = tree_reduce_sum(values)
+        assert total == pytest.approx(np.sum(values))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_reduce_max([])
+
+    def test_logarithmic_steps(self):
+        _, m = tree_reduce_max(list(range(256)))
+        # 8 rounds of (read + write) plus epilogue.
+        assert m.steps <= 2 * 8 + 3
+
+    def test_erew_clean(self):
+        """No discipline violation on any size (EREW machine inside)."""
+        for n in range(1, 40):
+            tree_reduce_max(list(range(n)))
+
+
+class TestScans:
+    @pytest.mark.parametrize("scan", [hillis_steele_scan, blelloch_scan])
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 32, 33])
+    def test_matches_cumsum(self, scan, n, rng):
+        values = rng.random(n).tolist()
+        out, _ = scan(values)
+        assert np.allclose(out, np.cumsum(values))
+
+    @pytest.mark.parametrize("scan", [hillis_steele_scan, blelloch_scan])
+    def test_empty_rejected(self, scan):
+        with pytest.raises(ValueError):
+            scan([])
+
+    def test_hillis_steele_step_growth(self):
+        _, m64 = hillis_steele_scan([1.0] * 64)
+        _, m1024 = hillis_steele_scan([1.0] * 1024)
+        assert m1024.steps < 2 * m64.steps  # log n growth
+
+    def test_blelloch_work_efficient(self):
+        """Blelloch does O(n) work vs Hillis-Steele's O(n log n)."""
+        n = 256
+        _, hs = hillis_steele_scan([1.0] * n)
+        _, bl = blelloch_scan([1.0] * n)
+        assert bl.reads + bl.writes < hs.reads + hs.writes
+
+    def test_integer_inputs(self):
+        out, _ = hillis_steele_scan([1, 2, 3, 4])
+        assert out == [1, 3, 6, 10]
+
+
+class TestCrewBroadcast:
+    def test_constant_steps(self):
+        from repro.pram.algorithms.broadcast import crew_broadcast
+
+        mem8, m8 = crew_broadcast("v", 8)
+        mem1024, m1024 = crew_broadcast("v", 1024)
+        assert mem8 == ["v"] * 8 and mem1024 == ["v"] * 1024
+        # O(1): step count independent of n.
+        assert m8.steps == m1024.steps
+
+    def test_cheaper_than_erew_for_large_n(self):
+        from repro.pram.algorithms.broadcast import crew_broadcast
+
+        _, crew = crew_broadcast(1, 256)
+        _, erew = broadcast(1, 256)
+        assert crew.steps < erew.steps
+
+    def test_invalid_n(self):
+        from repro.pram.algorithms.broadcast import crew_broadcast
+
+        with pytest.raises(ValueError):
+            crew_broadcast(1, 0)

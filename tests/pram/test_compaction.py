@@ -1,0 +1,49 @@
+"""PRAM stream compaction."""
+
+import numpy as np
+import pytest
+
+from repro.pram.algorithms import compact_indices, compact_nonzero
+
+
+class TestCompaction:
+    def test_nonzero_indices(self, sparse_wheel):
+        indices, _ = compact_nonzero(sparse_wheel)
+        assert indices == [3, 17, 31, 40, 59]
+
+    def test_all_marked(self):
+        indices, _ = compact_nonzero([1.0, 2.0, 3.0])
+        assert indices == [0, 1, 2]
+
+    def test_none_marked(self):
+        indices, _ = compact_nonzero([0.0, 0.0])
+        assert indices == []
+
+    def test_custom_predicate(self):
+        indices, _ = compact_indices([5, 2, 9, 1, 7], lambda v: v > 4)
+        assert indices == [0, 2, 4]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compact_nonzero([])
+
+    def test_single_element(self):
+        assert compact_nonzero([3.0])[0] == [0]
+        assert compact_nonzero([0.0])[0] == []
+
+    def test_order_preserved(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(1, 50))
+            f = rng.random(n)
+            f[rng.random(n) < 0.5] = 0.0
+            indices, _ = compact_nonzero(f)
+            assert indices == list(np.flatnonzero(f > 0.0))
+
+    def test_logarithmic_steps(self):
+        _, m16 = compact_nonzero(np.ones(16))
+        _, m256 = compact_nonzero(np.ones(256))
+        assert m256.steps < 2.5 * m16.steps
+
+    def test_memory_linear(self):
+        _, metrics = compact_nonzero(np.ones(32))
+        assert metrics.memory_cells == 4 * 32

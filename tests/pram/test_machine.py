@@ -1,0 +1,177 @@
+"""PRAM executor semantics: lockstep, barriers, halting, budgets."""
+
+import pytest
+
+from repro.errors import DeadlockError, ProgramError, ReadConflictError
+from repro.pram import PRAM, AccessMode, Barrier, Noop, Read, Write, WritePolicy
+
+
+class TestExecution:
+    def test_returns_collected_per_processor(self):
+        def program(proc):
+            yield Noop()
+            return proc.pid * 10
+
+        result = PRAM(nprocs=4, memory_size=1).run(program)
+        assert result.returns == [0, 10, 20, 30]
+
+    def test_read_write_round_trip(self):
+        def program(proc):
+            if proc.pid == 0:
+                yield Write(0, 42)
+            else:
+                yield Noop()
+            yield Barrier()
+            value = yield Read(0)
+            return value
+
+        result = PRAM(nprocs=2, memory_size=1, mode=AccessMode.CRCW).run(program)
+        assert result.returns == [42, 42]
+
+    def test_read_sees_previous_step_not_same_step(self):
+        """A read issued in the same step as a write sees the old value."""
+
+        def program(proc):
+            if proc.pid == 0:
+                yield Write(0, "new")
+                return None
+            value = yield Read(0)
+            return value
+
+        pram = PRAM(nprocs=2, memory_size=1, mode=AccessMode.CRCW)
+        pram.memory[0] = "old"
+        result = pram.run(program)
+        assert result.returns[1] == "old"
+
+    def test_barrier_synchronises(self):
+        """Late writers must not leak past a barrier."""
+
+        def program(proc):
+            if proc.pid == 1:
+                yield Noop()  # skew processor 1 by one step
+                yield Write(0, "done")
+            else:
+                yield Noop()
+            yield Barrier()
+            value = yield Read(0)
+            return value
+
+        result = PRAM(nprocs=2, memory_size=1, mode=AccessMode.CRCW).run(program)
+        assert result.returns[0] == "done"
+
+    def test_multiple_barriers(self):
+        def program(proc):
+            total = 0
+            for round_no in range(3):
+                yield Write(proc.pid, round_no)
+                yield Barrier()
+                value = yield Read((proc.pid + 1) % 2)
+                total += value
+                yield Barrier()
+            return total
+
+        result = PRAM(nprocs=2, memory_size=2, mode=AccessMode.CRCW).run(program)
+        assert result.returns == [3, 3]  # 0 + 1 + 2 from the partner
+
+    def test_unknown_request_rejected(self):
+        def program(proc):
+            yield "bogus"
+
+        with pytest.raises(ProgramError):
+            PRAM(nprocs=1, memory_size=1).run(program)
+
+    def test_step_budget(self):
+        def program(proc):
+            while True:
+                yield Noop()
+
+        with pytest.raises(DeadlockError):
+            PRAM(nprocs=1, memory_size=1).run(program, max_steps=100)
+
+    def test_discipline_violation_propagates(self):
+        def program(proc):
+            value = yield Read(0)
+            return value
+
+        with pytest.raises(ReadConflictError):
+            PRAM(nprocs=2, memory_size=1, mode=AccessMode.EREW).run(program)
+
+    def test_program_args_passed(self):
+        def program(proc, offset, scale=1):
+            yield Noop()
+            return (proc.pid + offset) * scale
+
+        result = PRAM(nprocs=2, memory_size=1).run(program, 5, scale=2)
+        assert result.returns == [10, 12]
+
+    def test_nonpositive_nprocs_rejected(self):
+        with pytest.raises(ValueError):
+            PRAM(nprocs=0, memory_size=1)
+
+
+class TestMetrics:
+    def test_step_count(self):
+        def program(proc):
+            yield Noop()
+            yield Noop()
+            yield Noop()
+
+        metrics = PRAM(nprocs=3, memory_size=1).run(program).metrics
+        # 3 noop steps + 1 final step observing StopIteration.
+        assert metrics.steps == 4
+        assert metrics.nprocs == 3
+
+    def test_read_write_counts(self):
+        def program(proc):
+            yield Write(0, proc.pid)
+            value = yield Read(0)
+            return value
+
+        metrics = PRAM(nprocs=4, memory_size=1, mode=AccessMode.CRCW).run(program).metrics
+        assert metrics.writes == 4 and metrics.reads == 4
+        assert metrics.work == 8
+
+    def test_barrier_count(self):
+        def program(proc):
+            yield Barrier()
+            yield Barrier()
+
+        metrics = PRAM(nprocs=2, memory_size=1).run(program).metrics
+        assert metrics.barriers == 2
+
+    def test_metrics_as_dict(self):
+        def program(proc):
+            yield Noop()
+
+        d = PRAM(nprocs=1, memory_size=3).run(program).metrics.as_dict()
+        assert d["memory_cells"] == 3 and "work" in d
+
+
+class TestPerProcessorRNG:
+    def test_streams_differ_across_pids(self):
+        def program(proc):
+            yield Noop()
+            return proc.rng.random()
+
+        result = PRAM(nprocs=8, memory_size=1).run(program)
+        assert len(set(result.returns)) == 8
+
+    def test_streams_deterministic_per_seed(self):
+        def program(proc):
+            yield Noop()
+            return proc.rng.random()
+
+        a = PRAM(nprocs=4, memory_size=1, seed=9).run(program).returns
+        b = PRAM(nprocs=4, memory_size=1, seed=9).run(program).returns
+        c = PRAM(nprocs=4, memory_size=1, seed=10).run(program).returns
+        assert a == b and a != c
+
+    def test_processor_rng_matches_run(self):
+        pram = PRAM(nprocs=2, memory_size=1, seed=5)
+        expected = pram.processor_rng(1).random()
+
+        def program(proc):
+            yield Noop()
+            return proc.rng.random()
+
+        assert pram.run(program).returns[1] == expected

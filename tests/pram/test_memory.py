@@ -1,0 +1,191 @@
+"""SharedMemory step semantics and discipline enforcement."""
+
+import pytest
+
+from repro.errors import (
+    CommonWriteViolation,
+    MemoryAccessError,
+    ReadConflictError,
+    WriteConflictError,
+)
+from repro.pram.memory import SharedMemory
+from repro.pram.policies import AccessMode, WritePolicy
+from repro.rng import SplitMix64
+
+
+@pytest.fixture
+def arbiter():
+    return SplitMix64(0)
+
+
+class TestBasics:
+    def test_initial_contents(self):
+        mem = SharedMemory(4, initial=[1, 2])
+        assert mem.dump() == [1, 2, None, None]
+
+    def test_initial_too_long_rejected(self):
+        with pytest.raises(MemoryAccessError):
+            SharedMemory(2, initial=[1, 2, 3])
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(MemoryAccessError):
+            SharedMemory(0)
+
+    def test_out_of_range_read(self, arbiter):
+        mem = SharedMemory(2)
+        with pytest.raises(MemoryAccessError):
+            mem.request_read(0, 2)
+
+    def test_negative_address(self, arbiter):
+        mem = SharedMemory(2)
+        with pytest.raises(MemoryAccessError):
+            mem.request_write(0, -1, 5)
+
+    def test_non_int_address(self):
+        mem = SharedMemory(2)
+        with pytest.raises(MemoryAccessError):
+            mem.request_read(0, 1.5)
+
+    def test_bool_address_rejected(self):
+        mem = SharedMemory(2)
+        with pytest.raises(MemoryAccessError):
+            mem.request_read(0, True)
+
+    def test_read_sees_pre_step_value(self, arbiter):
+        mem = SharedMemory(1, initial=[10])
+        mem.request_write(0, 0, 99)
+        assert mem.request_read(1, 0) == 10  # same step: old value
+        # CRCW allows this; commit applies the write.
+        mem.mode = AccessMode.CRCW
+        mem.commit_step(arbiter)
+        assert mem[0] == 99
+
+    def test_load_and_dump_ranges(self):
+        mem = SharedMemory(5)
+        mem.load([7, 8], offset=2)
+        assert mem.dump(2, 4) == [7, 8]
+        with pytest.raises(MemoryAccessError):
+            mem.load([1, 2], offset=4)
+        with pytest.raises(MemoryAccessError):
+            mem.dump(3, 9)
+
+    def test_setitem_getitem(self):
+        mem = SharedMemory(3)
+        mem[1] = "x"
+        assert mem[1] == "x"
+        assert len(mem) == 3
+
+
+class TestEREW:
+    def test_concurrent_reads_rejected(self, arbiter):
+        mem = SharedMemory(2, mode=AccessMode.EREW)
+        mem.request_read(0, 1)
+        mem.request_read(1, 1)
+        with pytest.raises(ReadConflictError):
+            mem.commit_step(arbiter)
+
+    def test_concurrent_writes_rejected(self, arbiter):
+        mem = SharedMemory(2, mode=AccessMode.EREW)
+        mem.request_write(0, 0, 1)
+        mem.request_write(1, 0, 2)
+        with pytest.raises(WriteConflictError):
+            mem.commit_step(arbiter)
+
+    def test_read_plus_write_same_cell_rejected(self, arbiter):
+        mem = SharedMemory(2, mode=AccessMode.EREW)
+        mem.request_read(0, 0)
+        mem.request_write(1, 0, 2)
+        with pytest.raises((ReadConflictError, WriteConflictError)):
+            mem.commit_step(arbiter)
+
+    def test_disjoint_accesses_fine(self, arbiter):
+        mem = SharedMemory(4, mode=AccessMode.EREW, initial=[0, 0, 0, 0])
+        mem.request_read(0, 0)
+        mem.request_write(1, 1, 5)
+        mem.request_read(2, 2)
+        mem.request_write(3, 3, 6)
+        mem.commit_step(arbiter)
+        assert mem[1] == 5 and mem[3] == 6
+
+
+class TestCREW:
+    def test_concurrent_reads_allowed(self, arbiter):
+        mem = SharedMemory(1, mode=AccessMode.CREW, initial=[3])
+        assert mem.request_read(0, 0) == 3
+        assert mem.request_read(1, 0) == 3
+        mem.commit_step(arbiter)
+
+    def test_concurrent_writes_rejected(self, arbiter):
+        mem = SharedMemory(1, mode=AccessMode.CREW)
+        mem.request_write(0, 0, 1)
+        mem.request_write(1, 0, 2)
+        with pytest.raises(WriteConflictError):
+            mem.commit_step(arbiter)
+
+    def test_reader_plus_writer_rejected(self, arbiter):
+        mem = SharedMemory(1, mode=AccessMode.CREW)
+        mem.request_read(0, 0)
+        mem.request_write(1, 0, 2)
+        with pytest.raises(WriteConflictError):
+            mem.commit_step(arbiter)
+
+
+class TestCRCW:
+    def test_common_equal_values_ok(self, arbiter):
+        mem = SharedMemory(1, mode=AccessMode.CRCW, policy=WritePolicy.COMMON)
+        mem.request_write(0, 0, 7)
+        mem.request_write(1, 0, 7)
+        mem.commit_step(arbiter)
+        assert mem[0] == 7
+
+    def test_common_differing_values_rejected(self, arbiter):
+        mem = SharedMemory(1, mode=AccessMode.CRCW, policy=WritePolicy.COMMON)
+        mem.request_write(0, 0, 7)
+        mem.request_write(1, 0, 8)
+        with pytest.raises(CommonWriteViolation):
+            mem.commit_step(arbiter)
+
+    def test_priority_lowest_pid_wins(self, arbiter):
+        mem = SharedMemory(1, mode=AccessMode.CRCW, policy=WritePolicy.PRIORITY)
+        mem.request_write(3, 0, "c")
+        mem.request_write(1, 0, "a")
+        mem.request_write(2, 0, "b")
+        mem.commit_step(arbiter)
+        assert mem[0] == "a"
+
+    def test_arbitrary_highest_pid_wins(self, arbiter):
+        mem = SharedMemory(1, mode=AccessMode.CRCW, policy=WritePolicy.ARBITRARY)
+        mem.request_write(3, 0, "c")
+        mem.request_write(1, 0, "a")
+        mem.commit_step(arbiter)
+        assert mem[0] == "c"
+
+    def test_random_winner_is_uniform(self):
+        """RANDOM arbitration must pick each writer ~uniformly."""
+        wins = {0: 0, 1: 0, 2: 0}
+        arbiter = SplitMix64(123)
+        for _ in range(3000):
+            mem = SharedMemory(1, mode=AccessMode.CRCW, policy=WritePolicy.RANDOM)
+            for pid in range(3):
+                mem.request_write(pid, 0, pid)
+            mem.commit_step(arbiter)
+            wins[mem[0]] += 1
+        for pid in range(3):
+            assert 850 <= wins[pid] <= 1150, wins
+
+    def test_conflict_counter(self, arbiter):
+        mem = SharedMemory(2, mode=AccessMode.CRCW)
+        mem.request_write(0, 0, 1)
+        mem.request_write(1, 0, 2)
+        mem.request_write(2, 1, 3)
+        mem.commit_step(arbiter)
+        assert mem.conflicted_writes == 1
+
+    def test_accounting_counters(self, arbiter):
+        mem = SharedMemory(2, mode=AccessMode.CRCW, initial=[0, 0])
+        mem.request_read(0, 0)
+        mem.request_read(1, 1)
+        mem.request_write(2, 0, 5)
+        mem.commit_step(arbiter)
+        assert mem.total_reads == 2 and mem.total_writes == 1
+        assert mem.cells_touched == {0, 1}

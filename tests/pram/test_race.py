@@ -1,0 +1,122 @@
+"""The §III CRCW max race: correctness, iteration bounds, policies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SelectionError
+from repro.pram.algorithms import max_random_write_race
+from repro.pram.policies import WritePolicy
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 33, 100])
+    def test_finds_argmax(self, n, rng):
+        values = rng.normal(size=n).tolist()
+        res = max_random_write_race(values, seed=int(rng.integers(2**31)))
+        assert res.winner == int(np.argmax(values))
+        assert res.maximum == max(values)
+
+    def test_ignores_neg_inf_entries(self, rng):
+        values = [-math.inf, 3.0, -math.inf, 1.0]
+        res = max_random_write_race(values, seed=0)
+        assert res.winner == 1 and res.k == 2
+
+    def test_single_participant(self):
+        res = max_random_write_race([-math.inf, 5.0], seed=0)
+        assert res.winner == 1 and res.iterations == 1
+
+    def test_all_neg_inf_rejected(self):
+        with pytest.raises(SelectionError):
+            max_random_write_race([-math.inf, -math.inf])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SelectionError):
+            max_random_write_race([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(SelectionError):
+            max_random_write_race([1.0, float("nan")])
+
+    def test_memory_is_constant_two_cells(self, rng):
+        res = max_random_write_race(rng.random(50).tolist(), seed=1)
+        assert res.metrics.memory_cells == 2
+
+    def test_per_proc_writes_sane(self, rng):
+        values = rng.random(20).tolist()
+        res = max_random_write_race(values, seed=2)
+        # The global winner keeps writing every round; others write fewer.
+        assert max(res.per_proc_writes) == res.iterations
+        assert res.per_proc_writes[res.winner] == res.iterations
+
+
+class TestIterationBounds:
+    def test_expected_iterations_harmonic(self):
+        """Mean iterations over many runs tracks H_k = Theta(log k)."""
+        k = 64
+        rng = np.random.default_rng(0)
+        iters = []
+        for _ in range(60):
+            values = rng.random(k)
+            res = max_random_write_race(values, seed=int(rng.integers(2**31)))
+            iters.append(res.iterations)
+        mean = np.mean(iters)
+        harmonic = sum(1.0 / i for i in range(1, k + 1))
+        assert abs(mean - harmonic) < 1.2  # H_64 ~ 4.74
+
+    def test_bounded_by_paper_sufficient_bound(self):
+        """2*ceil(log2 k) iterations suffice in expectation (with slack)."""
+        k = 128
+        rng = np.random.default_rng(1)
+        iters = []
+        for _ in range(40):
+            values = rng.random(k)
+            res = max_random_write_race(values, seed=int(rng.integers(2**31)))
+            iters.append(res.iterations)
+        assert np.mean(iters) <= 2 * math.ceil(math.log2(k))
+
+    def test_iterations_independent_of_values_scale(self):
+        """Only ranks matter: scaling values leaves the trajectory alike."""
+        rng = np.random.default_rng(3)
+        values = rng.random(32)
+        a = max_random_write_race(values, seed=77).iterations
+        b = max_random_write_race(values * 1e6, seed=77).iterations
+        assert a == b
+
+
+class TestPolicies:
+    def test_priority_adversarial_is_linear(self):
+        """Ascending values + lowest-pid-wins => one elimination per round."""
+        k = 32
+        values = np.arange(1, k + 1, dtype=float)
+        res = max_random_write_race(values, seed=0, policy=WritePolicy.PRIORITY)
+        assert res.iterations == k
+
+    def test_arbitrary_adversarial_is_linear(self):
+        k = 32
+        values = np.arange(k, 0, -1, dtype=float)  # highest pid = smallest
+        res = max_random_write_race(values, seed=0, policy=WritePolicy.ARBITRARY)
+        assert res.iterations == k
+
+    def test_priority_best_case_is_constant(self):
+        """Descending values + lowest-pid-wins => one round."""
+        values = np.arange(32, 0, -1, dtype=float)
+        res = max_random_write_race(values, seed=0, policy=WritePolicy.PRIORITY)
+        assert res.iterations == 1
+
+    def test_random_beats_adversarial_deterministic(self):
+        """RANDOM stays logarithmic on the layouts that break the others."""
+        k = 64
+        values = np.arange(1, k + 1, dtype=float)
+        iters = [
+            max_random_write_race(values, seed=s, policy=WritePolicy.RANDOM).iterations
+            for s in range(30)
+        ]
+        assert np.mean(iters) < 12  # H_64 ~ 4.7, generous ceiling
+
+    def test_all_policies_find_argmax(self, rng):
+        values = rng.random(20).tolist()
+        for policy in (WritePolicy.RANDOM, WritePolicy.PRIORITY, WritePolicy.ARBITRARY):
+            res = max_random_write_race(values, seed=4, policy=policy)
+            assert res.winner == int(np.argmax(values))

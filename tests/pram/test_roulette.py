@@ -1,0 +1,100 @@
+"""Full PRAM roulette selections: distribution and cost claims."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitness import exact_probabilities
+from repro.errors import FitnessError
+from repro.pram.algorithms import log_bidding_roulette, prefix_sum_roulette
+from repro.stats.gof import chi_square_gof
+
+
+class TestPrefixSumRoulette:
+    def test_valid_winner(self, table1_fitness):
+        out = prefix_sum_roulette(table1_fitness, seed=0)
+        assert 1 <= out.winner <= 9  # index 0 has zero fitness
+
+    def test_distribution_matches_target(self):
+        f = np.array([0.0, 1.0, 2.0, 3.0])
+        counts = np.zeros(4, dtype=np.int64)
+        for seed in range(3000):
+            counts[prefix_sum_roulette(f, seed=seed).winner] += 1
+        res = chi_square_gof(counts, exact_probabilities(f))
+        assert not res.reject(1e-4)
+
+    def test_memory_linear_in_n(self):
+        out = prefix_sum_roulette(np.ones(32), seed=0)
+        assert out.memory_cells == 3 * 32 + 1
+
+    def test_steps_logarithmic(self):
+        steps = {}
+        for n in (16, 256):
+            steps[n] = prefix_sum_roulette(np.ones(n), seed=0).metrics.steps
+        assert steps[256] < 2 * steps[16]
+
+    def test_deterministic_per_seed(self, table1_fitness):
+        a = prefix_sum_roulette(table1_fitness, seed=9).winner
+        b = prefix_sum_roulette(table1_fitness, seed=9).winner
+        assert a == b
+
+    def test_invalid_fitness_rejected(self):
+        with pytest.raises(FitnessError):
+            prefix_sum_roulette([-1.0, 2.0])
+
+
+class TestLogBiddingRoulette:
+    def test_valid_winner(self, table1_fitness):
+        out = log_bidding_roulette(table1_fitness, seed=0)
+        assert 1 <= out.winner <= 9
+
+    def test_distribution_matches_target(self):
+        f = np.array([0.0, 1.0, 2.0, 3.0])
+        counts = np.zeros(4, dtype=np.int64)
+        for seed in range(3000):
+            counts[log_bidding_roulette(f, seed=seed).winner] += 1
+        res = chi_square_gof(counts, exact_probabilities(f))
+        assert not res.reject(1e-4)
+
+    def test_constant_memory(self):
+        for n in (4, 64, 512):
+            out = log_bidding_roulette(np.ones(n), seed=1)
+            assert out.memory_cells == 2
+
+    def test_k_reported(self, sparse_wheel):
+        out = log_bidding_roulette(sparse_wheel, seed=0)
+        assert out.k == 5
+
+    def test_zero_fitness_never_wins(self, sparse_wheel):
+        support = set(np.flatnonzero(sparse_wheel > 0.0).tolist())
+        for seed in range(100):
+            assert log_bidding_roulette(sparse_wheel, seed=seed).winner in support
+
+    def test_race_iterations_scale_with_k_not_n(self):
+        """With k=2 of n=256 the race ends in ~1-2 iterations."""
+        f = np.zeros(256)
+        f[[10, 200]] = 1.0
+        iters = [log_bidding_roulette(f, seed=s).race_iterations for s in range(40)]
+        assert np.mean(iters) <= 2.5
+
+    def test_deterministic_per_seed(self, table1_fitness):
+        a = log_bidding_roulette(table1_fitness, seed=4)
+        b = log_bidding_roulette(table1_fitness, seed=4)
+        assert a.winner == b.winner and a.race_iterations == b.race_iterations
+
+    def test_invalid_fitness_rejected(self):
+        with pytest.raises(FitnessError):
+            log_bidding_roulette([0.0, 0.0])
+
+
+class TestCrossValidation:
+    def test_both_algorithms_agree_in_distribution(self):
+        """Same wheel, both PRAM selections, same empirical distribution."""
+        f = np.array([1.0, 2.0, 2.0])
+        counts_a = np.zeros(3, dtype=np.int64)
+        counts_b = np.zeros(3, dtype=np.int64)
+        for seed in range(2500):
+            counts_a[prefix_sum_roulette(f, seed=seed).winner] += 1
+            counts_b[log_bidding_roulette(f, seed=seed).winner] += 1
+        target = exact_probabilities(f)
+        assert not chi_square_gof(counts_a, target).reject(1e-4)
+        assert not chi_square_gof(counts_b, target).reject(1e-4)

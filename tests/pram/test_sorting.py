@@ -1,0 +1,82 @@
+"""Bitonic sort on the PRAM and the sort-based selection order."""
+
+import numpy as np
+import pytest
+
+from repro.pram.algorithms import bitonic_sort, pram_selection_order
+from repro.stats.gof import chi_square_gof
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 33])
+    def test_matches_sorted(self, n, rng):
+        values = rng.normal(size=n).tolist()
+        out, _ = bitonic_sort(values)
+        assert out == sorted(values)
+
+    @pytest.mark.parametrize("n", [2, 7, 16, 31])
+    def test_descending(self, n, rng):
+        values = rng.normal(size=n).tolist()
+        out, _ = bitonic_sort(values, descending=True)
+        assert out == sorted(values, reverse=True)
+
+    def test_duplicates(self):
+        out, _ = bitonic_sort([3.0, 1.0, 3.0, 1.0, 2.0])
+        assert out == [1.0, 1.0, 2.0, 3.0, 3.0]
+
+    def test_already_sorted(self):
+        out, _ = bitonic_sort([1.0, 2.0, 3.0, 4.0])
+        assert out == [1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bitonic_sort([])
+
+    def test_log_squared_steps(self):
+        _, m16 = bitonic_sort(list(np.random.default_rng(0).random(16)))
+        _, m256 = bitonic_sort(list(np.random.default_rng(0).random(256)))
+        # (log 256)^2 / (log 16)^2 = 4; steps ratio must stay near that,
+        # far below the 16x data growth.
+        assert m256.steps < 6 * m16.steps
+
+    def test_erew_clean_for_many_sizes(self, rng):
+        for n in range(1, 20):
+            bitonic_sort(rng.random(n).tolist())  # any violation raises
+
+
+class TestSelectionOrder:
+    def test_order_covers_support_exactly(self, sparse_wheel):
+        order, _ = pram_selection_order(sparse_wheel, seed=0)
+        assert sorted(order) == [3, 17, 31, 40, 59]
+
+    def test_zero_fitness_excluded(self):
+        order, _ = pram_selection_order([0.0, 1.0, 0.0, 2.0], seed=1)
+        assert sorted(order) == [1, 3]
+
+    def test_first_position_is_roulette_distributed(self):
+        f = np.array([1.0, 2.0, 3.0])
+        counts = np.zeros(3, dtype=np.int64)
+        for seed in range(3000):
+            order, _ = pram_selection_order(f, seed=seed)
+            counts[order[0]] += 1
+        res = chi_square_gof(counts, f / 6.0)
+        assert not res.reject(1e-4)
+
+    def test_agrees_with_core_swor_in_distribution(self):
+        """Sort-based and top-k-based SWOR share the first-pick law."""
+        from repro.core import sample_without_replacement
+
+        f = np.array([4.0, 1.0, 2.0])
+        counts_sort = np.zeros(3, dtype=np.int64)
+        counts_topk = np.zeros(3, dtype=np.int64)
+        for seed in range(3000):
+            counts_sort[pram_selection_order(f, seed=seed)[0][0]] += 1
+            counts_topk[sample_without_replacement(f, 1, rng=seed)[0]] += 1
+        target = f / f.sum()
+        assert not chi_square_gof(counts_sort, target).reject(1e-4)
+        assert not chi_square_gof(counts_topk, target).reject(1e-4)
+
+    def test_deterministic_per_seed(self, sparse_wheel):
+        a, _ = pram_selection_order(sparse_wheel, seed=9)
+        b, _ = pram_selection_order(sparse_wheel, seed=9)
+        assert a == b

@@ -1,0 +1,68 @@
+"""PRAM sampling without replacement (the k-race extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SelectionError
+from repro.pram.algorithms import log_bidding_roulette_without_replacement as pram_swor
+from repro.stats.gof import chi_square_gof
+
+
+class TestBasics:
+    def test_distinct_winners(self, table1_fitness):
+        out = pram_swor(table1_fitness, 5, seed=0)
+        assert len(set(out.winners)) == 5
+
+    def test_never_zero_fitness(self, sparse_wheel):
+        out = pram_swor(sparse_wheel, 5, seed=1)
+        assert sorted(out.winners) == [3, 17, 31, 40, 59]
+
+    def test_k_zero(self, table1_fitness):
+        out = pram_swor(table1_fitness, 0, seed=0)
+        assert out.winners == [] and out.total_steps == 0
+
+    def test_k_exceeds_support(self, sparse_wheel):
+        with pytest.raises(SelectionError):
+            pram_swor(sparse_wheel, 6, seed=0)
+
+    def test_negative_k(self, table1_fitness):
+        with pytest.raises(SelectionError):
+            pram_swor(table1_fitness, -1, seed=0)
+
+    def test_constant_memory(self, table1_fitness):
+        assert pram_swor(table1_fitness, 3, seed=0).memory_cells == 2
+
+    def test_metrics_accumulate(self, table1_fitness):
+        out = pram_swor(table1_fitness, 4, seed=2)
+        assert len(out.race_iterations) == 4
+        assert out.total_steps > 0 and out.total_work > 0
+
+    def test_deterministic(self, table1_fitness):
+        a = pram_swor(table1_fitness, 3, seed=5).winners
+        b = pram_swor(table1_fitness, 3, seed=5).winners
+        assert a == b
+
+
+class TestDistribution:
+    def test_first_winner_is_roulette(self):
+        f = np.array([1.0, 2.0, 3.0])
+        counts = np.zeros(3, dtype=np.int64)
+        for seed in range(4000):
+            counts[pram_swor(f, 1, seed=seed * 7).winners[0]] += 1
+        res = chi_square_gof(counts, f / 6.0)
+        assert not res.reject(1e-4)
+
+    def test_pair_distribution_matches_sequential(self):
+        f = np.array([1.0, 2.0, 3.0])
+        total = f.sum()
+        exact = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    exact[i, j] = (f[i] / total) * (f[j] / (total - f[i]))
+        pair = np.zeros((3, 3), dtype=np.int64)
+        for seed in range(4000):
+            i, j = pram_swor(f, 2, seed=seed * 13).winners
+            pair[i, j] += 1
+        res = chi_square_gof(pair.ravel(), exact.ravel())
+        assert not res.reject(1e-4)

@@ -1,0 +1,120 @@
+"""Execution tracing of PRAM runs."""
+
+import math
+
+import pytest
+
+from repro.pram import PRAM, AccessMode, Barrier, Noop, Read, Write, WritePolicy
+from repro.pram.trace import TraceEvent, Tracer, render_trace
+
+
+class TestTracer:
+    def test_events_recorded(self):
+        def program(proc):
+            yield Write(0, proc.pid)
+            value = yield Read(0)
+            return value
+
+        tracer = Tracer()
+        PRAM(nprocs=2, memory_size=1, mode=AccessMode.CRCW).run(program, tracer=tracer)
+        kinds = [e.kind for e in tracer.events]
+        assert kinds.count("write") == 2
+        assert kinds.count("read") == 2
+        assert kinds.count("halt") == 2
+
+    def test_exactly_one_write_survives_per_cell_per_step(self):
+        def program(proc):
+            yield Write(0, proc.pid)
+
+        tracer = Tracer()
+        PRAM(
+            nprocs=8, memory_size=1, mode=AccessMode.CRCW, policy=WritePolicy.RANDOM
+        ).run(program, tracer=tracer)
+        writes = tracer.writes_to(0)
+        assert len(writes) == 8
+        assert sum(1 for w in writes if w.survived) == 1
+
+    def test_survivor_matches_final_memory(self):
+        def program(proc):
+            yield Write(0, f"value-{proc.pid}")
+
+        tracer = Tracer()
+        result = PRAM(nprocs=4, memory_size=1, mode=AccessMode.CRCW).run(
+            program, tracer=tracer
+        )
+        survivor = next(w for w in tracer.writes_to(0) if w.survived)
+        assert result.memory[0] == survivor.value
+
+    def test_reads_record_observed_value(self):
+        def program(proc):
+            value = yield Read(0)
+            return value
+
+        tracer = Tracer()
+        pram = PRAM(nprocs=1, memory_size=1)
+        pram.memory[0] = 42
+        pram.run(program, tracer=tracer)
+        read_events = [e for e in tracer.events if e.kind == "read"]
+        assert read_events[0].value == 42
+
+    def test_barrier_and_noop_events(self):
+        def program(proc):
+            yield Noop()
+            yield Barrier()
+
+        tracer = Tracer()
+        PRAM(nprocs=2, memory_size=1).run(program, tracer=tracer)
+        kinds = {e.kind for e in tracer.events}
+        assert {"noop", "barrier", "halt"} <= kinds
+
+    def test_truncation(self):
+        def program(proc):
+            for _ in range(50):
+                yield Noop()
+
+        tracer = Tracer(limit=10)
+        PRAM(nprocs=2, memory_size=1).run(program, tracer=tracer)
+        assert len(tracer.events) == 10
+        assert tracer.truncated
+
+    def test_step_accessors(self):
+        def program(proc):
+            yield Write(proc.pid, 1)
+            yield Noop()
+
+        tracer = Tracer()
+        PRAM(nprocs=3, memory_size=3, mode=AccessMode.CRCW).run(program, tracer=tracer)
+        assert tracer.steps()[0] == 1
+        step1 = tracer.at_step(1)
+        assert [e.pid for e in step1] == [0, 1, 2]
+
+
+class TestRenderTrace:
+    def test_renders_race_rounds(self):
+        """The §III race trace shows write conflicts being resolved."""
+        from repro.pram.algorithms.max_random_write import race_program
+
+        tracer = Tracer()
+        pram = PRAM(nprocs=4, memory_size=2, mode=AccessMode.CRCW, seed=1)
+        pram.memory[0] = -math.inf
+        pram.run(race_program, [0.1, 0.4, 0.2, 0.3], tracer=tracer)
+        text = render_trace(tracer)
+        assert "W[0]" in text and "R[0]" in text
+        assert "!" in text  # at least one surviving conflicted write
+        assert "barrier" in text
+
+    def test_max_steps_limits_output(self):
+        def program(proc):
+            for _ in range(5):
+                yield Noop()
+
+        tracer = Tracer()
+        PRAM(nprocs=1, memory_size=1).run(program, tracer=tracer)
+        short = render_trace(tracer, max_steps=2)
+        assert len(short.splitlines()) == 2
+
+    def test_truncated_note(self):
+        tracer = Tracer(limit=1)
+        tracer.record(TraceEvent(1, 0, "noop"))
+        tracer.record(TraceEvent(2, 0, "noop"))
+        assert "truncated" in render_trace(tracer)

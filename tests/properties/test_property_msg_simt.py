@@ -1,0 +1,102 @@
+"""Hypothesis property tests for the message-passing and SIMT substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msg import Network, all_reduce_max, binomial_broadcast, binomial_reduce
+from repro.msg.collectives import all_reduce
+from repro.simt import AtomicAdd, AtomicMax, SIMTMachine
+
+sizes = st.integers(1, 24)
+seeds = st.integers(0, 2**31 - 1)
+
+
+class TestCollectiveProperties:
+    @given(sizes, st.integers())
+    @settings(max_examples=40, deadline=None)
+    def test_broadcast_delivers_everywhere(self, p, payload):
+        def prog(ctx):
+            v = payload if ctx.rank == 0 else None
+            out = yield from binomial_broadcast(ctx, v)
+            return out
+
+        assert Network(p, seed=0).run(prog).returns == [payload] * p
+
+    @given(sizes, st.lists(st.integers(-1000, 1000), min_size=24, max_size=24))
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_equals_python_sum(self, p, values):
+        def prog(ctx):
+            out = yield from binomial_reduce(ctx, values[ctx.rank], lambda a, b: a + b)
+            return out
+
+        res = Network(p, seed=0).run(prog)
+        assert res.returns[0] == sum(values[:p])
+
+    @given(sizes, st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=24, max_size=24))
+    @settings(max_examples=40, deadline=None)
+    def test_all_reduce_max_equals_python_max(self, p, values):
+        def prog(ctx):
+            out = yield from all_reduce_max(ctx, values[ctx.rank])
+            return out
+
+        res = Network(p, seed=0).run(prog)
+        assert res.returns == [max(values[:p])] * p
+
+    @given(sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_all_reduce_associative_combine(self, p):
+        """min as combine — any associative/commutative op must work."""
+
+        def prog(ctx):
+            out = yield from all_reduce(ctx, (ctx.rank * 7 + 3) % 11, min)
+            return out
+
+        res = Network(p, seed=0).run(prog)
+        expected = min((r * 7 + 3) % 11 for r in range(p))
+        assert res.returns == [expected] * p
+
+
+class TestSIMTProperties:
+    @given(st.integers(1, 64), st.integers(1, 32), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_atomic_add_total_is_thread_count(self, nthreads, warp_width, seed):
+        def kernel(ctx):
+            _ = yield AtomicAdd(0, 1)
+            return None
+
+        m = SIMTMachine(nthreads=nthreads, memory_size=1, warp_width=warp_width, seed=seed)
+        res = m.launch(kernel)
+        assert res.memory[0] == nthreads
+        assert res.metrics.atomic_serializations == nthreads
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=48),
+        st.integers(1, 16),
+        seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_atomic_max_finds_maximum(self, values, warp_width, seed):
+        def kernel(ctx):
+            yield AtomicMax(0, values[ctx.thread_id])
+            return None
+
+        m = SIMTMachine(
+            nthreads=len(values), memory_size=1, warp_width=warp_width, seed=seed
+        )
+        m.memory[0] = -np.inf
+        res = m.launch(kernel)
+        assert res.memory[0] == max(values)
+
+    @given(st.integers(1, 48), st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_atomic_add_old_values_are_permutation(self, nthreads, warp_width):
+        """Serialised atomics must behave as a linearisable counter."""
+
+        def kernel(ctx):
+            old = yield AtomicAdd(0, 1)
+            return old
+
+        m = SIMTMachine(nthreads=nthreads, memory_size=1, warp_width=warp_width)
+        res = m.launch(kernel)
+        assert sorted(res.returns) == list(range(nthreads))

@@ -1,0 +1,86 @@
+"""Hypothesis property tests over the PRAM substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram.algorithms import (
+    blelloch_scan,
+    broadcast,
+    hillis_steele_scan,
+    max_random_write_race,
+    tree_reduce_max,
+    tree_reduce_sum,
+)
+
+float_lists = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=48,
+)
+positive_lists = st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=48)
+
+
+class TestScanProperties:
+    @given(positive_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_hillis_steele_equals_cumsum(self, values):
+        out, _ = hillis_steele_scan(values)
+        assert np.allclose(out, np.cumsum(values), rtol=1e-9, atol=1e-6)
+
+    @given(positive_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_blelloch_equals_cumsum(self, values):
+        out, _ = blelloch_scan(values)
+        assert np.allclose(out, np.cumsum(values), rtol=1e-9, atol=1e-6)
+
+    @given(positive_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_scans_agree_with_each_other(self, values):
+        a, _ = hillis_steele_scan(values)
+        b, _ = blelloch_scan(values)
+        assert np.allclose(a, b, rtol=1e-9, atol=1e-6)
+
+
+class TestReductionProperties:
+    @given(float_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_max_reduction(self, values):
+        top, _ = tree_reduce_max(values)
+        assert top == max(values)
+
+    @given(float_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_sum_reduction(self, values):
+        total, _ = tree_reduce_sum(values)
+        assert np.isclose(total, np.sum(values), rtol=1e-9, atol=1e-6)
+
+
+class TestBroadcastProperties:
+    @given(st.integers(1, 70), st.integers())
+    @settings(max_examples=40, deadline=None)
+    def test_broadcast_fills_everything(self, n, value):
+        mem, metrics = broadcast(value, n)
+        assert mem == [value] * n
+        # Depth bound: 1 + 2*ceil(log2 n) + epilogue.
+        if n > 1:
+            assert metrics.steps <= 2 * int(np.ceil(np.log2(n))) + 3
+
+
+class TestRaceProperties:
+    @given(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=40,
+            unique=True,
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_race_finds_argmax(self, values, seed):
+        res = max_random_write_race(values, seed=seed)
+        assert res.winner == int(np.argmax(values))
+        assert res.maximum == max(values)
+        assert res.metrics.memory_cells == 2
+        assert 1 <= res.iterations <= len(values)

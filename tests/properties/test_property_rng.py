@@ -1,0 +1,93 @@
+"""Hypothesis property tests over the PRNG substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import ENGINES, MT19937, PCG32, Philox4x32, make_engine
+from repro.rng.philox import philox4x32_block
+
+seeds = st.integers(0, 2**63 - 1)
+engine_names = st.sampled_from(sorted(ENGINES))
+
+
+class TestGenericEngineProperties:
+    @given(engine_names, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_same_seed_same_stream(self, name, seed):
+        a = make_engine(name, seed)
+        b = make_engine(name, seed)
+        assert [a.next_uint64() for _ in range(20)] == [b.next_uint64() for _ in range(20)]
+
+    @given(engine_names, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_floats_in_unit_interval(self, name, seed):
+        gen = make_engine(name, seed)
+        for _ in range(100):
+            assert 0.0 <= gen.random() < 1.0
+
+    @given(engine_names, seeds, st.integers(1, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_randint_below_in_range(self, name, seed, n):
+        gen = make_engine(name, seed)
+        for _ in range(50):
+            assert 0 <= gen.randint_below(n) < n
+
+    @given(engine_names, seeds, st.lists(st.integers(), min_size=0, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_shuffle_preserves_multiset(self, name, seed, items):
+        gen = make_engine(name, seed)
+        shuffled = list(items)
+        gen.shuffle(shuffled)
+        assert sorted(shuffled) == sorted(items)
+
+
+class TestPhiloxProperties:
+    counters = st.tuples(*[st.integers(0, 2**32 - 1)] * 4)
+    keys = st.tuples(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+
+    @given(counters, keys)
+    @settings(max_examples=200)
+    def test_block_deterministic_and_in_range(self, counter, key):
+        a = philox4x32_block(counter, key)
+        b = philox4x32_block(counter, key)
+        assert a == b
+        assert all(0 <= w <= 0xFFFFFFFF for w in a)
+
+    @given(counters, counters, keys)
+    @settings(max_examples=200)
+    def test_distinct_counters_distinct_blocks(self, c1, c2, key):
+        if c1 != c2:
+            assert philox4x32_block(c1, key) != philox4x32_block(c2, key)
+
+    @given(seeds, st.integers(0, 1000), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_streams_with_distinct_ids_differ(self, seed, s1, s2):
+        if s1 != s2:
+            a = Philox4x32(seed, stream=s1)
+            b = Philox4x32(seed, stream=s2)
+            assert [a.next_uint32() for _ in range(8)] != [
+                b.next_uint32() for _ in range(8)
+            ]
+
+
+class TestJumpConsistency:
+    @given(seeds, st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_pcg_advance_equals_stepping(self, seed, steps):
+        a = PCG32(seed)
+        b = PCG32(seed)
+        for _ in range(steps):
+            a.next_uint32()
+        b.advance(steps)
+        assert a.next_uint32() == b.next_uint32()
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_mt_state_roundtrip(self, seed):
+        m = MT19937(seed & 0xFFFFFFFF)
+        m.raw(100)
+        state = m.getstate()
+        expected = m.raw(10).tolist()
+        m2 = MT19937(0)
+        m2.setstate(state)
+        assert m2.raw(10).tolist() == expected

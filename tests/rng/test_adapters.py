@@ -1,0 +1,81 @@
+"""UniformSource adapters between our generators and NumPy-style callers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RNGError
+from repro.rng import MT19937, UniformAdapter, resolve_rng
+from repro.typing import UniformSource
+
+
+class TestUniformAdapter:
+    def test_scalar_draw(self):
+        u = UniformAdapter(MT19937(1)).random()
+        assert isinstance(u, float) and 0.0 <= u < 1.0
+
+    def test_vector_draw_shape_and_dtype(self):
+        arr = UniformAdapter(MT19937(1)).random(100)
+        assert arr.shape == (100,) and arr.dtype == np.float64
+
+    def test_tuple_shape(self):
+        arr = UniformAdapter(MT19937(1)).random((4, 5))
+        assert arr.shape == (4, 5)
+
+    def test_matches_underlying_stream(self):
+        a = UniformAdapter(MT19937(7))
+        b = MT19937(7)
+        assert a.random() == b.random()
+
+    def test_resolution_32_matches_genrand_real2(self):
+        a = UniformAdapter(MT19937(7), resolution=32)
+        b = MT19937(7)
+        assert a.random() == b.random32()
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(RNGError):
+            UniformAdapter(MT19937(0), resolution=48)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(UniformAdapter(MT19937(0)), UniformSource)
+
+    def test_integers_scalar_and_vector(self):
+        a = UniformAdapter(MT19937(3))
+        x = a.integers(10)
+        assert 0 <= x < 10
+        v = a.integers(2, 5, size=50)
+        assert v.min() >= 2 and v.max() < 5
+
+    def test_shuffle(self):
+        a = UniformAdapter(MT19937(3))
+        seq = list(range(20))
+        a.shuffle(seq)
+        assert sorted(seq) == list(range(20))
+
+
+class TestResolveRng:
+    def test_none_gives_numpy_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_seed(self):
+        a = resolve_rng(42).random(5)
+        b = resolve_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(resolve_rng(np.int64(7)), np.random.Generator)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert resolve_rng(g) is g
+
+    def test_bitgenerator_wrapped(self):
+        src = resolve_rng(MT19937(5))
+        assert isinstance(src, UniformAdapter)
+
+    def test_passthrough_adapter(self):
+        a = UniformAdapter(MT19937(0))
+        assert resolve_rng(a) is a
+
+    def test_garbage_rejected(self):
+        with pytest.raises(RNGError):
+            resolve_rng("not an rng")

@@ -1,0 +1,192 @@
+"""Cross-engine interface and distributional tests.
+
+One parametrised suite over every registered engine, so any future engine
+automatically inherits the contract checks.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import RNGError
+from repro.rng import ENGINES, PCG32, SplitMix64, Xoshiro256StarStar, make_engine
+
+ALL_ENGINES = sorted(ENGINES)
+
+
+@pytest.fixture(params=ALL_ENGINES)
+def engine(request):
+    return make_engine(request.param, seed=987654321)
+
+
+class TestContract:
+    def test_determinism(self, engine):
+        a = type(engine)(123)
+        b = type(engine)(123)
+        assert [a.next_uint32() for _ in range(100)] == [b.next_uint32() for _ in range(100)]
+
+    def test_uint32_range(self, engine):
+        for _ in range(1000):
+            x = engine.next_uint32()
+            assert 0 <= x <= 0xFFFFFFFF
+
+    def test_uint64_range(self, engine):
+        for _ in range(1000):
+            x = engine.next_uint64()
+            assert 0 <= x <= 0xFFFFFFFFFFFFFFFF
+
+    def test_random_unit_interval(self, engine):
+        vals = [engine.random() for _ in range(2000)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+
+    def test_random_open_excludes_zero(self, engine):
+        vals = [engine.random_open() for _ in range(2000)]
+        assert all(0.0 < v < 1.0 for v in vals)
+
+    def test_random32_resolution(self, engine):
+        vals = [engine.random32() for _ in range(500)]
+        assert all(float(v * 2**32).is_integer() for v in vals)
+
+    def test_uniform_bounds(self, engine):
+        vals = [engine.uniform(-3.0, 7.0) for _ in range(1000)]
+        assert all(-3.0 <= v < 7.0 for v in vals)
+
+    def test_uniform_rejects_empty_interval(self, engine):
+        with pytest.raises(RNGError):
+            engine.uniform(1.0, 1.0)
+
+    def test_randint_below_bounds(self, engine):
+        for n in (1, 2, 7, 100):
+            vals = [engine.randint_below(n) for _ in range(200)]
+            assert all(0 <= v < n for v in vals)
+
+    def test_randint_below_rejects_nonpositive(self, engine):
+        with pytest.raises(RNGError):
+            engine.randint_below(0)
+
+    def test_randrange(self, engine):
+        vals = [engine.randrange(5, 9) for _ in range(200)]
+        assert set(vals) <= {5, 6, 7, 8}
+
+    def test_randrange_empty(self, engine):
+        with pytest.raises(RNGError):
+            engine.randrange(3, 3)
+
+    def test_shuffle_is_permutation(self, engine):
+        seq = list(range(50))
+        engine.shuffle(seq)
+        assert sorted(seq) == list(range(50))
+
+    def test_permutation(self, engine):
+        perm = engine.permutation(30)
+        assert sorted(perm) == list(range(30))
+
+    def test_choice(self, engine):
+        assert engine.choice(["a", "b", "c"]) in {"a", "b", "c"}
+
+    def test_choice_empty_rejected(self, engine):
+        with pytest.raises(RNGError):
+            engine.choice([])
+
+    def test_iter_random_count(self, engine):
+        assert len(list(engine.iter_random(17))) == 17
+
+
+class TestDistribution:
+    """Light statistical screening (not a PRNG test battery, a smoke alarm)."""
+
+    def test_uniformity_chi_square(self, engine):
+        bins = np.zeros(16, dtype=np.int64)
+        for _ in range(8000):
+            bins[int(engine.random() * 16)] += 1
+        stat = ((bins - 500.0) ** 2 / 500.0).sum()
+        # chi2(15) 99.9th percentile ~ 37.7
+        assert stat < sps.chi2.ppf(0.999, 15)
+
+    def test_bit_balance(self, engine):
+        ones = sum(bin(engine.next_uint32()).count("1") for _ in range(2000))
+        total = 2000 * 32
+        # ~N(total/2, total/4): 5 sigma band.
+        assert abs(ones - total / 2) < 5 * (total / 4) ** 0.5
+
+    def test_lag1_correlation(self, engine):
+        xs = np.array([engine.random() for _ in range(4000)])
+        corr = np.corrcoef(xs[:-1], xs[1:])[0, 1]
+        assert abs(corr) < 0.08
+
+
+class TestRegistry:
+    def test_make_engine_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown RNG engine"):
+            make_engine("nonsense")
+
+    def test_make_engine_case_insensitive(self):
+        assert type(make_engine("MT19937")).__name__ == "MT19937"
+
+    def test_all_engines_constructible(self):
+        for name in ALL_ENGINES:
+            make_engine(name, seed=1).random()
+
+
+class TestEngineSpecific:
+    def test_splitmix_known_vector(self):
+        # SplitMix64(seed=0) first output (widely published test value).
+        assert SplitMix64(0).next_uint64() == 0xE220A8397B1DCDAF
+
+    def test_splitmix_state_roundtrip(self):
+        sm = SplitMix64(9)
+        sm.next_uint64()
+        state = sm.getstate()
+        expected = sm.next_uint64()
+        sm2 = SplitMix64(0)
+        sm2.setstate(state)
+        assert sm2.next_uint64() == expected
+
+    def test_pcg32_reference_demo_outputs(self):
+        # pcg_basic demo: srandom(42, 54) -> first six 32-bit outputs.
+        p = PCG32(42, stream=54)
+        assert [p.next_uint32() for _ in range(6)] == [
+            0xA15C02B7,
+            0x7B47F409,
+            0xBA1D3330,
+            0x83D2F293,
+            0xBFA4784B,
+            0xCBED606E,
+        ]
+
+    def test_pcg32_advance_matches_sequential(self):
+        a = PCG32(7, stream=3)
+        b = PCG32(7, stream=3)
+        for _ in range(1000):
+            a.next_uint32()
+        b.advance(1000)
+        assert a.next_uint32() == b.next_uint32()
+
+    def test_pcg32_streams_differ(self):
+        assert [PCG32(1, stream=1).next_uint32() for _ in range(5)] != [
+            PCG32(1, stream=2).next_uint32() for _ in range(5)
+        ]
+
+    def test_pcg32_setstate_rejects_even_increment(self):
+        with pytest.raises(ValueError):
+            PCG32(0).setstate((123, 2))
+
+    def test_xoshiro_jump_disjointness(self):
+        base = Xoshiro256StarStar(5)
+        jumped = base.jumped(1)
+        a = {base.next_uint64() for _ in range(2000)}
+        b = {jumped.next_uint64() for _ in range(2000)}
+        assert not a & b  # overlap probability is ~0 for disjoint streams
+
+    def test_xoshiro_state_roundtrip(self):
+        x = Xoshiro256StarStar(3)
+        x.next_uint64()
+        state = x.getstate()
+        expected = [x.next_uint64() for _ in range(5)]
+        y = Xoshiro256StarStar(0)
+        y.setstate(state)
+        assert [y.next_uint64() for _ in range(5)] == expected
+
+    def test_xoshiro_rejects_zero_state(self):
+        with pytest.raises(ValueError):
+            Xoshiro256StarStar(0).setstate((0, 0, 0, 0))

@@ -1,0 +1,118 @@
+"""MT19937 known-answer and cross-validation tests.
+
+The paper's rand() is the Mersenne Twister; these tests pin our
+implementation to external references so every downstream simulation is
+anchored to the generator the paper actually used.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import RNGError
+from repro.rng import MT19937
+
+
+class TestKnownAnswers:
+    def test_first_output_default_seed(self):
+        # C++ std::mt19937 (same algorithm/seeding): first output for 5489.
+        assert MT19937(5489).next_uint32() == 3499211612
+
+    def test_ten_thousandth_output(self):
+        # ISO C++ mandates mt19937's 10000th invocation yields 4123659995.
+        m = MT19937(5489)
+        for _ in range(9999):
+            m.next_uint32()
+        assert m.next_uint32() == 4123659995
+
+    def test_init_by_array_reference_prefix(self):
+        # First outputs of mt19937ar.out for the canonical test key.
+        m = MT19937(0)
+        m.init_by_array([0x123, 0x234, 0x345, 0x456])
+        assert [m.next_uint32() for _ in range(3)] == [
+            1067595299,
+            955945823,
+            477289528,
+        ]
+
+
+class TestNumpyCrossValidation:
+    @pytest.mark.parametrize("seed", [0, 1, 12345, 2**31 - 1])
+    def test_raw_stream_matches_numpy(self, seed):
+        """Inject our state into numpy's MT19937 and compare raw words."""
+        ours = MT19937(seed)
+        key, pos = ours.getstate()
+        theirs = np.random.MT19937()
+        theirs.state = {
+            "bit_generator": "MT19937",
+            "state": {"key": np.array(key, dtype=np.uint32), "pos": pos},
+        }
+        assert np.array_equal(ours.raw(3000), theirs.random_raw(3000).astype(np.uint32))
+
+    def test_twist_boundary_alignment(self):
+        """Outputs crossing several twist boundaries stay in agreement."""
+        ours = MT19937(777)
+        key, pos = ours.getstate()
+        theirs = np.random.MT19937()
+        theirs.state = {
+            "bit_generator": "MT19937",
+            "state": {"key": np.array(key, dtype=np.uint32), "pos": pos},
+        }
+        n = 624 * 3 + 100  # > 3 twists
+        assert np.array_equal(ours.raw(n), theirs.random_raw(n).astype(np.uint32))
+
+
+class TestInterface:
+    def test_random32_is_genrand_real2(self):
+        m1, m2 = MT19937(42), MT19937(42)
+        assert m1.random32() == m2.next_uint32() / 2**32
+
+    def test_random_is_53_bit(self):
+        m = MT19937(42)
+        values = [m.random() for _ in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        # 53-bit resolution: values times 2**53 should be integral.
+        assert all(float(v * 2**53).is_integer() for v in values)
+
+    def test_seed_determinism(self):
+        assert MT19937(9).raw(50).tolist() == MT19937(9).raw(50).tolist()
+
+    def test_different_seeds_differ(self):
+        assert MT19937(1).raw(10).tolist() != MT19937(2).raw(10).tolist()
+
+    def test_state_roundtrip(self):
+        m = MT19937(5)
+        m.raw(1000)
+        state = m.getstate()
+        expected = m.raw(100)
+        m2 = MT19937(0)
+        m2.setstate(state)
+        assert np.array_equal(m2.raw(100), expected)
+
+    def test_setstate_validates_length(self):
+        m = MT19937(0)
+        with pytest.raises(RNGError):
+            m.setstate(((1, 2, 3), 0))
+
+    def test_setstate_validates_position(self):
+        m = MT19937(0)
+        key, _pos = m.getstate()
+        with pytest.raises(RNGError):
+            m.setstate((key, 700))
+
+    def test_init_by_array_empty_key_rejected(self):
+        with pytest.raises(RNGError):
+            MT19937(0).init_by_array([])
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(RNGError):
+            MT19937(-1)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(RNGError):
+            MT19937(1.5)  # type: ignore[arg-type]
+
+    def test_clone_rewinds_to_initial_seed(self):
+        m = MT19937(11)
+        first = m.raw(10)
+        m.raw(1000)
+        assert np.array_equal(m.clone().raw(10), first)

@@ -1,0 +1,72 @@
+"""MT19937-64 known answers and state handling."""
+
+import pytest
+
+from repro.errors import RNGError
+from repro.rng import MT19937, MT19937_64
+
+
+class TestKnownAnswers:
+    def test_cpp_standard_10000th(self):
+        """ISO C++ mandates std::mt19937_64's 10000th output for seed 5489."""
+        m = MT19937_64(5489)
+        for _ in range(9999):
+            m.next_uint64()
+        assert m.next_uint64() == 9981545732273789042
+
+
+class TestInterface:
+    def test_native_is_64_bit(self):
+        m = MT19937_64(1)
+        for _ in range(200):
+            assert 0 <= m.next_uint64() <= 0xFFFFFFFFFFFFFFFF
+
+    def test_determinism(self):
+        a = [MT19937_64(7).next_uint64() for _ in range(1)]
+        b = [MT19937_64(7).next_uint64() for _ in range(1)]
+        assert a == b
+
+    def test_differs_from_32_bit_variant(self):
+        a = MT19937(5489).next_uint64()
+        b = MT19937_64(5489).next_uint64()
+        assert a != b
+
+    def test_random_resolution_53_bits(self):
+        m = MT19937_64(3)
+        vals = [m.random() for _ in range(500)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+        assert all(float(v * 2**53).is_integer() for v in vals)
+
+    def test_state_roundtrip(self):
+        m = MT19937_64(5)
+        for _ in range(1000):
+            m.next_uint64()
+        state = m.getstate()
+        expected = [m.next_uint64() for _ in range(20)]
+        m2 = MT19937_64(0)
+        m2.setstate(state)
+        assert [m2.next_uint64() for _ in range(20)] == expected
+
+    def test_state_roundtrip_across_twist_boundary(self):
+        m = MT19937_64(9)
+        for _ in range(311):  # one word before the first twist
+            m.next_uint64()
+        state = m.getstate()
+        expected = [m.next_uint64() for _ in range(5)]
+        m2 = MT19937_64(0)
+        m2.setstate(state)
+        assert [m2.next_uint64() for _ in range(5)] == expected
+
+    def test_setstate_validation(self):
+        m = MT19937_64(0)
+        with pytest.raises(RNGError):
+            m.setstate(((1, 2), 0))
+        key, _ = m.getstate()
+        with pytest.raises(RNGError):
+            m.setstate((key, 999))
+
+    def test_registered_in_engine_registry(self):
+        from repro.rng import ENGINES, make_engine
+
+        assert "mt19937_64" in ENGINES
+        assert make_engine("mt19937_64", 1).next_uint64() > 0

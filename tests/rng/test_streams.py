@@ -1,0 +1,55 @@
+"""Independent per-processor stream spawning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RNGError
+from repro.rng import (
+    MT19937,
+    PCG32,
+    Philox4x32,
+    Xoshiro256StarStar,
+    spawn_streams,
+    stream_seeds,
+)
+
+
+class TestStreamSeeds:
+    def test_deterministic(self):
+        assert stream_seeds(42, 10) == stream_seeds(42, 10)
+
+    def test_distinct(self):
+        seeds = stream_seeds(0, 1000)
+        assert len(set(seeds)) == 1000
+
+    def test_count_zero(self):
+        assert stream_seeds(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(RNGError):
+            stream_seeds(1, -1)
+
+
+@pytest.mark.parametrize("engine", [MT19937, PCG32, Philox4x32, Xoshiro256StarStar])
+class TestSpawn:
+    def test_count(self, engine):
+        assert len(spawn_streams(engine, 0, 7)) == 7
+
+    def test_streams_pairwise_differ(self, engine):
+        streams = spawn_streams(engine, 0, 5)
+        prefixes = [tuple(s.next_uint32() for _ in range(8)) for s in streams]
+        assert len(set(prefixes)) == 5
+
+    def test_reproducible(self, engine):
+        a = spawn_streams(engine, 99, 3)
+        b = spawn_streams(engine, 99, 3)
+        for x, y in zip(a, b):
+            assert [x.next_uint32() for _ in range(10)] == [
+                y.next_uint32() for _ in range(10)
+            ]
+
+    def test_cross_stream_correlation_low(self, engine):
+        s0, s1 = spawn_streams(engine, 7, 2)
+        a = np.array([s0.random() for _ in range(2000)])
+        b = np.array([s1.random() for _ in range(2000)])
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.08

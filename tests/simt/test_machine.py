@@ -1,0 +1,198 @@
+"""SIMT machine semantics: warps, atomics, coalescing, barriers."""
+
+import pytest
+
+from repro.errors import DeadlockError, MemoryAccessError, ProgramError
+from repro.simt import (
+    AtomicAdd,
+    AtomicMax,
+    Read,
+    SIMTMachine,
+    Sync,
+    WarpMax,
+    Write,
+)
+
+
+class TestBasics:
+    def test_returns_per_thread(self):
+        def kernel(ctx):
+            yield Write(ctx.thread_id, ctx.thread_id * 2)
+            return ctx.thread_id
+
+        m = SIMTMachine(nthreads=8, memory_size=8, warp_width=4)
+        res = m.launch(kernel)
+        assert res.returns == list(range(8))
+        assert res.memory == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_context_fields(self):
+        def kernel(ctx):
+            yield WarpMax(0)
+            return (ctx.warp_id, ctx.lane)
+
+        m = SIMTMachine(nthreads=6, memory_size=1, warp_width=4)
+        res = m.launch(kernel)
+        assert res.returns == [(0, 0), (0, 1), (0, 2), (0, 3), (1, 0), (1, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SIMTMachine(nthreads=0, memory_size=1)
+        with pytest.raises(ValueError):
+            SIMTMachine(nthreads=1, memory_size=1, warp_width=0)
+        with pytest.raises(MemoryAccessError):
+            SIMTMachine(nthreads=1, memory_size=0)
+
+    def test_bad_address(self):
+        def kernel(ctx):
+            yield Read(99)
+
+        with pytest.raises(MemoryAccessError):
+            SIMTMachine(nthreads=1, memory_size=2).launch(kernel)
+
+    def test_unknown_request(self):
+        def kernel(ctx):
+            yield "bogus"
+
+        with pytest.raises(ProgramError):
+            SIMTMachine(nthreads=1, memory_size=1).launch(kernel)
+
+    def test_slot_budget(self):
+        def kernel(ctx):
+            while True:
+                yield WarpMax(0)
+
+        with pytest.raises(DeadlockError):
+            SIMTMachine(nthreads=1, memory_size=1).launch(kernel, max_slots=100)
+
+
+class TestAtomics:
+    def test_atomic_add_accumulates_all_lanes(self):
+        def kernel(ctx):
+            old = yield AtomicAdd(0, 1)
+            return old
+
+        m = SIMTMachine(nthreads=16, memory_size=1, warp_width=4)
+        res = m.launch(kernel)
+        assert res.memory[0] == 16
+        # The returned old values are a permutation of 0..15 within order.
+        assert sorted(res.returns) == list(range(16))
+
+    def test_atomic_max_converges(self):
+        def kernel(ctx):
+            yield AtomicMax(0, ctx.thread_id * 3 % 17)
+            return None
+
+        m = SIMTMachine(nthreads=32, memory_size=1, warp_width=8)
+        res = m.launch(kernel)
+        assert res.memory[0] == max(t * 3 % 17 for t in range(32))
+
+    def test_atomic_serialization_counted(self):
+        def kernel(ctx):
+            yield AtomicAdd(0, 1)
+            return None
+
+        m = SIMTMachine(nthreads=64, memory_size=1, warp_width=32)
+        res = m.launch(kernel)
+        assert res.metrics.atomic_serializations == 64
+
+    def test_atomic_max_returns_old_value(self):
+        def kernel(ctx):
+            old = yield AtomicMax(0, 10)
+            return old
+
+        m = SIMTMachine(nthreads=1, memory_size=1)
+        m.memory[0] = 3
+        assert m.launch(kernel).returns == [3]
+
+
+class TestCoalescing:
+    def test_contiguous_reads_are_one_transaction(self):
+        def kernel(ctx):
+            _ = yield Read(ctx.thread_id)  # lanes 0..31 -> one segment
+            return None
+
+        m = SIMTMachine(nthreads=32, memory_size=32, warp_width=32, segment_width=32)
+        res = m.launch(kernel)
+        assert res.metrics.memory_transactions == 1
+
+    def test_strided_reads_cost_many_transactions(self):
+        def kernel(ctx):
+            _ = yield Read(ctx.thread_id * 32)  # one segment per lane
+            return None
+
+        m = SIMTMachine(nthreads=32, memory_size=1024, warp_width=32, segment_width=32)
+        res = m.launch(kernel)
+        assert res.metrics.memory_transactions == 32
+
+    def test_write_conflict_random_survivor(self):
+        def kernel(ctx):
+            yield Write(0, ctx.thread_id)
+            return None
+
+        winners = set()
+        for seed in range(60):
+            m = SIMTMachine(nthreads=4, memory_size=1, warp_width=4, seed=seed)
+            winners.add(m.launch(kernel).memory[0])
+        assert winners == {0, 1, 2, 3}
+
+
+class TestWarpIntrinsics:
+    def test_warpmax_within_warp_only(self):
+        def kernel(ctx):
+            top = yield WarpMax(ctx.thread_id)
+            return top
+
+        m = SIMTMachine(nthreads=8, memory_size=1, warp_width=4)
+        res = m.launch(kernel)
+        assert res.returns == [3, 3, 3, 3, 7, 7, 7, 7]
+
+    def test_warpmax_costs_no_memory(self):
+        def kernel(ctx):
+            _ = yield WarpMax(ctx.lane)
+            return None
+
+        m = SIMTMachine(nthreads=32, memory_size=1, warp_width=32)
+        res = m.launch(kernel)
+        assert res.metrics.memory_transactions == 0
+
+
+class TestSync:
+    def test_barrier_orders_write_before_read(self):
+        def kernel(ctx):
+            if ctx.thread_id == 7:
+                yield Write(0, "ready")
+            yield Sync()
+            value = yield Read(0)
+            return value
+
+        m = SIMTMachine(nthreads=8, memory_size=1, warp_width=2)
+        res = m.launch(kernel)
+        assert res.returns == ["ready"] * 8
+
+    def test_barrier_counted(self):
+        def kernel(ctx):
+            yield Sync()
+            yield Sync()
+            return None
+
+        m = SIMTMachine(nthreads=4, memory_size=1, warp_width=2)
+        assert m.launch(kernel).metrics.barriers == 2
+
+
+class TestThreadRNG:
+    def test_streams_differ(self):
+        def kernel(ctx):
+            yield WarpMax(0)
+            return ctx.rng.random()
+
+        res = SIMTMachine(nthreads=8, memory_size=1).launch(kernel)
+        assert len(set(res.returns)) == 8
+
+    def test_deterministic_per_seed(self):
+        def kernel(ctx):
+            yield WarpMax(0)
+            return ctx.rng.random()
+
+        a = SIMTMachine(nthreads=4, memory_size=1, seed=3).launch(kernel).returns
+        b = SIMTMachine(nthreads=4, memory_size=1, seed=3).launch(kernel).returns
+        assert a == b

@@ -1,0 +1,112 @@
+"""Kernel-side roulette: exactness and the atomic-contention contrast."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitness import exact_probabilities
+from repro.errors import FitnessError
+from repro.simt import atomic_roulette, warp_reduced_roulette
+from repro.stats.gof import chi_square_gof
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("select", [atomic_roulette, warp_reduced_roulette])
+    def test_winner_has_positive_fitness(self, select, sparse_wheel):
+        for seed in range(20):
+            out = select(sparse_wheel, warp_width=8, seed=seed)
+            assert sparse_wheel[out.winner] > 0.0
+
+    @pytest.mark.parametrize("select", [atomic_roulette, warp_reduced_roulette])
+    def test_k_reported(self, select, sparse_wheel):
+        assert select(sparse_wheel, seed=0).k == 5
+
+    @pytest.mark.parametrize("select", [atomic_roulette, warp_reduced_roulette])
+    def test_single_positive(self, select):
+        out = select([0.0, 0.0, 4.0], warp_width=2, seed=0)
+        assert out.winner == 2
+
+    @pytest.mark.parametrize("select", [atomic_roulette, warp_reduced_roulette])
+    def test_invalid_fitness(self, select):
+        with pytest.raises(FitnessError):
+            select([0.0, 0.0])
+
+    def test_both_variants_same_winner_same_seed(self, table1_fitness):
+        """Same thread streams => same bids => same winner."""
+        for seed in range(10):
+            a = atomic_roulette(table1_fitness, warp_width=4, seed=seed)
+            b = warp_reduced_roulette(table1_fitness, warp_width=4, seed=seed)
+            assert a.winner == b.winner
+
+
+class TestDistribution:
+    @pytest.mark.parametrize("select", [atomic_roulette, warp_reduced_roulette])
+    def test_matches_target(self, select):
+        f = np.array([0.0, 1.0, 2.0, 3.0])
+        counts = np.zeros(4, dtype=np.int64)
+        for seed in range(3000):
+            counts[select(f, warp_width=2, seed=seed).winner] += 1
+        res = chi_square_gof(counts, exact_probabilities(f))
+        assert not res.reject(1e-4)
+
+
+class TestContention:
+    def test_naive_serializations_theta_k(self):
+        f = np.ones(128)
+        out = atomic_roulette(f, warp_width=32, seed=0)
+        assert out.metrics.atomic_serializations == 128
+
+    def test_warp_reduced_serializations_k_over_w(self):
+        f = np.ones(128)
+        out = warp_reduced_roulette(f, warp_width=32, seed=0)
+        assert out.metrics.atomic_serializations == 128 // 32
+
+    def test_zero_fitness_threads_skip_atomics(self, sparse_wheel):
+        out = atomic_roulette(sparse_wheel, warp_width=8, seed=0)
+        assert out.metrics.atomic_serializations == 5  # k, not n
+
+    def test_warp_reduction_pays_instructions_for_fewer_atomics(self):
+        f = np.ones(256)
+        naive = atomic_roulette(f, warp_width=32, seed=1)
+        reduced = warp_reduced_roulette(f, warp_width=32, seed=1)
+        assert reduced.metrics.atomic_serializations < naive.metrics.atomic_serializations / 8
+        assert reduced.metrics.warp_instructions > naive.metrics.warp_instructions
+
+    def test_warp_width_sweep_monotone(self):
+        f = np.ones(64)
+        prev = None
+        for w in (1, 2, 4, 8, 16, 32):
+            out = warp_reduced_roulette(f, warp_width=w, seed=2)
+            ser = out.metrics.atomic_serializations
+            if prev is not None:
+                assert ser <= prev
+            prev = ser
+
+
+class TestIndependentKernel:
+    def test_reproduces_worked_example_bias(self):
+        from repro.simt import independent_atomic_roulette
+
+        counts = np.zeros(2, dtype=np.int64)
+        for seed in range(4000):
+            counts[independent_atomic_roulette([2.0, 1.0], warp_width=2, seed=seed).winner] += 1
+        freq0 = counts[0] / counts.sum()
+        assert abs(freq0 - 0.75) < 0.03  # biased, matching §I's 3/4
+
+    def test_same_cost_as_exact_kernel(self):
+        from repro.simt import atomic_roulette, independent_atomic_roulette
+
+        f = np.ones(64)
+        exact = atomic_roulette(f, warp_width=16, seed=0)
+        biased = independent_atomic_roulette(f, warp_width=16, seed=0)
+        assert (
+            biased.metrics.atomic_serializations
+            == exact.metrics.atomic_serializations
+        )
+        assert biased.metrics.warp_instructions == exact.metrics.warp_instructions
+
+    def test_zero_fitness_never_wins(self, sparse_wheel):
+        from repro.simt import independent_atomic_roulette
+
+        for seed in range(20):
+            out = independent_atomic_roulette(sparse_wheel, warp_width=8, seed=seed)
+            assert sparse_wheel[out.winner] > 0.0

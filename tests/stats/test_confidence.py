@@ -1,0 +1,65 @@
+"""Wilson intervals and standard errors."""
+
+import numpy as np
+import pytest
+
+from repro.stats import standard_errors, wilson_interval
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.30 < hi
+
+    def test_bounded_by_unit_interval(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0 and 0.0 < hi < 1.0
+        lo, hi = wilson_interval(10, 10)
+        assert 0.0 < lo < 1.0 and hi == 1.0
+
+    def test_narrows_with_more_trials(self):
+        lo1, hi1 = wilson_interval(50, 100)
+        lo2, hi2 = wilson_interval(5000, 10_000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_higher_confidence_is_wider(self):
+        narrow = wilson_interval(50, 100, confidence=0.8)
+        wide = wilson_interval(50, 100, confidence=0.999)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+    def test_coverage_simulation(self):
+        """~99% of intervals should cover the true p."""
+        rng = np.random.default_rng(0)
+        p = 0.3
+        covered = 0
+        trials = 400
+        for _ in range(trials):
+            successes = rng.binomial(500, p)
+            lo, hi = wilson_interval(int(successes), 500, confidence=0.99)
+            covered += lo <= p <= hi
+        assert covered / trials > 0.96
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 10, confidence=1.5)
+
+
+class TestStandardErrors:
+    def test_shape_and_positivity(self):
+        se = standard_errors(np.array([100, 200, 700]))
+        assert se.shape == (3,) and np.all(se >= 0.0)
+
+    def test_scales_like_inverse_sqrt_n(self):
+        small = standard_errors(np.array([50, 50]))
+        large = standard_errors(np.array([5000, 5000]))
+        assert np.allclose(small / large, 10.0, rtol=0.01)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            standard_errors(np.zeros(3))

@@ -1,0 +1,78 @@
+"""EmpiricalDistribution accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.stats import EmpiricalDistribution, collect_counts
+
+
+class TestCollectCounts:
+    def test_basic(self):
+        assert collect_counts([0, 1, 1, 2], 4).tolist() == [1, 2, 1, 0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            collect_counts([0, 5], 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            collect_counts([-1], 3)
+
+    def test_empty(self):
+        assert collect_counts([], 3).tolist() == [0, 0, 0]
+
+
+class TestEmpiricalDistribution:
+    def test_incremental_add(self):
+        d = EmpiricalDistribution(3)
+        d.add(0)
+        d.add(2)
+        d.add(2)
+        assert d.counts.tolist() == [1, 0, 2]
+        assert d.total == 3
+        assert d[2] == 2
+
+    def test_add_draws_batch(self):
+        d = EmpiricalDistribution(4)
+        d.add_draws(np.array([1, 1, 3]))
+        d.add_draws(np.array([0]))
+        assert d.counts.tolist() == [1, 2, 0, 1]
+
+    def test_add_counts_merge(self):
+        d = EmpiricalDistribution(2)
+        d.add_counts(np.array([5, 7]))
+        d.add_counts(np.array([1, 1]))
+        assert d.counts.tolist() == [6, 8]
+
+    def test_add_counts_shape_checked(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(2).add_counts(np.array([1, 2, 3]))
+
+    def test_probabilities(self):
+        d = EmpiricalDistribution.from_draws([0, 0, 1, 1], 2)
+        assert d.probabilities.tolist() == [0.5, 0.5]
+
+    def test_probabilities_empty_is_zero(self):
+        assert EmpiricalDistribution(3).probabilities.tolist() == [0.0, 0.0, 0.0]
+
+    def test_from_draws_ndarray(self):
+        d = EmpiricalDistribution.from_draws(np.array([2, 2, 0]), 3)
+        assert d.counts.tolist() == [1, 0, 2]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(0)
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(2, counts=np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(2, counts=np.array([-1, 2]))
+
+    def test_counts_returns_copy(self):
+        d = EmpiricalDistribution(2)
+        d.add(0)
+        c = d.counts
+        c[0] = 99
+        assert d[0] == 1
+
+    def test_len(self):
+        assert len(EmpiricalDistribution(7)) == 7

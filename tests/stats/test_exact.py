@@ -1,0 +1,108 @@
+"""Closed-form win probabilities — anchored to the paper's own numbers."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    independent_win_probabilities,
+    independent_win_probability_numeric,
+    log_bidding_win_probabilities,
+    log_bidding_win_probability_numeric,
+)
+
+
+class TestPaperAnchors:
+    def test_worked_example_three_quarters(self):
+        """§I: f=(2,1) -> independent picks 0 with probability 3/4."""
+        p = independent_win_probabilities([2.0, 1.0])
+        assert p[0] == pytest.approx(0.75, abs=1e-12)
+        assert p[1] == pytest.approx(0.25, abs=1e-12)
+
+    def test_table2_processor0_starvation(self, table2_fitness):
+        """§II: Pr[0] = (1/2)^99 / 100 ~ 1.57772e-32."""
+        p = independent_win_probabilities(table2_fitness)
+        expected = 0.5**99 / 100.0
+        assert p[0] == pytest.approx(expected, rel=1e-9)
+        assert expected == pytest.approx(1.57772e-32, rel=1e-4)
+
+    def test_table2_other_processors(self, table2_fitness):
+        p = independent_win_probabilities(table2_fitness)
+        # The 99 equal processors share essentially all the mass.
+        assert p[1] == pytest.approx((1.0 - p[0]) / 99.0, rel=1e-9)
+
+    def test_table1_known_inaccuracy_profile(self, table1_fitness):
+        """Matches the paper's Table I 'independent' column (1e9 draws)."""
+        p = independent_win_probabilities(table1_fitness)
+        paper = [0.0, 0.0, 0.000088, 0.001708, 0.010993,
+                 0.038787, 0.094267, 0.178238, 0.282382, 0.393536]
+        assert np.allclose(p, paper, atol=2e-4)
+
+    def test_logarithmic_is_target(self, table1_fitness):
+        p = log_bidding_win_probabilities(table1_fitness)
+        assert np.allclose(p, table1_fitness / table1_fitness.sum())
+
+
+class TestIndependentExact:
+    def test_sums_to_one(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(2, 15))
+            f = rng.random(n) * 5
+            f[rng.random(n) < 0.2] = 0.0
+            if not np.any(f > 0):
+                f[0] = 1.0
+            p = independent_win_probabilities(f)
+            assert p.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_fitness_gets_zero(self, sparse_wheel):
+        p = independent_win_probabilities(sparse_wheel)
+        assert np.all(p[sparse_wheel == 0.0] == 0.0)
+
+    def test_scale_invariance(self, rng):
+        f = rng.random(8) + 0.1
+        a = independent_win_probabilities(f)
+        b = independent_win_probabilities(f * 1234.5)
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_equal_fitness_is_uniform(self):
+        p = independent_win_probabilities([3.0, 3.0, 3.0, 3.0])
+        assert np.allclose(p, 0.25)
+
+    def test_matches_quadrature(self, rng):
+        f = rng.random(6) + 0.05
+        exact = independent_win_probabilities(f)
+        for i in range(6):
+            assert exact[i] == pytest.approx(
+                independent_win_probability_numeric(f, i), abs=1e-7
+            )
+
+    def test_matches_monte_carlo(self, rng):
+        f = np.array([1.0, 2.0, 5.0])
+        exact = independent_win_probabilities(f)
+        keys = f * rng.random((200_000, 3))
+        emp = np.bincount(np.argmax(keys, axis=1), minlength=3) / 200_000
+        assert np.allclose(exact, emp, atol=0.01)
+
+    def test_dominant_item_probability_one(self):
+        """If one item dwarfs all others, it should win almost surely."""
+        p = independent_win_probabilities([1e9, 1.0, 1.0])
+        assert p[0] > 0.999999
+
+    def test_numeric_zero_fitness(self):
+        assert independent_win_probability_numeric([0.0, 1.0], 0) == 0.0
+
+    def test_numeric_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            independent_win_probability_numeric([1.0, 2.0], 2)
+
+
+class TestLogBiddingNumeric:
+    def test_integral_recovers_target(self, table1_fitness):
+        """Numerically re-derive the paper's §II result for each index."""
+        total = table1_fitness.sum()
+        for i in range(10):
+            value = log_bidding_win_probability_numeric(table1_fitness, i)
+            assert value == pytest.approx(table1_fitness[i] / total, abs=1e-8)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            log_bidding_win_probability_numeric([1.0], 5)

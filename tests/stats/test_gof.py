@@ -1,0 +1,117 @@
+"""Goodness-of-fit machinery."""
+
+import numpy as np
+import pytest
+
+from repro.stats import chi_square_gof, g_test_gof, kl_divergence, max_abs_error, tv_distance
+
+
+class TestChiSquare:
+    def test_perfect_fit_high_p(self):
+        counts = np.array([250, 250, 250, 250])
+        res = chi_square_gof(counts, np.full(4, 0.25))
+        assert res.p_value > 0.99 and not res.reject()
+
+    def test_gross_misfit_rejected(self):
+        counts = np.array([1000, 0, 0, 0])
+        res = chi_square_gof(counts, np.full(4, 0.25))
+        assert res.reject(1e-6)
+
+    def test_zero_probability_with_zero_counts_ok(self):
+        counts = np.array([0, 500, 500])
+        res = chi_square_gof(counts, np.array([0.0, 0.5, 0.5]))
+        assert res.dof == 1 and res.p_value > 0.5
+
+    def test_zero_probability_with_mass_rejected(self):
+        with pytest.raises(ValueError, match="zero expected probability"):
+            chi_square_gof(np.array([5, 500, 495]), np.array([0.0, 0.5, 0.5]))
+
+    def test_unnormalised_probs_accepted(self):
+        counts = np.array([100, 200, 300])
+        res = chi_square_gof(counts, np.array([1.0, 2.0, 3.0]))
+        assert res.p_value > 0.99
+
+    def test_all_zero_counts_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_gof(np.zeros(3), np.full(3, 1 / 3))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_gof(np.array([-1, 2]), np.array([0.5, 0.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            chi_square_gof(np.array([1, 2]), np.array([1.0]))
+
+    def test_single_category_trivial(self):
+        res = chi_square_gof(np.array([100]), np.array([1.0]))
+        assert res.dof == 0 and res.p_value == 1.0
+
+    def test_statistic_is_calibrated(self):
+        """Under the null, p-values should be ~uniform (KS sanity check)."""
+        rng = np.random.default_rng(0)
+        probs = np.array([0.2, 0.3, 0.5])
+        pvals = []
+        for _ in range(300):
+            counts = rng.multinomial(1000, probs)
+            pvals.append(chi_square_gof(counts, probs).p_value)
+        pvals = np.sort(pvals)
+        # Crude KS bound against U(0,1).
+        ks = np.max(np.abs(pvals - np.arange(1, 301) / 300))
+        assert ks < 0.12
+
+
+class TestGTest:
+    def test_agrees_with_chi_square_asymptotically(self):
+        rng = np.random.default_rng(1)
+        probs = np.array([0.1, 0.4, 0.5])
+        counts = rng.multinomial(100_000, probs)
+        chi = chi_square_gof(counts, probs)
+        g = g_test_gof(counts, probs)
+        assert abs(chi.statistic - g.statistic) < 1.0
+        assert abs(chi.p_value - g.p_value) < 0.05
+
+    def test_rejects_gross_misfit(self):
+        res = g_test_gof(np.array([900, 50, 50]), np.full(3, 1 / 3))
+        assert res.reject(1e-6)
+
+
+class TestDistances:
+    def test_tv_identity(self):
+        p = np.array([0.2, 0.8])
+        assert tv_distance(p, p) == 0.0
+
+    def test_tv_disjoint_is_one(self):
+        assert tv_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_tv_symmetry(self):
+        p = np.array([0.3, 0.7])
+        q = np.array([0.6, 0.4])
+        assert tv_distance(p, q) == tv_distance(q, p)
+
+    def test_kl_identity(self):
+        p = np.array([0.5, 0.5])
+        assert kl_divergence(p, p) == 0.0
+
+    def test_kl_infinite_on_missing_support(self):
+        assert kl_divergence(np.array([0.5, 0.5]), np.array([1.0, 0.0])) == float("inf")
+
+    def test_kl_nonnegative(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            p = rng.random(5)
+            p /= p.sum()
+            q = rng.random(5)
+            q /= q.sum()
+            assert kl_divergence(p, q) >= -1e-12
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([0.2, 0.8]), np.array([0.25, 0.75])) == pytest.approx(0.05)
+
+    def test_shape_mismatches(self):
+        with pytest.raises(ValueError):
+            tv_distance(np.array([1.0]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            kl_divergence(np.array([1.0]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            max_abs_error(np.array([1.0]), np.array([0.5, 0.5]))

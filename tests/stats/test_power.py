@@ -1,0 +1,137 @@
+"""Power analysis of the goodness-of-fit experiments."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import linear_fitness
+from repro.core.fitness import exact_probabilities
+from repro.stats.exact import independent_win_probabilities
+from repro.stats.power import (
+    cohen_w,
+    detectable_effect,
+    detection_power,
+    required_draws,
+)
+
+
+class TestCohenW:
+    def test_identical_is_zero(self):
+        p = np.array([0.3, 0.7])
+        assert cohen_w(p, p) == 0.0
+
+    def test_known_value(self):
+        # p0 uniform over 2, p1 = (0.6, 0.4): w = sqrt(2*(0.1^2)/0.5) = 0.2.
+        assert cohen_w([0.5, 0.5], [0.6, 0.4]) == pytest.approx(0.2)
+
+    def test_mass_on_null_zero_is_infinite(self):
+        assert cohen_w([1.0, 0.0], [0.9, 0.1]) == float("inf")
+
+    def test_zero_null_zero_alt_ok(self):
+        assert np.isfinite(cohen_w([0.5, 0.5, 0.0], [0.4, 0.6, 0.0]))
+
+    def test_unnormalised_inputs(self):
+        assert cohen_w([5, 5], [6, 4]) == pytest.approx(0.2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cohen_w([0.5, 0.5], [1.0])
+
+
+class TestDetectionPower:
+    def test_zero_effect_gives_alpha(self):
+        assert detection_power(1000, 0.0, 10, alpha=0.05) == pytest.approx(0.05)
+
+    def test_monotone_in_draws(self):
+        p_small = detection_power(100, 0.1, 10)
+        p_large = detection_power(10_000, 0.1, 10)
+        assert p_large > p_small
+
+    def test_monotone_in_effect(self):
+        weak = detection_power(1000, 0.01, 10)
+        strong = detection_power(1000, 0.5, 10)
+        assert strong > weak
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detection_power(0, 0.1, 10)
+        with pytest.raises(ValueError):
+            detection_power(10, -0.1, 10)
+        with pytest.raises(ValueError):
+            detection_power(10, 0.1, 1)
+        with pytest.raises(ValueError):
+            detection_power(10, 0.1, 10, alpha=2.0)
+
+    def test_matches_simulation(self):
+        """Analytic power must match Monte-Carlo rejection frequency."""
+        from repro.stats.gof import chi_square_gof
+
+        rng = np.random.default_rng(0)
+        p0 = np.array([0.25, 0.25, 0.25, 0.25])
+        p1 = np.array([0.31, 0.23, 0.23, 0.23])
+        w = cohen_w(p0, p1)
+        n = 500
+        analytic = detection_power(n, w, 4, alpha=0.05)
+        rejections = 0
+        trials = 500
+        for _ in range(trials):
+            counts = rng.multinomial(n, p1)
+            if chi_square_gof(counts, p0).reject(0.05):
+                rejections += 1
+        assert abs(rejections / trials - analytic) < 0.08
+
+
+class TestRequiredDraws:
+    def test_round_trip_with_power(self):
+        n = required_draws(0.05, 10, alpha=0.01, power=0.9)
+        assert detection_power(n, 0.05, 10, alpha=0.01) >= 0.9
+        assert detection_power(n - 1, 0.05, 10, alpha=0.01) < 0.9
+
+    def test_monotone_in_effect(self):
+        assert required_draws(0.01, 10) > required_draws(0.1, 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_draws(0.0, 10)
+        with pytest.raises(ValueError):
+            required_draws(0.1, 10, power=1.5)
+
+
+class TestDetectableEffect:
+    def test_round_trip(self):
+        w = detectable_effect(10_000, 10)
+        assert detection_power(10_000, w, 10) == pytest.approx(0.99, abs=1e-6)
+
+    def test_scales_inverse_sqrt_n(self):
+        w1 = detectable_effect(10_000, 10)
+        w2 = detectable_effect(1_000_000, 10)
+        assert w1 / w2 == pytest.approx(10.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detectable_effect(0, 10)
+
+
+class TestPaperScaleJustification:
+    """The numbers quoted in EXPERIMENTS.md's scale note."""
+
+    def test_independent_bias_is_a_huge_effect(self):
+        f = linear_fitness(10)
+        w = cohen_w(exact_probabilities(f), independent_win_probabilities(f))
+        assert w > 0.7  # computed: w ~ 0.713
+        # Detectable with a few dozen draws.
+        assert required_draws(w, 10) < 150
+
+    def test_million_draws_certify_small_effects(self):
+        w = detectable_effect(10**6, 10)
+        assert w < 8e-3
+
+    def test_paper_scale_certifies_tiny_effects(self):
+        w = detectable_effect(10**9, 10)
+        assert w < 2.5e-4
+
+    def test_every_table_effect_far_above_detectability(self):
+        """Our 1e6-draw runs operate with effectively no type-II risk."""
+        f = linear_fitness(10)
+        w_bias = cohen_w(exact_probabilities(f), independent_win_probabilities(f))
+        w_detectable = detectable_effect(10**6, 10)
+        assert w_bias / w_detectable > 100

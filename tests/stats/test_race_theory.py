@@ -1,0 +1,113 @@
+"""Exact race-round theory vs the simulator and the paper's bound."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import race_round_process
+from repro.pram.algorithms import max_random_write_race
+from repro.stats.race_theory import (
+    expected_rounds,
+    harmonic,
+    paper_bound,
+    rounds_distribution,
+    rounds_tail_bound,
+    variance_rounds,
+)
+
+
+class TestClosedForms:
+    def test_harmonic_values(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == 1.5
+        assert harmonic(4) == pytest.approx(25 / 12)
+
+    def test_harmonic_second_order(self):
+        assert harmonic(2, order=2) == pytest.approx(1.25)
+
+    def test_expected_rounds_is_harmonic(self):
+        for k in (1, 2, 5, 30):
+            assert expected_rounds(k) == pytest.approx(harmonic(k))
+
+    def test_variance_small_cases(self):
+        # T(1) == 1 deterministically.
+        assert variance_rounds(1) == pytest.approx(0.0)
+        # T(2): 1 w.p. 1/2, 2 w.p. 1/2 -> var 1/4.
+        assert variance_rounds(2) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_rounds(0)
+        with pytest.raises(ValueError):
+            variance_rounds(-1)
+        with pytest.raises(ValueError):
+            harmonic(-1)
+        with pytest.raises(ValueError):
+            paper_bound(0)
+
+
+class TestDistribution:
+    def test_pmf_sums_to_one(self):
+        for k in (0, 1, 2, 7, 40):
+            pmf = rounds_distribution(k)
+            assert pmf.sum() == pytest.approx(1.0)
+
+    def test_k1_deterministic(self):
+        pmf = rounds_distribution(1)
+        assert pmf[1] == pytest.approx(1.0)
+
+    def test_k2_half_half(self):
+        pmf = rounds_distribution(2)
+        assert pmf[1] == pytest.approx(0.5) and pmf[2] == pytest.approx(0.5)
+
+    def test_mean_from_pmf_matches_harmonic(self):
+        for k in (3, 10, 25):
+            pmf = rounds_distribution(k)
+            mean = float((np.arange(len(pmf)) * pmf).sum())
+            assert mean == pytest.approx(harmonic(k))
+
+    def test_variance_from_pmf_matches_formula(self):
+        for k in (3, 10, 25):
+            pmf = rounds_distribution(k)
+            t = np.arange(len(pmf))
+            mean = float((t * pmf).sum())
+            var = float(((t - mean) ** 2 * pmf).sum())
+            assert var == pytest.approx(variance_rounds(k), abs=1e-9)
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            rounds_distribution(61)
+
+    def test_tail_bound_sane(self):
+        assert rounds_tail_bound(16, 0.0) == 1.0
+        assert 0.0 <= rounds_tail_bound(16, 20.0) < 0.1
+
+
+class TestAgainstSimulation:
+    def test_model_process_matches_pmf(self):
+        """The Monte-Carlo rank process follows the exact pmf."""
+        from repro.stats.gof import chi_square_gof
+
+        k = 8
+        pmf = rounds_distribution(k)
+        rng = np.random.default_rng(0)
+        counts = np.zeros(len(pmf), dtype=np.int64)
+        for _ in range(20_000):
+            counts[race_round_process(k, rng)] += 1
+        res = chi_square_gof(counts, pmf)
+        assert not res.reject(1e-4)
+
+    def test_pram_race_matches_expected_rounds(self):
+        """Full simulator mean tracks H_k — validating Theorem 1 sharply."""
+        k = 32
+        rng = np.random.default_rng(1)
+        iters = []
+        for _ in range(80):
+            values = rng.random(k)
+            iters.append(max_random_write_race(values, seed=int(rng.integers(2**31))).iterations)
+        mean = float(np.mean(iters))
+        assert abs(mean - expected_rounds(k)) < 3 * np.sqrt(variance_rounds(k) / 80) + 0.3
+
+    def test_harmonic_below_paper_bound(self):
+        """E[T(k)] = H_k is well under the paper's 2*ceil(log2 k)."""
+        for k in (2, 8, 64, 1024, 2**20):
+            assert harmonic(k) <= paper_bound(k)
