@@ -55,3 +55,25 @@ def test_table1_paper_scale_rate(benchmark, table_draws):
 
     draws = benchmark(draw_batch)
     assert draws.shape == (table_draws,)
+
+
+def test_table1_stream_counts_engine(benchmark, table_draws):
+    """The same Table-I histogram through the compiled engine's
+    constant-memory :func:`repro.engine.stream_counts` — faithful kernel,
+    so the counts are bit-identical to the registry method's draws."""
+    from repro.core import RouletteWheel
+    from repro.engine import stream_counts
+
+    f = np.arange(10, dtype=np.float64)
+
+    def histogram():
+        wheel = RouletteWheel(f, method="log_bidding", rng=0)
+        return stream_counts(wheel, table_draws)
+
+    counts = benchmark(histogram)
+    assert int(counts.sum()) == table_draws
+    reference = RouletteWheel(f, method="log_bidding", rng=0).counts(table_draws)
+    assert np.array_equal(counts, reference)
+    empirical = counts / counts.sum()
+    assert np.abs(empirical - np.arange(10) / 45.0).max() < 0.01
+    benchmark.extra_info["draws_per_second_hint"] = table_draws

@@ -5,6 +5,7 @@ processor 0 with probability (1/2)^99 / 100 ~ 1.58e-32 — never, at any
 feasible sample size — while logarithmic bidding hits 1/199 ~ 0.005025.
 """
 
+import numpy as np
 import pytest
 
 from repro.bench.experiments import table2
@@ -31,3 +32,22 @@ def test_table2_reproduction(benchmark, table_draws):
 
     benchmark.extra_info["p0_exact_independent"] = d["p0_exact_independent"]
     benchmark.extra_info["p0_observed_logarithmic"] = d["p0_observed_logarithmic"]
+
+
+def test_table2_stream_counts_engine(benchmark, table_draws):
+    """Table II's two-level wheel through the constant-memory engine:
+    processor 0 must still land near 1/199 when the draws stream through
+    :func:`repro.engine.stream_counts` rather than batched select_many."""
+    from repro.engine import stream_counts
+
+    f = np.full(100, 2.0)
+    f[0] = 1.0
+
+    def histogram():
+        return stream_counts(f, table_draws, rng=np.random.default_rng(0))
+
+    counts = benchmark(histogram)
+    assert int(counts.sum()) == table_draws
+    p0 = counts[0] / table_draws
+    assert p0 == pytest.approx(1 / 199, abs=1.5e-3)
+    assert (counts[1:] / table_draws).mean() == pytest.approx(2 / 199, abs=2e-4)

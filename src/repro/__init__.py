@@ -32,7 +32,7 @@ from repro.core import (
     streaming_select,
     StreamingSelector,
 )
-from repro import aco, bench, core, msg, parallel, pram, rng, simt, stats
+from repro import aco, bench, core, engine, msg, parallel, pram, rng, simt, stats
 
 __all__ = [
     "__version__",
@@ -49,6 +49,7 @@ __all__ = [
     "exact_methods",
     "get_method",
     "core",
+    "engine",
     "pram",
     "parallel",
     "msg",

@@ -4,6 +4,11 @@ Streams draws in memory-bounded chunks into
 :class:`repro.stats.empirical.EmpiricalDistribution` per method, so paper
 scale (10^9 draws) is reachable without holding draws, and bench scale
 (10^5–10^7) runs in seconds.
+
+Methods with a bit-faithful compiled kernel run through
+:class:`repro.engine.CompiledWheel` — identical counts (same RNG
+consumption, same winners), constant memory, precomputed per-wheel
+constants; the remainder fall back to the chunked registry loop.
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ import numpy as np
 
 from repro.core.fitness import exact_probabilities, validate_fitness
 from repro.core.methods.base import SelectionMethod, get_method
+from repro.engine.compiled import CompiledWheel
+from repro.errors import UnknownMethodError
 from repro.rng.adapters import resolve_rng
 from repro.stats.empirical import EmpiricalDistribution
 from repro.stats.gof import chi_square_gof, max_abs_error, tv_distance
@@ -93,11 +100,18 @@ def monte_carlo_selection(
         sel = method if isinstance(method, SelectionMethod) else get_method(method)
         source = resolve_rng(np.random.default_rng([seed, i])) if rng is None else rng
         dist = EmpiricalDistribution(len(f))
-        remaining = iterations
-        while remaining > 0:
-            batch = min(_CHUNK, remaining)
-            draws = sel.select_many(f, source, batch)
-            dist.add_draws(draws)
-            remaining -= batch
+        try:
+            compiled: Optional[CompiledWheel] = CompiledWheel(f, sel.name, kernel="faithful")
+        except UnknownMethodError:
+            compiled = None  # no bit-faithful kernel; chunked registry loop
+        if compiled is not None:
+            dist.add_counts(compiled.counts(iterations, rng=source))
+        else:
+            remaining = iterations
+            while remaining > 0:
+                batch = min(_CHUNK, remaining)
+                draws = sel.select_many(f, source, batch)
+                dist.add_draws(draws)
+                remaining -= batch
         result.distributions[sel.name] = dist
     return result

@@ -1,7 +1,9 @@
 """Command-line entry point: ``python -m repro <experiment> [options]``.
 
 Runs the paper-reproduction experiments registered in
-:data:`repro.bench.experiments.EXPERIMENTS` and prints their tables.
+:data:`repro.bench.experiments.EXPERIMENTS` and prints their tables, and
+the selection-engine benchmark (``python -m repro bench-engine``), which
+records its measurements in ``BENCH_engine.json``.
 """
 
 from __future__ import annotations
@@ -49,8 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="experiment to run ('all' runs every one)",
+        choices=sorted(EXPERIMENTS) + ["all", "bench-engine"],
+        help=(
+            "experiment to run ('all' runs every paper experiment; "
+            "'bench-engine' times the compiled selection engine)"
+        ),
     )
     parser.add_argument(
         "--iterations",
@@ -74,7 +79,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the experiment's raw data as JSON instead of a table",
     )
+    parser.add_argument(
+        "--wheel-size",
+        type=int,
+        default=1000,
+        help="bench-engine only: items on the benchmarked wheel (default 1000)",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default="BENCH_engine.json",
+        help="bench-engine only: where to record the measurements",
+    )
     return parser
+
+
+def _run_bench_engine(args) -> int:
+    """Run the engine benchmark, record BENCH_engine.json, print a summary."""
+    from repro.engine.bench import render_bench, run_bench, write_bench
+
+    draws = args.iterations if args.iterations is not None else 1_000_000
+    report = run_bench(n=args.wheel_size, draws=draws, seed=args.seed)
+    path = write_bench(report, args.output)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_bench(report))
+        print(f"recorded -> {path}")
+    return 0
 
 
 def _run_one(
@@ -104,12 +136,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
-        for name in sorted(EXPERIMENTS):
+        for name in sorted(EXPERIMENTS) + ["bench-engine"]:
             print(name)
         return 0
     if args.experiment is None:
         parser.print_help()
         return 2
+    if args.experiment == "bench-engine":
+        return _run_bench_engine(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(

@@ -88,10 +88,12 @@ def select_rows(
         # skips zero-width (zero-fitness) columns.
         winners = (cs > spins[:, None]).argmax(axis=1)
         # FP guard: a spin rounding to the total selects nothing; give the
-        # row its last positive column.
+        # row its last positive column (row-wise masked argmax over the
+        # reversed positivity mask — no per-row Python loop).
         missed = ~degenerate & ~(cs > spins[:, None]).any(axis=1)
-        for i in np.flatnonzero(missed):  # pragma: no cover - FP corner
-            winners[i] = int(np.flatnonzero(f[i] > 0.0)[-1])
+        if missed.any():  # pragma: no cover - FP corner
+            rows = np.flatnonzero(missed)
+            winners[rows] = n - 1 - np.argmax(f[rows, ::-1] > 0.0, axis=1)
     else:
         raise KeyError(
             f"method {method!r} has no batched implementation; "

@@ -74,6 +74,10 @@ class SelectionMethod(abc.ABC):
     name: str = ""
     exact: bool = True
 
+    #: Key-matrix entries per chunk in :meth:`_chunked_key_argmax`
+    #: (bounds peak memory at ~_CHUNK * 8 bytes per chunk).
+    _CHUNK = 65536
+
     @abc.abstractmethod
     def select(self, fitness: np.ndarray, rng) -> int:
         """Select one index from a *validated* fitness vector.
@@ -93,6 +97,26 @@ class SelectionMethod(abc.ABC):
         out = np.empty(size, dtype=np.int64)
         for i in range(size):
             out[i] = self.select(fitness, rng)
+        return out
+
+    def _chunked_key_argmax(self, fitness: np.ndarray, rng, size: int, key_fn) -> np.ndarray:
+        """Batch selection for key-race methods: chunked keys, row arg-max.
+
+        ``key_fn(fitness, rng, size=rows)`` must return a ``(rows, n)``
+        key matrix (one of the :mod:`repro.core.bidding` transforms).
+        Chunking keeps peak memory at ~``_CHUNK`` floats regardless of
+        ``size`` without changing the draw stream (uniforms are consumed
+        in the same order as one full-size matrix).  For bulk draws from
+        a *static* wheel, prefer :class:`repro.engine.CompiledWheel`.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        out = np.empty(size, dtype=np.int64)
+        chunk = max(1, self._CHUNK // max(1, len(fitness)))
+        for start in range(0, size, chunk):
+            stop = min(start + chunk, size)
+            keys = key_fn(fitness, rng, size=stop - start)
+            out[start:stop] = np.argmax(keys, axis=1)
         return out
 
     def select_checked(self, fitness, rng) -> int:

@@ -26,8 +26,6 @@ class EfraimidisSpirakisSelection(SelectionMethod):
     name = "efraimidis_spirakis"
     exact = True
 
-    _CHUNK = 65536
-
     def select(self, fitness: np.ndarray, rng) -> int:
         keys = es_keys(fitness, rng)
         winner = int(np.argmax(keys))
@@ -40,12 +38,4 @@ class EfraimidisSpirakisSelection(SelectionMethod):
         return winner
 
     def select_many(self, fitness: np.ndarray, rng, size: int) -> np.ndarray:
-        if size < 0:
-            raise ValueError(f"size must be non-negative, got {size}")
-        out = np.empty(size, dtype=np.int64)
-        chunk = max(1, self._CHUNK // max(1, len(fitness)))
-        for start in range(0, size, chunk):
-            stop = min(start + chunk, size)
-            keys = es_keys(fitness, rng, size=stop - start)
-            out[start:stop] = np.argmax(keys, axis=1)
-        return out
+        return self._chunked_key_argmax(fitness, rng, size, es_keys)

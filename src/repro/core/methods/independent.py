@@ -26,21 +26,9 @@ class IndependentSelection(SelectionMethod):
     name = "independent"
     exact = False  # the whole point of the paper
 
-    #: Rows per chunk in the batched path (bounds peak memory at
-    #: ~_CHUNK * n * 8 bytes).
-    _CHUNK = 65536
-
     def select(self, fitness: np.ndarray, rng) -> int:
         keys = independent_keys(fitness, rng)
         return int(np.argmax(keys))
 
     def select_many(self, fitness: np.ndarray, rng, size: int) -> np.ndarray:
-        if size < 0:
-            raise ValueError(f"size must be non-negative, got {size}")
-        out = np.empty(size, dtype=np.int64)
-        chunk = max(1, self._CHUNK // max(1, len(fitness)))
-        for start in range(0, size, chunk):
-            stop = min(start + chunk, size)
-            keys = independent_keys(fitness, rng, size=stop - start)
-            out[start:stop] = np.argmax(keys, axis=1)
-        return out
+        return self._chunked_key_argmax(fitness, rng, size, independent_keys)

@@ -30,20 +30,9 @@ class LogBiddingSelection(SelectionMethod):
     name = "log_bidding"
     exact = True
 
-    #: Uniform draws per memory chunk in the batched path.
-    _CHUNK = 65536
-
     def select(self, fitness: np.ndarray, rng) -> int:
         keys = log_bid_keys(fitness, rng)
         return int(np.argmax(keys))
 
     def select_many(self, fitness: np.ndarray, rng, size: int) -> np.ndarray:
-        if size < 0:
-            raise ValueError(f"size must be non-negative, got {size}")
-        out = np.empty(size, dtype=np.int64)
-        chunk = max(1, self._CHUNK // max(1, len(fitness)))
-        for start in range(0, size, chunk):
-            stop = min(start + chunk, size)
-            keys = log_bid_keys(fitness, rng, size=stop - start)
-            out[start:stop] = np.argmax(keys, axis=1)
-        return out
+        return self._chunked_key_argmax(fitness, rng, size, log_bid_keys)

@@ -28,6 +28,11 @@ __all__ = ["RouletteWheel", "select", "select_many", "selection_counts"]
 
 _DEFAULT_METHOD = "log_bidding"
 
+#: Draws per chunk in the histogram fast path of :meth:`RouletteWheel.counts`.
+#: Large histograms accumulate ``bincount`` per chunk instead of holding
+#: every draw; below this size a single ``select_many`` call is used.
+_COUNTS_CHUNK = 1 << 18
+
 
 def _resolve_method(method: Union[str, SelectionMethod, None]) -> SelectionMethod:
     if method is None:
@@ -89,9 +94,21 @@ class RouletteWheel:
         return self.method.select_many(self.fitness.values, self.rng, size)
 
     def counts(self, size: int) -> np.ndarray:
-        """Histogram of ``size`` draws (length ``n``)."""
-        draws = self.select_many(size)
-        return np.bincount(draws, minlength=self.n).astype(np.int64)
+        """Histogram of ``size`` draws (length ``n``).
+
+        Chunked: large ``size`` never materialises the full draws array
+        (O(n + chunk) memory); ``select_many`` semantics are untouched.
+        For a compiled constant-memory driver with precomputed kernels,
+        see :func:`repro.engine.stream_counts`.
+        """
+        if size <= _COUNTS_CHUNK:
+            draws = self.select_many(size)
+            return np.bincount(draws, minlength=self.n).astype(np.int64)
+        counts = np.zeros(self.n, dtype=np.int64)
+        for start in range(0, size, _COUNTS_CHUNK):
+            draws = self.select_many(min(_COUNTS_CHUNK, size - start))
+            counts += np.bincount(draws, minlength=self.n)
+        return counts
 
     def empirical_probabilities(self, size: int) -> np.ndarray:
         """Relative frequencies over ``size`` draws."""

@@ -1,0 +1,38 @@
+"""High-throughput selection engine.
+
+Compiles a static wheel once (:class:`CompiledWheel`), streams histograms
+in constant memory (:func:`stream_counts`), and fans draws out across
+deterministic worker processes (:func:`parallel_counts`,
+:func:`parallel_select_many`).  See ``python -m repro bench-engine`` for
+the recorded perf trajectory (``BENCH_engine.json``).
+"""
+
+from repro.engine.compiled import (
+    DEFAULT_CHUNK_BYTES,
+    KERNELS,
+    CompiledWheel,
+    compile_wheel,
+    stream_counts,
+)
+from repro.engine.parallel import (
+    MIN_DRAWS_PER_WORKER,
+    parallel_counts,
+    parallel_select_many,
+    shard_sizes,
+    suggest_workers,
+    worker_streams,
+)
+
+__all__ = [
+    "CompiledWheel",
+    "compile_wheel",
+    "stream_counts",
+    "parallel_counts",
+    "parallel_select_many",
+    "suggest_workers",
+    "shard_sizes",
+    "worker_streams",
+    "DEFAULT_CHUNK_BYTES",
+    "MIN_DRAWS_PER_WORKER",
+    "KERNELS",
+]
