@@ -233,24 +233,42 @@ def race_round_process(k: int, rng: np.random.Generator) -> int:
 
 def theorem1_iterations(
     ks: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
-    reps: int = 200,
+    reps: int = 100_000,
     seed: int = 0,
     pram_reps: int = 25,
     pram_k_limit: int = 256,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Measure the race's while-loop iterations against Theorem 1's bound.
 
-    Two measurements per ``k``: the exact rank-process model (``reps``
-    runs) and, for ``k <= pram_k_limit``, the full CRCW-PRAM race
-    (``pram_reps`` runs).  Reported against the paper's sufficient bound
-    ``2 * ceil(log2 k)`` and the exact expectation ``H_k``.
+    Two measurements per ``k``: the vectorized rank-space race kernel
+    (:func:`repro.engine.races.sample_round_counts`, ``reps`` trials —
+    cheap enough for 10^5+ trials at paper-scale ``k``) and, for
+    ``k <= pram_k_limit``, the full CRCW-PRAM race (``pram_reps`` runs).
+    Reported against the paper's sufficient bound ``2 * ceil(log2 k)``
+    and the exact expectation ``H_k``, with a 99% CI half-width from the
+    exact variance.  ``workers > 1`` fans trials out across processes
+    (deterministic per (seed, workers)).
     """
+    from repro.engine.races import parallel_round_counts, sample_round_counts
+    from repro.rng.streams import stream_seeds
+    from repro.stats.confidence import mean_interval
+    from repro.stats.race_theory import harmonic as exact_harmonic
+    from repro.stats.race_theory import variance_rounds
+
     rng = np.random.default_rng(seed)
+    k_seeds = stream_seeds(seed, len(ks))
     rows = []
-    data: Dict[str, Any] = {"ks": list(ks), "model_mean": [], "pram_mean": [], "bound": []}
-    for k in ks:
-        model = [race_round_process(k, rng) for _ in range(reps)]
-        model_mean = float(np.mean(model))
+    data: Dict[str, Any] = {"ks": list(ks), "model_mean": [], "model_ci": [],
+                            "pram_mean": [], "bound": [], "harmonic": [],
+                            "trials": reps}
+    for k, k_seed in zip(ks, k_seeds):
+        if workers is not None and workers > 1:
+            counts = parallel_round_counts(k, reps, seed=k_seed, workers=workers)
+        else:
+            counts = sample_round_counts(k, reps, seed=k_seed)
+        model_mean = float(counts.mean())
+        ci = mean_interval(model_mean, variance_rounds(k), reps)
         if k <= pram_k_limit:
             pram_iters = []
             for r in range(pram_reps):
@@ -261,23 +279,26 @@ def theorem1_iterations(
         else:
             pram_mean = None
         bound = 2 * math.ceil(math.log2(k)) if k > 1 else 1
-        harmonic = float(np.sum(1.0 / np.arange(1, k + 1)))
+        h_k = exact_harmonic(k)
         rows.append(
             [
                 k,
-                model_mean,
+                f"{model_mean:.4f}",
+                f"[{ci[0]:.4f}, {ci[1]:.4f}]",
                 "-" if pram_mean is None else f"{pram_mean:.3f}",
-                harmonic,
+                f"{h_k:.4f}",
                 bound,
             ]
         )
         data["model_mean"].append(model_mean)
+        data["model_ci"].append([ci[0], ci[1]])
         data["pram_mean"].append(pram_mean)
         data["bound"].append(bound)
+        data["harmonic"].append(h_k)
     table = format_table(
-        ["k", "model E[iters]", "PRAM E[iters]", "H_k (exact)", "2*ceil(log2 k)"],
+        ["k", "race E[iters]", "99% CI", "PRAM E[iters]", "H_k (exact)", "2*ceil(log2 k)"],
         rows,
-        title=f"Race iterations vs k ({reps} model / {pram_reps} PRAM runs each)",
+        title=f"Race iterations vs k ({reps} race trials / {pram_reps} PRAM runs each)",
     )
     return ExperimentReport(
         name="theorem1",

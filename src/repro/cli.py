@@ -1,9 +1,10 @@
 """Command-line entry point: ``python -m repro <experiment> [options]``.
 
 Runs the paper-reproduction experiments registered in
-:data:`repro.bench.experiments.EXPERIMENTS` and prints their tables, and
-the selection-engine benchmark (``python -m repro bench-engine``), which
-records its measurements in ``BENCH_engine.json``.
+:data:`repro.bench.experiments.EXPERIMENTS` and prints their tables, the
+selection-engine benchmark (``python -m repro bench-engine``, recorded in
+``BENCH_engine.json``), and the race-lab benchmark (``python -m repro
+bench-race``, recorded in ``BENCH_race.json``).
 """
 
 from __future__ import annotations
@@ -51,10 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(EXPERIMENTS) + ["all", "bench-engine"],
+        choices=sorted(EXPERIMENTS) + ["all", "bench-engine", "bench-race"],
         help=(
             "experiment to run ('all' runs every paper experiment; "
-            "'bench-engine' times the compiled selection engine)"
+            "'bench-engine' times the compiled selection engine; "
+            "'bench-race' validates the batched race kernel against the "
+            "exact round-count law at paper-scale k)"
         ),
     )
     parser.add_argument(
@@ -88,8 +91,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--output",
         type=str,
-        default="BENCH_engine.json",
-        help="bench-engine only: where to record the measurements",
+        default=None,
+        help=(
+            "bench-engine / bench-race: where to record the measurements "
+            "(default BENCH_engine.json / BENCH_race.json)"
+        ),
+    )
+    parser.add_argument(
+        "--race-k",
+        type=int,
+        nargs="+",
+        default=None,
+        help="bench-race only: k grid to sweep (default 2^10 2^14 2^17 2^20)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="bench-race only: fan-out processes (default: auto-tuned)",
     )
     return parser
 
@@ -100,11 +119,37 @@ def _run_bench_engine(args) -> int:
 
     draws = args.iterations if args.iterations is not None else 1_000_000
     report = run_bench(n=args.wheel_size, draws=draws, seed=args.seed)
-    path = write_bench(report, args.output)
+    path = write_bench(report, args.output or "BENCH_engine.json")
     if args.json:
         print(json.dumps(report, indent=2))
     else:
         print(render_bench(report))
+        print(f"recorded -> {path}")
+    return 0
+
+
+def _run_bench_race(args) -> int:
+    """Run the race-lab benchmark, record BENCH_race.json, print a summary."""
+    from repro.engine.race_bench import (
+        render_bench_race,
+        run_bench_race,
+        write_bench_race,
+    )
+
+    trials = args.iterations if args.iterations is not None else 100_000
+    kwargs = {"trials": trials, "seed": args.seed, "workers": args.workers}
+    if args.race_k is not None:
+        kwargs["ks"] = args.race_k
+        # A custom grid may exclude the default gate point; anchor the
+        # PRAM speedup leg at the grid's smallest k (capped for per-step
+        # machine feasibility).
+        kwargs["pram_k"] = min(min(args.race_k), 256)
+    report = run_bench_race(**kwargs)
+    path = write_bench_race(report, args.output or "BENCH_race.json")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_bench_race(report))
         print(f"recorded -> {path}")
     return 0
 
@@ -136,7 +181,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
-        for name in sorted(EXPERIMENTS) + ["bench-engine"]:
+        for name in sorted(EXPERIMENTS) + ["bench-engine", "bench-race"]:
             print(name)
         return 0
     if args.experiment is None:
@@ -144,6 +189,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.experiment == "bench-engine":
         return _run_bench_engine(args)
+    if args.experiment == "bench-race":
+        return _run_bench_race(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(

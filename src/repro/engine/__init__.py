@@ -22,6 +22,14 @@ from repro.engine.parallel import (
     suggest_workers,
     worker_streams,
 )
+from repro.engine.races import (
+    MIN_TRIALS_PER_WORKER,
+    RaceBatch,
+    parallel_round_counts,
+    sample_round_counts,
+    simulate_races,
+    suggest_race_workers,
+)
 
 __all__ = [
     "CompiledWheel",
@@ -32,7 +40,13 @@ __all__ = [
     "suggest_workers",
     "shard_sizes",
     "worker_streams",
+    "RaceBatch",
+    "simulate_races",
+    "sample_round_counts",
+    "parallel_round_counts",
+    "suggest_race_workers",
     "DEFAULT_CHUNK_BYTES",
     "MIN_DRAWS_PER_WORKER",
+    "MIN_TRIALS_PER_WORKER",
     "KERNELS",
 ]

@@ -1,0 +1,269 @@
+"""The race lab's perf-and-law gate: measure, validate, and record.
+
+:func:`run_bench_race` drives the rank-space race kernel
+(:func:`repro.engine.races.sample_round_counts` and its process fan-out)
+across a ``k`` grid up to paper scale (``k = 2**20``), checks the
+measured round-count moments and quantiles against the exact harmonic
+law of :mod:`repro.stats.race_theory`, times the per-step PRAM race at
+the largest shared ``k`` for the speedup gate, and re-runs the fan-out
+to certify byte-identical determinism.  :func:`write_bench_race`
+persists the report as ``BENCH_race.json``; exposed on the CLI as
+``python -m repro bench-race``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro._version import __version__
+from repro.engine.races import parallel_round_counts, suggest_race_workers
+from repro.pram.algorithms.max_random_write import max_random_write_race
+from repro.rng.streams import stream_seeds
+from repro.stats.confidence import mean_interval
+from repro.stats.race_theory import (
+    expected_rounds,
+    paper_bound,
+    rounds_quantiles,
+    variance_rounds,
+)
+
+__all__ = [
+    "run_bench_race",
+    "validate_bench_race",
+    "write_bench_race",
+    "render_bench_race",
+    "BENCH_RACE_SCHEMA",
+]
+
+#: Schema tag for BENCH_race.json (bump on layout changes).
+BENCH_RACE_SCHEMA = "repro/bench-race/v1"
+
+#: Keys every result block must carry (used by the CI smoke check).
+_REQUIRED_RESULT_KEYS = (
+    "per_k",
+    "speedup_vs_pram",
+    "pram_k",
+    "pram_s_per_trial",
+    "vector_s_per_trial",
+    "determinism_sha256",
+    "determinism_rerun_identical",
+)
+
+#: Keys every per-k entry must carry.
+_REQUIRED_PER_K_KEYS = (
+    "k",
+    "trials",
+    "elapsed_s",
+    "trials_per_s",
+    "mean",
+    "ci",
+    "exact_mean",
+    "mean_in_ci",
+    "var",
+    "exact_var",
+    "quantiles",
+    "exact_quantiles",
+    "paper_bound",
+)
+
+#: Quantile grid recorded per k.
+_QUANTILES = (0.25, 0.5, 0.75, 0.99)
+
+
+def run_bench_race(
+    ks: Sequence[int] = (2**10, 2**14, 2**17, 2**20),
+    trials: int = 100_000,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    pram_k: int = 256,
+    pram_reps: int = 20,
+    confidence: float = 0.99,
+) -> Dict[str, Any]:
+    """Run the race lab across ``ks`` and report law agreement + speedup.
+
+    The default configuration is the acceptance gate: ``k`` up to
+    ``2**20`` with ``10**5`` trials each, every measured mean inside its
+    exact-law CI band, and ``speedup_vs_pram >= 50`` at ``pram_k`` (the
+    largest ``k`` both the per-step PRAM race and the vectorized kernel
+    share; the per-step machine is infeasible far beyond it, which is the
+    point).  The fan-out is re-run once to certify the byte-identical
+    determinism contract for fixed ``(seed, workers)``.
+    """
+    ks = [int(k) for k in ks]
+    if not ks or min(ks) < 1:
+        raise ValueError(f"ks must be non-empty positive ints, got {ks}")
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if workers is None:
+        workers = suggest_race_workers(trials)
+    k_seeds = stream_seeds(seed, len(ks))
+
+    per_k = []
+    vector_s_per_trial = None
+    for k, k_seed in zip(ks, k_seeds):
+        start = time.perf_counter()
+        counts = parallel_round_counts(k, trials, seed=k_seed, workers=workers)
+        elapsed = time.perf_counter() - start
+        mean = float(counts.mean())
+        var = float(counts.var(ddof=1))
+        exact_mean = expected_rounds(k)
+        exact_var = variance_rounds(k)
+        lo, hi = mean_interval(exact_mean, exact_var, trials, confidence=confidence)
+        obs_q = np.quantile(counts, _QUANTILES, method="inverted_cdf")
+        exact_q = rounds_quantiles(k, _QUANTILES)
+        per_k.append(
+            {
+                "k": k,
+                "trials": trials,
+                "elapsed_s": elapsed,
+                "trials_per_s": trials / elapsed if elapsed else float("inf"),
+                "mean": mean,
+                "ci": [lo, hi],
+                "exact_mean": exact_mean,
+                "mean_in_ci": bool(lo <= mean <= hi),
+                "var": var,
+                "exact_var": exact_var,
+                "quantiles": {str(q): int(v) for q, v in zip(_QUANTILES, obs_q)},
+                "exact_quantiles": {
+                    str(q): int(v) for q, v in zip(_QUANTILES, exact_q)
+                },
+                "paper_bound": paper_bound(k),
+            }
+        )
+        if k == pram_k:
+            vector_s_per_trial = elapsed / trials
+
+    # Speedup gate: per-trial cost of the per-step PRAM machine vs the
+    # vectorized kernel at the largest k both can run.
+    if vector_s_per_trial is None:
+        gate_seed = stream_seeds(seed + 1, 1)[0]
+        start = time.perf_counter()
+        parallel_round_counts(pram_k, trials, seed=gate_seed, workers=workers)
+        vector_s_per_trial = (time.perf_counter() - start) / trials
+    rng = np.random.default_rng(seed)
+    start = time.perf_counter()
+    for _ in range(pram_reps):
+        values = rng.random(pram_k)
+        max_random_write_race(values, seed=int(rng.integers(2**31)))
+    pram_s_per_trial = (time.perf_counter() - start) / pram_reps
+    speedup = pram_s_per_trial / vector_s_per_trial if vector_s_per_trial else float("inf")
+
+    # Determinism contract: the fan-out must be byte-identical across
+    # runs for fixed (seed, workers).
+    det_k, det_seed = ks[0], k_seeds[0]
+    first = parallel_round_counts(det_k, trials, seed=det_seed, workers=workers)
+    second = parallel_round_counts(det_k, trials, seed=det_seed, workers=workers)
+    digest = hashlib.sha256(first.tobytes()).hexdigest()
+    identical = bool(np.array_equal(first, second))
+
+    return {
+        "schema": BENCH_RACE_SCHEMA,
+        "config": {
+            "ks": ks,
+            "trials": trials,
+            "seed": seed,
+            "workers": workers,
+            "pram_k": pram_k,
+            "pram_reps": pram_reps,
+            "confidence": confidence,
+            "quantile_grid": list(_QUANTILES),
+        },
+        "results": {
+            "per_k": per_k,
+            "speedup_vs_pram": speedup,
+            "pram_k": pram_k,
+            "pram_s_per_trial": pram_s_per_trial,
+            "vector_s_per_trial": vector_s_per_trial,
+            "determinism_sha256": digest,
+            "determinism_rerun_identical": identical,
+        },
+        "meta": {
+            "repro": __version__,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        },
+    }
+
+
+def validate_bench_race(report: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` is a well-formed race bench."""
+    if not isinstance(report, dict):
+        raise ValueError("bench report must be a JSON object")
+    if report.get("schema") != BENCH_RACE_SCHEMA:
+        raise ValueError(
+            f"schema mismatch: {report.get('schema')!r} != {BENCH_RACE_SCHEMA!r}"
+        )
+    for section in ("config", "results", "meta"):
+        if not isinstance(report.get(section), dict):
+            raise ValueError(f"missing section {section!r}")
+    results = report["results"]
+    missing = [k for k in _REQUIRED_RESULT_KEYS if k not in results]
+    if missing:
+        raise ValueError(f"missing result keys: {missing}")
+    per_k = results["per_k"]
+    if not isinstance(per_k, list) or not per_k:
+        raise ValueError("results.per_k must be a non-empty list")
+    for entry in per_k:
+        if not isinstance(entry, dict):
+            raise ValueError("per_k entries must be objects")
+        entry_missing = [k for k in _REQUIRED_PER_K_KEYS if k not in entry]
+        if entry_missing:
+            raise ValueError(
+                f"per_k entry for k={entry.get('k')!r} missing keys: {entry_missing}"
+            )
+        if entry["elapsed_s"] < 0 or entry["trials"] <= 0:
+            raise ValueError(f"per_k entry for k={entry['k']} has invalid timings")
+    for key in ("speedup_vs_pram", "pram_s_per_trial", "vector_s_per_trial"):
+        value = results[key]
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(f"result {key!r} must be a non-negative number, got {value!r}")
+    if not isinstance(results["determinism_sha256"], str) or len(
+        results["determinism_sha256"]
+    ) != 64:
+        raise ValueError("determinism_sha256 must be a hex sha256 digest")
+    if results["determinism_rerun_identical"] is not True:
+        raise ValueError("fan-out re-run was not byte-identical (determinism broken)")
+
+
+def write_bench_race(report: Dict[str, Any], path: str = "BENCH_race.json") -> str:
+    """Validate and write a race bench report; returns the path."""
+    validate_bench_race(report)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def render_bench_race(report: Dict[str, Any]) -> str:
+    """One-screen human summary of a race bench report."""
+    c, r = report["config"], report["results"]
+    lines = [
+        f"== race bench: trials={c['trials']}, workers={c['workers']}, "
+        f"seed={c['seed']} ==",
+        f"{'k':>9s}  {'E[T] meas':>10s}  {'H_k exact':>10s}  {'in CI':>5s}  "
+        f"{'p50':>4s}  {'2ceil(lg k)':>11s}  {'trials/s':>10s}",
+    ]
+    for entry in r["per_k"]:
+        lines.append(
+            f"{entry['k']:>9d}  {entry['mean']:>10.4f}  {entry['exact_mean']:>10.4f}  "
+            f"{'yes' if entry['mean_in_ci'] else 'NO':>5s}  "
+            f"{entry['quantiles']['0.5']:>4d}  {entry['paper_bound']:>11d}  "
+            f"{entry['trials_per_s']:>10.0f}"
+        )
+    lines += [
+        f"speedup vs per-step PRAM at k={r['pram_k']}: {r['speedup_vs_pram']:.0f}x"
+        f"  ({1e3 * r['pram_s_per_trial']:.2f} ms vs "
+        f"{1e6 * r['vector_s_per_trial']:.2f} us per trial)",
+        f"fan-out determinism: sha256 {r['determinism_sha256'][:16]}..."
+        f" re-run identical: {r['determinism_rerun_identical']}",
+    ]
+    return "\n".join(lines)

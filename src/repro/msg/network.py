@@ -24,7 +24,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.errors import DeadlockError, ProgramError, ReproError
 from repro.rng.adapters import UniformAdapter
 from repro.rng.philox import Philox4x32
-from repro.rng.splitmix import SplitMix64
+from repro.rng.streams import machine_substreams
 
 __all__ = ["Send", "Recv", "SendRecv", "Rank", "RankContext", "NetworkMetrics", "Network"]
 
@@ -126,7 +126,7 @@ class Network:
             raise ValueError(f"network size must be positive, got {size}")
         self.size = size
         self.seed = seed
-        self._rank_seed = SplitMix64(seed).next_uint64()
+        self._rank_seed, _ = machine_substreams(seed)
 
     def rank_rng(self, rank: int) -> UniformAdapter:
         """The private stream of ``rank`` (deterministic per seed)."""

@@ -23,7 +23,7 @@ intended semantics.  See EXPERIMENTS.md.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.errors import SelectionError
@@ -56,6 +56,12 @@ class RaceResult:
     metrics: RunMetrics
     #: Number of participants with a finite value (the paper's ``k``).
     k: int
+    #: With ``record_rounds=True``: the pid whose write to ``s`` survived
+    #: arbitration, one entry per race round, in round order.  This is the
+    #: step-for-step cross-validation hook for the vectorized race lab
+    #: (:mod:`repro.engine.races`), which must reproduce the identical
+    #: sequence under a shared arbitration stream.  ``None`` otherwise.
+    round_winners: Optional[List[int]] = field(default=None)
 
 
 def race_program(proc: ProcContext, values: Sequence[float]):
@@ -86,6 +92,7 @@ def max_random_write_race(
     seed: int = 0,
     policy: WritePolicy = WritePolicy.RANDOM,
     max_steps: Optional[int] = None,
+    record_rounds: bool = False,
 ) -> RaceResult:
     """Run the CRCW max race over ``values`` on a fresh machine.
 
@@ -101,6 +108,10 @@ def max_random_write_race(
         policies are exposed for the arbitration ablation.
     max_steps:
         Optional step budget (DeadlockError beyond it).
+    record_rounds:
+        Trace the run and attach :attr:`RaceResult.round_winners` — the
+        surviving writer pid of every race round, for step-for-step
+        cross-validation against the vectorized race kernel.
 
     Notes
     -----
@@ -126,11 +137,21 @@ def max_random_write_race(
         seed=seed,
     )
     pram.memory[_CELL_S] = -math.inf
-    result = pram.run(race_program, values, max_steps=max_steps)
+    tracer = None
+    if record_rounds:
+        from repro.pram.trace import Tracer
+
+        tracer = Tracer(limit=10_000_000)
+    result = pram.run(race_program, values, max_steps=max_steps, tracer=tracer)
     winner = result.memory[_CELL_OUTPUT]
     if winner is None:
         raise SelectionError("race finished without announcing a winner")
     per_proc = [int(x) for x in result.returns]
+    round_winners = None
+    if tracer is not None:
+        round_winners = [
+            e.pid for e in tracer.writes_to(_CELL_S) if e.survived
+        ]
     return RaceResult(
         winner=int(winner),
         maximum=result.memory[_CELL_S],
@@ -138,4 +159,5 @@ def max_random_write_race(
         per_proc_writes=per_proc,
         metrics=result.metrics,
         k=len(finite),
+        round_winners=round_winners,
     )

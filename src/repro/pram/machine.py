@@ -19,7 +19,7 @@ from repro.pram.policies import AccessMode, WritePolicy
 from repro.pram.program import Barrier, Noop, ProcContext, Read, Write
 from repro.rng.adapters import UniformAdapter
 from repro.rng.philox import Philox4x32
-from repro.rng.splitmix import SplitMix64
+from repro.rng.streams import machine_substreams
 
 __all__ = ["PRAM"]
 
@@ -62,10 +62,8 @@ class PRAM:
         self.seed = seed
         self.memory = SharedMemory(memory_size, mode=mode, policy=policy)
         # Distinct sub-seeds for processors vs. arbitration so the two
-        # random sources never correlate.
-        sm = SplitMix64(seed)
-        self._proc_seed = sm.next_uint64()
-        self._arbiter = SplitMix64(sm.next_uint64())
+        # random sources never correlate (shared derivation: repro.rng).
+        self._proc_seed, self._arbiter = machine_substreams(seed)
 
     # ------------------------------------------------------------------
     def processor_rng(self, pid: int) -> UniformAdapter:

@@ -20,7 +20,7 @@ from repro.rng.mt19937_64 import MT19937_64
 from repro.rng.xoshiro import Xorshift64Star, Xoshiro256StarStar
 from repro.rng.pcg import PCG32
 from repro.rng.philox import Philox4x32
-from repro.rng.streams import spawn_streams, stream_seeds
+from repro.rng.streams import machine_substreams, spawn_streams, stream_seeds
 from repro.rng.adapters import UniformAdapter, as_uniform_source, resolve_rng
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "Philox4x32",
     "spawn_streams",
     "stream_seeds",
+    "machine_substreams",
     "UniformAdapter",
     "as_uniform_source",
     "resolve_rng",

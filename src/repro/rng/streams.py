@@ -14,7 +14,7 @@ processor.  :func:`spawn_streams` provides that for every registered engine:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Type
+from typing import List, Sequence, Tuple, Type
 
 from repro.errors import RNGError
 from repro.rng.base import BitGenerator
@@ -23,7 +23,7 @@ from repro.rng.philox import Philox4x32
 from repro.rng.splitmix import SplitMix64
 from repro.rng.xoshiro import Xoshiro256StarStar
 
-__all__ = ["stream_seeds", "spawn_streams"]
+__all__ = ["stream_seeds", "spawn_streams", "machine_substreams"]
 
 
 def stream_seeds(root_seed: int, count: int) -> List[int]:
@@ -32,6 +32,23 @@ def stream_seeds(root_seed: int, count: int) -> List[int]:
         raise RNGError(f"count must be non-negative, got {count}")
     sm = SplitMix64(root_seed)
     return [sm.next_uint64() for _ in range(count)]
+
+
+def machine_substreams(seed: int) -> Tuple[int, SplitMix64]:
+    """Split a machine's master seed into its two canonical sub-sources.
+
+    Every simulated machine (PRAM, SIMT, and the vectorized race lab)
+    derives from one master seed a *worker seed* — expanded further into
+    one private Philox stream per processor/thread — and an *arbitration
+    generator* that resolves write conflicts.  Returns
+    ``(worker_seed, arbiter)`` where ``arbiter`` is a ready-to-use
+    :class:`SplitMix64`.  The two children come from distinct SplitMix64
+    outputs, so the sources never correlate, and the derivation is shared
+    so a re-implementation of a machine (e.g. the batched race kernel)
+    can reproduce another's arbitration stream bit-for-bit.
+    """
+    worker_seed, arbiter_seed = stream_seeds(seed, 2)
+    return worker_seed, SplitMix64(arbiter_seed)
 
 
 def spawn_streams(

@@ -27,7 +27,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.errors import DeadlockError, MemoryAccessError, ProgramError
 from repro.rng.adapters import UniformAdapter
 from repro.rng.philox import Philox4x32
-from repro.rng.splitmix import SplitMix64
+from repro.rng.streams import machine_substreams
 
 __all__ = [
     "Read",
@@ -181,9 +181,7 @@ class SIMTMachine:
         self.warp_width = warp_width
         self.segment_width = segment_width
         self.memory: List[Any] = [None] * memory_size
-        sm = SplitMix64(seed)
-        self._thread_seed = sm.next_uint64()
-        self._arbiter = SplitMix64(sm.next_uint64())
+        self._thread_seed, self._arbiter = machine_substreams(seed)
 
     # ------------------------------------------------------------------
     def thread_rng(self, tid: int) -> UniformAdapter:

@@ -7,7 +7,7 @@ from typing import Tuple
 import numpy as np
 from scipy import stats as sps
 
-__all__ = ["wilson_interval", "standard_errors"]
+__all__ = ["wilson_interval", "mean_interval", "standard_errors"]
 
 
 def wilson_interval(successes: int, trials: int, confidence: float = 0.99) -> Tuple[float, float]:
@@ -32,6 +32,27 @@ def wilson_interval(successes: int, trials: int, confidence: float = 0.99) -> Tu
     lo = 0.0 if successes == 0 else max(0.0, float(centre - half))
     hi = 1.0 if successes == trials else min(1.0, float(centre + half))
     return lo, hi
+
+
+def mean_interval(
+    mean: float, variance: float, trials: int, confidence: float = 0.99
+) -> Tuple[float, float]:
+    """Normal-approximation CI for a Monte-Carlo sample mean.
+
+    ``variance`` is the per-observation variance (exact when known —
+    e.g. the race law's ``H_k - H_k^(2)`` — or a sample estimate).  With
+    ``trials >= 10^5`` the CLT error is negligible for the bounded-tail
+    distributions we test against.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if variance < 0:
+        raise ValueError(f"variance must be non-negative, got {variance}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    z = float(sps.norm.ppf(0.5 + confidence / 2.0))
+    half = z * float(np.sqrt(variance / trials))
+    return float(mean) - half, float(mean) + half
 
 
 def standard_errors(counts: np.ndarray) -> np.ndarray:

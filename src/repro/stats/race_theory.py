@@ -9,20 +9,27 @@ classical closed form:
   paper's sufficient bound ``2·⌈log₂ k⌉``,
 * ``Var[T(k)] = H_k - H_k^{(2)}`` (second-order harmonic),
 * the full distribution ``Pr[T(k) = t]`` equals ``c(k, t) / k!`` with
-  ``c`` the unsigned Stirling numbers of the first kind (the chain is
-  the record-count process of a random permutation), computed here by
-  the direct DP.
+  ``c`` the unsigned Stirling numbers of the first kind — equivalently,
+  ``T(k)`` is a sum of independent Bernoulli(1/i) record indicators,
+  ``T(k) = Σ_{i=1..k} B_i`` (the record-count process of a random
+  permutation).
 
-These are used to validate the simulator (the measured race must match
-the exact law, not merely an O-bound) and to quantify how much slack the
-paper's bound carries.
+The Bernoulli representation gives a one-dimensional DP over ``i`` that
+is vectorized across the round axis and runs in **log space**
+(:func:`log_rounds_pmf`), so the pmf is finite and cheap to evaluate at
+paper scale (``k = 2**20`` in a couple of seconds, any ``k`` the sweep
+can reach) instead of the old O(k³) list-of-lists DP that was capped at
+``k <= 60``.  These laws are the validation target for the vectorized
+race lab (:mod:`repro.engine.races`): the measured race must match the
+exact distribution, not merely an O-bound, and the gap to the paper's
+``2⌈log₂k⌉`` bound is quantified in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
 import math
 from functools import lru_cache
-from typing import List
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -31,16 +38,31 @@ __all__ = [
     "expected_rounds",
     "variance_rounds",
     "rounds_distribution",
+    "log_rounds_pmf",
+    "log_rounds_pmf_grid",
+    "rounds_quantiles",
     "rounds_tail_bound",
     "paper_bound",
 ]
 
+#: Full-support pmf limit for :func:`rounds_distribution` (O(k²) work);
+#: beyond it use the truncated :func:`log_rounds_pmf`.
+EXACT_PMF_LIMIT = 4096
+
+#: Default truncation of the round axis for large-k pmfs.  The upper
+#: tail beyond t is bounded by the Poisson-like Chernoff decay
+#: exp(-(t·ln(t/H_k) - t + H_k)); at t = 128 and any k <= 2**30 the
+#: dropped mass is below 1e-90.
+DEFAULT_T_MAX = 128
+
 
 def harmonic(k: int, order: int = 1) -> float:
-    """Generalised harmonic number ``H_k^{(order)}``."""
+    """Generalised harmonic number ``H_k^{(order)}`` (vectorized)."""
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
-    return float(sum(1.0 / i**order for i in range(1, k + 1)))
+    if k == 0:
+        return 0.0
+    return float(np.sum(1.0 / np.arange(1, k + 1, dtype=np.float64) ** order))
 
 
 def expected_rounds(k: int) -> float:
@@ -57,28 +79,123 @@ def variance_rounds(k: int) -> float:
     return harmonic(k) - harmonic(k, order=2)
 
 
+def _log_pmf_sweep(k: int, t_max: int, snapshots: Optional[Sequence[int]] = None):
+    """Log-space Bernoulli-sum DP over ``i = 1..k``, truncated at ``t_max``.
+
+    One vectorized update per ``i``:
+    ``P_i(t) = P_{i-1}(t)·(1 - 1/i) + P_{i-1}(t-1)·(1/i)``, carried as
+    log-probabilities so the deep tails (down to ``log(1/k!)`` territory)
+    stay finite instead of underflowing to zero.  Yields ``(i, log_pmf)``
+    at each requested snapshot (all of ``snapshots`` must be >= 1).
+    """
+    width = t_max + 1
+    lp = np.full(width, -np.inf)
+    lp[1] = 0.0  # T(1) = 1 deterministically (the single bidder writes once)
+    shifted = np.empty(width)
+    wanted = set(snapshots) if snapshots is not None else {k}
+    out: Dict[int, np.ndarray] = {}
+    if 1 in wanted:
+        out[1] = lp.copy()
+    for i in range(2, k + 1):
+        log_b = -math.log(i)
+        log_a = math.log(i - 1) + log_b  # log((i-1)/i)
+        shifted[0] = -np.inf
+        np.add(lp[:-1], log_b, out=shifted[1:])
+        np.add(lp, log_a, out=lp)
+        np.logaddexp(lp, shifted, out=lp)
+        if i in wanted:
+            out[i] = lp.copy()
+    return out
+
+
+def log_rounds_pmf(k: int, t_max: Optional[int] = None) -> np.ndarray:
+    """``log Pr[T(k) = t]`` for ``t = 0..min(k, t_max)``, finite at any scale.
+
+    Entries for impossible outcomes (``t = 0`` and ``t > k``) are
+    ``-inf``; everything reachable is a finite log-probability, e.g.
+    ``log Pr[T(k) = 1] = -log k``.  The round axis is truncated at
+    ``t_max`` (default :data:`DEFAULT_T_MAX`): mass above it is dropped,
+    which is negligible for ``t_max >> H_k`` (see the constant's note).
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    cap = DEFAULT_T_MAX if t_max is None else int(t_max)
+    if cap < 1:
+        raise ValueError(f"t_max must be >= 1, got {t_max}")
+    cap = min(k, cap)
+    if k == 0:
+        return np.zeros(1)  # point mass at 0 rounds: log 1 = 0
+    return _log_pmf_sweep(k, cap)[k]
+
+
+def log_rounds_pmf_grid(
+    ks: Sequence[int], t_max: Optional[int] = None
+) -> Dict[int, np.ndarray]:
+    """``{k: log_rounds_pmf(k)}`` for every ``k`` in ``ks``, in one sweep.
+
+    The DP passes through every intermediate ``k`` on its way to
+    ``max(ks)``, so a whole benchmark grid costs the same as its largest
+    point.  All ``ks`` must be positive; the shared truncation is
+    ``min(max(ks), t_max)`` so the arrays are directly comparable.
+    """
+    ks = [int(k) for k in ks]
+    if not ks:
+        return {}
+    if min(ks) < 1:
+        raise ValueError(f"grid ks must be positive, got {min(ks)}")
+    cap = DEFAULT_T_MAX if t_max is None else int(t_max)
+    if cap < 1:
+        raise ValueError(f"t_max must be >= 1, got {t_max}")
+    cap = min(max(ks), cap)
+    snaps = _log_pmf_sweep(max(ks), cap, snapshots=ks)
+    return {k: snaps[k][: min(k, cap) + 1] for k in ks}
+
+
 @lru_cache(maxsize=64)
 def _distribution(k: int) -> tuple:
-    """Pr[T(k) = t] for t = 0..k via the m -> U{0..m-1} recursion."""
-    # dist[m][t]; dist[0] = point mass at 0 rounds.
-    prev: List[np.ndarray] = [np.array([1.0])]
-    for m in range(1, k + 1):
-        # T(m) = 1 + T(J), J ~ U{0..m-1}.
-        out = np.zeros(m + 1, dtype=np.float64)
-        for j in range(m):
-            dj = prev[j]
-            out[1 : 1 + len(dj)] += dj / m
-        prev.append(out)
-    return tuple(prev[k].tolist())
+    """Full-support Pr[T(k) = t] for t = 0..k via the same DP, linear space."""
+    v = np.zeros(k + 1, dtype=np.float64)
+    v[1] = 1.0
+    for i in range(2, k + 1):
+        b = 1.0 / i
+        v[1:] = v[1:] * (1.0 - b) + v[:-1] * b
+    return tuple(v.tolist())
 
 
 def rounds_distribution(k: int) -> np.ndarray:
-    """Exact pmf of the race's round count, ``Pr[T(k) = t]`` for t=0..k."""
+    """Exact pmf of the race's round count, ``Pr[T(k) = t]`` for t=0..k.
+
+    Full support, linear probability space (entries more than ~308 orders
+    of magnitude below the mode round to zero — use
+    :func:`log_rounds_pmf` when the deep tail matters).  Limited to
+    ``k <= EXACT_PMF_LIMIT`` by its O(k²) cost.
+    """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
-    if k > 60:
-        raise ValueError("exact pmf limited to k <= 60 (O(k^2) DP); use moments")
+    if k > EXACT_PMF_LIMIT:
+        raise ValueError(
+            f"full-support pmf limited to k <= {EXACT_PMF_LIMIT} (O(k^2) DP); "
+            "use log_rounds_pmf for truncated large-k laws"
+        )
+    if k == 0:
+        return np.array([1.0])
     return np.asarray(_distribution(k), dtype=np.float64)
+
+
+def rounds_quantiles(
+    k: int, qs: Sequence[float], t_max: Optional[int] = None
+) -> np.ndarray:
+    """Exact quantiles of ``T(k)``: smallest ``t`` with ``Pr[T <= t] >= q``."""
+    qs_arr = np.asarray(qs, dtype=np.float64)
+    if ((qs_arr <= 0.0) | (qs_arr >= 1.0)).any():
+        raise ValueError(f"quantiles must lie in (0, 1), got {qs}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    cdf = np.cumsum(np.exp(log_rounds_pmf(k, t_max=t_max)))
+    # Guard the (negligible) truncated upper tail: top quantiles beyond
+    # the window clamp to its edge.
+    idx = np.searchsorted(cdf, np.minimum(qs_arr, cdf[-1]))
+    return np.minimum(idx, len(cdf) - 1).astype(np.int64)
 
 
 def rounds_tail_bound(k: int, t: float) -> float:

@@ -1,0 +1,115 @@
+"""BENCH_race.json schema: produced, validated, rendered, persisted."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.engine.race_bench import (
+    BENCH_RACE_SCHEMA,
+    render_bench_race,
+    run_bench_race,
+    validate_bench_race,
+    write_bench_race,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Small configuration: the schema and gates, not the paper-scale run.
+    return run_bench_race(ks=(16, 256), trials=5_000, seed=0, pram_k=256, pram_reps=3)
+
+
+def test_run_bench_race_is_well_formed(report):
+    validate_bench_race(report)  # must not raise
+    assert report["schema"] == BENCH_RACE_SCHEMA
+    assert report["config"]["ks"] == [16, 256]
+    r = report["results"]
+    assert len(r["per_k"]) == 2
+    assert r["speedup_vs_pram"] > 0
+    assert r["determinism_rerun_identical"] is True
+
+
+def test_per_k_entries_track_exact_law(report):
+    for entry in report["results"]["per_k"]:
+        assert entry["mean_in_ci"], (entry["k"], entry["mean"], entry["ci"])
+        assert entry["exact_mean"] <= entry["paper_bound"]
+        assert entry["quantiles"].keys() == entry["exact_quantiles"].keys()
+
+
+def test_speedup_gate_holds_even_tiny(report):
+    """The >= 50x acceptance gate clears by orders of magnitude."""
+    assert report["results"]["speedup_vs_pram"] >= 50.0
+
+
+def test_write_bench_race_round_trips(tmp_path, report):
+    path = write_bench_race(report, str(tmp_path / "BENCH_race.json"))
+    with open(path, encoding="utf-8") as fh:
+        loaded = json.load(fh)
+    validate_bench_race(loaded)
+    assert loaded["results"].keys() == report["results"].keys()
+
+
+def test_render_bench_race_summary(report):
+    text = render_bench_race(report)
+    assert "race bench" in text
+    assert "speedup vs per-step PRAM" in text
+    assert "determinism" in text
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda r: r.pop("schema"),
+        lambda r: r.update(schema="something/else"),
+        lambda r: r.pop("results"),
+        lambda r: r["results"].pop("per_k"),
+        lambda r: r["results"].update(per_k=[]),
+        lambda r: r["results"]["per_k"][0].pop("mean"),
+        lambda r: r["results"].update(speedup_vs_pram=-1.0),
+        lambda r: r["results"].update(determinism_sha256="short"),
+        lambda r: r["results"].update(determinism_rerun_identical=False),
+    ],
+)
+def test_validate_bench_race_rejects_malformed(report, mutate):
+    bad = json.loads(json.dumps(report))
+    mutate(bad)
+    with pytest.raises(ValueError):
+        validate_bench_race(bad)
+
+
+def test_run_bench_race_validation():
+    with pytest.raises(ValueError):
+        run_bench_race(ks=())
+    with pytest.raises(ValueError):
+        run_bench_race(ks=(0,))
+    with pytest.raises(ValueError):
+        run_bench_race(trials=0)
+
+
+def test_cli_bench_race_writes_report(tmp_path, capsys):
+    out = tmp_path / "bench_race.json"
+    code = cli_main(
+        [
+            "bench-race",
+            "--iterations",
+            "2000",
+            "--race-k",
+            "16",
+            "64",
+            "--output",
+            str(out),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "race bench" in captured
+    with open(out, encoding="utf-8") as fh:
+        loaded = json.load(fh)
+    validate_bench_race(loaded)
+    assert loaded["config"]["pram_k"] == 16  # anchored to the custom grid
+
+
+def test_cli_list_includes_bench_race(capsys):
+    assert cli_main(["--list"]) == 0
+    assert "bench-race" in capsys.readouterr().out

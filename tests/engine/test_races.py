@@ -1,0 +1,199 @@
+"""The batched race kernel: PRAM cross-validation, policies, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.engine.races import (
+    MIN_TRIALS_PER_WORKER,
+    parallel_round_counts,
+    sample_round_counts,
+    simulate_races,
+    suggest_race_workers,
+)
+from repro.errors import CommonWriteViolation, SelectionError
+from repro.pram.algorithms import max_random_write_race
+from repro.pram.policies import WritePolicy
+
+POLICIES = [WritePolicy.RANDOM, WritePolicy.PRIORITY, WritePolicy.ARBITRARY]
+
+
+class TestPramCrossValidation:
+    """arbitration='pram' must be bit-identical to the per-step machine."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("k", [1, 2, 5, 17, 64])
+    def test_step_for_step_agreement(self, policy, k):
+        rng = np.random.default_rng(k * 1000 + hash(policy.value) % 97)
+        for trial in range(4):
+            bids = rng.random(k)
+            seed = int(rng.integers(2**31))
+            ref = max_random_write_race(
+                bids, seed=seed, policy=policy, record_rounds=True
+            )
+            got = simulate_races(
+                bids,
+                policy=policy,
+                seeds=[seed],
+                arbitration="pram",
+                record_rounds=True,
+            )
+            assert int(got.winners[0]) == ref.winner
+            assert int(got.rounds[0]) == ref.iterations
+            assert float(got.maxima[0]) == ref.maximum
+            assert got.round_winners[0] == ref.round_winners
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_duplicate_maximum_bids(self, policy):
+        """Ties at the top exercise the announcement arbitration."""
+        bids = np.array([0.3, 0.9, 0.1, 0.9, 0.9])
+        for seed in (0, 1, 7, 123):
+            ref = max_random_write_race(
+                bids, seed=seed, policy=policy, record_rounds=True
+            )
+            got = simulate_races(
+                bids, policy=policy, seeds=[seed], arbitration="pram",
+                record_rounds=True,
+            )
+            assert int(got.winners[0]) == ref.winner
+            assert got.round_winners[0] == ref.round_winners
+
+    def test_inactive_bidders_sit_out(self):
+        bids = np.array([-np.inf, 0.4, -np.inf, 0.8])
+        ref = max_random_write_race(bids, seed=5, record_rounds=True)
+        got = simulate_races(bids, seeds=[5], arbitration="pram", record_rounds=True)
+        assert int(got.winners[0]) == ref.winner == 3
+        assert int(got.k[0]) == ref.k == 2
+
+
+class TestVectorKernel:
+    def test_winner_is_argmax(self):
+        rng = np.random.default_rng(0)
+        bids = rng.random((50, 33))
+        batch = simulate_races(bids, seed=1)
+        np.testing.assert_array_equal(batch.winners, bids.argmax(axis=1))
+        np.testing.assert_allclose(batch.maxima, bids.max(axis=1))
+
+    def test_k1_single_round(self):
+        """A lone bidder writes once and wins — the all-inactive-rest case."""
+        bids = np.full((8, 5), -np.inf)
+        bids[:, 2] = 1.0
+        for policy in POLICIES:
+            batch = simulate_races(bids, policy=policy, seed=0)
+            assert (batch.winners == 2).all()
+            assert (batch.rounds == 1).all()
+            assert (batch.k == 1).all()
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_fixed_seed_determinism(self, policy):
+        bids = np.random.default_rng(3).random((20, 16))
+        a = simulate_races(bids, policy=policy, seed=42)
+        b = simulate_races(bids, policy=policy, seed=42)
+        np.testing.assert_array_equal(a.winners, b.winners)
+        np.testing.assert_array_equal(a.rounds, b.rounds)
+
+    def test_deterministic_policy_winners(self):
+        """PRIORITY takes the lowest tied pid, ARBITRARY the highest."""
+        bids = np.array([[0.7, 0.2, 0.7, 0.7]])
+        assert int(simulate_races(bids, policy="priority").winners[0]) == 0
+        assert int(simulate_races(bids, policy="arbitrary").winners[0]) == 3
+
+    def test_rounds_bounded_by_k(self):
+        bids = np.random.default_rng(9).random((100, 12))
+        batch = simulate_races(bids, seed=2)
+        assert (batch.rounds >= 1).all()
+        assert (batch.rounds <= 12).all()
+
+    def test_round_winner_log_is_increasing_in_value(self):
+        bids = np.random.default_rng(4).random((10, 8))
+        batch = simulate_races(bids, seed=0, record_rounds=True)
+        for r, log in enumerate(batch.round_winners):
+            vals = [bids[r, col] for col in log]
+            assert vals == sorted(vals)
+            assert log[-1] == int(batch.winners[r])
+
+    def test_common_policy_detects_conflicts(self):
+        with pytest.raises(CommonWriteViolation):
+            simulate_races(np.array([[0.1, 0.5]]), policy="common", seed=0)
+
+    def test_common_policy_single_writer_ok(self):
+        batch = simulate_races(np.array([[0.5, -np.inf, -np.inf]]), policy="common")
+        assert int(batch.winners[0]) == 0
+        with pytest.raises(CommonWriteViolation):
+            # Equal top bids agree per round but collide at the
+            # announcement step (each writes its own pid) — same as the
+            # per-step machine.
+            simulate_races(np.array([[0.5, -np.inf, 0.5]]), policy="common")
+
+    def test_validation_errors(self):
+        with pytest.raises(SelectionError):
+            simulate_races(np.array([np.nan, 0.5]))
+        with pytest.raises(SelectionError):
+            simulate_races(np.array([-np.inf, -np.inf]))
+        with pytest.raises(SelectionError):
+            simulate_races(np.empty((2, 0)))
+        with pytest.raises(ValueError):
+            simulate_races([0.5], policy="majority")
+        with pytest.raises(ValueError):
+            simulate_races([0.5], arbitration="quantum")
+        with pytest.raises(ValueError):
+            simulate_races([0.5], seeds=[1, 2], arbitration="pram")
+        with pytest.raises(ValueError):
+            simulate_races([0.5], seeds=[1])  # per-race seeds need pram mode
+
+
+class TestRankKernel:
+    def test_matches_vector_kernel_law(self):
+        """Rank chain and value-space kernel sample the same distribution."""
+        from repro.stats.gof import chi_square_gof
+        from repro.stats.race_theory import rounds_distribution
+
+        k, trials = 8, 20_000
+        pmf = rounds_distribution(k)
+        ranks = sample_round_counts(k, trials, seed=0)
+        bids = np.random.default_rng(1).random((trials, k))
+        values = simulate_races(bids, seed=2).rounds
+        for sample in (ranks, values):
+            counts = np.bincount(sample, minlength=len(pmf))[: len(pmf)]
+            assert not chi_square_gof(counts, pmf).reject(1e-4)
+
+    def test_mean_tracks_harmonic_at_scale(self):
+        from repro.stats.confidence import mean_interval
+        from repro.stats.race_theory import expected_rounds, variance_rounds
+
+        k, trials = 2**20, 50_000
+        mean = float(sample_round_counts(k, trials, seed=3).mean())
+        lo, hi = mean_interval(expected_rounds(k), variance_rounds(k), trials)
+        assert lo <= mean <= hi
+
+    def test_k1_and_zero_trials(self):
+        assert (sample_round_counts(1, 100) == 1).all()
+        assert sample_round_counts(5, 0).shape == (0,)
+        with pytest.raises(ValueError):
+            sample_round_counts(0, 10)
+        with pytest.raises(ValueError):
+            sample_round_counts(4, -1)
+
+
+class TestFanOut:
+    def test_byte_identical_across_runs(self):
+        a = parallel_round_counts(64, 5_000, seed=7, workers=3)
+        b = parallel_round_counts(64, 5_000, seed=7, workers=3)
+        assert a.tobytes() == b.tobytes()
+        assert a.shape == (5_000,)
+
+    def test_worker_one_shortcut_matches_law(self):
+        counts = parallel_round_counts(16, 2_000, seed=1, workers=1)
+        assert counts.shape == (2_000,)
+        assert 2.0 < counts.mean() < 5.0  # H_16 ~ 3.38
+
+    def test_suggest_race_workers(self):
+        assert suggest_race_workers(0) == 1
+        assert suggest_race_workers(MIN_TRIALS_PER_WORKER - 1, available=8) == 1
+        assert suggest_race_workers(4 * MIN_TRIALS_PER_WORKER, available=8) == 4
+        assert suggest_race_workers(10**9, available=8) == 8
+        with pytest.raises(ValueError):
+            suggest_race_workers(10, available=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parallel_round_counts(8, 100, workers=0)

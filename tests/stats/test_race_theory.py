@@ -6,10 +6,14 @@ import pytest
 from repro.bench.experiments import race_round_process
 from repro.pram.algorithms import max_random_write_race
 from repro.stats.race_theory import (
+    EXACT_PMF_LIMIT,
     expected_rounds,
     harmonic,
+    log_rounds_pmf,
+    log_rounds_pmf_grid,
     paper_bound,
     rounds_distribution,
+    rounds_quantiles,
     rounds_tail_bound,
     variance_rounds,
 )
@@ -74,12 +78,65 @@ class TestDistribution:
             assert var == pytest.approx(variance_rounds(k), abs=1e-9)
 
     def test_size_limit(self):
+        # The vectorized DP reaches k = 4096 in full support; beyond that
+        # the truncated log-space pmf takes over.
+        pmf = rounds_distribution(EXACT_PMF_LIMIT)
+        assert pmf.sum() == pytest.approx(1.0)
         with pytest.raises(ValueError):
-            rounds_distribution(61)
+            rounds_distribution(EXACT_PMF_LIMIT + 1)
 
     def test_tail_bound_sane(self):
         assert rounds_tail_bound(16, 0.0) == 1.0
         assert 0.0 <= rounds_tail_bound(16, 20.0) < 0.1
+
+
+class TestLogSpacePmf:
+    def test_matches_linear_pmf_small_k(self):
+        for k in (1, 2, 7, 40):
+            lp = log_rounds_pmf(k)
+            np.testing.assert_allclose(
+                np.exp(lp), rounds_distribution(k)[: len(lp)], atol=1e-12
+            )
+
+    def test_finite_at_paper_scale(self):
+        """Every reachable round count has a finite log-probability at k=2^20.
+
+        The linear-space pmf underflows to zero anywhere below ~1e-308;
+        log space keeps even Pr[T = 1] = 1/k representable and exact.
+        """
+        k = 2**20
+        lp = log_rounds_pmf(k)
+        assert np.isinf(lp[0]) and lp[0] < 0  # t = 0 impossible
+        assert np.isfinite(lp[1:]).all()
+        assert lp[1] == pytest.approx(-np.log(k))
+
+    def test_normalised_and_mean_matches_harmonic(self):
+        k = 2**14
+        p = np.exp(log_rounds_pmf(k))
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+        mean = float((np.arange(len(p)) * p).sum())
+        assert mean == pytest.approx(harmonic(k), abs=1e-6)
+
+    def test_grid_single_sweep_matches_pointwise(self):
+        grid = log_rounds_pmf_grid([4, 64, 512])
+        for k, lp in grid.items():
+            np.testing.assert_allclose(lp, log_rounds_pmf(k), atol=1e-12)
+
+    def test_quantiles(self):
+        # T(2) is 1 or 2 with prob 1/2 each.
+        qs = rounds_quantiles(2, [0.25, 0.5, 0.75])
+        assert qs.tolist() == [1, 1, 2]
+        med = rounds_quantiles(2**16, [0.5])[0]
+        assert abs(med - harmonic(2**16)) < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_rounds_pmf(-1)
+        with pytest.raises(ValueError):
+            log_rounds_pmf(8, t_max=0)
+        with pytest.raises(ValueError):
+            rounds_quantiles(8, [1.5])
+        assert log_rounds_pmf_grid([]) == {}
 
 
 class TestAgainstSimulation:
