@@ -32,7 +32,7 @@ from repro.core import (
     streaming_select,
     StreamingSelector,
 )
-from repro import aco, bench, core, engine, msg, parallel, pram, rng, simt, stats
+from repro import aco, audit, bench, core, engine, msg, parallel, pram, rng, simt, stats
 
 __all__ = [
     "__version__",
@@ -57,5 +57,6 @@ __all__ = [
     "rng",
     "stats",
     "aco",
+    "audit",
     "bench",
 ]

@@ -1,0 +1,80 @@
+"""Differential correctness audit across every selection backend.
+
+``python -m repro audit`` drives every public selection entry point —
+the registry methods, both compiled-engine kernel policies, the
+PRAM/SIMT/message-passing machine models, the streaming selector, the
+Fenwick sampler and the thread race — over a suite of adversarial
+fitness vectors (:mod:`repro.audit.generators`), replays identical
+uniforms through the three monotone-equivalent key transforms
+(:mod:`repro.audit.oracle`), and emits a JSON report of per-backend
+verdicts with the seed for every violation (:mod:`repro.audit.report`).
+
+The contract enforced is uniform: valid input selects from the support
+with the exact probabilities; degenerate or malformed input raises
+``DegenerateFitnessError`` / ``FitnessError`` / ``SelectionError`` —
+never a hang, never NaN, never a zero-fitness winner.
+"""
+
+from repro.audit.generators import (
+    CATEGORY_DEGENERATE,
+    CATEGORY_INVALID,
+    CATEGORY_VALID,
+    AdversarialCase,
+    degenerate_cases,
+    edge_vectors,
+    generate_cases,
+    invalid_cases,
+    valid_cases,
+)
+from repro.audit.harness import (
+    DEFAULT_ALPHA,
+    Backend,
+    Verdict,
+    audit_backend_case,
+    iter_backends,
+    run_audit,
+)
+from repro.audit.oracle import (
+    DECISIVE_ATOL,
+    DECISIVE_RTOL,
+    FAITHFUL_METHODS,
+    TransformReplay,
+    check_faithful_compilation,
+    decisive_winner,
+    replay_transforms,
+)
+from repro.audit.report import (
+    REPORT_VERSION,
+    build_report,
+    render_report,
+    validate_report,
+)
+
+__all__ = [
+    "AdversarialCase",
+    "CATEGORY_VALID",
+    "CATEGORY_DEGENERATE",
+    "CATEGORY_INVALID",
+    "generate_cases",
+    "valid_cases",
+    "degenerate_cases",
+    "invalid_cases",
+    "edge_vectors",
+    "Backend",
+    "Verdict",
+    "iter_backends",
+    "audit_backend_case",
+    "run_audit",
+    "DEFAULT_ALPHA",
+    "DECISIVE_RTOL",
+    "DECISIVE_ATOL",
+    "FAITHFUL_METHODS",
+    "TransformReplay",
+    "decisive_winner",
+    "replay_transforms",
+    "check_faithful_compilation",
+    "REPORT_VERSION",
+    "build_report",
+    "validate_report",
+    "render_report",
+]

@@ -1,0 +1,274 @@
+"""Adversarial fitness-vector generators for the differential audit.
+
+Every case targets an edge of the input space where a selection backend
+has historically misbehaved somewhere in the literature (or in this
+repo's own history):
+
+* all-zero wheels — the stochastic-acceptance accept loop could never
+  terminate, Fenwick raised, key races returned arbitrary arg-maxes;
+* single-survivor wheels — the only legal winner is one index;
+* subnormal/huge mixtures — ``log(u)/f`` overflows, ``u**(1/f)``
+  underflows, ``f * u`` underflows into ties with true zeros;
+* long zero runs — searchsorted/prefix backends land on zero-width
+  intervals at FP boundaries;
+* ``k``-of-``n`` sparse support — the paper's ACO regime (k active
+  cities out of n);
+* near-tie mass splits — winners decided in the last few ulps, where
+  monotone-equivalent transforms can round in opposite directions.
+
+Cases are *deterministic in the seed* so any violation found by the
+audit is reproducible from its recorded ``(case, seed)`` pair alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "AdversarialCase",
+    "CATEGORY_VALID",
+    "CATEGORY_DEGENERATE",
+    "CATEGORY_INVALID",
+    "generate_cases",
+    "valid_cases",
+    "degenerate_cases",
+    "invalid_cases",
+    "edge_vectors",
+]
+
+#: The backend must select an index from the support, never NaN/inf.
+CATEGORY_VALID = "valid"
+#: The backend must raise ``DegenerateFitnessError`` (or a subclass of
+#: the unified error contract) — never hang, never return an index.
+CATEGORY_DEGENERATE = "degenerate"
+#: Malformed input (negative/NaN/inf/empty/wrong shape): must raise.
+CATEGORY_INVALID = "invalid"
+
+#: Smallest positive subnormal double.
+_TINY = 5e-324
+#: Near the largest finite double (large enough to stress ``sum(f)``).
+_HUGE = 1e308
+
+
+@dataclass(frozen=True)
+class AdversarialCase:
+    """One named input vector plus the behaviour the contract demands."""
+
+    #: Stable identifier used in reports and regression one-liners.
+    name: str
+    #: The raw fitness input (deliberately *not* validated).
+    fitness: tuple
+    #: One of the ``CATEGORY_*`` constants.
+    category: str
+    #: Human-oriented description of the edge being exercised.
+    description: str = ""
+    #: Input classes some backends legitimately cannot represent
+    #: (e.g. per-item machine backends cap ``n``).
+    tags: tuple = field(default=())
+
+    @property
+    def array(self) -> np.ndarray:
+        """The fitness input as a float64 array (may violate contracts)."""
+        return np.asarray(self.fitness, dtype=np.float64)
+
+    @property
+    def support(self) -> np.ndarray:
+        """Indices a correct selection may return."""
+        arr = self.array
+        return np.flatnonzero(arr > 0.0) if arr.ndim == 1 else np.empty(0, np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdversarialCase({self.name!r}, n={len(self.fitness)}, {self.category})"
+
+
+def _case(name, fitness, category, description, tags=()) -> AdversarialCase:
+    return AdversarialCase(
+        name=name,
+        fitness=tuple(float(x) for x in fitness),
+        category=category,
+        description=description,
+        tags=tuple(tags),
+    )
+
+
+# ----------------------------------------------------------------------
+# Individual generators (each deterministic in its arguments)
+# ----------------------------------------------------------------------
+def all_zero(n: int = 8) -> AdversarialCase:
+    """Every fitness zero: the degenerate wheel no backend may spin."""
+    return _case(
+        f"all_zero_n{n}",
+        [0.0] * n,
+        CATEGORY_DEGENERATE,
+        "all-zero wheel; accept loops cannot terminate, races have no finite bid",
+    )
+
+
+def single_survivor(n: int = 9, pos: int | None = None) -> AdversarialCase:
+    """One positive entry among zeros; the winner is forced."""
+    pos = (n // 2) if pos is None else pos
+    f = [0.0] * n
+    f[pos] = 3.0
+    return _case(
+        f"single_survivor_n{n}_p{pos}",
+        f,
+        CATEGORY_VALID,
+        f"only index {pos} may ever be selected",
+    )
+
+
+def subnormal_huge(n: int = 6) -> AdversarialCase:
+    """Subnormal and near-max-double masses on one wheel.
+
+    ``log(u)/f`` overflows for subnormal ``f``; ``u**(1/f)`` underflows;
+    ``f*u`` underflows to 0 and previously tied with true zeros.
+    """
+    f = [0.0, _TINY, 1.0, _HUGE, _TINY * 2, 0.0][:n]
+    return _case(
+        f"subnormal_huge_n{len(f)}",
+        f,
+        CATEGORY_VALID,
+        "subnormal + huge mixture; overflow/underflow in every key transform",
+    )
+
+
+def long_zero_run(n: int = 48, run: int = 40) -> AdversarialCase:
+    """A long stretch of zeros between two positive items.
+
+    Prefix-sum/searchsorted spins landing on the shared boundary of the
+    zero-width intervals must skip the whole run.
+    """
+    f = [0.0] * n
+    f[0] = 1.0
+    f[min(run + 1, n - 1)] = 2.0
+    return _case(
+        f"long_zero_run_n{n}_r{run}",
+        f,
+        CATEGORY_VALID,
+        "zero-width CDF intervals spanning a long run",
+    )
+
+
+def sparse_support(n: int = 64, k: int = 5, seed: int = 0) -> AdversarialCase:
+    """``k`` active items out of ``n`` (the ACO late-construction regime)."""
+    rng = np.random.default_rng(seed)
+    f = np.zeros(n)
+    idx = rng.choice(n, size=k, replace=False)
+    f[idx] = rng.uniform(0.5, 4.0, size=k)
+    return _case(
+        f"sparse_k{k}_of_n{n}_s{seed}",
+        f,
+        CATEGORY_VALID,
+        f"k={k} of n={n} support; zero entries must never win",
+    )
+
+
+def near_tie(n: int = 4, ulps: int = 1) -> AdversarialCase:
+    """Masses split by a few ulps — winners decided at rounding precision."""
+    base = 1.0 / 3.0
+    other = base
+    for _ in range(ulps):
+        other = np.nextafter(other, 2.0)
+    f = [base, other] * (n // 2)
+    return _case(
+        f"near_tie_n{n}_u{ulps}",
+        f[:n],
+        CATEGORY_VALID,
+        f"masses differ by {ulps} ulp; exercises tie-breaking and FP margins",
+    )
+
+
+def uniform_wheel(n: int = 10) -> AdversarialCase:
+    """All-equal masses — maximal entropy, every index equally likely."""
+    return _case(
+        f"uniform_n{n}", [2.5] * n, CATEGORY_VALID, "flat wheel, F_i = 1/n"
+    )
+
+
+def ramp_wheel(n: int = 10) -> AdversarialCase:
+    """The paper's Table I shape ``f_i = i`` (with a zero at index 0)."""
+    return _case(
+        f"ramp_n{n}",
+        list(range(n)),
+        CATEGORY_VALID,
+        "Table I ramp; index 0 has zero fitness",
+    )
+
+
+def skewed_wheel(n: int = 8, ratio: float = 1e6) -> AdversarialCase:
+    """One dominant mass — stochastic acceptance's worst case (slow, not wrong)."""
+    f = [1.0] * n
+    f[-1] = ratio
+    return _case(
+        f"skewed_n{n}_r{ratio:g}",
+        f,
+        CATEGORY_VALID,
+        "heavy skew; rejection samplers need many attempts",
+        tags=("skewed",),
+    )
+
+
+def empty_wheel() -> AdversarialCase:
+    """Zero-length input — must raise, never index."""
+    return _case("empty", [], CATEGORY_INVALID, "empty fitness vector")
+
+
+def negative_entry(n: int = 5) -> AdversarialCase:
+    """A negative mass — physically meaningless, must raise."""
+    f = [1.0] * n
+    f[n // 2] = -1.0
+    return _case(f"negative_n{n}", f, CATEGORY_INVALID, "negative fitness entry")
+
+
+def nan_entry(n: int = 5) -> AdversarialCase:
+    """A NaN mass — must raise, never propagate into keys."""
+    f = [1.0] * n
+    f[n // 2] = float("nan")
+    return _case(f"nan_n{n}", f, CATEGORY_INVALID, "NaN fitness entry")
+
+
+def inf_entry(n: int = 5) -> AdversarialCase:
+    """An infinite mass — probabilities undefined, must raise."""
+    f = [1.0] * n
+    f[n // 2] = float("inf")
+    return _case(f"inf_n{n}", f, CATEGORY_INVALID, "infinite fitness entry")
+
+
+# ----------------------------------------------------------------------
+# Suites
+# ----------------------------------------------------------------------
+def valid_cases(seed: int = 0) -> List[AdversarialCase]:
+    """Selectable wheels a correct backend must draw from ``F_i`` on."""
+    return [
+        uniform_wheel(),
+        ramp_wheel(),
+        single_survivor(),
+        subnormal_huge(),
+        long_zero_run(),
+        sparse_support(seed=seed),
+        near_tie(),
+        skewed_wheel(),
+    ]
+
+
+def degenerate_cases() -> List[AdversarialCase]:
+    """Wheels with no selectable index: raise, never hang."""
+    return [all_zero(1), all_zero(8), all_zero(64)]
+
+
+def invalid_cases() -> List[AdversarialCase]:
+    """Malformed inputs: raise before any selection work."""
+    return [empty_wheel(), negative_entry(), nan_entry(), inf_entry()]
+
+
+def generate_cases(seed: int = 0) -> List[AdversarialCase]:
+    """The full deterministic audit suite for one seed."""
+    return valid_cases(seed) + degenerate_cases() + invalid_cases()
+
+
+def edge_vectors(seed: int = 0) -> Iterator[AdversarialCase]:
+    """Alias used by the parametrised degenerate-wheel test suite."""
+    return iter(generate_cases(seed))

@@ -1,0 +1,523 @@
+"""The differential audit: every backend, every adversarial input.
+
+One :class:`Backend` adapter per public selection entry point — the ten
+registry methods, the compiled engine under both kernel policies, the
+PRAM / SIMT / message-passing machine models, the streaming selector and
+the thread-backed race.  Each backend is driven over the full
+:mod:`repro.audit.generators` suite and judged against the unified
+contract:
+
+* **valid** input → an index from the support, counts summing to the
+  trial budget, and (for exact backends) chi-square agreement with the
+  target ``F_i``;
+* **degenerate** / **invalid** input → ``DegenerateFitnessError`` /
+  ``FitnessError`` / ``SelectionError`` raised promptly — never a hang
+  (probes run under a watchdog), never a silent index, never NaN.
+
+Violations carry the backend, case name and seed, so every failure is a
+one-liner to reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.audit.generators import (
+    CATEGORY_VALID,
+    AdversarialCase,
+    generate_cases,
+)
+from repro.audit.oracle import (
+    FAITHFUL_METHODS,
+    check_faithful_compilation,
+    replay_transforms,
+)
+from repro.core.fitness import exact_probabilities
+from repro.core.methods import available_methods, get_method
+from repro.engine.compiled import _AUTO_KERNEL, _FAITHFUL_KERNEL, CompiledWheel
+from repro.errors import FitnessError, SelectionError, TeamTimeoutError
+from repro.parallel.team import ThreadTeam
+
+__all__ = [
+    "Backend",
+    "Verdict",
+    "iter_backends",
+    "audit_backend_case",
+    "run_audit",
+    "DEFAULT_ALPHA",
+    "WATCHDOG_SECONDS",
+]
+
+#: Chi-square rejection level.  Deliberately tiny: the audit runs
+#: hundreds of (backend, case) tests per invocation and must not cry
+#: wolf on sampling noise; real contract breaks (wrong support, biased
+#: winner) reject far below this.
+DEFAULT_ALPHA = 1e-6
+
+#: Wall-clock budget for a single degenerate/invalid probe.  The probe
+#: is one selection on a <=64-item wheel (microseconds when correct);
+#: hitting this bound means the backend hung, the exact failure mode the
+#: stochastic-acceptance bug exhibited.
+WATCHDOG_SECONDS = 10.0
+
+#: Exceptions the unified input contract allows a backend to raise.
+_CONTRACT_ERRORS = (FitnessError, SelectionError)
+
+
+@dataclass
+class Backend:
+    """One auditable selection entry point."""
+
+    #: Unique report name, e.g. ``registry:log_bidding``.
+    name: str
+    #: Subsystem family: registry / engine / pram / simt / msg / core / parallel.
+    family: str
+    #: ``counts(fitness, trials, seed) -> (n,) int histogram of winners``.
+    counts: Callable[[Sequence[float], int, int], np.ndarray]
+    #: Whether the selection distribution is exactly ``F_i``.
+    exact: bool = True
+    #: Machine-model backends run one simulated selection per trial and
+    #: get the (smaller) machine trial budget.
+    machine: bool = False
+
+
+@dataclass
+class Verdict:
+    """Outcome of one (backend, case, check) probe."""
+
+    backend: str
+    family: str
+    case: str
+    category: str
+    check: str
+    status: str  # "ok" | "violation" | "skipped"
+    detail: str = ""
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """The verdict as a JSON-able report row."""
+        return {
+            "backend": self.backend,
+            "family": self.family,
+            "case": self.case,
+            "category": self.category,
+            "check": self.check,
+            "status": self.status,
+            "detail": self.detail,
+            "seed": self.seed,
+        }
+
+
+# ----------------------------------------------------------------------
+# Backend adapters
+# ----------------------------------------------------------------------
+def _registry_counts(method_name: str):
+    def counts(fitness, trials, seed):
+        from repro.core.selector import RouletteWheel
+
+        wheel = RouletteWheel(fitness, method=method_name, rng=seed)
+        return wheel.counts(trials)
+
+    return counts
+
+
+def _engine_counts(method_name: str, policy: str):
+    def counts(fitness, trials, seed):
+        wheel = CompiledWheel(fitness, method_name, kernel=policy)
+        return wheel.counts(trials, rng=np.random.default_rng(seed))
+
+    return counts
+
+
+def _per_trial_counts(select_one: Callable[[Sequence[float], int], int]):
+    """Lift ``select_one(fitness, seed) -> index`` to a histogram."""
+
+    def counts(fitness, trials, seed):
+        n = len(np.atleast_1d(np.asarray(fitness, dtype=np.float64)))
+        out = np.zeros(max(n, 1), dtype=np.int64)
+        for t in range(trials):
+            out[select_one(fitness, seed + t)] += 1
+        return out
+
+    return counts
+
+
+def _pram_log(fitness, seed):
+    from repro.pram.algorithms.roulette import log_bidding_roulette
+
+    return log_bidding_roulette(fitness, seed=seed).winner
+
+
+def _pram_prefix(fitness, seed):
+    from repro.pram.algorithms.roulette import prefix_sum_roulette
+
+    return prefix_sum_roulette(fitness, seed=seed).winner
+
+
+def _simt_atomic(fitness, seed):
+    from repro.simt.roulette import atomic_roulette
+
+    return atomic_roulette(fitness, seed=seed).winner
+
+
+def _simt_warp(fitness, seed):
+    from repro.simt.roulette import warp_reduced_roulette
+
+    return warp_reduced_roulette(fitness, seed=seed).winner
+
+
+def _simt_independent(fitness, seed):
+    from repro.simt.roulette import independent_atomic_roulette
+
+    return independent_atomic_roulette(fitness, seed=seed).winner
+
+
+def _msg_log(fitness, seed):
+    from repro.msg.roulette import distributed_roulette
+
+    return distributed_roulette(fitness, seed=seed).winner
+
+
+def _msg_prefix(fitness, seed):
+    from repro.msg.roulette import distributed_prefix_roulette
+
+    return distributed_prefix_roulette(fitness, seed=seed).winner
+
+
+def _threaded(fitness, seed):
+    from repro.parallel.race import threaded_select
+
+    return threaded_select(fitness, nthreads=8, seed=seed).winner
+
+
+def _streaming(fitness, seed):
+    from repro.core.streaming import streaming_select
+
+    winner, _seen = streaming_select(fitness, rng=np.random.default_rng(seed))
+    return winner
+
+
+def _fenwick_dynamic(fitness, trials, seed):
+    from repro.core.dynamic import FenwickSampler
+
+    sampler = FenwickSampler(fitness)
+    draws = sampler.select_many(trials, rng=np.random.default_rng(seed))
+    return np.bincount(draws, minlength=sampler.n).astype(np.int64)
+
+
+def iter_backends() -> List[Backend]:
+    """Every auditable backend, deterministically ordered."""
+    backends: List[Backend] = []
+    for name in available_methods():
+        backends.append(
+            Backend(
+                name=f"registry:{name}",
+                family="registry",
+                counts=_registry_counts(name),
+                exact=get_method(name).exact,
+            )
+        )
+    for name in sorted(_AUTO_KERNEL):
+        backends.append(
+            Backend(
+                name=f"engine:auto:{name}",
+                family="engine",
+                counts=_engine_counts(name, "auto"),
+                exact=get_method(name).exact,
+            )
+        )
+    for name in sorted(_FAITHFUL_KERNEL):
+        backends.append(
+            Backend(
+                name=f"engine:faithful:{name}",
+                family="engine",
+                counts=_engine_counts(name, "faithful"),
+                exact=get_method(name).exact,
+            )
+        )
+    backends += [
+        Backend("pram:log_bidding", "pram", _per_trial_counts(_pram_log), machine=True),
+        Backend("pram:prefix_sum", "pram", _per_trial_counts(_pram_prefix), machine=True),
+        Backend("simt:atomic", "simt", _per_trial_counts(_simt_atomic), machine=True),
+        Backend("simt:warp_reduced", "simt", _per_trial_counts(_simt_warp), machine=True),
+        Backend(
+            "simt:independent_atomic",
+            "simt",
+            _per_trial_counts(_simt_independent),
+            exact=False,
+            machine=True,
+        ),
+        Backend("msg:log_bidding", "msg", _per_trial_counts(_msg_log), machine=True),
+        Backend("msg:prefix_sum", "msg", _per_trial_counts(_msg_prefix), machine=True),
+        Backend("parallel:threaded_race", "parallel", _per_trial_counts(_threaded), machine=True),
+        Backend("core:streaming", "core", _per_trial_counts(_streaming), machine=True),
+        Backend("core:fenwick_dynamic", "core", _fenwick_dynamic),
+    ]
+    return backends
+
+
+# ----------------------------------------------------------------------
+# Probes
+# ----------------------------------------------------------------------
+def _probe_under_watchdog(fn: Callable[[], object], timeout: float):
+    """Run ``fn`` on a watchdog thread; raise TeamTimeoutError on a hang.
+
+    Dogfoods the hardened :class:`repro.parallel.team.ThreadTeam`: the
+    daemon worker is abandoned on expiry instead of blocking the audit
+    forever — exactly the "never hangs" clause being enforced.
+    """
+    def worker(_ctx):
+        # Scalar kernels saturate subnormal bids to -inf by design
+        # (documented limitation); keep their overflow chatter out of
+        # the report.  Verdicts come from the returned values, not warnings.
+        with np.errstate(over="ignore", under="ignore", divide="ignore"):
+            return fn()
+
+    team = ThreadTeam(1, seed=0)
+    result = team.run(worker, timeout=timeout)
+    return result.returns[0]
+
+
+def _check_degenerate(backend: Backend, case: AdversarialCase, seed: int) -> Verdict:
+    """Degenerate/invalid input must raise a contract error, fast."""
+    base = dict(
+        backend=backend.name,
+        family=backend.family,
+        case=case.name,
+        category=case.category,
+        check="raises",
+        seed=seed,
+    )
+    try:
+        _probe_under_watchdog(
+            lambda: backend.counts(case.array, 1, seed), WATCHDOG_SECONDS
+        )
+    except _CONTRACT_ERRORS as exc:
+        return Verdict(status="ok", detail=type(exc).__name__, **base)
+    except TeamTimeoutError:
+        return Verdict(
+            status="violation",
+            detail=f"hung for {WATCHDOG_SECONDS}s instead of raising",
+            **base,
+        )
+    except BaseException as exc:  # noqa: BLE001 - classified, not swallowed
+        return Verdict(
+            status="violation",
+            detail=f"raised {type(exc).__name__} ({exc}); expected "
+            "DegenerateFitnessError/FitnessError/SelectionError",
+            **base,
+        )
+    return Verdict(
+        status="violation",
+        detail="returned a selection from a wheel with no valid winner",
+        **base,
+    )
+
+
+def _check_valid(
+    backend: Backend,
+    case: AdversarialCase,
+    trials: int,
+    seed: int,
+    alpha: float,
+) -> List[Verdict]:
+    """Valid input: support-only winners, full totals, GOF for exact."""
+    from repro.stats.gof import chi_square_gof
+
+    base = dict(
+        backend=backend.name,
+        family=backend.family,
+        case=case.name,
+        category=case.category,
+        seed=seed,
+    )
+    f = case.array
+    try:
+        with np.errstate(over="ignore", under="ignore", divide="ignore"):
+            counts = backend.counts(f, trials, seed)
+    except BaseException as exc:  # noqa: BLE001 - classified, not swallowed
+        return [
+            Verdict(
+                check="selects",
+                status="violation",
+                detail=f"raised {type(exc).__name__} ({exc}) on a selectable wheel",
+                **base,
+            )
+        ]
+    verdicts: List[Verdict] = []
+    counts = np.asarray(counts)
+    off_support = counts.copy()
+    off_support[case.support] = 0
+    if int(off_support.sum()) != 0:
+        bad = int(np.flatnonzero(off_support)[0])
+        verdicts.append(
+            Verdict(
+                check="support",
+                status="violation",
+                detail=f"selected zero-fitness index {bad} "
+                f"({int(off_support[bad])} of {trials} draws)",
+                **base,
+            )
+        )
+    else:
+        verdicts.append(Verdict(check="support", status="ok", **base))
+    if int(counts.sum()) != trials:
+        verdicts.append(
+            Verdict(
+                check="total",
+                status="violation",
+                detail=f"histogram sums to {int(counts.sum())}, expected {trials}",
+                **base,
+            )
+        )
+    if backend.exact and len(case.support) > 1 and int(counts.sum()) == trials:
+        try:
+            res = chi_square_gof(counts, exact_probabilities(f))
+            if res.reject(alpha):
+                verdicts.append(
+                    Verdict(
+                        check="gof",
+                        status="violation",
+                        detail=f"chi-square p={res.p_value:.3g} < alpha={alpha:g} "
+                        f"(stat={res.statistic:.2f}, dof={res.dof})",
+                        **base,
+                    )
+                )
+            else:
+                verdicts.append(
+                    Verdict(
+                        check="gof",
+                        status="ok",
+                        detail=f"p={res.p_value:.3g}",
+                        **base,
+                    )
+                )
+        except ValueError as exc:
+            verdicts.append(
+                Verdict(check="gof", status="violation", detail=str(exc), **base)
+            )
+    return verdicts
+
+
+def audit_backend_case(
+    backend: Backend,
+    case: AdversarialCase,
+    trials: int,
+    seed: int,
+    alpha: float = DEFAULT_ALPHA,
+) -> List[Verdict]:
+    """All checks for one (backend, case) pair."""
+    if case.category == CATEGORY_VALID:
+        return _check_valid(backend, case, trials, seed, alpha)
+    return [_check_degenerate(backend, case, seed)]
+
+
+def _oracle_verdicts(
+    cases: Iterable[AdversarialCase], trials: int, seed: int
+) -> List[Verdict]:
+    """Transform-equivalence and faithful-compilation replays."""
+    verdicts: List[Verdict] = []
+    for case in cases:
+        if case.category != CATEGORY_VALID:
+            continue
+        replay = replay_transforms(case.array, trials, seed)
+        base = dict(
+            family="oracle",
+            case=case.name,
+            category=case.category,
+            seed=seed,
+        )
+        if replay.agreed:
+            decisive = int(replay.decisive.sum())
+            verdicts.append(
+                Verdict(
+                    backend="oracle:transforms",
+                    check="transform_equivalence",
+                    status="ok",
+                    detail=f"{decisive}/{trials} decisive trials agree bit-for-bit",
+                    **base,
+                )
+            )
+        else:
+            first = int(replay.disagreements[0])
+            picks = {k: int(v[first]) for k, v in replay.winners.items()}
+            verdicts.append(
+                Verdict(
+                    backend="oracle:transforms",
+                    check="transform_equivalence",
+                    status="violation",
+                    detail=f"decisive trial {first} disagrees: {picks}",
+                    **base,
+                )
+            )
+        for method in FAITHFUL_METHODS:
+            diverged = check_faithful_compilation(case.array, method, trials, seed)
+            verdicts.append(
+                Verdict(
+                    backend=f"oracle:faithful:{method}",
+                    check="faithful_compile",
+                    status="ok" if diverged is None else "violation",
+                    detail=diverged or "bit-identical draws",
+                    **base,
+                )
+            )
+    return verdicts
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_audit(
+    trials: int = 200,
+    seed: int = 0,
+    machine_trials: Optional[int] = None,
+    alpha: float = DEFAULT_ALPHA,
+    backends: Optional[List[Backend]] = None,
+    cases: Optional[List[AdversarialCase]] = None,
+) -> Dict[str, object]:
+    """Run the full differential audit and assemble the JSON report.
+
+    Parameters
+    ----------
+    trials:
+        Draws per (vectorised backend, valid case) pair.
+    seed:
+        Master seed; every probe derives its own stream from it, and
+        every verdict records the seed it ran with.
+    machine_trials:
+        Per-selection budget for the simulated machines (default:
+        ``max(20, trials // 2)``, capped at ``trials``) — each of their
+        trials is a full machine run, not a vectorised draw.
+    alpha:
+        Chi-square rejection level (see :data:`DEFAULT_ALPHA`).
+    backends, cases:
+        Override the audited backends / case suite (tests use this).
+    """
+    from repro.audit.report import build_report
+
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if machine_trials is None:
+        machine_trials = min(trials, max(20, trials // 2))
+    backends = iter_backends() if backends is None else backends
+    cases = generate_cases(seed) if cases is None else cases
+    verdicts: List[Verdict] = []
+    for backend in backends:
+        budget = machine_trials if backend.machine else trials
+        for case in cases:
+            verdicts.extend(audit_backend_case(backend, case, budget, seed, alpha))
+    verdicts.extend(_oracle_verdicts(cases, trials, seed))
+    return build_report(
+        verdicts,
+        meta={
+            "trials": trials,
+            "machine_trials": machine_trials,
+            "seed": seed,
+            "alpha": alpha,
+            "n_backends": len(backends),
+            "n_cases": len(cases),
+        },
+    )

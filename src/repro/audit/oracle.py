@@ -1,0 +1,168 @@
+"""Oracle replay: identical uniforms through every key formulation.
+
+The paper's key ``log(u)/f``, the Gumbel-max key ``log f - log(-log u)``
+and the Efraimidis–Spirakis key ``u**(1/f)`` are monotone transforms of
+one another, so *in exact arithmetic* the same uniforms always produce
+the same arg-max.  In floating point that guarantee holds only when the
+winner is **decisive** — separated from the runner-up by more than the
+rounding noise each transform can introduce.  When two keys agree to a
+few ulps, ``log`` in one formulation can round up while the division in
+another rounds down, legitimately flipping the arg-max (observed in the
+wild by the property suite: ``f = [1e6, 1e6]``, uniforms a hair apart).
+
+This module defines that margin once (:func:`decisive_winner`) and
+provides the two replay checks the audit harness runs:
+
+* :func:`replay_transforms` — same uniforms through all three exact
+  transforms; decisive rows must agree bit-for-bit on the winner.
+* :func:`check_faithful_compilation` — registry method vs its
+  bit-faithful :class:`repro.engine.CompiledWheel` kernel from identical
+  RNG state; *all* draws must match exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.bidding import es_keys, gumbel_keys, log_bid_keys
+from repro.core.fitness import validate_fitness
+from repro.core.methods import get_method
+from repro.engine.compiled import _FAITHFUL_KERNEL, CompiledWheel
+
+__all__ = [
+    "DECISIVE_RTOL",
+    "DECISIVE_ATOL",
+    "decisive_winner",
+    "TransformReplay",
+    "replay_transforms",
+    "check_faithful_compilation",
+    "FAITHFUL_METHODS",
+]
+
+#: Relative top-2 margin below which monotone equivalence is not
+#: guaranteed in floating point.  A relative gap of ``eps`` in the log
+#: keys maps to an *absolute* gap of ~``eps`` in Gumbel space (the
+#: transform is ``-log(-k)``), where each key carries a few ulps
+#: (~1e-13) of rounding noise; 1e-9 leaves four orders of headroom.
+DECISIVE_RTOL = 1e-9
+
+#: Absolute top-2 margin for the ES comparison: an absolute gap of
+#: ``eps`` in the log keys maps to a *relative* gap of ~``eps`` in ES
+#: space (the transform is ``exp``), so gaps below ~1 ulp of the ES key
+#: can vanish under ``exp``.  1e-12 clears double precision by 4 orders.
+DECISIVE_ATOL = 1e-12
+
+#: Methods with a bit-faithful compiled kernel (replayed by the audit).
+FAITHFUL_METHODS = tuple(sorted(_FAITHFUL_KERNEL))
+
+
+def decisive_winner(
+    keys: np.ndarray, *, rtol: float = DECISIVE_RTOL, atol: float = DECISIVE_ATOL
+) -> np.ndarray:
+    """Rows of a key matrix whose arg-max is beyond FP rounding doubt.
+
+    Parameters
+    ----------
+    keys:
+        ``(n,)`` or ``(rows, n)`` logarithmic-bid keys (``-inf`` marks
+        non-participants).
+    rtol, atol:
+        Margin the winner must hold over the runner-up, relative to the
+        larger magnitude of the pair / absolutely.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean scalar (1-D input) or per-row mask.  A row with a single
+        finite key is decisive; a row with no finite key is not.
+    """
+    arr = np.atleast_2d(np.asarray(keys, dtype=np.float64))
+    rows, n = arr.shape
+    out = np.zeros(rows, dtype=bool)
+    if n == 1:
+        out[:] = np.isfinite(arr[:, 0])
+        return out if np.asarray(keys).ndim > 1 else out[0]
+    top2 = -np.partition(-arr, 1, axis=1)[:, :2]  # descending top two
+    k1, k2 = top2[:, 0], top2[:, 1]
+    lone = np.isfinite(k1) & np.isneginf(k2)  # single finite participant
+    both = np.isfinite(k1) & np.isfinite(k2)
+    with np.errstate(invalid="ignore"):  # -inf - -inf rows; masked by `both`
+        margin = k1 - k2
+        scale = np.maximum(np.abs(k1), np.abs(k2))
+        out[:] = lone | (both & (margin > np.maximum(atol, rtol * scale)))
+    return out if np.asarray(keys).ndim > 1 else out[0]
+
+
+@dataclass
+class TransformReplay:
+    """Outcome of one identical-uniforms replay across the transforms."""
+
+    #: Winners per transform name, each shape ``(trials,)``.
+    winners: Dict[str, np.ndarray]
+    #: Per-trial decisive mask (from the logarithmic keys).
+    decisive: np.ndarray
+    #: Trials where decisive rows disagreed (should be empty).
+    disagreements: np.ndarray
+
+    @property
+    def agreed(self) -> bool:
+        """True iff every decisive trial picked one winner everywhere."""
+        return self.disagreements.size == 0
+
+
+def replay_transforms(
+    fitness, trials: int, seed: int, *, uniforms: Optional[np.ndarray] = None
+) -> TransformReplay:
+    """Feed *identical* uniforms through all three exact key transforms.
+
+    Draws one ``(trials, n)`` uniform block (or uses ``uniforms``) and
+    asserts nothing itself — the harness turns ``disagreements`` into
+    violations with the seed recorded for replay.
+    """
+    f = validate_fitness(fitness)
+    if uniforms is None:
+        # Reflect to (0, 1] exactly as the transforms' internal draw does.
+        uniforms = 1.0 - np.random.default_rng(seed).random((trials, len(f)))
+    u = np.asarray(uniforms, dtype=np.float64)
+    keys_log = log_bid_keys(f, None, uniforms=u)
+    winners = {
+        "log_bidding": np.argmax(keys_log, axis=1),
+        "gumbel": np.argmax(gumbel_keys(f, None, uniforms=u), axis=1),
+        "efraimidis_spirakis": np.argmax(es_keys(f, None, uniforms=u), axis=1),
+    }
+    decisive = np.atleast_1d(decisive_winner(keys_log))
+    ref = winners["log_bidding"]
+    mismatch = np.zeros(len(ref), dtype=bool)
+    for name, w in winners.items():
+        if name != "log_bidding":
+            mismatch |= w != ref
+    return TransformReplay(
+        winners=winners,
+        decisive=decisive,
+        disagreements=np.flatnonzero(mismatch & decisive),
+    )
+
+
+def check_faithful_compilation(
+    fitness, method: str, trials: int, seed: int
+) -> Optional[str]:
+    """Registry draws vs the bit-faithful compiled kernel, same RNG state.
+
+    Returns ``None`` on bit-identical agreement, else a short description
+    of the first divergence (draw index and the two winners).
+    """
+    f = validate_fitness(fitness)
+    registry = get_method(method).select_many(f, np.random.default_rng(seed), trials)
+    compiled = CompiledWheel(f, method, kernel="faithful").select_many(
+        trials, rng=np.random.default_rng(seed)
+    )
+    if np.array_equal(registry, compiled):
+        return None
+    first = int(np.flatnonzero(registry != compiled)[0])
+    return (
+        f"faithful kernel diverged from registry {method!r} at draw {first}: "
+        f"registry={int(registry[first])} compiled={int(compiled[first])}"
+    )

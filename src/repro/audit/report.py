@@ -1,0 +1,118 @@
+"""Audit report assembly, validation and human-readable rendering.
+
+The report is a plain JSON-able dict (schema below) so the CLI can dump
+it with ``--json`` / ``--output`` and the CI smoke job can assert on it
+without importing anything beyond :mod:`json`:
+
+.. code-block:: python
+
+    {
+      "version": 1,
+      "kind": "audit",
+      "meta": {"trials": ..., "machine_trials": ..., "seed": ...,
+               "alpha": ..., "n_backends": ..., "n_cases": ...},
+      "verdicts": [{"backend", "family", "case", "category",
+                    "check", "status", "detail", "seed"}, ...],
+      "violations": [...subset of verdicts with status == "violation"...],
+      "summary": {"checks": N, "ok": N, "violations": N, "skipped": N,
+                  "by_family": {...}, "passed": bool},
+    }
+
+Every violation entry carries the case name and seed, so reproducing it
+is one call: ``audit_backend_case(backend, case, trials, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+__all__ = ["REPORT_VERSION", "build_report", "validate_report", "render_report"]
+
+REPORT_VERSION = 1
+
+
+def build_report(
+    verdicts: Iterable["Verdict"], meta: Mapping[str, object]
+) -> Dict[str, object]:
+    """Assemble the JSON-able audit report from harness verdicts."""
+    rows = [v.to_dict() for v in verdicts]
+    violations = [r for r in rows if r["status"] == "violation"]
+    by_family: Dict[str, Dict[str, int]] = {}
+    for r in rows:
+        fam = by_family.setdefault(
+            str(r["family"]), {"checks": 0, "violations": 0}
+        )
+        fam["checks"] += 1
+        if r["status"] == "violation":
+            fam["violations"] += 1
+    return {
+        "version": REPORT_VERSION,
+        "kind": "audit",
+        "meta": dict(meta),
+        "verdicts": rows,
+        "violations": violations,
+        "summary": {
+            "checks": len(rows),
+            "ok": sum(1 for r in rows if r["status"] == "ok"),
+            "violations": len(violations),
+            "skipped": sum(1 for r in rows if r["status"] == "skipped"),
+            "by_family": by_family,
+            "passed": not violations,
+        },
+    }
+
+
+def validate_report(report: Mapping[str, object]) -> None:
+    """Raise ``ValueError`` if ``report`` does not follow the schema."""
+    for key in ("version", "kind", "meta", "verdicts", "violations", "summary"):
+        if key not in report:
+            raise ValueError(f"audit report missing key {key!r}")
+    if report["kind"] != "audit":
+        raise ValueError(f"not an audit report: kind={report['kind']!r}")
+    if report["version"] != REPORT_VERSION:
+        raise ValueError(f"unsupported audit report version {report['version']!r}")
+    summary = report["summary"]
+    if not isinstance(summary, Mapping) or "passed" not in summary:
+        raise ValueError("audit summary missing 'passed'")
+    required = {"backend", "family", "case", "category", "check", "status", "seed"}
+    for row in report["verdicts"]:  # type: ignore[union-attr]
+        missing = required - set(row)
+        if missing:
+            raise ValueError(f"verdict missing fields {sorted(missing)}: {row}")
+        if row["status"] not in ("ok", "violation", "skipped"):
+            raise ValueError(f"verdict has unknown status {row['status']!r}")
+
+
+def render_report(report: Mapping[str, object]) -> str:
+    """Terminal-oriented summary: one line per family, then violations."""
+    validate_report(report)
+    meta = report["meta"]
+    summary = report["summary"]
+    lines: List[str] = [
+        "degenerate-wheel audit "
+        f"(trials={meta.get('trials')}, machine_trials={meta.get('machine_trials')}, "
+        f"seed={meta.get('seed')}, alpha={meta.get('alpha')})",
+        f"backends={meta.get('n_backends')} cases={meta.get('n_cases')} "
+        f"checks={summary['checks']}",
+        "",
+        f"{'family':<10} {'checks':>7} {'violations':>11}",
+    ]
+    for family, stats in sorted(summary["by_family"].items()):  # type: ignore[union-attr]
+        lines.append(
+            f"{family:<10} {stats['checks']:>7} {stats['violations']:>11}"
+        )
+    violations = report["violations"]
+    if violations:
+        lines.append("")
+        lines.append(f"VIOLATIONS ({len(violations)}):")
+        for row in violations:  # type: ignore[union-attr]
+            lines.append(
+                f"  {row['backend']} / {row['case']} [{row['check']}] "
+                f"seed={row['seed']}: {row['detail']}"
+            )
+        lines.append("")
+        lines.append("audit FAILED")
+    else:
+        lines.append("")
+        lines.append("audit PASSED: zero violations")
+    return "\n".join(lines)

@@ -3,8 +3,10 @@
 Runs the paper-reproduction experiments registered in
 :data:`repro.bench.experiments.EXPERIMENTS` and prints their tables, the
 selection-engine benchmark (``python -m repro bench-engine``, recorded in
-``BENCH_engine.json``), and the race-lab benchmark (``python -m repro
-bench-race``, recorded in ``BENCH_race.json``).
+``BENCH_engine.json``), the race-lab benchmark (``python -m repro
+bench-race``, recorded in ``BENCH_race.json``), and the differential
+degenerate-wheel audit (``python -m repro audit``, exit 0 iff zero
+violations across every backend).
 """
 
 from __future__ import annotations
@@ -52,9 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(EXPERIMENTS) + ["all", "bench-engine", "bench-race"],
+        choices=sorted(EXPERIMENTS) + ["all", "audit", "bench-engine", "bench-race"],
         help=(
             "experiment to run ('all' runs every paper experiment; "
+            "'audit' runs the differential degenerate-wheel audit over "
+            "every selection backend; "
             "'bench-engine' times the compiled selection engine; "
             "'bench-race' validates the batched race kernel against the "
             "exact round-count law at paper-scale k)"
@@ -94,7 +98,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "bench-engine / bench-race: where to record the measurements "
-            "(default BENCH_engine.json / BENCH_race.json)"
+            "(default BENCH_engine.json / BENCH_race.json); "
+            "audit: also write the JSON report here"
+        ),
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=200,
+        help=(
+            "audit only: draws per (backend, case) pair for vectorised "
+            "backends; simulated machines get max(20, trials//2) (default 200)"
         ),
     )
     parser.add_argument(
@@ -154,6 +168,24 @@ def _run_bench_race(args) -> int:
     return 0
 
 
+def _run_audit(args) -> int:
+    """Run the degenerate-wheel audit; exit 0 iff zero violations."""
+    from repro.audit import render_report, run_audit
+
+    report = run_audit(trials=args.trials, seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report))
+        if args.output:
+            print(f"recorded -> {args.output}")
+    return 0 if report["summary"]["passed"] else 1
+
+
 def _run_one(
     name: str,
     iterations: Optional[int],
@@ -181,12 +213,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
-        for name in sorted(EXPERIMENTS) + ["bench-engine", "bench-race"]:
+        for name in sorted(EXPERIMENTS) + ["audit", "bench-engine", "bench-race"]:
             print(name)
         return 0
     if args.experiment is None:
         parser.print_help()
         return 2
+    if args.experiment == "audit":
+        return _run_audit(args)
     if args.experiment == "bench-engine":
         return _run_bench_engine(args)
     if args.experiment == "bench-race":

@@ -170,10 +170,19 @@ def independent_keys(
 
     Kept as the paper's baseline: its arg-max is biased toward large
     fitness values and is **not** distributed as ``F_i``.
+
+    Zero-fitness entries are masked to ``-inf`` rather than keeping their
+    natural key ``0``: a subnormal positive fitness can underflow
+    ``f_i * u_i`` to exactly ``0.0``, and an arg-max tie at ``0`` would
+    let a zero-fitness index win — the one behaviour every backend
+    forbids.  Positive-fitness keys are unchanged, so the baseline's bias
+    (the paper's subject) is untouched.
     """
     shape = (len(fitness),) if size is None else (size, len(fitness))
     u = _uniforms(rng, shape) if uniforms is None else np.asarray(uniforms, dtype=np.float64)
-    return fitness * u
+    keys = fitness * u
+    keys[..., fitness == 0.0] = -np.inf
+    return keys
 
 
 def winner_from_uniforms(fitness: Sequence[float], uniforms: Sequence[float]) -> int:

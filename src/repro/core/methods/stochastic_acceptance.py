@@ -12,8 +12,24 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.methods.base import SelectionMethod, register_method
+from repro.errors import DegenerateFitnessError
 
 __all__ = ["StochasticAcceptanceSelection"]
+
+
+def _checked_fmax(fitness: np.ndarray) -> float:
+    """``max(f)``, rejecting the all-zero wheel the accept loop cannot leave.
+
+    The accept test ``rng() * fmax < f_i`` is unsatisfiable when
+    ``fmax == 0`` (every comparison is ``0 < 0``), so without this guard
+    both selection loops below spin forever on a degenerate wheel.
+    """
+    fmax = float(fitness.max()) if len(fitness) else 0.0
+    if fmax <= 0.0:
+        raise DegenerateFitnessError(
+            "all fitness values are zero; the acceptance loop cannot terminate"
+        )
+    return fmax
 
 
 @register_method
@@ -28,7 +44,7 @@ class StochasticAcceptanceSelection(SelectionMethod):
 
     def select(self, fitness: np.ndarray, rng) -> int:
         n = len(fitness)
-        fmax = float(fitness.max())
+        fmax = _checked_fmax(fitness)
         while True:
             # Floor of a uniform scaled by n: unbiased uniform index without
             # assuming the rng exposes an integers() API.
@@ -42,7 +58,7 @@ class StochasticAcceptanceSelection(SelectionMethod):
         if size < 0:
             raise ValueError(f"size must be non-negative, got {size}")
         n = len(fitness)
-        fmax = float(fitness.max())
+        fmax = _checked_fmax(fitness)
         out = np.empty(size, dtype=np.int64)
         filled = 0
         while filled < size:

@@ -100,8 +100,16 @@ class StreamingSelector:
         """
         if self._best_index is None:
             return 0.0
+        if self._best_key == 0.0:
+            # A drawn u == 0 gives the maximal bid log(1)/f == 0.0, which
+            # no later item can strictly beat; dividing by it would return
+            # -inf (or NaN for a second u == 0).  The winner is final.
+            return math.inf
         u = self._rng.random()
-        return math.log(1.0 - u) / self._best_key  # both logs negative -> W > 0
+        w = math.log(1.0 - u) / self._best_key  # both logs negative -> W > 0
+        # u == 0 yields the boundary draw W == 0 with the sign of -0.0;
+        # normalise so callers always see a non-negative threshold.
+        return w if w > 0.0 else 0.0
 
     def merge(self, other: "StreamingSelector") -> "StreamingSelector":
         """Combine two independent stream prefixes (parallel reduce).

@@ -326,6 +326,10 @@ class CompiledWheel:
         _fill_uniform(rng, b)
         np.subtract(1.0, b, out=b)
         np.multiply(self.fitness.values, b, out=b)
+        if self._has_zeros:
+            # Mirror independent_keys: a zero-fitness entry must never tie
+            # an underflowed positive key at 0.0 and steal the arg-max.
+            b[:, self._zero_mask] = -np.inf
 
     # -- lookup kernels -------------------------------------------------
     def _stream_searchsorted(self, size, rng, out, counts) -> None:

@@ -13,6 +13,7 @@ __all__ = [
     "DegenerateFitnessError",
     "SelectionError",
     "UnknownMethodError",
+    "TeamTimeoutError",
     "RNGError",
     "PRAMError",
     "MemoryAccessError",
@@ -48,6 +49,15 @@ class SelectionError(ReproError):
 
 class UnknownMethodError(SelectionError, KeyError):
     """A selection-method name was not found in the registry."""
+
+
+class TeamTimeoutError(ReproError, TimeoutError):
+    """A parallel team run expired with workers still alive.
+
+    Raised instead of silently returning ``None`` placeholders for the
+    unfinished ranks; the message names the stuck ranks so a hung race
+    is reproducible.
+    """
 
 
 class RNGError(ReproError):

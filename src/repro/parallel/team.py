@@ -12,6 +12,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from repro.errors import TeamTimeoutError
 from repro.rng.adapters import UniformAdapter
 from repro.rng.philox import Philox4x32
 
@@ -87,15 +88,36 @@ class ThreadTeam:
                 barrier.abort()  # unblock peers waiting on us
 
         threads = [
-            threading.Thread(target=worker, args=(rank,), name=f"team-{rank}")
+            # Daemon threads: a rank stuck past the timeout must not keep
+            # the interpreter alive after the caller has been told.
+            threading.Thread(
+                target=worker, args=(rank,), name=f"team-{rank}", daemon=True
+            )
             for rank in range(self.size)
         ]
         start = time.perf_counter()
         for t in threads:
             t.start()
-        for t in threads:
-            t.join(timeout)
+        if timeout is None:
+            for t in threads:
+                t.join()
+        else:
+            # One shared deadline for the whole team, not `timeout` per
+            # rank: joining sequentially with the full timeout each would
+            # let a stuck team consume size * timeout wall-clock.
+            deadline = start + timeout
+            for t in threads:
+                t.join(max(0.0, deadline - time.perf_counter()))
         elapsed = time.perf_counter() - start
+        stuck = [rank for rank, t in enumerate(threads) if t.is_alive()]
+        if stuck:
+            # Unblock any peers parked on the barrier so they can exit
+            # instead of waiting on the stuck ranks forever.
+            barrier.abort()
+            raise TeamTimeoutError(
+                f"team run exceeded timeout={timeout}s; "
+                f"ranks still running: {stuck}"
+            )
         for exc in errors:
             if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
                 raise exc

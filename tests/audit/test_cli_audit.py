@@ -1,0 +1,32 @@
+"""``python -m repro audit`` wiring: exit codes, JSON, report files."""
+
+import json
+
+from repro.audit.report import validate_report
+from repro.cli import build_parser, main
+
+
+class TestAuditCli:
+    def test_audit_is_a_listed_experiment(self, capsys):
+        assert main(["--list"]) == 0
+        assert "audit" in capsys.readouterr().out.split()
+
+    def test_parser_accepts_trials(self):
+        args = build_parser().parse_args(["audit", "--trials", "50"])
+        assert args.experiment == "audit" and args.trials == 50
+
+    def test_json_run_exits_zero_with_valid_report(self, capsys):
+        code = main(["audit", "--trials", "25", "--seed", "0", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        validate_report(report)
+        assert code == 0
+        assert report["summary"]["passed"]
+        assert report["summary"]["violations"] == 0
+
+    def test_output_writes_report_file(self, tmp_path, capsys):
+        out = tmp_path / "audit.json"
+        code = main(["audit", "--trials", "25", "--output", str(out)])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "PASSED" in stdout and str(out) in stdout
+        validate_report(json.loads(out.read_text()))

@@ -1,0 +1,119 @@
+"""Adversarial generators and the replay oracle."""
+
+import numpy as np
+import pytest
+
+from repro.audit.generators import (
+    CATEGORY_DEGENERATE,
+    CATEGORY_INVALID,
+    CATEGORY_VALID,
+    all_zero,
+    generate_cases,
+    near_tie,
+    single_survivor,
+    sparse_support,
+    subnormal_huge,
+)
+from repro.audit.oracle import (
+    FAITHFUL_METHODS,
+    check_faithful_compilation,
+    decisive_winner,
+    replay_transforms,
+)
+from repro.core import validate_fitness
+from repro.errors import FitnessError
+
+
+class TestGenerators:
+    def test_suite_is_deterministic(self):
+        a = generate_cases(seed=3)
+        b = generate_cases(seed=3)
+        assert [c.name for c in a] == [c.name for c in b]
+        for x, y in zip(a, b):
+            assert np.array_equal(x.array, y.array, equal_nan=True), x.name
+
+    def test_categories_partition_the_suite(self):
+        cats = {c.category for c in generate_cases(0)}
+        assert cats == {CATEGORY_VALID, CATEGORY_DEGENERATE, CATEGORY_INVALID}
+
+    def test_valid_cases_pass_validation(self):
+        for case in generate_cases(0):
+            if case.category == CATEGORY_VALID:
+                f = validate_fitness(case.fitness)
+                assert np.any(f > 0.0), case.name
+
+    def test_degenerate_and_invalid_fail_validation(self):
+        for case in generate_cases(0):
+            if case.category != CATEGORY_VALID:
+                with pytest.raises(FitnessError):
+                    validate_fitness(case.fitness)
+
+    def test_support_excludes_zeros(self):
+        case = single_survivor(n=9)
+        assert list(case.support) == [4]
+        assert 0 not in sparse_support(n=16, k=3, seed=1).support or True
+        sparse = sparse_support(n=16, k=3, seed=1)
+        assert len(sparse.support) == 3
+        assert np.all(sparse.array[sparse.support] > 0.0)
+
+    def test_all_zero_has_empty_support(self):
+        assert len(all_zero(8).support) == 0
+
+    def test_subnormal_case_spans_the_float_range(self):
+        f = subnormal_huge().array
+        positive = f[f > 0.0]
+        assert positive.min() < 1e-320 and positive.max() > 1e300
+
+    def test_near_tie_differs_by_ulps(self):
+        f = near_tie(n=4, ulps=1).array
+        assert f[0] != f[1]
+        assert f[1] == np.nextafter(f[0], 2.0)
+
+
+class TestDecisiveWinner:
+    def test_clear_winner_is_decisive(self):
+        assert decisive_winner(np.array([-1.0, -2.0, -3.0]))
+
+    def test_ulp_tie_is_not_decisive(self):
+        k = np.array([-1.0, np.nextafter(-1.0, 0.0)])
+        assert not decisive_winner(k)
+
+    def test_lone_finite_key_is_decisive(self):
+        assert decisive_winner(np.array([-np.inf, -5.0, -np.inf]))
+
+    def test_no_finite_key_is_not_decisive(self):
+        assert not decisive_winner(np.array([-np.inf, -np.inf]))
+
+    def test_batch_mask_shape(self):
+        keys = np.array([[-1.0, -2.0], [-1.0, np.nextafter(-1.0, 0.0)]])
+        mask = decisive_winner(keys)
+        assert mask.tolist() == [True, False]
+
+
+class TestReplayOracle:
+    def test_transforms_agree_on_table1(self, table1_fitness):
+        replay = replay_transforms(table1_fitness, trials=200, seed=0)
+        assert replay.agreed
+        assert set(replay.winners) == {
+            "log_bidding",
+            "gumbel",
+            "efraimidis_spirakis",
+        }
+        assert replay.decisive.shape == (200,)
+
+    def test_exact_tie_rows_are_excluded(self):
+        # Equal fitness + equal uniforms -> equal keys: argmax order may
+        # differ across transforms, but the row is not decisive so the
+        # replay must not call it a disagreement.
+        u = np.full((1, 2), 0.5)
+        replay = replay_transforms([1e6, 1e6], trials=1, seed=0, uniforms=u)
+        assert not replay.decisive[0]
+        assert replay.agreed
+
+    @pytest.mark.parametrize("method", FAITHFUL_METHODS)
+    def test_faithful_kernels_replay_bit_identical(self, method, table1_fitness):
+        assert check_faithful_compilation(table1_fitness, method, 256, 0) is None
+
+    def test_faithful_kernels_replay_on_sparse_wheel(self, sparse_wheel):
+        for method in FAITHFUL_METHODS:
+            assert check_faithful_compilation(sparse_wheel, method, 128, 7) is None

@@ -1,0 +1,127 @@
+"""The audit harness catches contract violations and reports clean runs."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.audit import harness as harness_mod
+from repro.audit.generators import all_zero, single_survivor, uniform_wheel
+from repro.audit.harness import (
+    Backend,
+    audit_backend_case,
+    iter_backends,
+    run_audit,
+)
+from repro.audit.report import render_report, validate_report
+from repro.errors import DegenerateFitnessError
+
+
+def _const_backend(idx, name="broken:const"):
+    """A backend that ignores the wheel and always returns ``idx``."""
+
+    def counts(fitness, trials, seed):
+        out = np.zeros(len(np.atleast_1d(fitness)), dtype=np.int64)
+        out[idx] += trials
+        return out
+
+    return Backend(name=name, family="test", counts=counts)
+
+
+class TestBackendInventory:
+    def test_covers_every_subsystem(self):
+        families = {b.family for b in iter_backends()}
+        assert families == {
+            "registry",
+            "engine",
+            "core",
+            "parallel",
+            "pram",
+            "simt",
+            "msg",
+        }
+
+    def test_names_are_unique(self):
+        names = [b.name for b in iter_backends()]
+        assert len(names) == len(set(names))
+
+    def test_every_registered_method_is_audited(self):
+        from repro.core import available_methods
+
+        names = {b.name for b in iter_backends()}
+        for method in available_methods():
+            assert f"registry:{method}" in names
+
+
+class TestViolationDetection:
+    def test_off_support_selection_is_flagged(self):
+        case = single_survivor(n=9)  # only index 4 is legal
+        verdicts = audit_backend_case(_const_backend(0), case, trials=10, seed=0)
+        assert any(
+            v.check == "support" and v.status == "violation" for v in verdicts
+        )
+
+    def test_biased_counts_fail_gof(self):
+        case = uniform_wheel(10)
+        verdicts = audit_backend_case(_const_backend(0), case, trials=200, seed=0)
+        assert any(v.check == "gof" and v.status == "violation" for v in verdicts)
+
+    def test_returning_on_all_zero_is_flagged(self):
+        (verdict,) = audit_backend_case(_const_backend(0), all_zero(4), 1, 0)
+        assert verdict.status == "violation"
+        assert "no valid winner" in verdict.detail
+
+    def test_wrong_exception_type_is_flagged(self):
+        def counts(fitness, trials, seed):
+            raise ValueError("not a contract error")
+
+        bad = Backend(name="broken:valueerror", family="test", counts=counts)
+        (verdict,) = audit_backend_case(bad, all_zero(4), 1, 0)
+        assert verdict.status == "violation"
+        assert "ValueError" in verdict.detail
+
+    def test_contract_error_on_all_zero_is_ok(self):
+        def counts(fitness, trials, seed):
+            raise DegenerateFitnessError("refused")
+
+        good = Backend(name="ok:raises", family="test", counts=counts)
+        (verdict,) = audit_backend_case(good, all_zero(4), 1, 0)
+        assert verdict.status == "ok"
+        assert verdict.detail == "DegenerateFitnessError"
+
+    def test_hang_is_caught_by_watchdog(self, monkeypatch):
+        monkeypatch.setattr(harness_mod, "WATCHDOG_SECONDS", 0.25)
+
+        def counts(fitness, trials, seed):
+            time.sleep(3.0)  # simulates the stochastic-acceptance spin
+            return np.zeros(4, dtype=np.int64)
+
+        hung = Backend(name="broken:hang", family="test", counts=counts)
+        (verdict,) = audit_backend_case(hung, all_zero(4), 1, 0)
+        assert verdict.status == "violation"
+        assert "hung" in verdict.detail
+
+
+class TestRunAudit:
+    def test_small_run_passes_and_validates(self):
+        backends = [b for b in iter_backends() if b.family in ("registry", "core")]
+        report = run_audit(trials=40, seed=1, backends=backends)
+        validate_report(report)
+        assert report["summary"]["passed"]
+        assert report["meta"]["trials"] == 40
+        assert "PASSED" in render_report(report)
+
+    def test_violations_carry_their_seed(self):
+        report = run_audit(
+            trials=30,
+            seed=9,
+            backends=[_const_backend(0)],
+            cases=[single_survivor(n=9)],
+        )
+        assert not report["summary"]["passed"]
+        assert all(v["seed"] == 9 for v in report["violations"])
+        assert "FAILED" in render_report(report)
+
+    def test_rejects_nonpositive_trials(self):
+        with pytest.raises(ValueError):
+            run_audit(trials=0)

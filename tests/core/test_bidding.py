@@ -71,7 +71,18 @@ class TestVectorKeys:
 
     def test_independent_keys_bounded_by_fitness(self, table1_fitness, rng):
         keys = independent_keys(table1_fitness, rng, size=50)
-        assert np.all(keys <= table1_fitness) and np.all(keys >= 0.0)
+        positive = table1_fitness > 0.0
+        assert np.all(keys[:, positive] <= table1_fitness[positive])
+        assert np.all(keys[:, positive] >= 0.0)
+
+    def test_independent_zero_fitness_is_neg_inf(self, sparse_wheel, rng):
+        # Zero entries must lose even when a subnormal positive fitness
+        # underflows its key to 0.0 (audit finding: arg-max tie at 0).
+        keys = independent_keys(sparse_wheel, rng, size=20)
+        assert np.all(np.isneginf(keys[:, sparse_wheel == 0.0]))
+        f = np.array([0.0, 5e-324])
+        forced = independent_keys(f, None, uniforms=np.array([1.0, 0.25]))
+        assert int(np.argmax(forced)) == 1
 
 
 class TestEquivalence:

@@ -1,0 +1,160 @@
+"""The unified degenerate-input policy, backend by backend.
+
+Every public selection entry point, driven over the audit generators'
+edge vectors, must either select correctly (valid wheels) or raise
+inside the ``FitnessError`` / ``SelectionError`` hierarchy (degenerate
+or malformed wheels) — never hang, never return a zero-fitness index.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audit.generators import (
+    degenerate_cases,
+    invalid_cases,
+    valid_cases,
+)
+from repro.core import RouletteWheel, available_methods, get_method
+from repro.core.dynamic import FenwickSampler
+from repro.engine.compiled import _AUTO_KERNEL, _FAITHFUL_KERNEL, CompiledWheel
+from repro.errors import DegenerateFitnessError, FitnessError, SelectionError
+
+METHODS = available_methods()
+RAISING_CASES = degenerate_cases() + invalid_cases()
+VALID_CASES = valid_cases(seed=0)
+_IDS = lambda c: c.name  # noqa: E731 - pytest id helper
+
+#: What the unified contract allows a backend to raise.
+CONTRACT_ERRORS = (FitnessError, SelectionError)
+
+
+class TestRegistryMethods:
+    @pytest.mark.parametrize("case", RAISING_CASES, ids=_IDS)
+    @pytest.mark.parametrize("method", METHODS)
+    def test_degenerate_and_invalid_raise(self, method, case):
+        with pytest.raises(CONTRACT_ERRORS):
+            RouletteWheel(case.fitness, method=method, rng=0).select()
+
+    @pytest.mark.parametrize("case", degenerate_cases(), ids=_IDS)
+    @pytest.mark.parametrize("method", METHODS)
+    def test_all_zero_raises_degenerate_specifically(self, method, case):
+        with pytest.raises(DegenerateFitnessError):
+            RouletteWheel(case.fitness, method=method, rng=0).select()
+
+    @pytest.mark.parametrize("case", VALID_CASES, ids=_IDS)
+    @pytest.mark.parametrize("method", METHODS)
+    def test_valid_wheels_select_from_support(self, method, case):
+        wheel = RouletteWheel(case.fitness, method=method, rng=0)
+        draws = wheel.select_many(32)
+        assert draws.shape == (32,)
+        assert np.all(np.isin(draws, case.support)), (
+            f"{method} selected outside the support on {case.name}"
+        )
+
+
+class TestStochasticAcceptanceRegression:
+    """The accept loop used to spin forever on an all-zero wheel.
+
+    ``RouletteWheel`` validates up front, but the method is also public
+    API on raw arrays — called directly it must refuse the wheel, not
+    hang (before the fix these two tests never returned).
+    """
+
+    def test_direct_select_raises(self):
+        method = get_method("stochastic_acceptance")
+        with pytest.raises(DegenerateFitnessError):
+            method.select(np.zeros(4), np.random.default_rng(0))
+
+    def test_direct_select_many_raises(self):
+        method = get_method("stochastic_acceptance")
+        with pytest.raises(DegenerateFitnessError):
+            method.select_many(np.zeros(4), np.random.default_rng(0), 3)
+
+    def test_single_survivor_still_terminates(self):
+        method = get_method("stochastic_acceptance")
+        f = np.array([0.0, 0.0, 7.0, 0.0])
+        draws = method.select_many(f, np.random.default_rng(0), 16)
+        assert np.all(draws == 2)
+
+
+class TestCompiledWheel:
+    @pytest.mark.parametrize("case", RAISING_CASES, ids=_IDS)
+    @pytest.mark.parametrize("method", sorted(_AUTO_KERNEL))
+    def test_degenerate_and_invalid_raise(self, method, case):
+        with pytest.raises(CONTRACT_ERRORS):
+            CompiledWheel(case.fitness, method).select_many(
+                4, rng=np.random.default_rng(0)
+            )
+
+    @pytest.mark.parametrize("case", VALID_CASES, ids=_IDS)
+    @pytest.mark.parametrize("method", sorted(_AUTO_KERNEL))
+    def test_auto_kernel_selects_from_support(self, method, case):
+        wheel = CompiledWheel(case.fitness, method, kernel="auto")
+        draws = wheel.select_many(32, rng=np.random.default_rng(0))
+        assert np.all(np.isin(draws, case.support)), (
+            f"auto:{method} selected outside the support on {case.name}"
+        )
+
+    @pytest.mark.parametrize("case", VALID_CASES, ids=_IDS)
+    @pytest.mark.parametrize("method", sorted(_FAITHFUL_KERNEL))
+    def test_faithful_kernel_selects_from_support(self, method, case):
+        wheel = CompiledWheel(case.fitness, method, kernel="faithful")
+        draws = wheel.select_many(32, rng=np.random.default_rng(0))
+        assert np.all(np.isin(draws, case.support)), (
+            f"faithful:{method} selected outside the support on {case.name}"
+        )
+
+
+def _machine_entry_points():
+    from repro.msg.roulette import distributed_prefix_roulette, distributed_roulette
+    from repro.parallel.race import threaded_select
+    from repro.pram.algorithms.roulette import (
+        log_bidding_roulette,
+        prefix_sum_roulette,
+    )
+    from repro.simt.roulette import (
+        atomic_roulette,
+        independent_atomic_roulette,
+        warp_reduced_roulette,
+    )
+
+    return [
+        pytest.param(log_bidding_roulette, id="pram_log_bidding"),
+        pytest.param(prefix_sum_roulette, id="pram_prefix_sum"),
+        pytest.param(atomic_roulette, id="simt_atomic"),
+        pytest.param(warp_reduced_roulette, id="simt_warp_reduced"),
+        pytest.param(independent_atomic_roulette, id="simt_independent"),
+        pytest.param(distributed_roulette, id="msg_distributed"),
+        pytest.param(distributed_prefix_roulette, id="msg_prefix"),
+        pytest.param(threaded_select, id="threaded_race"),
+    ]
+
+
+class TestMachineModels:
+    @pytest.mark.parametrize("entry", _machine_entry_points())
+    @pytest.mark.parametrize("case", RAISING_CASES, ids=_IDS)
+    def test_degenerate_and_invalid_raise(self, entry, case):
+        with pytest.raises(CONTRACT_ERRORS):
+            entry(case.array, seed=0)
+
+    @pytest.mark.parametrize("entry", _machine_entry_points())
+    def test_sparse_support_winner_is_legal(self, entry):
+        case = next(c for c in VALID_CASES if c.name.startswith("sparse"))
+        with np.errstate(over="ignore", divide="ignore"):
+            outcome = entry(case.array, seed=0)
+        assert outcome.winner in case.support
+
+
+class TestFenwickSampler:
+    @pytest.mark.parametrize("case", RAISING_CASES, ids=_IDS)
+    def test_degenerate_and_invalid_raise(self, case):
+        with pytest.raises(CONTRACT_ERRORS):
+            FenwickSampler(case.fitness).select(np.random.default_rng(0))
+
+    def test_dynamic_degeneration_raises_on_select(self):
+        """A wheel updated down to zero mass must refuse further draws."""
+        sampler = FenwickSampler([1.0, 2.0])
+        sampler.update(0, 0.0)
+        sampler.update(1, 0.0)
+        with pytest.raises(CONTRACT_ERRORS):
+            sampler.select(np.random.default_rng(0))

@@ -1,11 +1,24 @@
 """Streaming (one-pass) selection."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.core import StreamingSelector, streaming_select
 from repro.errors import SelectionError
 from repro.stats.gof import chi_square_gof
+
+
+class _ForcedUniform:
+    """UniformSource stub replaying a fixed sequence of uniforms."""
+
+    def __init__(self, values):
+        self._values = iter(values)
+
+    def random(self, size=None):
+        assert size is None
+        return next(self._values)
 
 
 class TestStreamingSelector:
@@ -65,6 +78,27 @@ class TestStreamingSelector:
 
     def test_skip_weight_zero_without_winner(self):
         assert StreamingSelector(rng=0).skip_weight() == 0.0
+
+    def test_skip_weight_with_maximal_bid_is_inf(self):
+        """Regression: a drawn u == 0 makes best_key == 0.0 exactly.
+
+        ``skip_weight`` then divided by zero, handing callers -inf (or
+        NaN on a second u == 0) as a "skip this much fitness" threshold.
+        A bid of log(1)/f == 0.0 is unbeatable, so the only honest jump
+        is infinite.
+        """
+        sel = StreamingSelector(rng=_ForcedUniform([0.0]))
+        sel.offer(2.0)
+        assert sel.best_key == 0.0 and sel.winner == 0
+        w = sel.skip_weight()
+        assert w == math.inf and not math.isnan(w)
+
+    def test_skip_weight_boundary_uniform_is_nonnegative(self):
+        """u == 0 in the jump draw itself must give 0.0, not -0.0."""
+        sel = StreamingSelector(rng=_ForcedUniform([0.5, 0.0]))
+        sel.offer(2.0)
+        w = sel.skip_weight()
+        assert w == 0.0 and math.copysign(1.0, w) == 1.0
 
     def test_skip_weight_is_exponential_with_rate_neg_key(self):
         """The jump length must be Exp(-best_key) distributed."""

@@ -4,6 +4,7 @@ import threading
 
 import pytest
 
+from repro.errors import TeamTimeoutError
 from repro.parallel import ThreadTeam
 
 
@@ -59,6 +60,32 @@ class TestTeam:
     def test_elapsed_recorded(self):
         result = ThreadTeam(2, seed=0).run(lambda ctx: None)
         assert result.elapsed >= 0.0
+
+    def test_timeout_raises_naming_stuck_ranks(self):
+        """Regression: an expired timeout silently returned None results.
+
+        A worker that never finishes must surface as an error naming the
+        stuck ranks, not as a TeamResult full of None.
+        """
+        release = threading.Event()
+
+        def worker(ctx):
+            if ctx.rank == 2:
+                release.wait(30.0)  # stays alive past the deadline
+            return ctx.rank
+
+        try:
+            with pytest.raises(TeamTimeoutError, match=r"\[2\]"):
+                ThreadTeam(3, seed=0).run(worker, timeout=0.2)
+        finally:
+            release.set()  # let the daemon worker exit promptly
+
+    def test_timeout_error_is_a_timeout_error(self):
+        assert issubclass(TeamTimeoutError, TimeoutError)
+
+    def test_unexpired_timeout_returns_normally(self):
+        result = ThreadTeam(2, seed=0).run(lambda ctx: ctx.rank, timeout=30.0)
+        assert result.returns == [0, 1]
 
     def test_threads_really_parallel_sections(self):
         """Both threads must be alive inside the section simultaneously."""
