@@ -37,8 +37,14 @@ class ColoringConfig:
     max_colors: Optional[int] = None
     #: Selection method for the color roulette.
     selection: Union[str, SelectionMethod] = "log_bidding"
+    #: Construction engine: "scalar" per-ant loop, "vectorized" lockstep.
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("scalar", "vectorized"):
+            raise ACOError(
+                f"engine must be 'scalar' or 'vectorized', got {self.engine!r}"
+            )
         if self.n_ants <= 0:
             raise ACOError(f"n_ants must be positive, got {self.n_ants}")
         if not 0.0 < self.rho <= 1.0:
@@ -87,13 +93,18 @@ class ColoringColony:
         self.stats = ConstructionStats()
 
     # ------------------------------------------------------------------
-    def construct(self) -> np.ndarray:
-        """One ant builds a full color assignment."""
+    def construct(self, rng=None) -> np.ndarray:
+        """One ant builds a full color assignment.
+
+        ``rng`` overrides the colony generator — the equivalence tests
+        drive each ant from its own substream.
+        """
         inst = self.instance
         n = inst.n
         budget = self.n_colors_budget
+        rng = self.rng if rng is None else resolve_rng(rng)
         colors = np.full(n, -1, dtype=np.int64)
-        order = np.argsort(np.asarray(self.rng.random(n)))  # random vertex order
+        order = np.argsort(np.asarray(rng.random(n)))  # random vertex order
         adj = inst.adjacency
         for v in order:
             forbidden = np.zeros(budget, dtype=bool)
@@ -107,8 +118,36 @@ class ColoringColony:
                 fitness = np.ones(budget, dtype=np.float64)
                 k = budget
             self.stats.record(k)
-            colors[v] = self.selector.select(fitness, self.rng)
+            colors[v] = self.selector.select(fitness, rng)
         return colors
+
+    def construct_lockstep(
+        self, count: Optional[int] = None, streams=None
+    ) -> List[np.ndarray]:
+        """All ants color in lockstep: one batched roulette per vertex rank.
+
+        With ``streams`` the faithful kernel replays, ant for ant, the
+        draws of :meth:`construct` run with ``rng=streams.generator(i)``.
+        Falls back to the scalar loop for methods without a lockstep
+        kernel.
+        """
+        from repro.engine.colony import LOCKSTEP_METHODS, coloring_lockstep_colors
+
+        count = self.config.n_ants if count is None else int(count)
+        if count <= 0:
+            raise ACOError(f"count must be positive, got {count}")
+        if self.selector.name not in LOCKSTEP_METHODS:
+            return [self.construct() for _ in range(count)]
+        colors = coloring_lockstep_colors(
+            self.pheromone,
+            self.instance.adjacency,
+            count,
+            self.rng,
+            method=self.selector.name,
+            stats=self.stats,
+            streams=streams,
+        )
+        return [colors[i] for i in range(len(colors))]
 
     def _score(self, colors: np.ndarray) -> float:
         """Lower is better: color count plus a heavy conflict penalty."""
@@ -116,7 +155,10 @@ class ColoringColony:
 
     def step(self) -> ColoringResult:
         """One iteration: construct, evaluate, reinforce."""
-        candidates = [self.construct() for _ in range(self.config.n_ants)]
+        if self.config.engine == "vectorized":
+            candidates = self.construct_lockstep()
+        else:
+            candidates = [self.construct() for _ in range(self.config.n_ants)]
         scores = [self._score(c) for c in candidates]
         best_idx = int(np.argmin(scores))
         best_colors = candidates[best_idx]

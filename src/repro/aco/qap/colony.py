@@ -38,8 +38,14 @@ class QAPConfig:
     local_search: bool = False
     #: Selection method for the location roulette.
     selection: Union[str, SelectionMethod] = "log_bidding"
+    #: Construction engine: "scalar" per-ant loop, "vectorized" lockstep.
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("scalar", "vectorized"):
+            raise ACOError(
+                f"engine must be 'scalar' or 'vectorized', got {self.engine!r}"
+            )
         if self.n_ants <= 0:
             raise ACOError(f"n_ants must be positive, got {self.n_ants}")
         if not 0.0 < self.rho <= 1.0:
@@ -102,13 +108,21 @@ class QAPColony:
         self.stats = ConstructionStats()
 
     # ------------------------------------------------------------------
-    def construct(self) -> np.ndarray:
-        """One ant builds a full assignment."""
+    def construct(self, rng=None, tau_alpha: Optional[np.ndarray] = None) -> np.ndarray:
+        """One ant builds a full assignment.
+
+        ``rng`` overrides the colony generator (equivalence tests drive
+        each ant from its own substream); ``tau_alpha`` accepts the
+        hoisted ``tau^alpha`` so :meth:`step` computes it once per
+        iteration instead of once per ant.
+        """
         n = self.instance.n
+        rng = self.rng if rng is None else resolve_rng(rng)
         assignment = np.full(n, -1, dtype=np.int64)
         free = np.ones(n, dtype=bool)
-        order = np.argsort(np.asarray(self.rng.random(n)))
-        tau_alpha = self.pheromone**self.config.alpha
+        order = np.argsort(np.asarray(rng.random(n)))
+        if tau_alpha is None:
+            tau_alpha = self.pheromone**self.config.alpha
         for facility in order:
             fitness = np.where(free, tau_alpha[facility], 0.0)
             k = int(np.count_nonzero(fitness))
@@ -116,16 +130,55 @@ class QAPColony:
                 fitness = free.astype(np.float64)
                 k = int(fitness.sum())
             self.stats.record(k)
-            location = self.selector.select(fitness, self.rng)
+            location = self.selector.select(fitness, rng)
             assignment[facility] = location
             free[location] = False
         if self.config.local_search:
             assignment = swap_local_search(self.instance, assignment)
         return assignment
 
+    def construct_lockstep(
+        self, count: Optional[int] = None, streams=None
+    ) -> List[np.ndarray]:
+        """All ants build assignments in lockstep (one kernel step per
+        facility rank, one batched roulette per step).
+
+        With ``streams`` the faithful kernel replays, ant for ant, the
+        draws of :meth:`construct` run with ``rng=streams.generator(i)``.
+        Falls back to the scalar loop for methods without a lockstep
+        kernel.
+        """
+        from repro.engine.colony import LOCKSTEP_METHODS, qap_lockstep_assignments
+
+        count = self.config.n_ants if count is None else int(count)
+        if count <= 0:
+            raise ACOError(f"count must be positive, got {count}")
+        tau_alpha = self.pheromone**self.config.alpha
+        if self.selector.name not in LOCKSTEP_METHODS:
+            return [self.construct(tau_alpha=tau_alpha) for _ in range(count)]
+        assignments = qap_lockstep_assignments(
+            tau_alpha,
+            count,
+            self.rng,
+            method=self.selector.name,
+            stats=self.stats,
+            streams=streams,
+        )
+        out = [assignments[i] for i in range(len(assignments))]
+        if self.config.local_search:
+            out = [swap_local_search(self.instance, a) for a in out]
+        return out
+
     def step(self) -> QAPResult:
         """One iteration: construct, evaluate, reinforce."""
-        ants = [self.construct() for _ in range(self.config.n_ants)]
+        if self.config.engine == "vectorized":
+            ants = self.construct_lockstep()
+        else:
+            tau_alpha = self.pheromone**self.config.alpha
+            ants = [
+                self.construct(tau_alpha=tau_alpha)
+                for _ in range(self.config.n_ants)
+            ]
         costs = [self.instance.cost(a) for a in ants]
         best_idx = int(np.argmin(costs))
         iteration_best = QAPResult(

@@ -64,21 +64,29 @@ class AntColonySystem(AntSystem):
         super().__init__(instance, config or ACSConfig(), rng=rng)
 
     # ------------------------------------------------------------------
-    def construct_tour(self, start: Optional[int] = None) -> Tour:
+    def construct_tour(
+        self,
+        start: Optional[int] = None,
+        rng=None,
+        desirability: Optional[np.ndarray] = None,
+    ) -> Tour:
         """One ant's tour under the pseudo-random proportional rule.
 
         The local update mutates ``self.pheromone`` *during* construction
         (ACS semantics), so desirability is recomputed per step from the
-        live matrices rather than snapshotted.
+        live matrices rather than snapshotted — the ``desirability``
+        argument is accepted for signature compatibility with the base
+        class and ignored.
         """
         cfg: ACSConfig = self.config  # type: ignore[assignment]
         inst = self.instance
         n = inst.n
         tau = self.pheromone
         eta_beta = self._eta_beta
+        rng = self.rng if rng is None else rng
         order = np.empty(n, dtype=np.int64)
         visited = np.zeros(n, dtype=bool)
-        current = int(self.rng.random() * n) % n if start is None else int(start)
+        current = int(rng.random() * n) % n if start is None else int(start)
         order[0] = current
         visited[current] = True
         for step in range(1, n):
@@ -89,11 +97,11 @@ class AntColonySystem(AntSystem):
             if k == 0:
                 fitness = (~visited).astype(np.float64)
                 k = int(fitness.sum())
-            if float(self.rng.random()) < cfg.q0:
+            if float(rng.random()) < cfg.q0:
                 nxt = int(np.argmax(fitness))  # exploitation
             else:
                 self.stats.record(k)  # only the roulette branch races
-                nxt = self.selector.select(fitness, self.rng)
+                nxt = self.selector.select(fitness, rng)
             # Local update: traversed edge decays toward tau0.
             tau[current, nxt] = (1.0 - cfg.phi) * tau[current, nxt] + cfg.phi * self._tau0
             tau[nxt, current] = tau[current, nxt]
@@ -104,6 +112,102 @@ class AntColonySystem(AntSystem):
         if cfg.local_search:
             tour = two_opt(inst, tour)
         return tour
+
+    def _iteration_tours_scalar(self):
+        """ACS cannot hoist desirability: local updates mutate ``tau`` live."""
+        return [self.construct_tour() for _ in range(self.config.n_ants)]
+
+    def construct_tours_lockstep(self, count: Optional[int] = None, streams=None):
+        """Lockstep ACS construction: all ants advance one city per step.
+
+        Each step computes the ``(count, n)`` choice-weight matrix from
+        the *live* pheromone, draws the greedy-vs-roulette coin for every
+        ant at once, resolves the roulette rows with one batched
+        selection, then applies the local update edge-batched: an edge
+        traversed by ``c`` ants this step decays ``c`` times, i.e.
+        ``tau <- (1-phi)^c tau + (1 - (1-phi)^c) tau0`` (the closed form
+        of ``c`` sequential local updates).
+
+        Not seed-for-seed equivalent to the scalar path — scalar ants see
+        each predecessor's *complete* tour of local updates, lockstep
+        ants only the updates of earlier steps — so ``streams`` (the
+        faithful replay mode) raises.  Both schedules are standard
+        parallel-ACS semantics; tour quality is statistically unchanged.
+        """
+        from repro.engine.colony import (
+            CDF_METHODS,
+            LOCKSTEP_METHODS,
+            blocked_choice,
+            lockstep_keys,
+        )
+
+        cfg: ACSConfig = self.config  # type: ignore[assignment]
+        if streams is not None:
+            raise ACOError(
+                "ACS has no faithful lockstep mode: the scalar path "
+                "interleaves local pheromone updates per ant, the "
+                "lockstep path per step"
+            )
+        count = cfg.n_ants if count is None else int(count)
+        if count <= 0:
+            raise ACOError(f"count must be positive, got {count}")
+        if self.selector.name not in LOCKSTEP_METHODS:
+            return [self.construct_tour() for _ in range(count)]
+        inst = self.instance
+        n = inst.n
+        m = count
+        tau = self.pheromone
+        eta_beta = self._eta_beta
+        rng = self.rng
+        cdf = self.selector.name in CDF_METHODS
+        rows = np.arange(m)
+        orders = np.empty((m, n), dtype=np.int64)
+        visited = np.zeros((m, n), dtype=bool)
+        currents = (np.asarray(rng.random(m)) * n).astype(np.int64) % n
+        orders[:, 0] = currents
+        visited[rows, currents] = True
+        for step in range(1, n):
+            if cfg.alpha == 1.0:
+                base = tau[currents] * eta_beta[currents]
+            else:
+                base = (tau[currents] ** cfg.alpha) * eta_beta[currents]
+            fitness = np.where(visited, 0.0, base)
+            ks = np.count_nonzero(fitness, axis=1)
+            dead = ks == 0
+            if dead.any():
+                fitness[dead] = (~visited[dead]).astype(np.float64)
+                ks[dead] = n - step
+            greedy = np.asarray(rng.random(m)) < cfg.q0
+            winners = np.empty(m, dtype=np.int64)
+            if greedy.any():
+                winners[greedy] = np.argmax(fitness[greedy], axis=1)
+            roulette = ~greedy
+            if roulette.any():
+                self.stats.record_many(ks[roulette])
+                sub = fitness[roulette]
+                if cdf:
+                    spins = np.asarray(rng.random(int(roulette.sum())))
+                    winners[roulette] = blocked_choice(sub, spins)
+                else:
+                    keys = lockstep_keys(sub, rng, method=self.selector.name)
+                    winners[roulette] = np.argmax(keys, axis=1)
+            # Edge-batched local update (symmetric instance: canonicalise
+            # each edge to (min, max) before counting traversals).
+            a = np.minimum(currents, winners)
+            b = np.maximum(currents, winners)
+            uniq, counts = np.unique(a * n + b, return_counts=True)
+            ua = uniq // n
+            ub = uniq % n
+            decay = (1.0 - cfg.phi) ** counts
+            tau[ua, ub] = decay * tau[ua, ub] + (1.0 - decay) * self._tau0
+            tau[ub, ua] = tau[ua, ub]
+            orders[:, step] = winners
+            visited[rows, winners] = True
+            currents = winners
+        tours = [Tour(inst, orders[i]) for i in range(m)]
+        if cfg.local_search:
+            tours = [two_opt(inst, t) for t in tours]
+        return tours
 
     # ------------------------------------------------------------------
     def _deposit(self, tours) -> None:

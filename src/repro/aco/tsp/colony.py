@@ -62,9 +62,18 @@ class AntSystemConfig:
     #: Construct all ants of an iteration with one batched roulette per
     #: step (requires a method in repro.core.batched.BATCH_METHODS;
     #: distributionally identical to the per-ant loop, much faster).
+    #: Superseded by ``engine="vectorized"``; kept for compatibility.
     vectorised: bool = False
+    #: Construction engine: "scalar" runs the per-ant Python loop,
+    #: "vectorized" advances all ants in lockstep through the
+    #: repro.engine.colony kernel (one batched selection per step).
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("scalar", "vectorized"):
+            raise ACOError(
+                f"engine must be 'scalar' or 'vectorized', got {self.engine!r}"
+            )
         if self.n_ants <= 0:
             raise ACOError(f"n_ants must be positive, got {self.n_ants}")
         if not 0.0 < self.rho <= 1.0:
@@ -110,10 +119,27 @@ class ConstructionStats:
         top = int(ks.max())
         if top >= len(self.k_histogram):
             self.k_histogram.extend([0] * (top + 1 - len(self.k_histogram)))
+        if int(ks.min()) == top:
+            # A lockstep step usually records one identical k per ant;
+            # skip the histogram scan for that single occupied bin.
+            self.k_histogram[top] += int(ks.size)
+            return
         counts = np.bincount(ks, minlength=top + 1)
-        for k, c in enumerate(counts):
-            if c:
-                self.k_histogram[k] += int(c)
+        for k in np.flatnonzero(counts):
+            self.k_histogram[int(k)] += int(counts[k])
+
+    def record_uniform(self, k: int, count: int) -> None:
+        """Record ``count`` selections that all saw ``k`` candidates.
+
+        Pure-integer fast path for the lockstep kernel, where one step
+        records the same ``k`` for every ant; equivalent to
+        ``record_many(np.full(count, k))`` without touching numpy.
+        """
+        self.selections += count
+        self.k_sum += k * count
+        if k >= len(self.k_histogram):
+            self.k_histogram.extend([0] * (k + 1 - len(self.k_histogram)))
+        self.k_histogram[k] += count
 
     @property
     def mean_k(self) -> float:
@@ -158,20 +184,40 @@ class AntSystem:
         self.best_tour: Optional[Tour] = None
         self.history: List[float] = []
         self.stats = ConstructionStats()
+        # Reusable buffers for the lockstep kernel (keyed by shape).
+        self._lockstep_ws: dict = {}
 
     # ------------------------------------------------------------------
     def _desirability(self) -> np.ndarray:
         """``tau^alpha * eta^beta`` for the current pheromone state."""
+        if self.config.alpha == 1.0:
+            # Dorigo's default; np.power is ~10x a multiply even for
+            # exponent 1.0, and this runs once per iteration on n^2 cells.
+            return self.pheromone * self._eta_beta
         return (self.pheromone**self.config.alpha) * self._eta_beta
 
-    def construct_tour(self, start: Optional[int] = None) -> Tour:
-        """Build one ant's tour with roulette next-city selection."""
+    def construct_tour(
+        self,
+        start: Optional[int] = None,
+        rng=None,
+        desirability: Optional[np.ndarray] = None,
+    ) -> Tour:
+        """Build one ant's tour with roulette next-city selection.
+
+        ``rng`` overrides the colony generator (the equivalence tests
+        drive each ant from its own :class:`~repro.engine.colony.AntStreams`
+        substream); ``desirability`` accepts the hoisted per-iteration
+        ``tau^alpha * eta^beta`` so :meth:`step` computes it once for
+        the whole colony instead of once per ant.
+        """
         n = self.instance.n
-        desirability = self._desirability()
+        rng = self.rng if rng is None else resolve_rng(rng)
+        if desirability is None:
+            desirability = self._desirability()
         order = np.empty(n, dtype=np.int64)
         visited = np.zeros(n, dtype=bool)
         current = (
-            int(self.rng.random() * n) % n if start is None else int(start)
+            int(rng.random() * n) % n if start is None else int(start)
         )
         order[0] = current
         visited[current] = True
@@ -184,7 +230,7 @@ class AntSystem:
                 fitness = (~visited).astype(np.float64)
                 k = int(fitness.sum())
             self.stats.record(k)
-            nxt = self.selector.select(fitness, self.rng)
+            nxt = self.selector.select(fitness, rng)
             order[step] = nxt
             visited[nxt] = True
             current = nxt
@@ -238,6 +284,78 @@ class AntSystem:
             tours = [two_opt(self.instance, t) for t in tours]
         return tours
 
+    def _iteration_tours_scalar(self) -> List[Tour]:
+        """One iteration's tours via the per-ant loop, desirability hoisted.
+
+        ``tau^alpha * eta^beta`` only changes between iterations, so the
+        two O(n^2) power/multiply passes are computed once here and
+        shared by every ant instead of recomputed per ant.
+        """
+        desirability = self._desirability()
+        return [
+            self.construct_tour(desirability=desirability)
+            for _ in range(self.config.n_ants)
+        ]
+
+    def construct_tours_lockstep(
+        self, count: Optional[int] = None, streams=None
+    ) -> List[Tour]:
+        """Construct tours with the lockstep engine kernel.
+
+        All ants advance one city per kernel step against an
+        ``(n_ants, n)`` choice-weight matrix; one vectorised batched
+        selection replaces ``n_ants`` scalar Python calls.  With
+        ``streams`` (an :class:`~repro.engine.colony.AntStreams`) the
+        faithful replay kernel reproduces, ant for ant, the exact draws
+        of :meth:`construct_tour` run with ``rng=streams.generator(i)``
+        — the seed-for-seed equivalence mode.  Falls back to the scalar
+        loop for selection methods without a lockstep kernel.
+        """
+        from repro.engine.colony import (
+            LOCKSTEP_METHODS,
+            tsp_lockstep_orders,
+            tsp_lockstep_orders_faithful,
+        )
+
+        count = self.config.n_ants if count is None else int(count)
+        if count <= 0:
+            raise ACOError(f"count must be positive, got {count}")
+        if self.selector.name not in LOCKSTEP_METHODS:
+            desirability = self._desirability()
+            return [
+                self.construct_tour(desirability=desirability)
+                for _ in range(count)
+            ]
+        desirability = self._desirability()
+        if streams is not None:
+            orders = tsp_lockstep_orders_faithful(
+                desirability,
+                streams,
+                method=self.selector.name,
+                stats=self.stats,
+            )
+        else:
+            orders = tsp_lockstep_orders(
+                desirability,
+                count,
+                self.rng,
+                method=self.selector.name,
+                stats=self.stats,
+                workspace=self._lockstep_ws,
+            )
+        # One vectorised pass for every tour length; the kernel emits
+        # permutations by construction, so skip per-tour revalidation.
+        d = self.instance.distances
+        lengths = d[orders[:, :-1], orders[:, 1:]].sum(axis=1)
+        lengths += d[orders[:, -1], orders[:, 0]]
+        tours = [
+            Tour.from_valid(self.instance, orders[i], lengths[i])
+            for i in range(len(orders))
+        ]
+        if self.config.local_search:
+            tours = [two_opt(self.instance, t) for t in tours]
+        return tours
+
     # ------------------------------------------------------------------
     def _deposit(self, tours: List[Tour]) -> None:
         cfg = self.config
@@ -260,10 +378,12 @@ class AntSystem:
 
     def step(self) -> Tour:
         """One colony iteration; returns the iteration-best tour."""
-        if self.config.vectorised:
+        if self.config.engine == "vectorized":
+            tours = self.construct_tours_lockstep()
+        elif self.config.vectorised:
             tours = self.construct_tours_batch(self.config.n_ants)
         else:
-            tours = [self.construct_tour() for _ in range(self.config.n_ants)]
+            tours = self._iteration_tours_scalar()
         iteration_best = min(tours, key=lambda t: t.length)
         if self.best_tour is None or iteration_best.length < self.best_tour.length:
             self.best_tour = iteration_best

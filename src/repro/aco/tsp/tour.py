@@ -40,6 +40,25 @@ class Tour:
         self._n = instance.n
         self._length = instance.tour_length(arr)
 
+    @classmethod
+    def from_valid(cls, instance: TSPInstance, order: np.ndarray, length: float) -> "Tour":
+        """Wrap an already-validated permutation without re-checking.
+
+        Fast path for batched construction: the lockstep kernel emits
+        permutations by construction and computes all tour lengths in
+        one vectorised pass, so per-tour revalidation would dominate
+        the construction time it is meant to measure.  Callers MUST
+        guarantee ``order`` is a permutation of ``range(instance.n)``
+        and ``length`` its closed-tour length.
+        """
+        tour = object.__new__(cls)
+        arr = np.array(order, dtype=np.int64)
+        arr.setflags(write=False)
+        tour._order = arr
+        tour._n = instance.n
+        tour._length = float(length)
+        return tour
+
     @property
     def order(self) -> np.ndarray:
         """Read-only visiting order."""

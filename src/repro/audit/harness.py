@@ -73,7 +73,8 @@ class Backend:
 
     #: Unique report name, e.g. ``registry:log_bidding``.
     name: str
-    #: Subsystem family: registry / engine / pram / simt / msg / core / parallel.
+    #: Subsystem family: registry / engine / colony / pram / simt / msg /
+    #: core / parallel.
     family: str
     #: ``counts(fitness, trials, seed) -> (n,) int histogram of winners``.
     counts: Callable[[Sequence[float], int, int], np.ndarray]
@@ -208,6 +209,46 @@ def _fenwick_dynamic(fitness, trials, seed):
     return np.bincount(draws, minlength=sampler.n).astype(np.int64)
 
 
+#: Rows per lockstep batch when tiling one audit wheel into a colony
+#: fitness matrix (bounds the (rows, n) temporary).
+_LOCKSTEP_CHUNK = 256
+
+
+def _lockstep_counts(method_name: str, mode: str):
+    """Audit adapter for the vectorized colony selection.
+
+    Tiles the 1-D audit wheel into identical rows (every ant spinning
+    the same wheel) and draws one winner per row through
+    :func:`repro.engine.colony.lockstep_select` — fast mode from a
+    shared generator, faithful mode from per-ant substreams.
+    """
+
+    def counts(fitness, trials, seed):
+        from repro.engine.colony import AntStreams, lockstep_select
+
+        f = np.atleast_1d(np.asarray(fitness, dtype=np.float64))
+        if f.ndim != 1:
+            raise FitnessError(f"audit wheels must be 1-D, got shape {f.shape}")
+        out = np.zeros(max(f.shape[0], 1), dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        done = 0
+        chunk_index = 0
+        while done < trials:
+            c = min(_LOCKSTEP_CHUNK, trials - done)
+            rows = np.tile(f, (c, 1))
+            if mode == "faithful":
+                streams = AntStreams((seed, chunk_index), c)
+                winners = lockstep_select(rows, method=method_name, streams=streams)
+            else:
+                winners = lockstep_select(rows, rng, method=method_name)
+            out += np.bincount(winners, minlength=out.shape[0])
+            done += c
+            chunk_index += 1
+        return out
+
+    return counts
+
+
 def iter_backends() -> List[Backend]:
     """Every auditable backend, deterministically ordered."""
     backends: List[Backend] = []
@@ -235,6 +276,26 @@ def iter_backends() -> List[Backend]:
                 name=f"engine:faithful:{name}",
                 family="engine",
                 counts=_engine_counts(name, "faithful"),
+                exact=get_method(name).exact,
+            )
+        )
+    from repro.engine.colony import LOCKSTEP_METHODS
+
+    for name in sorted(LOCKSTEP_METHODS):
+        backends.append(
+            Backend(
+                name=f"colony:lockstep:{name}",
+                family="colony",
+                counts=_lockstep_counts(name, "fast"),
+                exact=get_method(name).exact,
+            )
+        )
+    for name in sorted(LOCKSTEP_METHODS):
+        backends.append(
+            Backend(
+                name=f"colony:faithful:{name}",
+                family="colony",
+                counts=_lockstep_counts(name, "faithful"),
                 exact=get_method(name).exact,
             )
         )

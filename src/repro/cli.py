@@ -4,9 +4,11 @@ Runs the paper-reproduction experiments registered in
 :data:`repro.bench.experiments.EXPERIMENTS` and prints their tables, the
 selection-engine benchmark (``python -m repro bench-engine``, recorded in
 ``BENCH_engine.json``), the race-lab benchmark (``python -m repro
-bench-race``, recorded in ``BENCH_race.json``), and the differential
-degenerate-wheel audit (``python -m repro audit``, exit 0 iff zero
-violations across every backend).
+bench-race``, recorded in ``BENCH_race.json``), the end-to-end ACO
+benchmark (``python -m repro bench-aco``, recorded in
+``BENCH_aco.json``), and the differential degenerate-wheel audit
+(``python -m repro audit``, exit 0 iff zero violations across every
+backend).
 """
 
 from __future__ import annotations
@@ -54,11 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(EXPERIMENTS) + ["all", "audit", "bench-engine", "bench-race"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "audit", "bench-aco", "bench-engine", "bench-race"],
         help=(
             "experiment to run ('all' runs every paper experiment; "
             "'audit' runs the differential degenerate-wheel audit over "
             "every selection backend; "
+            "'bench-aco' times end-to-end colony construction scalar vs "
+            "the vectorized lockstep engine; "
             "'bench-engine' times the compiled selection engine; "
             "'bench-race' validates the batched race kernel against the "
             "exact round-count law at paper-scale k)"
@@ -124,6 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bench-race only: fan-out processes (default: auto-tuned)",
     )
+    parser.add_argument(
+        "--aco-n",
+        type=int,
+        default=500,
+        help="bench-aco only: TSP instance size (default 500, the gate scale)",
+    )
+    parser.add_argument(
+        "--aco-ants",
+        type=int,
+        default=128,
+        help="bench-aco only: ants per lockstep iteration (default 128)",
+    )
     return parser
 
 
@@ -164,6 +181,30 @@ def _run_bench_race(args) -> int:
         print(json.dumps(report, indent=2))
     else:
         print(render_bench_race(report))
+        print(f"recorded -> {path}")
+    return 0
+
+
+def _run_bench_aco(args) -> int:
+    """Run the end-to-end ACO benchmark, record BENCH_aco.json."""
+    from repro.engine.aco_bench import (
+        render_bench_aco,
+        run_bench_aco,
+        write_bench_aco,
+    )
+
+    iterations = args.iterations if args.iterations is not None else 2
+    report = run_bench_aco(
+        n=args.aco_n,
+        n_ants=args.aco_ants,
+        iterations=iterations,
+        seed=args.seed,
+    )
+    path = write_bench_aco(report, args.output or "BENCH_aco.json")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_bench_aco(report))
         print(f"recorded -> {path}")
     return 0
 
@@ -213,7 +254,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
-        for name in sorted(EXPERIMENTS) + ["audit", "bench-engine", "bench-race"]:
+        for name in sorted(EXPERIMENTS) + [
+            "audit",
+            "bench-aco",
+            "bench-engine",
+            "bench-race",
+        ]:
             print(name)
         return 0
     if args.experiment is None:
@@ -221,6 +267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.experiment == "audit":
         return _run_audit(args)
+    if args.experiment == "bench-aco":
+        return _run_bench_aco(args)
     if args.experiment == "bench-engine":
         return _run_bench_engine(args)
     if args.experiment == "bench-race":

@@ -76,6 +76,37 @@ def _uniforms(rng, shape) -> np.ndarray:
     return 1.0 - u
 
 
+def _resolve_uniforms(fitness, rng, size, uniforms) -> np.ndarray:
+    """The key transforms' uniforms: drawn from ``rng`` or caller-supplied.
+
+    ``fitness`` may be a matrix (one wheel per row, used by the lockstep
+    colony kernels) only when ``uniforms`` of the same shape are passed
+    explicitly — the drawn-shape convention below is defined for vectors.
+    """
+    if uniforms is not None:
+        return np.asarray(uniforms, dtype=np.float64)
+    if np.ndim(fitness) != 1:
+        raise ValueError(
+            "matrix fitness requires explicit uniforms of the same shape"
+        )
+    shape = (len(fitness),) if size is None else (size, len(fitness))
+    return _uniforms(rng, shape)
+
+
+def _mask_zero(keys: np.ndarray, fitness, value: float) -> None:
+    """Assign ``value`` to the keys of zero-fitness items, in place.
+
+    For vector fitness the mask applies along the last axis of ``keys``
+    (which may be ``(size, n)``); for matrix fitness the shapes match
+    elementwise.
+    """
+    zero = np.asarray(fitness) == 0.0
+    if zero.ndim == keys.ndim:
+        keys[zero] = value
+    else:
+        keys[..., zero] = value
+
+
 def log_bid_keys(
     fitness: np.ndarray, rng, *, size: Optional[int] = None, uniforms: Optional[np.ndarray] = None
 ) -> np.ndarray:
@@ -100,8 +131,7 @@ def log_bid_keys(
     numpy.ndarray
         Keys; ``-inf`` where ``fitness == 0``.
     """
-    shape = (len(fitness),) if size is None else (size, len(fitness))
-    u = _uniforms(rng, shape) if uniforms is None else np.asarray(uniforms, dtype=np.float64)
+    u = _resolve_uniforms(fitness, rng, size, uniforms)
     # divide: f == 0 -> -inf (masked below); over: subnormal f overflows
     # the quotient; invalid: 0/0 when u == 1 and f == 0, masked below.
     with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
@@ -113,7 +143,7 @@ def log_bid_keys(
     overflowed = np.isneginf(keys) & (fitness > 0.0)
     if overflowed.any():
         keys[overflowed] = np.finfo(np.float64).min
-    keys[..., fitness == 0.0] = -np.inf
+    _mask_zero(keys, fitness, -np.inf)
     return keys
 
 
@@ -125,8 +155,7 @@ def gumbel_keys(
     Monotone-equivalent to :func:`log_bid_keys`: identical uniforms give an
     identical arg-max.  Zero fitness maps to ``-inf``.
     """
-    shape = (len(fitness),) if size is None else (size, len(fitness))
-    u = _uniforms(rng, shape) if uniforms is None else np.asarray(uniforms, dtype=np.float64)
+    u = _resolve_uniforms(fitness, rng, size, uniforms)
     with np.errstate(divide="ignore", invalid="ignore"):
         # -log(u) in [0, inf); a second log needs the open interval guard:
         # u == 1 gives E == 0 and a +inf Gumbel, a measure-zero event that
@@ -135,7 +164,7 @@ def gumbel_keys(
         # the -inf + inf = nan of (f == 0, u == 1), masked below.
         gumbel = -np.log(-np.log(u))
         keys = np.log(fitness) + gumbel
-    keys[..., fitness == 0.0] = -np.inf
+    _mask_zero(keys, fitness, -np.inf)
     return keys
 
 
@@ -149,8 +178,7 @@ def es_keys(
     ``u < 1``), the unique losing value since positive-fitness keys are
     positive.
     """
-    shape = (len(fitness),) if size is None else (size, len(fitness))
-    u = _uniforms(rng, shape) if uniforms is None else np.asarray(uniforms, dtype=np.float64)
+    u = _resolve_uniforms(fitness, rng, size, uniforms)
     with np.errstate(divide="ignore", over="ignore"):
         keys = np.power(u, 1.0 / fitness)
     # Mirror of the log-form clamp: a tiny positive fitness underflows
@@ -159,7 +187,7 @@ def es_keys(
     underflowed = (keys == 0.0) & (fitness > 0.0)
     if underflowed.any():
         keys[underflowed] = np.nextafter(0.0, 1.0)
-    keys[..., fitness == 0.0] = 0.0
+    _mask_zero(keys, fitness, 0.0)
     return keys
 
 
@@ -178,10 +206,9 @@ def independent_keys(
     forbids.  Positive-fitness keys are unchanged, so the baseline's bias
     (the paper's subject) is untouched.
     """
-    shape = (len(fitness),) if size is None else (size, len(fitness))
-    u = _uniforms(rng, shape) if uniforms is None else np.asarray(uniforms, dtype=np.float64)
+    u = _resolve_uniforms(fitness, rng, size, uniforms)
     keys = fitness * u
-    keys[..., fitness == 0.0] = -np.inf
+    _mask_zero(keys, fitness, -np.inf)
     return keys
 
 

@@ -1,12 +1,33 @@
 """High-throughput selection engine.
 
 Compiles a static wheel once (:class:`CompiledWheel`), streams histograms
-in constant memory (:func:`stream_counts`), and fans draws out across
+in constant memory (:func:`stream_counts`), fans draws out across
 deterministic worker processes (:func:`parallel_counts`,
-:func:`parallel_select_many`).  See ``python -m repro bench-engine`` for
-the recorded perf trajectory (``BENCH_engine.json``).
+:func:`parallel_select_many`), and advances whole ant colonies in
+lockstep (:mod:`repro.engine.colony`, ``python -m repro bench-aco``).
+See ``python -m repro bench-engine`` for the recorded perf trajectory
+(``BENCH_engine.json``).
 """
 
+from repro.engine.aco_bench import (
+    BENCH_ACO_SCHEMA,
+    render_bench_aco,
+    run_bench_aco,
+    validate_bench_aco,
+    write_bench_aco,
+)
+from repro.engine.colony import (
+    CDF_METHODS,
+    DEFAULT_BLOCK,
+    LOCKSTEP_METHODS,
+    AntStreams,
+    blocked_choice,
+    coloring_lockstep_colors,
+    lockstep_keys,
+    lockstep_select,
+    qap_lockstep_assignments,
+    tsp_lockstep_orders,
+)
 from repro.engine.compiled import (
     DEFAULT_CHUNK_BYTES,
     KERNELS,
@@ -49,4 +70,19 @@ __all__ = [
     "MIN_DRAWS_PER_WORKER",
     "MIN_TRIALS_PER_WORKER",
     "KERNELS",
+    "AntStreams",
+    "LOCKSTEP_METHODS",
+    "CDF_METHODS",
+    "DEFAULT_BLOCK",
+    "blocked_choice",
+    "lockstep_keys",
+    "lockstep_select",
+    "tsp_lockstep_orders",
+    "qap_lockstep_assignments",
+    "coloring_lockstep_colors",
+    "run_bench_aco",
+    "validate_bench_aco",
+    "write_bench_aco",
+    "render_bench_aco",
+    "BENCH_ACO_SCHEMA",
 ]

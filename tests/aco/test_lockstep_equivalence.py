@@ -1,0 +1,194 @@
+"""Seed-for-seed equivalence: scalar colonies vs the lockstep engine.
+
+Each colony's faithful lockstep mode must reproduce, ant for ant, the
+exact tours/assignments/colors of the scalar loop driven by the same
+per-ant substreams — and record identical ConstructionStats while doing
+it.  This is the contract that makes the vectorized engine a drop-in
+replacement rather than a different algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aco.coloring.colony import ColoringColony, ColoringConfig
+from repro.aco.coloring.instance import ColoringInstance
+from repro.aco.qap.colony import QAPColony, QAPConfig
+from repro.aco.qap.instance import QAPInstance
+from repro.aco.tsp.colony import AntSystem, AntSystemConfig
+from repro.aco.tsp.instance import TSPInstance
+from repro.engine.colony import LOCKSTEP_METHODS, AntStreams
+from repro.errors import ACOError
+
+METHODS = list(LOCKSTEP_METHODS)  # includes the biased "independent"
+N_ANTS = 5
+SEED = 424242
+
+
+def _stats_tuple(stats):
+    return (stats.selections, stats.k_sum, list(stats.k_histogram))
+
+
+@pytest.fixture(scope="module")
+def tsp_instance():
+    pts = np.random.default_rng(0).random((24, 2))
+    return TSPInstance.from_coords(pts)
+
+
+@pytest.fixture(scope="module")
+def qap_instance():
+    return QAPInstance.random_uniform(12, seed=1)
+
+
+@pytest.fixture(scope="module")
+def coloring_instance():
+    return ColoringInstance.random_gnp(18, 0.3, seed=2)
+
+
+class TestTspEquivalence:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_tours_and_stats_identical(self, tsp_instance, method):
+        cfg = AntSystemConfig(n_ants=N_ANTS, selection=method)
+        scalar = AntSystem(tsp_instance, cfg)
+        streams = AntStreams(SEED, N_ANTS)
+        scalar_tours = [
+            scalar.construct_tour(rng=streams.generator(i)) for i in range(N_ANTS)
+        ]
+
+        lock = AntSystem(
+            tsp_instance,
+            AntSystemConfig(n_ants=N_ANTS, selection=method, engine="vectorized"),
+        )
+        lock_tours = lock.construct_tours_lockstep(streams=AntStreams(SEED, N_ANTS))
+
+        for a, b in zip(scalar_tours, lock_tours):
+            assert np.array_equal(a.order, b.order)
+            assert a.length == pytest.approx(b.length, abs=1e-9)
+        assert _stats_tuple(scalar.stats) == _stats_tuple(lock.stats)
+
+
+class TestQapEquivalence:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_assignments_and_stats_identical(self, qap_instance, method):
+        cfg = QAPConfig(n_ants=N_ANTS, selection=method)
+        scalar = QAPColony(qap_instance, cfg)
+        streams = AntStreams(SEED, N_ANTS)
+        scalar_out = [scalar.construct(rng=streams.generator(i)) for i in range(N_ANTS)]
+
+        lock = QAPColony(
+            qap_instance, QAPConfig(n_ants=N_ANTS, selection=method, engine="vectorized")
+        )
+        lock_out = lock.construct_lockstep(streams=AntStreams(SEED, N_ANTS))
+
+        for a, b in zip(scalar_out, lock_out):
+            assert np.array_equal(a, b)
+        assert _stats_tuple(scalar.stats) == _stats_tuple(lock.stats)
+
+
+class TestColoringEquivalence:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_colors_and_stats_identical(self, coloring_instance, method):
+        cfg = ColoringConfig(n_ants=N_ANTS, selection=method)
+        scalar = ColoringColony(coloring_instance, cfg)
+        streams = AntStreams(SEED, N_ANTS)
+        scalar_out = [scalar.construct(rng=streams.generator(i)) for i in range(N_ANTS)]
+
+        lock = ColoringColony(
+            coloring_instance,
+            ColoringConfig(n_ants=N_ANTS, selection=method, engine="vectorized"),
+        )
+        lock_out = lock.construct_lockstep(streams=AntStreams(SEED, N_ANTS))
+
+        for a, b in zip(scalar_out, lock_out):
+            assert np.array_equal(a, b)
+        assert _stats_tuple(scalar.stats) == _stats_tuple(lock.stats)
+
+
+class TestVectorizedEngine:
+    """The engine="vectorized" switch end to end (fast mode)."""
+
+    def test_tsp_run_smoke(self, tsp_instance):
+        cfg = AntSystemConfig(n_ants=6, engine="vectorized")
+        colony = AntSystem(tsp_instance, cfg, rng=np.random.default_rng(3))
+        best = colony.run(3)
+        assert sorted(best.order.tolist()) == list(range(tsp_instance.n))
+        assert best.length == pytest.approx(
+            tsp_instance.tour_length(best.order), abs=1e-9
+        )
+        assert colony.stats.selections == 3 * 6 * (tsp_instance.n - 1)
+
+    def test_qap_run_smoke(self, qap_instance):
+        cfg = QAPConfig(n_ants=6, engine="vectorized")
+        colony = QAPColony(qap_instance, cfg, rng=np.random.default_rng(4))
+        best = colony.run(3)
+        assert sorted(best.assignment.tolist()) == list(range(qap_instance.n))
+
+    def test_coloring_run_smoke(self, coloring_instance):
+        cfg = ColoringConfig(n_ants=6, engine="vectorized")
+        colony = ColoringColony(coloring_instance, cfg, rng=np.random.default_rng(5))
+        best = colony.run(3)
+        assert best.colors.min() >= 0
+        assert best.colors.max() < colony.n_colors_budget
+
+    def test_vectorized_quality_comparable(self, tsp_instance):
+        """Fast mode optimises, it does not just emit valid tours."""
+        cfg = AntSystemConfig(n_ants=8, engine="vectorized")
+        colony = AntSystem(tsp_instance, cfg, rng=np.random.default_rng(6))
+        first = colony.step().length
+        best = colony.run(10)
+        assert best.length <= first
+
+    @pytest.mark.parametrize(
+        "config_cls", [AntSystemConfig, QAPConfig, ColoringConfig]
+    )
+    def test_bad_engine_rejected(self, config_cls):
+        with pytest.raises(ACOError):
+            config_cls(engine="gpu")
+
+    def test_acs_has_no_faithful_mode(self, tsp_instance):
+        """ACS interleaves local updates per ant; streams must refuse."""
+        from repro.aco.tsp.acs import ACSConfig, AntColonySystem
+
+        acs = AntColonySystem(
+            tsp_instance, ACSConfig(n_ants=4, engine="vectorized")
+        )
+        with pytest.raises(ACOError):
+            acs.construct_tours_lockstep(streams=AntStreams(SEED, 4))
+
+    def test_acs_vectorized_step_smoke(self, tsp_instance):
+        from repro.aco.tsp.acs import ACSConfig, AntColonySystem
+
+        acs = AntColonySystem(
+            tsp_instance,
+            ACSConfig(n_ants=6, engine="vectorized"),
+            rng=np.random.default_rng(7),
+        )
+        best = acs.run(3)
+        assert sorted(best.order.tolist()) == list(range(tsp_instance.n))
+
+
+class TestScalarHoistRegression:
+    """Satellite: hoisting tau^alpha*eta^beta must not change the tours."""
+
+    def test_step_matches_manual_per_ant_recompute(self, tsp_instance):
+        cfg = AntSystemConfig(n_ants=4, selection="log_bidding")
+        hoisted = AntSystem(tsp_instance, cfg)
+        streams = AntStreams(99, 4)
+        got = [hoisted.construct_tour(rng=streams.generator(i)) for i in range(4)]
+
+        # Pre-hoist replica: recompute desirability inside every ant.
+        replica = AntSystem(tsp_instance, cfg)
+        ref_streams = AntStreams(99, 4)
+        want = [
+            replica.construct_tour(
+                rng=ref_streams.generator(i),
+                desirability=(replica.pheromone**cfg.alpha) * replica._eta_beta,
+            )
+            for i in range(4)
+        ]
+        for a, b in zip(got, want):
+            assert np.array_equal(a.order, b.order)
+
+    def test_alpha_one_shortcut_matches_pow(self, tsp_instance):
+        colony = AntSystem(tsp_instance, AntSystemConfig(n_ants=2, alpha=1.0))
+        want = (colony.pheromone**1.0) * colony._eta_beta
+        assert np.allclose(colony._desirability(), want)

@@ -34,6 +34,7 @@ class TestBackendInventory:
         assert families == {
             "registry",
             "engine",
+            "colony",
             "core",
             "parallel",
             "pram",

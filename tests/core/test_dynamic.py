@@ -135,3 +135,88 @@ class TestSelection:
         counts = np.bincount(s.select_many(40_000, np.random.default_rng(3)), minlength=3)
         res = chi_square_gof(counts, f / 10.0)
         assert not res.reject(1e-4)
+
+
+class TestUpdateMany:
+    """Batched updates must match a sequential loop of update() calls."""
+
+    @pytest.mark.parametrize("n", [5, 64, 500])
+    @pytest.mark.parametrize("batch", [1, 4, 30, 200])
+    def test_matches_sequential_updates(self, n, batch):
+        base = 1.0 + np.arange(n, dtype=np.float64)
+        rng = np.random.default_rng(n * 1000 + batch)
+        idx = rng.integers(0, n, batch)
+        vals = rng.random(batch) * 5.0
+
+        batched = FenwickSampler(base)
+        batched.update_many(idx, vals)
+        looped = FenwickSampler(base)
+        for i, v in zip(idx.tolist(), vals.tolist()):
+            looped.update(int(i), float(v))
+
+        assert np.array_equal(batched.values, looped.values)
+        assert batched.total == pytest.approx(looped.total, rel=1e-12)
+        for i in range(n):
+            assert batched.prefix_sum(i) == pytest.approx(
+                looped.prefix_sum(i), rel=1e-12
+            )
+
+    def test_last_wins_on_duplicates(self):
+        s = FenwickSampler([1.0, 1.0, 1.0])
+        s.update_many([2, 0, 2, 2], [9.0, 4.0, 8.0, 7.0])
+        assert s[0] == 4.0
+        assert s[2] == 7.0
+
+    def test_validation_is_atomic(self):
+        s = FenwickSampler([1.0, 2.0, 3.0])
+        before = s.values.copy()
+        with pytest.raises(IndexError):
+            s.update_many([0, 5], [9.0, 9.0])
+        with pytest.raises(FitnessError):
+            s.update_many([0, 1], [9.0, -1.0])
+        with pytest.raises(FitnessError):
+            s.update_many([0, 1], [9.0, np.nan])
+        with pytest.raises(ValueError):
+            s.update_many([0, 1], [9.0])
+        assert np.array_equal(s.values, before)
+
+    def test_empty_batch_is_noop(self):
+        s = FenwickSampler([1.0, 2.0])
+        s.update_many([], [])
+        assert s.total == 3.0
+
+    @pytest.mark.parametrize("n", [64, 1000])
+    def test_rebuild_path_crossed(self, n):
+        """A batch above the cutoff exercises the vectorised rebuild."""
+        s = FenwickSampler(np.ones(n))
+        batch = s.rebuild_cutoff + 3
+        idx = np.arange(batch)
+        vals = 2.0 + np.arange(batch, dtype=np.float64)
+        s.update_many(idx, vals)
+        assert s.total == pytest.approx(vals.sum() + (n - batch))
+        draws = s.select_many(500, np.random.default_rng(0))
+        assert np.all((draws >= 0) & (draws < n))
+
+
+class TestSelectManyReplay:
+    """select_many must replay per-call select draws on integer wheels."""
+
+    @pytest.mark.parametrize("n", [3, 17, 256])
+    def test_bitwise_match_on_integer_wheels(self, n):
+        f = np.random.default_rng(n).integers(0, 5, n).astype(np.float64)
+        f[0] = 1.0  # keep the wheel alive
+        s = FenwickSampler(f)
+        batched = s.select_many(400, np.random.default_rng(77))
+        g = np.random.default_rng(77)
+        looped = np.array([s.select(g) for _ in range(400)])
+        assert np.array_equal(batched, looped)
+
+    def test_degenerate_raises(self):
+        s = FenwickSampler([1.0])
+        s.update(0, 0.0)
+        with pytest.raises(DegenerateFitnessError):
+            s.select_many(5, np.random.default_rng(0))
+
+    def test_size_zero(self):
+        out = FenwickSampler([1.0]).select_many(0)
+        assert out.size == 0 and out.dtype == np.int64

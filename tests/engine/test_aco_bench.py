@@ -1,0 +1,108 @@
+"""The end-to-end ACO benchmark: schema, validation, round-trip."""
+
+import copy
+import json
+
+import pytest
+
+from repro.engine.aco_bench import (
+    BENCH_ACO_SCHEMA,
+    render_bench_aco,
+    run_bench_aco,
+    validate_bench_aco,
+    write_bench_aco,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    """One small-but-real bench run shared by every test in the module."""
+    return run_bench_aco(
+        n=40,
+        n_ants=6,
+        iterations=2,
+        seed=0,
+        scalar_ants=3,
+        equivalence_n=16,
+        equivalence_ants=3,
+    )
+
+
+class TestRunBenchAco:
+    def test_validates(self, tiny_report):
+        validate_bench_aco(tiny_report)  # must not raise
+
+    def test_schema_and_config(self, tiny_report):
+        assert tiny_report["schema"] == BENCH_ACO_SCHEMA
+        assert tiny_report["config"]["n"] == 40
+        assert tiny_report["config"]["n_ants"] == 6
+
+    def test_per_method_layout(self, tiny_report):
+        per_method = tiny_report["results"]["per_method"]
+        assert "log_bidding" in per_method
+        for entry in per_method.values():
+            assert entry["scalar_tours_per_s"] > 0
+            assert entry["vectorized_tours_per_s"] > 0
+            assert entry["speedup"] > 0
+
+    def test_sparsity_profile_counts_down(self, tiny_report):
+        sparsity = tiny_report["results"]["sparsity"]
+        ks = sparsity["mean_k"]
+        assert len(ks) > 0
+        assert ks == sorted(ks, reverse=True)
+        assert sparsity["k_first"] >= sparsity["k_last"]
+
+    def test_equivalence_certificate(self, tiny_report):
+        eq = tiny_report["results"]["equivalence"]
+        assert eq["all_identical"] is True
+        for entry in eq["per_method"].values():
+            assert entry["tsp"] and entry["qap"] and entry["coloring"]
+
+    def test_render_mentions_gate(self, tiny_report):
+        text = render_bench_aco(tiny_report)
+        assert "gate" in text
+        assert "log_bidding" in text
+
+    def test_write_round_trip(self, tiny_report, tmp_path):
+        path = write_bench_aco(tiny_report, tmp_path / "BENCH_aco.json")
+        on_disk = json.loads((tmp_path / "BENCH_aco.json").read_text())
+        assert str(path) == str(tmp_path / "BENCH_aco.json")
+        validate_bench_aco(on_disk)
+        assert on_disk["results"]["gate_method"] == "log_bidding"
+
+
+class TestValidateBenchAco:
+    def test_rejects_wrong_schema(self, tiny_report):
+        bad = copy.deepcopy(tiny_report)
+        bad["schema"] = "something/else"
+        with pytest.raises(ValueError):
+            validate_bench_aco(bad)
+
+    def test_rejects_missing_result_key(self, tiny_report):
+        bad = copy.deepcopy(tiny_report)
+        del bad["results"]["per_method"]
+        with pytest.raises(ValueError):
+            validate_bench_aco(bad)
+
+    def test_rejects_missing_method_key(self, tiny_report):
+        bad = copy.deepcopy(tiny_report)
+        for entry in bad["results"]["per_method"].values():
+            del entry["speedup"]
+        with pytest.raises(ValueError):
+            validate_bench_aco(bad)
+
+    def test_rejects_broken_equivalence(self, tiny_report):
+        bad = copy.deepcopy(tiny_report)
+        bad["results"]["equivalence"]["all_identical"] = False
+        with pytest.raises(ValueError):
+            validate_bench_aco(bad)
+
+    def test_rejects_empty_sparsity(self, tiny_report):
+        bad = copy.deepcopy(tiny_report)
+        bad["results"]["sparsity"]["mean_k"] = []
+        with pytest.raises(ValueError):
+            validate_bench_aco(bad)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_bench_aco([])
