@@ -32,7 +32,20 @@ from repro.core import (
     streaming_select,
     StreamingSelector,
 )
-from repro import aco, audit, bench, core, engine, msg, parallel, pram, rng, simt, stats
+from repro import (
+    aco,
+    audit,
+    bench,
+    core,
+    engine,
+    msg,
+    parallel,
+    pram,
+    rng,
+    service,
+    simt,
+    stats,
+)
 
 __all__ = [
     "__version__",
@@ -59,4 +72,5 @@ __all__ = [
     "aco",
     "audit",
     "bench",
+    "service",
 ]

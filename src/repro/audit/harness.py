@@ -201,6 +201,66 @@ def _streaming(fitness, seed):
     return winner
 
 
+#: Concurrent draw requests the service audit splits each trial budget
+#: into, so the micro-batching coalescing path is actually exercised.
+_SERVICE_REQUESTS = 4
+
+
+def _service_counts(method_name: str):
+    """Audit adapter for the batched selection service.
+
+    Goes through the full request path — ``register`` then concurrent
+    ``draw`` requests coalesced by the micro-batch scheduler — and maps
+    structured error responses back to the typed contract exceptions via
+    :func:`repro.service.protocol.raise_structured`, so a degenerate
+    wheel surfaces as :class:`DegenerateFitnessError` exactly like every
+    other backend.
+    """
+
+    def counts(fitness, trials, seed):
+        import asyncio
+
+        from repro.service.protocol import raise_structured
+        from repro.service.scheduler import BatchConfig
+        from repro.service.server import SelectionService
+
+        async def run() -> np.ndarray:
+            service = SelectionService(
+                seed=seed, config=BatchConfig(max_batch=_SERVICE_REQUESTS)
+            )
+            registered = raise_structured(
+                await service.handle_request(
+                    {"op": "register", "fitness": fitness, "method": method_name}
+                )
+            )
+            wheel_id = registered["wheel"]
+            parts = [trials // _SERVICE_REQUESTS] * _SERVICE_REQUESTS
+            parts[0] += trials - sum(parts)
+            parts = [p for p in parts if p > 0]
+            responses = await asyncio.gather(
+                *(
+                    service.handle_request(
+                        {"op": "draw", "wheel": wheel_id, "n": p, "seed": i}
+                    )
+                    for i, p in enumerate(parts)
+                )
+            )
+            draws = np.concatenate(
+                [
+                    np.asarray(raise_structured(r)["draws"], dtype=np.int64)
+                    for r in responses
+                ]
+            )
+            await service.close()
+            return draws
+
+        draws = asyncio.run(run())
+        n = np.atleast_1d(np.asarray(fitness, dtype=np.float64)).shape[0]
+        return np.bincount(draws, minlength=max(n, 1)).astype(np.int64)
+
+    return counts
+
+
 def _fenwick_dynamic(fitness, trials, seed):
     from repro.core.dynamic import FenwickSampler
 
@@ -317,6 +377,15 @@ def iter_backends() -> List[Backend]:
         Backend("core:streaming", "core", _per_trial_counts(_streaming), machine=True),
         Backend("core:fenwick_dynamic", "core", _fenwick_dynamic),
     ]
+    for name in ("log_bidding", "gumbel", "alias"):
+        backends.append(
+            Backend(
+                name=f"service:batched:{name}",
+                family="service",
+                counts=_service_counts(name),
+                exact=get_method(name).exact,
+            )
+        )
     return backends
 
 

@@ -6,9 +6,11 @@ selection-engine benchmark (``python -m repro bench-engine``, recorded in
 ``BENCH_engine.json``), the race-lab benchmark (``python -m repro
 bench-race``, recorded in ``BENCH_race.json``), the end-to-end ACO
 benchmark (``python -m repro bench-aco``, recorded in
-``BENCH_aco.json``), and the differential degenerate-wheel audit
+``BENCH_aco.json``), the differential degenerate-wheel audit
 (``python -m repro audit``, exit 0 iff zero violations across every
-backend).
+backend), the async selection service (``python -m repro serve``,
+JSON-lines over TCP or stdio), and the serving benchmark (``python -m
+repro bench-serve``, recorded in ``BENCH_serve.json``).
 """
 
 from __future__ import annotations
@@ -57,7 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         nargs="?",
         choices=sorted(EXPERIMENTS)
-        + ["all", "audit", "bench-aco", "bench-engine", "bench-race"],
+        + ["all", "audit", "bench-aco", "bench-engine", "bench-race", "bench-serve", "serve"],
         help=(
             "experiment to run ('all' runs every paper experiment; "
             "'audit' runs the differential degenerate-wheel audit over "
@@ -66,7 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
             "the vectorized lockstep engine; "
             "'bench-engine' times the compiled selection engine; "
             "'bench-race' validates the batched race kernel against the "
-            "exact round-count law at paper-scale k)"
+            "exact round-count law at paper-scale k; "
+            "'bench-serve' measures the micro-batching selection service "
+            "against the per-request baseline; "
+            "'serve' runs the JSON-lines selection service)"
         ),
     )
     parser.add_argument(
@@ -141,6 +146,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=128,
         help="bench-aco only: ants per lockstep iteration (default 128)",
     )
+    parser.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        help="serve only: TCP bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7077,
+        help="serve only: TCP port (default 7077)",
+    )
+    parser.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve only: speak JSON-lines over stdin/stdout instead of TCP",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="serve / bench-serve: requests coalesced per kernel call (default 64)",
+    )
+    parser.add_argument(
+        "--max-delay-us",
+        type=float,
+        default=200.0,
+        help="serve / bench-serve: batching delay bound in microseconds (default 200)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        help="serve only: queued requests before shedding (default 1024)",
+    )
+    parser.add_argument(
+        "--max-wheels",
+        type=int,
+        default=256,
+        help="serve only: registry LRU capacity (default 256)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=64,
+        help="bench-serve only: concurrent closed-loop clients (default 64)",
+    )
+    parser.add_argument(
+        "--requests-per-client",
+        type=int,
+        default=32,
+        help="bench-serve only: sequential requests per client (default 32)",
+    )
+    parser.add_argument(
+        "--draws-per-request",
+        type=int,
+        default=8,
+        help="bench-serve only: draws per request (default 8)",
+    )
     return parser
 
 
@@ -209,6 +273,70 @@ def _run_bench_aco(args) -> int:
     return 0
 
 
+def _run_bench_serve(args) -> int:
+    """Run the serving benchmark, record BENCH_serve.json."""
+    from repro.service.loadgen import (
+        render_bench_serve,
+        run_bench_serve,
+        write_bench_serve,
+    )
+
+    report = run_bench_serve(
+        wheel_size=args.wheel_size,
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        n_draws=args.draws_per_request,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        max_delay_us=args.max_delay_us,
+    )
+    path = write_bench_serve(report, args.output or "BENCH_serve.json")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_bench_serve(report))
+        print(f"recorded -> {path}")
+    return 0
+
+
+def _run_serve(args) -> int:
+    """Run the selection service until EOF (stdio) or interrupt (TCP)."""
+    import asyncio
+
+    from repro.service.scheduler import BatchConfig
+    from repro.service.server import SelectionService, serve_stdio, serve_tcp
+
+    service = SelectionService(
+        seed=args.seed,
+        config=BatchConfig(
+            max_batch=args.max_batch,
+            max_delay_us=args.max_delay_us,
+            queue_limit=args.queue_limit,
+        ),
+        max_wheels=args.max_wheels,
+    )
+    try:
+        if args.stdio:
+            asyncio.run(serve_stdio(service))
+        else:
+
+            def announce(server):
+                # Printed only once the socket is bound, so a parent
+                # process may treat this line as a readiness signal.
+                bound = server.sockets[0].getsockname()
+                print(
+                    f"repro selection service listening on "
+                    f"{bound[0]}:{bound[1]} (JSON lines; ctrl-c to stop)",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+            asyncio.run(serve_tcp(service, args.host, args.port, on_ready=announce))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
 def _run_audit(args) -> int:
     """Run the degenerate-wheel audit; exit 0 iff zero violations."""
     from repro.audit import render_report, run_audit
@@ -259,6 +387,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "bench-aco",
             "bench-engine",
             "bench-race",
+            "bench-serve",
+            "serve",
         ]:
             print(name)
         return 0
@@ -273,6 +403,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench_engine(args)
     if args.experiment == "bench-race":
         return _run_bench_race(args)
+    if args.experiment == "bench-serve":
+        return _run_bench_serve(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(

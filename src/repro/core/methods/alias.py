@@ -76,7 +76,16 @@ class AliasTable:
 
     def draw_many(self, rng, size: int) -> np.ndarray:
         """Vectorised batch of ``size`` draws (one uniform per draw)."""
-        u = np.asarray(rng.random(size), dtype=np.float64) * self.n
+        return self.draw_many_from(np.asarray(rng.random(size), dtype=np.float64))
+
+    def draw_many_from(self, uniforms: np.ndarray) -> np.ndarray:
+        """Map caller-supplied uniforms on ``[0, 1)`` to draws, one each.
+
+        Splitting a uniform sequence across calls returns the same draws
+        as one call — the property the batched selection service relies
+        on to coalesce per-request substreams into a single lookup.
+        """
+        u = uniforms * self.n
         col = np.minimum(u.astype(np.int64), self.n - 1)
         frac = u - col
         return np.where(frac < self._prob[col], col, self._alias[col]).astype(np.int64)

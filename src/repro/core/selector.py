@@ -15,6 +15,7 @@ conveniences over the same machinery.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Union
 
 import numpy as np
@@ -56,6 +57,27 @@ class RouletteWheel:
         ``None`` (fresh NumPy generator), an int seed, a
         ``numpy.random.Generator``, a :class:`repro.rng.BitGenerator`, or
         anything satisfying :class:`repro.typing.UniformSource`.
+    lock:
+        ``True`` to serialize draws on an internal lock, or a caller-owned
+        lock object with ``acquire``/``release``.  Default ``False``: see
+        the thread-safety contract below.
+
+    **Thread-safety / RNG-sharing contract.**  A wheel's fitness vector
+    and compiled method are immutable after construction and safe to
+    share across threads.  The *bound RNG* is the mutable part: two
+    threads calling :meth:`select_many` through the same generator
+    interleave its stream nondeterministically (NumPy generators are not
+    even guaranteed internally consistent under races).  Pick one of:
+
+    * **per-call streams** (preferred, what the selection service does):
+      share the wheel freely and pass each call its own ``rng=`` —
+      e.g. a :func:`repro.rng.streams.request_stream` substream — so no
+      shared state is touched and results stay reproducible;
+    * **locked wheel**: construct with ``lock=True`` and draws through
+      the bound RNG serialize (correct but contended, and replay then
+      depends on thread scheduling);
+    * **wheel per thread**: clone via ``RouletteWheel(wheel.fitness,
+      wheel.method, rng=seed_i)`` with distinct seeds.
     """
 
     def __init__(
@@ -63,10 +85,21 @@ class RouletteWheel:
         fitness: FitnessLike,
         method: Union[str, SelectionMethod, None] = None,
         rng=None,
+        lock: Union[bool, object] = False,
     ) -> None:
         self.fitness = fitness if isinstance(fitness, FitnessVector) else FitnessVector(fitness)
         self.method = _resolve_method(method)
         self.rng = resolve_rng(rng)
+        if lock is True:
+            self._lock: Optional[object] = threading.Lock()
+        elif lock is False or lock is None:
+            self._lock = None
+        else:
+            self._lock = lock
+
+    def _resolve_call_rng(self, rng):
+        """The RNG for one call: per-call override or the bound default."""
+        return self.rng if rng is None else resolve_rng(rng)
 
     # ------------------------------------------------------------------
     @property
@@ -85,15 +118,32 @@ class RouletteWheel:
         return self.fitness.probabilities
 
     # ------------------------------------------------------------------
-    def select(self) -> int:
-        """Draw one index."""
-        return self.method.select(self.fitness.values, self.rng)
+    def select(self, *, rng=None) -> int:
+        """Draw one index.
 
-    def select_many(self, size: int) -> np.ndarray:
-        """Draw ``size`` independent indices (vectorised where possible)."""
-        return self.method.select_many(self.fitness.values, self.rng, size)
+        ``rng=`` draws from a caller-supplied stream instead of the
+        bound one, leaving the wheel's own state untouched — the
+        race-free way to share a wheel across threads or async requests.
+        """
+        source = self._resolve_call_rng(rng)
+        if self._lock is not None and rng is None:
+            with self._lock:
+                return self.method.select(self.fitness.values, source)
+        return self.method.select(self.fitness.values, source)
 
-    def counts(self, size: int) -> np.ndarray:
+    def select_many(self, size: int, *, rng=None) -> np.ndarray:
+        """Draw ``size`` independent indices (vectorised where possible).
+
+        ``rng=`` overrides the bound RNG for this call only (see the
+        class-level thread-safety contract).
+        """
+        source = self._resolve_call_rng(rng)
+        if self._lock is not None and rng is None:
+            with self._lock:
+                return self.method.select_many(self.fitness.values, source, size)
+        return self.method.select_many(self.fitness.values, source, size)
+
+    def counts(self, size: int, *, rng=None) -> np.ndarray:
         """Histogram of ``size`` draws (length ``n``).
 
         Chunked: large ``size`` never materialises the full draws array
@@ -102,19 +152,30 @@ class RouletteWheel:
         see :func:`repro.engine.stream_counts`.
         """
         if size <= _COUNTS_CHUNK:
-            draws = self.select_many(size)
+            draws = self.select_many(size, rng=rng)
             return np.bincount(draws, minlength=self.n).astype(np.int64)
+        source = self._resolve_call_rng(rng)
         counts = np.zeros(self.n, dtype=np.int64)
+        if self._lock is not None and rng is None:
+            # Hold the lock across chunks so a concurrent caller cannot
+            # interleave mid-histogram through the bound RNG.
+            with self._lock:
+                for start in range(0, size, _COUNTS_CHUNK):
+                    draws = self.method.select_many(
+                        self.fitness.values, source, min(_COUNTS_CHUNK, size - start)
+                    )
+                    counts += np.bincount(draws, minlength=self.n)
+            return counts
         for start in range(0, size, _COUNTS_CHUNK):
-            draws = self.select_many(min(_COUNTS_CHUNK, size - start))
+            draws = self.select_many(min(_COUNTS_CHUNK, size - start), rng=source)
             counts += np.bincount(draws, minlength=self.n)
         return counts
 
-    def empirical_probabilities(self, size: int) -> np.ndarray:
+    def empirical_probabilities(self, size: int, *, rng=None) -> np.ndarray:
         """Relative frequencies over ``size`` draws."""
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
-        return self.counts(size) / float(size)
+        return self.counts(size, rng=rng) / float(size)
 
     def with_method(self, method: Union[str, SelectionMethod]) -> "RouletteWheel":
         """A new wheel over the same fitness/RNG with a different method."""
@@ -122,6 +183,7 @@ class RouletteWheel:
         wheel.fitness = self.fitness
         wheel.method = _resolve_method(method)
         wheel.rng = self.rng
+        wheel._lock = self._lock
         return wheel
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

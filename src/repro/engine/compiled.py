@@ -48,7 +48,9 @@ Kernel selection policies:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+import io
+import json
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -66,6 +68,7 @@ __all__ = [
     "stream_counts",
     "DEFAULT_CHUNK_BYTES",
     "KERNELS",
+    "WHEEL_FORMAT",
 ]
 
 #: Default per-chunk buffer budget.  Small enough to stay cache-friendly
@@ -107,6 +110,10 @@ _FAITHFUL_KERNEL: Dict[str, str] = {
 #: Positive fitness below this can overflow ``log(u)/f`` to -inf
 #: (|log u| <= log 2^53 ~ 36.75, overflow at f < ~2e-307).
 _CLAMP_THRESHOLD = 1e-306
+
+#: Serialization format tag for :meth:`CompiledWheel.to_bytes` /
+#: ``__getstate__`` (bump on layout changes).
+WHEEL_FORMAT = "repro/compiled-wheel/v1"
 
 
 def _fill_uniform(rng, buf: np.ndarray) -> None:
@@ -158,6 +165,9 @@ class CompiledWheel:
         if chunk_bytes <= 0:
             raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
         self.chunk_bytes = int(chunk_bytes)
+        #: The caller's kernel request ("auto"/"faithful"/concrete); part
+        #: of the wheel's content address in repro.service.registry.
+        self.policy = str(kernel)
         self.kernel = self._resolve_kernel(kernel)
         self._precompute()
 
@@ -273,17 +283,27 @@ class CompiledWheel:
     def _stream_race(self, size, rng, out, counts) -> None:
         rows = min(self.chunk_rows, size)
         buf = np.empty((rows, self.n))
-        fill = getattr(self, f"_fill_{self.method}")
         for start in range(0, size, rows):
             stop = min(start + rows, size)
             chunk = buf[: stop - start]
-            fill(chunk, rng)
-            self._emit(np.argmax(chunk, axis=1), start, stop, out, counts)
+            _fill_uniform(rng, chunk)
+            self._emit(self._race_chunk(chunk), start, stop, out, counts)
 
-    # -- race key fillers (each bit-compatible with its registry method) --
-    def _fill_log_bidding(self, b: np.ndarray, rng) -> None:
+    def _race_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        """Transform a uniform chunk into keys in place and arg-max each row.
+
+        Row-independent by construction, so any row partitioning of the
+        draw stream (solo requests, coalesced batches, chunk boundaries)
+        yields identical winners — the property :meth:`select_segments`
+        is built on.
+        """
+        getattr(self, f"_transform_{self.method}")(chunk)
+        return np.argmax(chunk, axis=1)
+
+    # -- race key transforms (uniforms -> keys, in place; each
+    # bit-compatible with its registry method) --------------------------
+    def _transform_log_bidding(self, b: np.ndarray) -> None:
         f = self.fitness.values
-        _fill_uniform(rng, b)
         np.subtract(1.0, b, out=b)  # uniforms on (0, 1], safe under log
         with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
             np.log(b, out=b)
@@ -297,8 +317,7 @@ class CompiledWheel:
         if self._has_zeros:
             b[:, self._zero_mask] = -np.inf
 
-    def _fill_gumbel(self, b: np.ndarray, rng) -> None:
-        _fill_uniform(rng, b)
+    def _transform_gumbel(self, b: np.ndarray) -> None:
         np.subtract(1.0, b, out=b)
         with np.errstate(divide="ignore", invalid="ignore"):
             np.log(b, out=b)
@@ -309,8 +328,7 @@ class CompiledWheel:
         if self._has_zeros:
             b[:, self._zero_mask] = -np.inf
 
-    def _fill_efraimidis_spirakis(self, b: np.ndarray, rng) -> None:
-        _fill_uniform(rng, b)
+    def _transform_efraimidis_spirakis(self, b: np.ndarray) -> None:
         np.subtract(1.0, b, out=b)
         with np.errstate(divide="ignore", over="ignore"):
             np.power(b, self._inv_f, out=b)
@@ -322,8 +340,7 @@ class CompiledWheel:
         if self._has_zeros:
             b[:, self._zero_mask] = 0.0
 
-    def _fill_independent(self, b: np.ndarray, rng) -> None:
-        _fill_uniform(rng, b)
+    def _transform_independent(self, b: np.ndarray) -> None:
         np.subtract(1.0, b, out=b)
         np.multiply(self.fitness.values, b, out=b)
         if self._has_zeros:
@@ -332,32 +349,237 @@ class CompiledWheel:
             b[:, self._zero_mask] = -np.inf
 
     # -- lookup kernels -------------------------------------------------
-    def _stream_searchsorted(self, size, rng, out, counts) -> None:
+    def _lookup_searchsorted(self, spins: np.ndarray) -> np.ndarray:
+        """Scale spins in place to wheel coordinates and binary-search.
+
+        Element-independent, so spin-stream partitioning never changes
+        the draws (see :meth:`select_segments`).
+        """
         f = self.fitness.values
         prefix = self._prefix
+        np.multiply(spins, prefix[-1], out=spins)
+        idx = np.searchsorted(prefix, spins, side="right").astype(np.int64)
+        np.minimum(idx, self.n - 1, out=idx)
+        if self._has_zeros:
+            # FP boundary collisions can land on zero-width intervals;
+            # repair the (measure-zero) stragglers one by one.
+            for bad in np.flatnonzero(f[idx] == 0.0):
+                idx[bad] = BinarySearchSelection._skip_zeros(
+                    f, prefix, int(idx[bad]), float(spins[bad])
+                )
+        return idx
+
+    def _stream_searchsorted(self, size, rng, out, counts) -> None:
         rows = min(self.chunk_rows, size)
         buf = np.empty(rows)
         for start in range(0, size, rows):
             stop = min(start + rows, size)
             spins = buf[: stop - start]
             _fill_uniform(rng, spins)
-            np.multiply(spins, prefix[-1], out=spins)
-            idx = np.searchsorted(prefix, spins, side="right").astype(np.int64)
-            np.minimum(idx, self.n - 1, out=idx)
-            if self._has_zeros:
-                # FP boundary collisions can land on zero-width intervals;
-                # repair the (measure-zero) stragglers one by one.
-                for bad in np.flatnonzero(f[idx] == 0.0):
-                    idx[bad] = BinarySearchSelection._skip_zeros(
-                        f, prefix, int(idx[bad]), float(spins[bad])
-                    )
-            self._emit(idx, start, stop, out, counts)
+            self._emit(self._lookup_searchsorted(spins), start, stop, out, counts)
 
     def _stream_alias(self, size, rng, out, counts) -> None:
         rows = min(self.chunk_rows, size)
         for start in range(0, size, rows):
             stop = min(start + rows, size)
             self._emit(self._table.draw_many(rng, stop - start), start, stop, out, counts)
+
+    # ------------------------------------------------------------------
+    # batched multi-request entry point
+    # ------------------------------------------------------------------
+    def select_segments(
+        self, segments: Sequence[Tuple[int, object]]
+    ) -> np.ndarray:
+        """Draw every ``(size, rng)`` segment in one fused kernel pass.
+
+        Returns the concatenation of the per-segment draws in segment
+        order, **bitwise identical** to calling ``select_many(size,
+        rng=rng)`` once per segment: each segment's uniforms come from
+        its own source in the same order, and every kernel transform is
+        element- (or row-) independent.  This is the coalescing
+        primitive behind :mod:`repro.service` — concurrent requests with
+        per-request substreams are served by one kernel invocation
+        without changing any response.
+
+        Peak additional memory is O(chunk) exactly as in
+        :meth:`select_many`; segment boundaries and chunk boundaries are
+        independent.
+        """
+        sizes = []
+        for size, _rng in segments:
+            size = int(size)
+            if size < 0:
+                raise ValueError(f"segment sizes must be non-negative, got {size}")
+            sizes.append(size)
+        total = int(sum(sizes))
+        out = np.empty(total, dtype=np.int64)
+        if total == 0:
+            return out
+        if total <= self.chunk_rows and self._fused_segments(segments, sizes, total, out):
+            return out
+        if self.kernel == "race":
+            rows = min(self.chunk_rows, total)
+            buf = np.empty((rows, self.n))
+            self._stream_segments(segments, out, buf, self._race_chunk)
+        elif self.kernel == "searchsorted":
+            buf = np.empty(min(self.chunk_rows, total))
+            self._stream_segments(segments, out, buf, self._lookup_searchsorted)
+        else:
+            buf = np.empty(min(self.chunk_rows, total))
+            self._stream_segments(segments, out, buf, self._table.draw_many_from)
+        return out
+
+    def _fused_segments(self, segments, sizes, total, out) -> bool:
+        """Single-pass fast path for batches of fresh counter streams.
+
+        When every segment source is an unused
+        :class:`repro.rng.streams.SplitMixStream`, the whole batch's
+        uniforms are one vectorized :func:`segment_uniforms` call — no
+        per-segment fill loop.  Bit-identical to the generic path (the
+        counters are pure functions of position) and within the chunk
+        memory budget (the caller checks ``total <= chunk_rows``).
+        Returns False to fall back to the generic streaming loop.
+        """
+        from repro.rng.streams import SplitMixStream, segment_uniforms
+
+        rngs = [rng for _, rng in segments]
+        if not all(type(rng) is SplitMixStream and rng.count == 0 for rng in rngs):
+            return False
+        seeds = [rng.seed for rng in rngs]
+        if self.kernel == "race":
+            counts = np.asarray(sizes, dtype=np.int64) * self.n
+            keys = segment_uniforms(seeds, counts).reshape(total, self.n)
+            out[:] = self._race_chunk(keys)
+            per_draw = self.n
+        else:
+            uniforms = segment_uniforms(seeds, sizes)
+            if self.kernel == "searchsorted":
+                out[:] = self._lookup_searchsorted(uniforms)
+            else:
+                out[:] = self._table.draw_many_from(uniforms)
+            per_draw = 1
+        for rng, size in zip(rngs, sizes):
+            rng.advance(size * per_draw)
+        return True
+
+    @staticmethod
+    def _stream_segments(segments, out, buf, finish) -> None:
+        """Fill ``buf`` across segment boundaries; flush full chunks.
+
+        ``finish(chunk)`` maps a filled prefix of the work buffer to
+        int64 draws (keys -> argmax for the race kernel, uniforms ->
+        indices for the lookup kernels).
+        """
+        rows = buf.shape[0]
+        filled = 0
+        emitted = 0
+        for size, rng in segments:
+            done = 0
+            while done < size:
+                take = min(int(size) - done, rows - filled)
+                _fill_uniform(rng, buf[filled : filled + take])
+                filled += take
+                done += take
+                if filled == rows:
+                    out[emitted : emitted + filled] = finish(buf[:filled])
+                    emitted += filled
+                    filled = 0
+        if filled:
+            out[emitted : emitted + filled] = finish(buf[:filled])
+
+    # ------------------------------------------------------------------
+    # serialization (ships compiled artifacts to workers without
+    # re-running _precompute; see repro.service.registry)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle support: fitness + precomputed tables, no lazy caches."""
+        state: Dict[str, object] = {
+            "format": WHEEL_FORMAT,
+            "values": np.asarray(self.fitness.values),
+            "method": self.method,
+            "kernel": self.kernel,
+            "policy": self.policy,
+            "chunk_bytes": self.chunk_bytes,
+        }
+        if self.kernel == "race":
+            if self.method == "gumbel":
+                state["log_f"] = self._log_f
+            elif self.method == "efraimidis_spirakis":
+                state["inv_f"] = self._inv_f
+        elif self.kernel == "searchsorted":
+            state["prefix"] = np.asarray(self._prefix)
+        else:
+            state["prob"] = self._table._prob
+            state["alias"] = self._table._alias
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Restore without recomputing any table (``_precompute`` is not run).
+
+        Only the O(n) boolean masks are rederived from the fitness
+        values; the expensive artifacts — the Vose alias table, prefix
+        sums, per-method key constants — come straight from ``state``.
+        """
+        if state.get("format") != WHEEL_FORMAT:
+            raise ValueError(
+                f"unsupported compiled-wheel state {state.get('format')!r}; "
+                f"expected {WHEEL_FORMAT!r}"
+            )
+        self.fitness = FitnessVector(np.asarray(state["values"], dtype=np.float64))
+        self.method = str(state["method"])
+        self.kernel = str(state["kernel"])
+        self.policy = str(state.get("policy", state["kernel"]))
+        self.chunk_bytes = int(state["chunk_bytes"])  # type: ignore[arg-type]
+        f = self.fitness.values
+        self.n = self.fitness.n
+        self._zero_mask = f == 0.0
+        self._has_zeros = bool(self._zero_mask.any())
+        if self.kernel == "race":
+            positive = f[~self._zero_mask]
+            self._clamp_low = bool(positive.size and positive.min() < _CLAMP_THRESHOLD)
+            self._positive_mask = ~self._zero_mask
+            if "log_f" in state:
+                self._log_f = np.asarray(state["log_f"], dtype=np.float64)
+            if "inv_f" in state:
+                self._inv_f = np.asarray(state["inv_f"], dtype=np.float64)
+        elif self.kernel == "searchsorted":
+            self._prefix = np.asarray(state["prefix"], dtype=np.float64)
+        else:
+            table = AliasTable.__new__(AliasTable)
+            table.n = self.n
+            table._prob = np.asarray(state["prob"], dtype=np.float64)
+            table._alias = np.asarray(state["alias"], dtype=np.int64)
+            self._table = table
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a self-describing ``npz`` blob (no pickle).
+
+        The blob carries the fitness values and every precomputed table,
+        so :meth:`from_bytes` restores a wheel whose ``select_many`` is
+        bitwise identical without re-running ``_precompute`` — cheap to
+        ship to worker processes or cache on disk.
+        """
+        state = self.__getstate__()
+        arrays = {k: v for k, v in state.items() if isinstance(v, np.ndarray)}
+        meta = {k: v for k, v in state.items() if not isinstance(v, np.ndarray)}
+        bio = io.BytesIO()
+        header = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        np.savez(bio, __meta__=header, **arrays)
+        return bio.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CompiledWheel":
+        """Restore a wheel serialized by :meth:`to_bytes`."""
+        with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
+            if "__meta__" not in npz.files:
+                raise ValueError("not a compiled-wheel blob (missing __meta__)")
+            state: Dict[str, object] = json.loads(bytes(npz["__meta__"]).decode("utf-8"))
+            for name in npz.files:
+                if name != "__meta__":
+                    state[name] = npz[name]
+        wheel = cls.__new__(cls)
+        wheel.__setstate__(state)
+        return wheel
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -15,6 +15,11 @@ __all__ = [
     "UnknownMethodError",
     "TeamTimeoutError",
     "RNGError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "UnknownWheelError",
+    "ProtocolError",
     "PRAMError",
     "MemoryAccessError",
     "ReadConflictError",
@@ -62,6 +67,35 @@ class TeamTimeoutError(ReproError, TimeoutError):
 
 class RNGError(ReproError):
     """A pseudo-random number generator was misused or mis-seeded."""
+
+
+class ServiceError(ReproError):
+    """Base class for selection-service errors."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service shed a request instead of queueing it.
+
+    Raised (and mapped to an ``overloaded`` protocol response) when the
+    admission-controlled queue is at its bound; the request was never
+    enqueued, so retrying later is always safe.
+    """
+
+
+class DeadlineExceededError(ServiceOverloadedError):
+    """A queued request's deadline expired before its batch was served."""
+
+
+class UnknownWheelError(ServiceError, KeyError):
+    """A wheel id is not (or no longer) present in the registry.
+
+    Content-addressed ids are stable, so after an LRU eviction the client
+    can simply re-register the same fitness vector and get the same id.
+    """
+
+
+class ProtocolError(ServiceError, ValueError):
+    """A service request line is malformed or semantically invalid."""
 
 
 class PRAMError(ReproError):

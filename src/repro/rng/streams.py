@@ -14,16 +14,46 @@ processor.  :func:`spawn_streams` provides that for every registered engine:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Type
+from typing import List, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
 
 from repro.errors import RNGError
-from repro.rng.base import BitGenerator
+from repro.rng.base import MASK64, BitGenerator
 from repro.rng.pcg import PCG32
 from repro.rng.philox import Philox4x32
-from repro.rng.splitmix import SplitMix64
+from repro.rng.splitmix import GOLDEN_GAMMA, SplitMix64
 from repro.rng.xoshiro import Xoshiro256StarStar
 
-__all__ = ["stream_seeds", "spawn_streams", "machine_substreams"]
+__all__ = [
+    "stream_seeds",
+    "spawn_streams",
+    "machine_substreams",
+    "derive_seed",
+    "derive_seeds",
+    "request_stream",
+    "segment_uniforms",
+    "SplitMixStream",
+]
+
+_U_GAMMA = np.uint64(GOLDEN_GAMMA)
+_U_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_U_M2 = np.uint64(0x94D049BB133111EB)
+_INV53 = 1.0 / 9007199254740992.0  # 2**-53
+
+
+def _vmix64(z: np.ndarray) -> np.ndarray:
+    """Stafford variant-13 finaliser on a ``uint64`` array, in place.
+
+    The vectorized twin of :func:`repro.rng.splitmix._mix64` — asserted
+    bit-identical by the unit tests.
+    """
+    z ^= z >> np.uint64(30)
+    z *= _U_M1
+    z ^= z >> np.uint64(27)
+    z *= _U_M2
+    z ^= z >> np.uint64(31)
+    return z
 
 
 def stream_seeds(root_seed: int, count: int) -> List[int]:
@@ -49,6 +79,136 @@ def machine_substreams(seed: int) -> Tuple[int, SplitMix64]:
     """
     worker_seed, arbiter_seed = stream_seeds(seed, 2)
     return worker_seed, SplitMix64(arbiter_seed)
+
+
+def derive_seed(root_seed: int, *keys: int) -> int:
+    """Deterministically fold ``keys`` into a 64-bit child seed.
+
+    Each key advances a fresh SplitMix64 chain seeded by the running
+    digest XOR the key's Weyl increment, so ``derive_seed(s, a, b)`` and
+    ``derive_seed(s, b, a)`` differ and no key ordering collides with a
+    longer prefix.  Used by the selection service to key one independent
+    substream per (server seed, wheel, request) without coordination.
+    """
+    x = root_seed & MASK64
+    for key in keys:
+        sm = SplitMix64(x ^ ((int(key) * GOLDEN_GAMMA) & MASK64))
+        x = sm.next_uint64()
+    return x
+
+
+def derive_seeds(root_seed: int, keys: Sequence[int], *prefix: int) -> np.ndarray:
+    """Vectorised :func:`derive_seed` over the *last* key.
+
+    ``derive_seeds(s, ks, a, b)[i] == derive_seed(s, a, b, ks[i])`` for
+    every ``i``, computed with a handful of ``uint64`` array ops — the
+    batched-flush path of the selection service derives one substream
+    seed per coalesced request this way.
+    """
+    x = np.uint64(derive_seed(root_seed, *prefix))
+    with np.errstate(over="ignore"):
+        z = np.asarray(keys, dtype=np.uint64) * _U_GAMMA
+        z ^= x
+        z += _U_GAMMA
+        return _vmix64(z)
+
+
+def segment_uniforms(seeds, counts) -> np.ndarray:
+    """The first ``counts[i]`` uniforms of fresh streams ``seeds[i]``, flat.
+
+    Bit-identical to concatenating ``SplitMixStream(seeds[i]).random(
+    counts[i])`` — the per-stream counter is a pure function of position,
+    so an entire coalesced batch's uniforms fall out of one vectorized
+    pass regardless of how requests were partitioned.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if seeds.shape != counts.shape or seeds.ndim != 1:
+        raise RNGError("seeds and counts must be 1-D arrays of equal length")
+    if counts.size and int(counts.min()) < 0:
+        raise RNGError("counts must be non-negative")
+    total = int(counts.sum())
+    ends = np.cumsum(counts)
+    with np.errstate(over="ignore"):
+        # Draw index within each segment, 1-based: j = global - start + 1.
+        j = np.arange(1, total + 1, dtype=np.uint64)
+        j -= np.repeat((ends - counts).astype(np.uint64), counts)
+        j *= _U_GAMMA
+        j += np.repeat(seeds, counts)
+        z = _vmix64(j)
+    z >>= np.uint64(11)
+    return z * _INV53
+
+
+class SplitMixStream:
+    """Counter-based vectorised uniform source over the SplitMix64 sequence.
+
+    Draw ``j`` (0-based) is exactly ``SplitMix64(seed).random()``'s
+    ``j``-th output — ``mix64(seed + (j + 1) * GOLDEN_GAMMA) >> 11``
+    scaled to ``[0, 1)`` — but whole blocks are produced with a handful
+    of NumPy ``uint64`` ops instead of a Python loop.  Because the state
+    is a pure counter, any partitioning of a draw budget into ``random``
+    calls yields the same stream: the foundation of the service's
+    "bit-identical whether served solo or coalesced" contract.  Verified
+    bit-for-bit against the scalar :class:`repro.rng.SplitMix64` engine
+    by the unit tests.
+    """
+
+    __slots__ = ("seed", "_count")
+
+    _INV53 = _INV53
+
+    def __init__(self, seed: int) -> None:
+        if not isinstance(seed, (int, np.integer)) or int(seed) < 0:
+            raise RNGError(f"seed must be a non-negative int, got {seed!r}")
+        self.seed = int(seed) & MASK64
+        self._count = 0
+
+    def random(self, size: Optional[Union[int, Tuple[int, ...]]] = None):
+        """Uniform float64 variates on ``[0, 1)``; scalar if ``size`` is None."""
+        if size is None:
+            return float(self.random(1)[0])
+        if isinstance(size, tuple):
+            shape: Optional[Tuple[int, ...]] = size
+            total = 1
+            for dim in size:
+                total *= int(dim)
+        else:
+            shape = None
+            total = int(size)
+        if total < 0:
+            raise RNGError(f"size must be non-negative, got {size}")
+        z = np.arange(self._count + 1, self._count + total + 1, dtype=np.uint64)
+        self._count += total
+        with np.errstate(over="ignore"):
+            z *= _U_GAMMA
+            z += np.uint64(self.seed)
+            z = _vmix64(z)
+        z >>= np.uint64(11)
+        out = z * _INV53
+        return out.reshape(shape) if shape is not None else out
+
+    def advance(self, count: int) -> None:
+        """Skip ``count`` draws (used after an externally vectorized fill)."""
+        self._count += int(count)
+
+    @property
+    def count(self) -> int:
+        """Uniforms drawn so far (the counter state)."""
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SplitMixStream(seed={self.seed:#x}, count={self._count})"
+
+
+def request_stream(root_seed: int, *keys: int) -> SplitMixStream:
+    """The service's per-request substream: seeded, independent, replayable.
+
+    ``request_stream(s, *k)`` is a pure function of its arguments — two
+    calls give identical streams — so a draw request can be replayed (or
+    verified) anywhere without transporting generator state.
+    """
+    return SplitMixStream(derive_seed(root_seed, *keys))
 
 
 def spawn_streams(

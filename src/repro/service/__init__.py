@@ -1,0 +1,74 @@
+"""Async selection service: micro-batching, wheel cache, backpressure.
+
+The serving layer over :mod:`repro.engine`: a content-addressed
+:class:`WheelRegistry` caches compiled wheels, a
+:class:`MicroBatchScheduler` coalesces concurrent ``draw`` requests into
+single batched kernel calls without changing any response bit (each
+request draws from its own derived substream), and
+:class:`SelectionService` fronts both with a JSON-lines protocol over
+TCP or stdio (``python -m repro serve``).  ``python -m repro
+bench-serve`` records the batched-vs-naive throughput gate together with
+the coalescing-determinism certificate and the overload-shedding probe.
+"""
+
+from repro.service.loadgen import (
+    BENCH_SERVE_SCHEMA,
+    render_bench_serve,
+    run_bench_serve,
+    run_closed_loop,
+    run_open_loop,
+    validate_bench_serve,
+    write_bench_serve,
+)
+from repro.service.metrics import BatchSizeHistogram, LatencyHistogram, ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    decode_request,
+    encode_response,
+    error_response,
+    ok_response,
+    raise_structured,
+)
+from repro.service.registry import (
+    DEFAULT_MAX_WHEELS,
+    WheelRegistry,
+    digest_key,
+    wheel_digest,
+)
+from repro.service.scheduler import BatchConfig, MicroBatchScheduler, NaiveScheduler
+from repro.service.server import (
+    SelectionService,
+    serve_stdio,
+    serve_tcp,
+    start_tcp_server,
+)
+
+__all__ = [
+    "BENCH_SERVE_SCHEMA",
+    "BatchConfig",
+    "BatchSizeHistogram",
+    "DEFAULT_MAX_WHEELS",
+    "LatencyHistogram",
+    "MicroBatchScheduler",
+    "NaiveScheduler",
+    "PROTOCOL_VERSION",
+    "SelectionService",
+    "ServiceMetrics",
+    "WheelRegistry",
+    "decode_request",
+    "digest_key",
+    "encode_response",
+    "error_response",
+    "ok_response",
+    "raise_structured",
+    "render_bench_serve",
+    "run_bench_serve",
+    "run_closed_loop",
+    "run_open_loop",
+    "serve_stdio",
+    "serve_tcp",
+    "start_tcp_server",
+    "validate_bench_serve",
+    "wheel_digest",
+    "write_bench_serve",
+]

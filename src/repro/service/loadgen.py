@@ -1,0 +1,465 @@
+"""Load generation and the recorded ``bench-serve`` report.
+
+Two generator shapes, matching how services are actually characterised:
+
+* **closed loop** (:func:`run_closed_loop`): each of ``clients``
+  concurrent clients waits for its response before sending the next
+  request — throughput emerges from latency, the shape behind the
+  headline batched-vs-naive gate;
+* **open loop** (:func:`run_open_loop`): the whole request burst is
+  submitted at once regardless of responses — offered load exceeds
+  capacity and the service must shed; this drives the overload probe.
+
+:func:`run_bench_serve` assembles the full report (legs, gate,
+coalescing-determinism certificate, overload probe) in the same
+run/validate/write/render shape as the repo's other benches, persisted
+as ``BENCH_serve.json`` by ``python -m repro bench-serve``.
+
+The gate baseline is deliberate: the **naive leg re-validates and
+re-prepares the wheel per request** — exactly what every pre-service
+caller of :func:`repro.select_many` does today — while the batched leg
+reuses the registry's compiled artifact and coalesces concurrent
+requests into single kernel passes.  A secondary ``cached_naive`` leg
+(compiled wheel, no coalescing) isolates how much of the win is caching
+vs batching.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._version import __version__
+from repro.errors import ServiceOverloadedError
+from repro.rng.streams import request_stream
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import WheelRegistry, digest_key
+from repro.service.scheduler import BatchConfig, MicroBatchScheduler, NaiveScheduler
+
+__all__ = [
+    "run_closed_loop",
+    "run_open_loop",
+    "run_bench_serve",
+    "validate_bench_serve",
+    "write_bench_serve",
+    "render_bench_serve",
+    "BENCH_SERVE_SCHEMA",
+]
+
+#: Schema tag for BENCH_serve.json (bump on layout changes).
+BENCH_SERVE_SCHEMA = "repro/bench-serve/v1"
+
+#: Methods covered by the coalescing-determinism certificate: the
+#: paper's method plus one representative of each other kernel family.
+_CERTIFICATE_METHODS = ("log_bidding", "gumbel", "alias")
+
+#: Keys every results block must carry (checked by the CI smoke job).
+_REQUIRED_RESULT_KEYS = (
+    "legs",
+    "gate_target",
+    "gate_speedup",
+    "gate_met",
+    "determinism",
+    "overload",
+)
+
+_REQUIRED_LEG_KEYS = (
+    "requests",
+    "elapsed_s",
+    "requests_per_s",
+    "latency",
+    "batch_sizes",
+)
+
+
+async def run_closed_loop(
+    scheduler,
+    wheel_id: str,
+    *,
+    clients: int,
+    requests_per_client: int,
+    n_draws: int,
+) -> float:
+    """Closed-loop load: each client awaits its response before the next.
+
+    Returns elapsed wall seconds for the whole run.  Request seeds are
+    assigned by the scheduler's monotonic counter, so reruns against the
+    same seed replay the same draws.
+    """
+
+    async def client(_: int) -> None:
+        for _ in range(requests_per_client):
+            await scheduler.draw(wheel_id, n_draws)
+
+    start = time.perf_counter()
+    await asyncio.gather(*(client(c) for c in range(clients)))
+    return time.perf_counter() - start
+
+
+async def run_open_loop(
+    scheduler,
+    wheel_id: str,
+    *,
+    requests: int,
+    n_draws: int,
+    timeout_s: float = 30.0,
+) -> Dict[str, int]:
+    """Open-loop burst: submit everything at once, count the outcomes.
+
+    Every request completes one way or another inside ``timeout_s`` —
+    the no-hang guarantee the overload acceptance drill asserts.
+    """
+
+    async def one() -> str:
+        try:
+            await scheduler.draw(wheel_id, n_draws)
+            return "ok"
+        except ServiceOverloadedError:
+            return "shed"
+
+    results = await asyncio.wait_for(
+        asyncio.gather(*(one() for _ in range(requests))), timeout=timeout_s
+    )
+    return {
+        "submitted": requests,
+        "ok": sum(1 for r in results if r == "ok"),
+        "shed": sum(1 for r in results if r == "shed"),
+    }
+
+
+class _CachedNaiveScheduler:
+    """Secondary baseline: compiled cache hit per request, no coalescing.
+
+    Isolates the two effects the batched leg stacks: against ``naive``
+    it shows the caching win, against ``batched`` the coalescing win.
+    """
+
+    def __init__(self, registry: WheelRegistry, *, seed: int = 0, metrics=None):
+        self.registry = registry
+        self.seed = int(seed)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._request_counter = 0
+
+    async def draw(self, wheel_id: str, n: int, **_: Any) -> np.ndarray:
+        seed = self._request_counter
+        self._request_counter += 1
+        wheel = self.registry.get(wheel_id)
+        start = time.monotonic()
+        self.metrics.enqueued(int(n))
+        rng = request_stream(self.seed, digest_key(wheel_id), seed)
+        draws = wheel.select_many(int(n), rng)
+        self.metrics.dequeued()
+        self.metrics.batch_sizes.observe(1)
+        self.metrics.served(time.monotonic() - start)
+        await asyncio.sleep(0)
+        return draws
+
+
+def _leg_report(
+    scheduler, elapsed: float, requests: int, n_draws: int
+) -> Dict[str, Any]:
+    metrics = scheduler.metrics
+    return {
+        "requests": requests,
+        "draws": requests * n_draws,
+        "elapsed_s": elapsed,
+        "requests_per_s": requests / elapsed if elapsed > 0 else 0.0,
+        "draws_per_s": requests * n_draws / elapsed if elapsed > 0 else 0.0,
+        "latency": metrics.latency.snapshot(),
+        "batch_sizes": metrics.batch_sizes.snapshot(),
+    }
+
+
+def _determinism_certificate(
+    wheel_size: int, seed: int, *, methods: Sequence[str] = _CERTIFICATE_METHODS
+) -> Dict[str, Any]:
+    """Certify responses are bit-identical solo vs coalesced.
+
+    For each method, the same ``(wheel, n, seed)`` request set is served
+    three ways — fully coalesced (``max_batch`` large), strictly solo
+    (``max_batch=1``), and directly via ``select_many`` on the compiled
+    wheel with the request's replayed substream — and all three must
+    agree byte for byte.
+    """
+    sizes = [1, 3, 17, 64, 5, 128, 2, 31]
+    per_method: Dict[str, Any] = {}
+    all_ok = True
+    for method in methods:
+        fitness = np.arange(1.0, wheel_size + 1.0)
+        registry = WheelRegistry()
+        wheel_id, _ = registry.register(fitness, method=method)
+        wheel = registry.get(wheel_id)
+
+        async def serve(max_batch: int) -> List[np.ndarray]:
+            sched = MicroBatchScheduler(
+                registry,
+                BatchConfig(max_batch=max_batch, max_delay_us=500.0),
+                seed=seed,
+            )
+            out = await asyncio.gather(
+                *(
+                    sched.draw(wheel_id, n, seed=i)
+                    for i, n in enumerate(sizes)
+                )
+            )
+            await sched.close()
+            return out
+
+        coalesced = asyncio.run(serve(max_batch=len(sizes)))
+        solo = asyncio.run(serve(max_batch=1))
+        direct = [
+            wheel.select_many(
+                n, request_stream(seed, digest_key(wheel_id), i)
+            )
+            for i, n in enumerate(sizes)
+        ]
+        ok = all(
+            np.array_equal(c, s) and np.array_equal(c, d)
+            for c, s, d in zip(coalesced, solo, direct)
+        )
+        all_ok = all_ok and ok
+        per_method[method] = {
+            "requests": len(sizes),
+            "sizes": sizes,
+            "bitwise_identical": bool(ok),
+        }
+    return {"methods": per_method, "ok": bool(all_ok)}
+
+
+def _overload_probe(
+    wheel_size: int, seed: int, *, queue_limit: int = 8, burst: int = 96
+) -> Dict[str, Any]:
+    """The acceptance drill: a burst far past ``queue_limit``.
+
+    Asserts the contract shape — every request answered (ok or shed),
+    nothing hangs, and the shed count shows up in metrics.
+    """
+    registry = WheelRegistry()
+    wheel_id, _ = registry.register(np.arange(1.0, wheel_size + 1.0))
+    scheduler = MicroBatchScheduler(
+        registry,
+        BatchConfig(max_batch=16, max_delay_us=200.0, queue_limit=queue_limit),
+        seed=seed,
+    )
+
+    async def drill() -> Dict[str, int]:
+        outcome = await run_open_loop(
+            scheduler, wheel_id, requests=burst, n_draws=4, timeout_s=30.0
+        )
+        await scheduler.close()
+        return outcome
+
+    outcome = asyncio.run(drill())
+    shed_metric = scheduler.metrics.shed_total
+    accounted = outcome["ok"] + outcome["shed"] == outcome["submitted"]
+    return {
+        "queue_limit": queue_limit,
+        "submitted": outcome["submitted"],
+        "ok": outcome["ok"],
+        "shed": outcome["shed"],
+        "shed_total_metric": shed_metric,
+        "all_accounted": bool(accounted),
+        "metrics_consistent": bool(shed_metric == outcome["shed"]),
+        "ok_shape": bool(
+            accounted and outcome["shed"] > 0 and shed_metric == outcome["shed"]
+        ),
+    }
+
+
+def run_bench_serve(
+    wheel_size: int = 1000,
+    clients: int = 64,
+    requests_per_client: int = 32,
+    n_draws: int = 8,
+    seed: int = 0,
+    method: str = "log_bidding",
+    max_batch: int = 64,
+    max_delay_us: float = 200.0,
+    gate_target: float = 10.0,
+) -> Dict[str, Any]:
+    """Measure batched vs naive serving and assemble the report.
+
+    The default configuration is the acceptance gate: 64 closed-loop
+    clients against a 1000-item ``log_bidding`` wheel, requiring >= 10x
+    requests/s of the micro-batching scheduler over the per-request
+    validate+select baseline.
+    """
+    if wheel_size < 2:
+        raise ValueError(f"wheel_size must be >= 2, got {wheel_size}")
+    if clients <= 0 or requests_per_client <= 0 or n_draws <= 0:
+        raise ValueError("clients, requests_per_client, n_draws must be positive")
+    fitness = np.arange(1.0, wheel_size + 1.0)
+    total_requests = clients * requests_per_client
+
+    def measure(make_scheduler) -> Tuple[Any, float]:
+        registry = WheelRegistry()
+        wheel_id, _ = registry.register(fitness, method=method)
+        scheduler = make_scheduler(registry)
+
+        async def go() -> float:
+            # Warm-up round primes allocators and compiled tables.
+            await run_closed_loop(
+                scheduler, wheel_id, clients=min(clients, 8),
+                requests_per_client=1, n_draws=n_draws,
+            )
+            elapsed = await run_closed_loop(
+                scheduler, wheel_id, clients=clients,
+                requests_per_client=requests_per_client, n_draws=n_draws,
+            )
+            close = getattr(scheduler, "close", None)
+            if close is not None:
+                await close()
+            return elapsed
+
+        return scheduler, asyncio.run(go())
+
+    config = BatchConfig(max_batch=max_batch, max_delay_us=max_delay_us)
+    naive, naive_s = measure(lambda r: NaiveScheduler(r, seed=seed))
+    cached, cached_s = measure(lambda r: _CachedNaiveScheduler(r, seed=seed))
+    batched, batched_s = measure(
+        lambda r: MicroBatchScheduler(r, config, seed=seed)
+    )
+
+    legs = {
+        "naive": _leg_report(naive, naive_s, total_requests, n_draws),
+        "cached_naive": _leg_report(cached, cached_s, total_requests, n_draws),
+        "batched": _leg_report(batched, batched_s, total_requests, n_draws),
+    }
+    gate_speedup = (
+        legs["batched"]["requests_per_s"] / legs["naive"]["requests_per_s"]
+        if legs["naive"]["requests_per_s"] > 0
+        else 0.0
+    )
+    determinism = _determinism_certificate(wheel_size, seed)
+    overload = _overload_probe(wheel_size, seed)
+
+    return {
+        "schema": BENCH_SERVE_SCHEMA,
+        "config": {
+            "wheel_size": wheel_size,
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "n_draws": n_draws,
+            "seed": seed,
+            "method": method,
+            "max_batch": max_batch,
+            "max_delay_us": max_delay_us,
+        },
+        "results": {
+            "legs": legs,
+            "gate_target": gate_target,
+            "gate_speedup": gate_speedup,
+            "gate_met": bool(gate_speedup >= gate_target),
+            "determinism": determinism,
+            "overload": overload,
+        },
+        "meta": {
+            "repro": __version__,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        },
+    }
+
+
+def validate_bench_serve(report: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` is a well-formed serve bench.
+
+    Layout plus the two *correctness* certificates (determinism and
+    overload shape) are required; the performance gate itself is
+    recorded but not required, because a loaded shared CI runner may
+    legitimately miss a throughput target.
+    """
+    if not isinstance(report, dict):
+        raise ValueError(f"report must be a dict, got {type(report).__name__}")
+    if report.get("schema") != BENCH_SERVE_SCHEMA:
+        raise ValueError(
+            f"schema mismatch: {report.get('schema')!r} != {BENCH_SERVE_SCHEMA!r}"
+        )
+    for section in ("config", "results", "meta"):
+        if not isinstance(report.get(section), dict):
+            raise ValueError(f"missing or malformed section {section!r}")
+    results = report["results"]
+    for key in _REQUIRED_RESULT_KEYS:
+        if key not in results:
+            raise ValueError(f"results missing key {key!r}")
+    legs = results["legs"]
+    for leg in ("naive", "batched"):
+        if leg not in legs:
+            raise ValueError(f"results.legs missing leg {leg!r}")
+        for key in _REQUIRED_LEG_KEYS:
+            if key not in legs[leg]:
+                raise ValueError(f"leg {leg!r} missing key {key!r}")
+        if legs[leg]["requests_per_s"] <= 0:
+            raise ValueError(f"leg {leg!r} recorded no throughput")
+    determinism = results["determinism"]
+    if not determinism.get("ok"):
+        raise ValueError(
+            "coalescing-determinism certificate failed: solo and coalesced "
+            "responses are not bit-identical"
+        )
+    for name, entry in determinism.get("methods", {}).items():
+        if not entry.get("bitwise_identical"):
+            raise ValueError(f"determinism certificate failed for method {name!r}")
+    overload = results["overload"]
+    if not overload.get("ok_shape"):
+        raise ValueError(
+            "overload probe failed: expected every burst request accounted "
+            "for (ok + shed == submitted) with a non-zero, metric-consistent "
+            f"shed count; got {overload}"
+        )
+    if not isinstance(results["gate_met"], bool):
+        raise ValueError("gate_met must be a bool")
+
+
+def write_bench_serve(report: Dict[str, Any], path: str = "BENCH_serve.json") -> str:
+    """Validate and persist the report; returns the path written."""
+    validate_bench_serve(report)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def render_bench_serve(report: Dict[str, Any]) -> str:
+    """Human-readable summary of a serve bench report."""
+    config = report["config"]
+    results = report["results"]
+    lines = [
+        f"bench-serve: {config['clients']} clients x "
+        f"{config['requests_per_client']} reqs, n={config['wheel_size']}, "
+        f"method={config['method']}, draws/req={config['n_draws']}",
+        "",
+        f"{'leg':<14}{'req/s':>12}{'p50 us':>10}{'p99 us':>10}{'mean batch':>12}",
+    ]
+    for name in ("naive", "cached_naive", "batched"):
+        leg = results["legs"].get(name)
+        if leg is None:
+            continue
+        lines.append(
+            f"{name:<14}{leg['requests_per_s']:>12.0f}"
+            f"{leg['latency']['p50_us']:>10.0f}"
+            f"{leg['latency']['p99_us']:>10.0f}"
+            f"{leg['batch_sizes']['mean_size']:>12.2f}"
+        )
+    gate = "MET" if results["gate_met"] else "missed"
+    lines += [
+        "",
+        f"gate: batched/naive = {results['gate_speedup']:.1f}x "
+        f"(target {results['gate_target']:.0f}x) -> {gate}",
+        f"determinism certificate: "
+        f"{'ok' if results['determinism']['ok'] else 'FAILED'} "
+        f"({', '.join(results['determinism']['methods'])})",
+        f"overload probe: {results['overload']['ok']} ok / "
+        f"{results['overload']['shed']} shed of "
+        f"{results['overload']['submitted']} "
+        f"(shape {'ok' if results['overload']['ok_shape'] else 'FAILED'})",
+    ]
+    return "\n".join(lines)

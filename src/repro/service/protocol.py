@@ -1,0 +1,176 @@
+"""JSON-lines wire protocol for the selection service.
+
+One request per line, one response per line, UTF-8, no framing beyond
+``\\n`` — trivially scriptable (``echo '{"op": "ping"}' | python -m
+repro serve --stdio``) and language-neutral.
+
+Requests::
+
+    {"op": "register", "fitness": [..], "method": "log_bidding",
+     "policy": "auto", "id": 7}
+    {"op": "draw", "wheel": "w1:<hex>", "n": 16, "seed": 123,
+     "deadline_us": 5000, "id": 8}
+    {"op": "metrics", "id": 9}
+    {"op": "ping", "id": 10}
+
+Responses always echo ``id`` (when given) and carry a ``status``:
+
+* ``{"status": "ok", ...}`` — op-specific payload (``wheel``/``cached``
+  for register, ``draws`` for draw, the snapshot for metrics);
+* ``{"status": "overloaded", "error": ..., "message": ...}`` — the
+  request was shed by admission control or expired in queue; safe to
+  retry after backoff;
+* ``{"status": "error", "error": "DegenerateFitnessError",
+   "message": ...}`` — structured failure; ``error`` is the repro
+  exception class name so clients can re-raise the contract exception
+  (see :func:`raise_structured`).
+
+The service **never** answers a malformed line with silence or a closed
+socket: undecodable input yields a ``ProtocolError`` response so a
+confused client fails fast instead of hanging.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.errors import (
+    DeadlineExceededError,
+    DegenerateFitnessError,
+    FitnessError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownMethodError,
+    UnknownWheelError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "decode_request",
+    "encode_response",
+    "error_response",
+    "ok_response",
+    "raise_structured",
+    "STRUCTURED_ERRORS",
+]
+
+#: Bumped on any wire-visible change; reported by the ``ping`` op.
+PROTOCOL_VERSION = "repro/serve/v1"
+
+#: Exception classes a response's ``error`` field may name, i.e. the
+#: errors clients can round-trip back into typed exceptions.
+STRUCTURED_ERRORS = {
+    exc.__name__: exc
+    for exc in (
+        DeadlineExceededError,
+        DegenerateFitnessError,
+        FitnessError,
+        ProtocolError,
+        ReproError,
+        ServiceError,
+        ServiceOverloadedError,
+        UnknownMethodError,
+        UnknownWheelError,
+        ValueError,
+    )
+}
+
+_VALID_OPS = ("register", "draw", "metrics", "ping")
+
+
+def decode_request(line: str) -> Dict[str, Any]:
+    """Parse one request line into a validated dict.
+
+    Raises
+    ------
+    ProtocolError
+        Not JSON, not an object, missing/unknown ``op``, or op-specific
+        required fields absent or of the wrong shape.  The message is
+        specific enough to debug from the client side alone.
+    """
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(request, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    op = request.get("op")
+    if op not in _VALID_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(_VALID_OPS)}"
+        )
+    if op == "register":
+        fitness = request.get("fitness")
+        if not isinstance(fitness, list) or not fitness:
+            raise ProtocolError("register requires a non-empty 'fitness' array")
+    elif op == "draw":
+        if not isinstance(request.get("wheel"), str):
+            raise ProtocolError("draw requires a string 'wheel' id")
+        n = request.get("n", 1)
+        if not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+            raise ProtocolError(f"draw 'n' must be a positive integer, got {n!r}")
+        seed = request.get("seed")
+        if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
+            raise ProtocolError(f"draw 'seed' must be an integer, got {seed!r}")
+    return request
+
+
+def encode_response(response: Dict[str, Any]) -> bytes:
+    """Serialize one response dict to a wire line (with trailing newline)."""
+    return (json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def ok_response(request_id: Optional[Any] = None, **payload: Any) -> Dict[str, Any]:
+    """Build a success response, echoing the request id when present."""
+    response: Dict[str, Any] = {"status": "ok"}
+    if request_id is not None:
+        response["id"] = request_id
+    for key, value in payload.items():
+        if isinstance(value, np.ndarray):
+            value = value.tolist()
+        response[key] = value
+    return response
+
+
+def error_response(
+    exc: BaseException, request_id: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Map an exception to its structured wire form.
+
+    Shedding and expiry get ``status: "overloaded"`` (retryable);
+    everything else is ``status: "error"``.  The concrete class name
+    rides in ``error`` either way, so clients keep full fidelity.
+    """
+    retryable = isinstance(exc, (ServiceOverloadedError, DeadlineExceededError))
+    response: Dict[str, Any] = {
+        "status": "overloaded" if retryable else "error",
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def raise_structured(response: Dict[str, Any]) -> Dict[str, Any]:
+    """Re-raise a structured error response as its typed exception.
+
+    Returns the response unchanged when ``status`` is ``"ok"`` — so
+    clients can pipe every response through this one call.  Unknown
+    error names degrade to :class:`ServiceError` rather than being
+    swallowed.
+    """
+    status = response.get("status")
+    if status == "ok":
+        return response
+    name = response.get("error", "")
+    message = response.get("message", f"service returned status {status!r}")
+    exc_type = STRUCTURED_ERRORS.get(name, ServiceError)
+    raise exc_type(message)

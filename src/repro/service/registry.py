@@ -1,0 +1,222 @@
+"""Content-addressed wheel registry with LRU-bounded compiled artifacts.
+
+A wheel's identity is the SHA-256 of its *canonicalized* fitness vector
+(contiguous little-endian float64 bytes) together with the selection
+method and kernel policy.  Identity therefore survives the client's
+container type (list, tuple, ndarray of any compatible dtype), process
+restarts, and LRU eviction: re-registering the same wheel always yields
+the same id, which is why eviction is safe to expose to clients.
+
+Registration compiles at most once per distinct wheel; subsequent
+registrations are cache hits that only touch the LRU order.  Compiled
+artifacts (alias tables, prefix sums, key constants) can be shipped to
+worker processes via :meth:`WheelRegistry.export` /
+:meth:`WheelRegistry.import_blob` without recompiling, riding on
+:meth:`repro.engine.CompiledWheel.to_bytes`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.fitness import FitnessVector
+from repro.engine.compiled import CompiledWheel
+from repro.errors import UnknownWheelError
+
+__all__ = ["wheel_digest", "WheelRegistry", "DEFAULT_MAX_WHEELS"]
+
+#: Default LRU capacity: compiled wheels are O(n) memory each, so a few
+#: hundred thousand-item wheels stay well under typical service budgets.
+DEFAULT_MAX_WHEELS = 256
+
+#: Digest prefix; versioned so a canonicalization change can never alias
+#: ids minted under the old scheme.
+_DIGEST_PREFIX = "w1"
+
+
+def wheel_digest(fitness, method: str, policy: str) -> str:
+    """Content address of ``(fitness, method, policy)``.
+
+    The fitness vector is canonicalized to contiguous little-endian
+    ``float64`` before hashing, so every representation of the same
+    numbers maps to the same id.  The id embeds nothing positional — two
+    services (or two runs) independently derive identical ids.
+    """
+    values = np.ascontiguousarray(np.asarray(fitness, dtype=np.float64))
+    if values.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts
+        values = values.astype("<f8")
+    h = hashlib.sha256()
+    h.update(b"repro-wheel-v1\x00")
+    h.update(str(method).encode("utf-8") + b"\x00")
+    h.update(str(policy).encode("utf-8") + b"\x00")
+    h.update(np.int64(values.size).tobytes())
+    h.update(values.tobytes())
+    return f"{_DIGEST_PREFIX}:{h.hexdigest()}"
+
+
+def digest_key(wheel_id: str) -> int:
+    """A 64-bit integer derived from a wheel id (substream key material)."""
+    tail = wheel_id.rsplit(":", 1)[-1]
+    return int(tail[:16], 16)
+
+
+class _Entry:
+    """One cached wheel: the compiled artifact plus accounting."""
+
+    __slots__ = ("wheel", "method", "policy", "hits")
+
+    def __init__(self, wheel: CompiledWheel, method: str, policy: str) -> None:
+        self.wheel = wheel
+        self.method = method
+        self.policy = policy
+        self.hits = 0
+
+
+class WheelRegistry:
+    """LRU cache of compiled wheels keyed by content address.
+
+    Thread-safe: the service runs single-threaded under asyncio, but the
+    registry is also the hand-off point for shipping wheels to worker
+    processes, so every public method takes the internal lock.
+
+    Parameters
+    ----------
+    max_wheels:
+        LRU capacity; the least recently used compiled wheel is evicted
+        beyond this.  Content addressing makes eviction recoverable —
+        re-registering reproduces the identical id.
+    policy:
+        Default kernel policy for registrations (``"auto"`` serves the
+        fastest distribution-preserving kernel; ``"faithful"`` pins the
+        bit-exact simulation of the registry method).
+    """
+
+    def __init__(self, max_wheels: int = DEFAULT_MAX_WHEELS, policy: str = "auto") -> None:
+        if max_wheels <= 0:
+            raise ValueError(f"max_wheels must be positive, got {max_wheels}")
+        self.max_wheels = int(max_wheels)
+        self.policy = str(policy)
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        fitness,
+        method: str = "log_bidding",
+        policy: Optional[str] = None,
+    ) -> Tuple[str, bool]:
+        """Register (or re-hit) a wheel; returns ``(wheel_id, cached)``.
+
+        Validation and compilation run outside the lock at most once per
+        distinct wheel.  Raises the usual fitness contract errors
+        (``FitnessError`` / ``DegenerateFitnessError``) for invalid
+        vectors and ``UnknownMethodError`` for unknown methods — the
+        service maps these to structured error responses.
+        """
+        policy = self.policy if policy is None else str(policy)
+        fitness = fitness if isinstance(fitness, FitnessVector) else FitnessVector(fitness)
+        wheel_id = wheel_digest(fitness.values, method, policy)
+        with self._lock:
+            entry = self._entries.get(wheel_id)
+            if entry is not None:
+                entry.hits += 1
+                self.hits += 1
+                self._entries.move_to_end(wheel_id)
+                return wheel_id, True
+        # Compile outside the lock: O(n) table builds must not serialize
+        # unrelated lookups.  A racing duplicate registration compiles
+        # twice and the second insert wins; ids are identical either way.
+        wheel = CompiledWheel(fitness, method, kernel=policy)
+        with self._lock:
+            cached = wheel_id in self._entries
+            if not cached:
+                self.misses += 1
+                self._entries[wheel_id] = _Entry(wheel, str(method), policy)
+                self._evict_locked()
+            else:
+                self.hits += 1
+            self._entries.move_to_end(wheel_id)
+            return wheel_id, cached
+
+    def get(self, wheel_id: str) -> CompiledWheel:
+        """Look up a compiled wheel, refreshing its LRU position.
+
+        Raises
+        ------
+        UnknownWheelError
+            If the id was never registered or has been evicted; the
+            caller can re-register the same fitness to mint the same id.
+        """
+        with self._lock:
+            entry = self._entries.get(wheel_id)
+            if entry is None:
+                raise UnknownWheelError(
+                    f"wheel {wheel_id!r} is not registered (or was evicted); "
+                    f"re-register the fitness vector to restore it"
+                )
+            entry.hits += 1
+            self.hits += 1
+            self._entries.move_to_end(wheel_id)
+            return entry.wheel
+
+    def __contains__(self, wheel_id: str) -> bool:
+        with self._lock:
+            return wheel_id in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def export(self, wheel_id: str) -> bytes:
+        """Serialize a cached wheel for shipping to a worker process."""
+        return self.get(wheel_id).to_bytes()
+
+    def import_blob(self, blob: bytes) -> str:
+        """Adopt a wheel serialized by :meth:`export`; returns its id.
+
+        The id is recomputed from the imported content, so a corrupted
+        or mismatched blob can never be addressed as the original.
+        """
+        wheel = CompiledWheel.from_bytes(blob)
+        wheel_id = wheel_digest(wheel.fitness.values, wheel.method, wheel.policy)
+        with self._lock:
+            if wheel_id not in self._entries:
+                self._entries[wheel_id] = _Entry(wheel, wheel.method, wheel.kernel)
+                self._evict_locked()
+            self._entries.move_to_end(wheel_id)
+        return wheel_id
+
+    # ------------------------------------------------------------------
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.max_wheels:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-able cache accounting (merged into metrics snapshots)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "wheels": len(self._entries),
+                "max_wheels": self.max_wheels,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WheelRegistry(wheels={len(self)}, max_wheels={self.max_wheels}, "
+            f"policy={self.policy!r})"
+        )

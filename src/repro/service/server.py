@@ -1,0 +1,218 @@
+"""Async selection service: registry + micro-batching scheduler + wire.
+
+:class:`SelectionService` is the transport-neutral core — it accepts
+decoded request dicts and returns response dicts, never raising (every
+failure becomes a structured error response).  ``serve_tcp`` and
+``serve_stdio`` wrap it in the two transports ``python -m repro serve``
+offers.
+
+The overload story, end to end: the scheduler's admission control bounds
+queued draws (``queue_limit``); past it, requests are *refused
+immediately* with ``status: "overloaded"`` rather than queued — the
+service degrades by answering fast with "try later", never by hanging.
+The acceptance drill (a burst far above ``queue_limit``) is automated in
+``tests/service`` and ``bench-serve``'s overload probe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Any, Dict, Optional
+
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    decode_request,
+    encode_response,
+    error_response,
+    ok_response,
+)
+from repro.service.registry import DEFAULT_MAX_WHEELS, WheelRegistry
+from repro.service.scheduler import BatchConfig, MicroBatchScheduler
+
+__all__ = ["SelectionService", "start_tcp_server", "serve_tcp", "serve_stdio"]
+
+
+class SelectionService:
+    """The transport-neutral request handler.
+
+    Parameters
+    ----------
+    seed:
+        Service master seed (fixes every auto-assigned substream).
+    config:
+        Scheduler knobs; defaults are the bench-serve tuning.
+    max_wheels / policy:
+        Registry capacity and default kernel policy.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        config: Optional[BatchConfig] = None,
+        max_wheels: int = DEFAULT_MAX_WHEELS,
+        policy: str = "auto",
+    ) -> None:
+        self.metrics = ServiceMetrics()
+        self.registry = WheelRegistry(max_wheels=max_wheels, policy=policy)
+        self.scheduler = MicroBatchScheduler(
+            self.registry, config, seed=seed, metrics=self.metrics
+        )
+
+    # ------------------------------------------------------------------
+    async def handle_line(self, line: str) -> Dict[str, Any]:
+        """Decode, dispatch, and answer one wire line.  Never raises."""
+        try:
+            request = decode_request(line)
+        except Exception as exc:  # noqa: BLE001 - answered, not raised
+            return error_response(exc)
+        return await self.handle_request(request)
+
+    async def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one decoded request dict.  Never raises."""
+        request_id = request.get("id")
+        try:
+            op = request["op"]
+            if op == "ping":
+                return ok_response(request_id, protocol=PROTOCOL_VERSION)
+            if op == "metrics":
+                snapshot = self.metrics.snapshot(
+                    extra={"registry": self.registry.stats()}
+                )
+                return ok_response(request_id, metrics=snapshot)
+            if op == "register":
+                wheel_id, cached = self.registry.register(
+                    request["fitness"],
+                    method=request.get("method", "log_bidding"),
+                    policy=request.get("policy"),
+                )
+                return ok_response(request_id, wheel=wheel_id, cached=cached)
+            # op == "draw" (decode_request admits nothing else)
+            draws = await self.scheduler.draw(
+                request["wheel"],
+                request.get("n", 1),
+                seed=request.get("seed"),
+                deadline_us=request.get("deadline_us"),
+            )
+            return ok_response(request_id, draws=draws)
+        except Exception as exc:  # noqa: BLE001 - answered, not raised
+            return error_response(exc, request_id)
+
+    async def close(self) -> None:
+        """Flush pending batches and refuse further work."""
+        await self.scheduler.close()
+
+
+async def _handle_connection(
+    service: SelectionService,
+    reader: "asyncio.StreamReader",
+    writer: "asyncio.StreamWriter",
+    max_line_bytes: int,
+) -> None:
+    """Serve one TCP client until EOF; a bad line is answered, not fatal."""
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                writer.write(
+                    encode_response(
+                        error_response(
+                            ValueError(f"request line exceeds {max_line_bytes} bytes")
+                        )
+                    )
+                )
+                await writer.drain()
+                break
+            if not line:
+                break
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            response = await service.handle_line(text)
+            writer.write(encode_response(response))
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client died
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def start_tcp_server(
+    service: SelectionService,
+    host: str = "127.0.0.1",
+    port: int = 7077,
+    *,
+    max_line_bytes: int = 16 << 20,
+) -> "asyncio.AbstractServer":
+    """Bind the JSON-lines service and return the listening server.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.sockets[0].getsockname()``) — how the in-process tests run
+    without fixed-port collisions.  The caller owns the server's
+    lifecycle; :func:`serve_tcp` wraps this with serve-forever semantics.
+    """
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w, max_line_bytes),
+        host,
+        port,
+        limit=max_line_bytes,
+    )
+
+
+async def serve_tcp(
+    service: SelectionService,
+    host: str = "127.0.0.1",
+    port: int = 7077,
+    *,
+    max_line_bytes: int = 16 << 20,
+    on_ready=None,
+) -> None:
+    """Run the JSON-lines service over TCP until cancelled.
+
+    ``on_ready(server)`` is invoked after the socket is bound, so
+    callers can announce the listening address only once it is true.
+    """
+    server = await start_tcp_server(
+        service, host, port, max_line_bytes=max_line_bytes
+    )
+    if on_ready is not None:
+        on_ready(server)
+    async with server:
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            await service.close()
+            raise
+
+
+async def serve_stdio(service: SelectionService) -> None:
+    """Run the JSON-lines service over stdin/stdout until EOF.
+
+    Useful for subprocess embedding and for piping one-off requests::
+
+        echo '{"op": "ping"}' | python -m repro serve --stdio
+    """
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader()
+    await loop.connect_read_pipe(
+        lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+    )
+    out = sys.stdout
+    while True:
+        line = await reader.readline()
+        if not line:
+            break
+        text = line.decode("utf-8", errors="replace").strip()
+        if not text:
+            continue
+        response = await service.handle_line(text)
+        out.write(encode_response(response).decode("utf-8"))
+        out.flush()
+    await service.close()

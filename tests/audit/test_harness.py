@@ -40,6 +40,7 @@ class TestBackendInventory:
             "pram",
             "simt",
             "msg",
+            "service",
         }
 
     def test_names_are_unique(self):

@@ -1,0 +1,112 @@
+"""RouletteWheel thread-safety contract: per-call streams and locking."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.selector import RouletteWheel
+from repro.rng.streams import request_stream
+
+N_THREADS = 8
+DRAWS_PER_THREAD = 400
+
+
+class TestPerCallRNG:
+    def test_rng_override_leaves_bound_state_untouched(self):
+        wheel = RouletteWheel([1.0, 2.0, 3.0], rng=42)
+        baseline = RouletteWheel([1.0, 2.0, 3.0], rng=42).select_many(50)
+        wheel.select_many(50, rng=request_stream(7))  # must not advance self.rng
+        assert np.array_equal(wheel.select_many(50), baseline)
+
+    def test_rng_override_is_deterministic(self):
+        wheel = RouletteWheel([5.0, 1.0, 4.0], method="alias")
+        a = wheel.select_many(100, rng=request_stream(3, 1))
+        b = wheel.select_many(100, rng=request_stream(3, 1))
+        assert np.array_equal(a, b)
+
+    def test_select_and_counts_accept_override(self):
+        wheel = RouletteWheel([1.0, 1.0], rng=0)
+        assert wheel.select(rng=request_stream(1)) in (0, 1)
+        counts = wheel.counts(200, rng=request_stream(2))
+        assert counts.sum() == 200
+
+    def test_int_seed_override_resolves(self):
+        wheel = RouletteWheel([1.0, 2.0])
+        a = wheel.select_many(20, rng=123)
+        b = wheel.select_many(20, rng=123)
+        assert np.array_equal(a, b)
+
+    def test_with_method_preserves_lock(self):
+        wheel = RouletteWheel([1.0, 2.0], lock=True)
+        assert wheel.with_method("alias")._lock is wheel._lock
+
+
+class TestThreadedStress:
+    def test_shared_wheel_with_per_call_streams_is_reproducible(self):
+        """The preferred pattern: one wheel, one substream per thread."""
+        wheel = RouletteWheel(np.arange(1.0, 101.0), method="alias")
+
+        def run_all():
+            results = [None] * N_THREADS
+            errors = []
+
+            def worker(tid):
+                try:
+                    results[tid] = wheel.select_many(
+                        DRAWS_PER_THREAD, rng=request_stream(99, tid)
+                    )
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(t,)) for t in range(N_THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            return results
+
+        first = run_all()
+        second = run_all()
+        for a, b in zip(first, second):
+            assert a is not None and np.array_equal(a, b)
+        # And identical to the single-threaded replay of each substream.
+        for tid, draws in enumerate(first):
+            solo = wheel.select_many(DRAWS_PER_THREAD, rng=request_stream(99, tid))
+            assert np.array_equal(draws, solo)
+
+    def test_locked_wheel_survives_contention(self):
+        """lock=True serializes draws through the shared bound RNG."""
+        wheel = RouletteWheel(np.arange(1.0, 51.0), method="alias", rng=0, lock=True)
+        outputs = []
+        errors = []
+
+        def worker():
+            try:
+                draws = wheel.select_many(DRAWS_PER_THREAD)
+                outputs.append(np.asarray(draws))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(outputs) == N_THREADS
+        all_draws = np.concatenate(outputs)
+        assert all_draws.shape == (N_THREADS * DRAWS_PER_THREAD,)
+        assert all_draws.min() >= 0 and all_draws.max() < 50
+
+    def test_caller_supplied_lock_object(self):
+        lock = threading.RLock()
+        wheel = RouletteWheel([1.0, 2.0], rng=0, lock=lock)
+        assert wheel._lock is lock
+        assert wheel.select_many(10).shape == (10,)
+
+    def test_lock_false_is_default(self):
+        assert RouletteWheel([1.0])._lock is None

@@ -1,0 +1,88 @@
+"""select_segments: the batched multi-request kernel entry point."""
+
+import numpy as np
+import pytest
+
+from repro.engine.compiled import CompiledWheel
+from repro.rng.streams import SplitMixStream, request_stream
+
+KERNEL_CASES = [
+    ("log_bidding", "auto"),
+    ("log_bidding", "faithful"),
+    ("gumbel", "faithful"),
+    ("prefix_sum", "faithful"),
+    ("alias", "faithful"),
+]
+
+SIZES = [1, 5, 17, 3, 40, 2, 0, 9]
+
+
+def _segments(seed=3):
+    return [(n, request_stream(seed, 11, i)) for i, n in enumerate(SIZES)]
+
+
+class TestSegmentEquivalence:
+    @pytest.mark.parametrize("method,policy", KERNEL_CASES)
+    def test_matches_per_segment_select_many(self, method, policy):
+        f = np.arange(1.0, 301.0)
+        f[7] = 0.0
+        wheel = CompiledWheel(f, method, kernel=policy)
+        batched = wheel.select_segments(_segments())
+        solo = np.concatenate(
+            [
+                wheel.select_many(n, request_stream(3, 11, i))
+                for i, n in enumerate(SIZES)
+            ]
+        )
+        assert np.array_equal(batched, solo)
+
+    @pytest.mark.parametrize("method,policy", KERNEL_CASES)
+    def test_fused_and_generic_paths_agree(self, method, policy):
+        f = np.arange(1.0, 301.0)
+        big = CompiledWheel(f, method, kernel=policy)
+        # A chunk too small for any fused pass forces the streaming loop.
+        tiny = CompiledWheel(f, method, kernel=policy, chunk_bytes=512)
+        assert tiny.chunk_rows < sum(SIZES)
+        assert np.array_equal(
+            big.select_segments(_segments()), tiny.select_segments(_segments())
+        )
+
+    def test_numpy_generator_segments_supported(self):
+        # The generic path must accept any uniform source, not just
+        # SplitMixStream (the fused fast path's requirement).
+        wheel = CompiledWheel(np.arange(1.0, 51.0), "alias", kernel="auto")
+        batched = wheel.select_segments(
+            [(4, np.random.default_rng(0)), (6, np.random.default_rng(1))]
+        )
+        solo = np.concatenate(
+            [
+                wheel.select_many(4, np.random.default_rng(0)),
+                wheel.select_many(6, np.random.default_rng(1)),
+            ]
+        )
+        assert np.array_equal(batched, solo)
+
+    def test_stream_counters_advance(self):
+        wheel = CompiledWheel(np.arange(1.0, 51.0), "log_bidding", kernel="faithful")
+        streams = [SplitMixStream(1), SplitMixStream(2)]
+        wheel.select_segments([(3, streams[0]), (5, streams[1])])
+        # The race kernel consumes n uniforms per draw.
+        assert streams[0].count == 3 * 50
+        assert streams[1].count == 5 * 50
+
+    def test_empty_and_invalid(self):
+        wheel = CompiledWheel(np.arange(1.0, 11.0), "alias", kernel="auto")
+        assert wheel.select_segments([]).shape == (0,)
+        assert wheel.select_segments([(0, SplitMixStream(0))]).shape == (0,)
+        with pytest.raises(ValueError):
+            wheel.select_segments([(-1, SplitMixStream(0))])
+
+    def test_draws_are_on_support(self):
+        f = np.zeros(40)
+        f[13] = 2.0
+        f[29] = 1.0
+        wheel = CompiledWheel(f, "log_bidding", kernel="faithful")
+        draws = wheel.select_segments(
+            [(50, request_stream(0, i)) for i in range(4)]
+        )
+        assert set(np.unique(draws)) <= {13, 29}

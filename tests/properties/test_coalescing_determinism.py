@@ -1,0 +1,113 @@
+"""Property: batching is invisible — any partition, identical bytes.
+
+The selection service's headline correctness claim, stated as a
+Hypothesis property: take N draw requests with fixed ``(wheel, n,
+seed)``; however the scheduler partitions them into flush batches, every
+request's response is byte-identical.  Exercised across the three kernel
+families (race via ``log_bidding``/``gumbel`` faithful, lookup via
+``alias``) plus the vectorized uniform layer itself.
+"""
+
+import asyncio
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.compiled import CompiledWheel
+from repro.rng.streams import (
+    SplitMixStream,
+    derive_seed,
+    derive_seeds,
+    request_stream,
+    segment_uniforms,
+)
+from repro.service.registry import WheelRegistry, digest_key
+from repro.service.scheduler import BatchConfig, MicroBatchScheduler
+
+seeds = st.integers(0, 2**31 - 1)
+request_sizes = st.lists(st.integers(1, 40), min_size=1, max_size=10)
+
+
+def _partitions(sizes, cut_points):
+    """Split ``sizes`` into consecutive batches at ``cut_points``."""
+    cuts = sorted({c % (len(sizes) + 1) for c in cut_points} | {0, len(sizes)})
+    return [sizes[a:b] for a, b in zip(cuts, cuts[1:]) if a < b]
+
+
+class TestStreamLayer:
+    @given(seeds, request_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_any_call_partition_yields_same_stream(self, seed, sizes):
+        whole = SplitMixStream(seed).random(sum(sizes))
+        split = SplitMixStream(seed)
+        parts = np.concatenate([split.random(n) for n in sizes])
+        assert np.array_equal(whole, parts)
+
+    @given(seeds, request_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_segment_uniforms_equals_per_stream_draws(self, seed, sizes):
+        stream_seeds = [derive_seed(seed, i) for i in range(len(sizes))]
+        flat = segment_uniforms(stream_seeds, sizes)
+        ref = np.concatenate(
+            [SplitMixStream(s).random(n) for s, n in zip(stream_seeds, sizes)]
+        )
+        assert np.array_equal(flat, ref)
+
+    @given(seeds, st.lists(st.integers(0, 2**62), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_derive_seeds_matches_scalar_chain(self, root, keys):
+        vec = derive_seeds(root, keys, 42)
+        for key, value in zip(keys, vec):
+            assert int(value) == derive_seed(root, 42, key)
+
+
+class TestKernelLayer:
+    @given(seeds, request_sizes, st.lists(st.integers(0, 10), max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_any_segment_partition_is_bitwise_identical(
+        self, seed, sizes, cut_points
+    ):
+        f = np.arange(1.0, 101.0)
+        for method, policy in (
+            ("log_bidding", "faithful"),
+            ("gumbel", "faithful"),
+            ("alias", "faithful"),
+        ):
+            wheel = CompiledWheel(f, method, kernel=policy)
+            requests = [(n, i) for i, n in enumerate(sizes)]
+            whole = wheel.select_segments(
+                [(n, request_stream(seed, i)) for n, i in requests]
+            )
+            chunks = []
+            for batch in _partitions(requests, cut_points):
+                chunks.append(
+                    wheel.select_segments(
+                        [(n, request_stream(seed, i)) for n, i in batch]
+                    )
+                )
+            assert np.array_equal(whole, np.concatenate(chunks))
+
+
+class TestServiceLayer:
+    @given(seeds, request_sizes, st.integers(1, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_scheduler_batch_size_is_invisible(self, seed, sizes, max_batch):
+        reg = WheelRegistry()
+        wid, _ = reg.register(np.arange(1.0, 51.0))
+        wheel = reg.get(wid)
+
+        async def serve():
+            sched = MicroBatchScheduler(
+                reg, BatchConfig(max_batch=max_batch), seed=seed
+            )
+            out = await asyncio.gather(
+                *(sched.draw(wid, n, seed=i) for i, n in enumerate(sizes))
+            )
+            await sched.close()
+            return out
+
+        responses = asyncio.run(serve())
+        for i, (n, resp) in enumerate(zip(sizes, responses)):
+            expected = wheel.select_many(n, request_stream(seed, digest_key(wid), i))
+            assert np.array_equal(resp, expected)

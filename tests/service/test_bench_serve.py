@@ -1,0 +1,99 @@
+"""The serving benchmark: report shape, certificates, CLI recording."""
+
+import json
+
+import pytest
+
+from repro.service.loadgen import (
+    BENCH_SERVE_SCHEMA,
+    render_bench_serve,
+    run_bench_serve,
+    validate_bench_serve,
+    write_bench_serve,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    # Smallest run that still coalesces: 8 clients, a couple of rounds.
+    return run_bench_serve(
+        wheel_size=64, clients=8, requests_per_client=2, n_draws=4
+    )
+
+
+class TestBenchServe:
+    def test_schema_and_sections(self, tiny_report):
+        assert tiny_report["schema"] == BENCH_SERVE_SCHEMA
+        validate_bench_serve(tiny_report)
+        legs = tiny_report["results"]["legs"]
+        assert set(legs) == {"naive", "cached_naive", "batched"}
+        for leg in legs.values():
+            assert leg["requests"] == 16
+            assert leg["requests_per_s"] > 0
+
+    def test_determinism_certificate_holds(self, tiny_report):
+        determinism = tiny_report["results"]["determinism"]
+        assert determinism["ok"]
+        assert set(determinism["methods"]) == {"log_bidding", "gumbel", "alias"}
+        for entry in determinism["methods"].values():
+            assert entry["bitwise_identical"]
+
+    def test_overload_probe_shape(self, tiny_report):
+        overload = tiny_report["results"]["overload"]
+        assert overload["ok_shape"]
+        assert overload["ok"] + overload["shed"] == overload["submitted"]
+        assert overload["shed"] > 0
+        assert overload["shed_total_metric"] == overload["shed"]
+
+    def test_batched_leg_actually_batches(self, tiny_report):
+        batch = tiny_report["results"]["legs"]["batched"]["batch_sizes"]
+        assert batch["mean_size"] > 1.0
+
+    def test_validate_rejects_corruption(self, tiny_report):
+        bad = json.loads(json.dumps(tiny_report))
+        bad["results"]["determinism"]["ok"] = False
+        with pytest.raises(ValueError, match="determinism"):
+            validate_bench_serve(bad)
+        bad2 = json.loads(json.dumps(tiny_report))
+        del bad2["results"]["legs"]["naive"]
+        with pytest.raises(ValueError, match="naive"):
+            validate_bench_serve(bad2)
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_serve({"schema": "nope"})
+
+    def test_write_and_render(self, tiny_report, tmp_path):
+        path = write_bench_serve(tiny_report, str(tmp_path / "BENCH_serve.json"))
+        on_disk = json.loads(open(path, encoding="utf-8").read())
+        validate_bench_serve(on_disk)
+        text = render_bench_serve(tiny_report)
+        assert "batched" in text and "gate:" in text and "determinism" in text
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            run_bench_serve(wheel_size=1)
+        with pytest.raises(ValueError):
+            run_bench_serve(clients=0)
+
+
+class TestBenchServeCLI:
+    def test_cli_records_report(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_serve.json"
+        code = main(
+            [
+                "bench-serve",
+                "--wheel-size",
+                "64",
+                "--clients",
+                "8",
+                "--requests-per-client",
+                "2",
+                "--draws-per-request",
+                "4",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        validate_bench_serve(json.loads(out.read_text()))
