@@ -70,8 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
             "'bench-race' validates the batched race kernel against the "
             "exact round-count law at paper-scale k; "
             "'bench-serve' measures the micro-batching selection service "
-            "against the per-request baseline; "
-            "'serve' runs the JSON-lines selection service)"
+            "against the per-request baseline, binary frames against "
+            "JSON-lines, and the sharded cluster scaling sweep; "
+            "'serve' runs the selection service — binary frames + "
+            "JSON-lines over TCP, sharded across processes with "
+            "--workers N)"
         ),
     )
     parser.add_argument(
@@ -132,7 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="bench-race only: fan-out processes (default: auto-tuned)",
+        help=(
+            "bench-race: fan-out processes (default: auto-tuned); "
+            "serve: shard worker processes — >1 starts the sharded "
+            "multi-process cluster (default: 1, in-process)"
+        ),
     )
     parser.add_argument(
         "--aco-n",
@@ -204,6 +211,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="bench-serve only: draws per request (default 8)",
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help=(
+            "bench-serve only: load-generator processes for the TCP legs "
+            "(default 1; raise on multi-core hosts so the client side is "
+            "not the bottleneck)"
+        ),
+    )
+    parser.add_argument(
+        "--cluster-workers",
+        type=int,
+        nargs="+",
+        default=None,
+        help=(
+            "bench-serve only: cluster worker counts to sweep "
+            "(default: {1,2,4,8} capped by cpu_count)"
+        ),
     )
     return parser
 
@@ -289,6 +316,8 @@ def _run_bench_serve(args) -> int:
         seed=args.seed,
         max_batch=args.max_batch,
         max_delay_us=args.max_delay_us,
+        procs=args.procs,
+        cluster_workers=args.cluster_workers,
     )
     path = write_bench_serve(report, args.output or "BENCH_serve.json")
     if args.json:
@@ -299,40 +328,85 @@ def _run_bench_serve(args) -> int:
     return 0
 
 
+async def _serve_tcp_until_signal(service, host: str, port: int) -> None:
+    """Serve TCP with graceful drain on SIGTERM / SIGINT.
+
+    On signal: stop accepting connections, flip the service into
+    ``draining`` (in-flight requests complete; new frames get the typed
+    ``draining`` refusal), flush, then exit — no accepted request lost.
+    """
+    import asyncio
+    import signal
+
+    from repro.service.server import start_tcp_server
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    server = await start_tcp_server(service, host, port)
+    bound = server.sockets[0].getsockname()
+    workers = getattr(service, "workers", 1)
+    print(
+        f"repro selection service listening on {bound[0]}:{bound[1]} "
+        f"(binary frames + JSON lines; workers={workers}; "
+        f"SIGTERM/ctrl-c drains gracefully)",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        await stop.wait()
+        server.close()
+        await server.wait_closed()
+        print("draining: completing in-flight requests", file=sys.stderr, flush=True)
+        await service.drain()
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        await service.close()
+
+
 def _run_serve(args) -> int:
-    """Run the selection service until EOF (stdio) or interrupt (TCP)."""
+    """Run the selection service until EOF (stdio) or signal (TCP)."""
     import asyncio
 
     from repro.service.scheduler import BatchConfig
-    from repro.service.server import SelectionService, serve_stdio, serve_tcp
 
-    service = SelectionService(
-        seed=args.seed,
-        config=BatchConfig(
-            max_batch=args.max_batch,
-            max_delay_us=args.max_delay_us,
-            queue_limit=args.queue_limit,
-        ),
-        max_wheels=args.max_wheels,
+    config = BatchConfig(
+        max_batch=args.max_batch,
+        max_delay_us=args.max_delay_us,
+        queue_limit=args.queue_limit,
     )
+    if args.workers is not None and args.workers > 1:
+        # Sharded multi-process cluster; must be built before any event
+        # loop exists (workers are forked in the constructor).
+        from repro.service.cluster import ClusterService
+
+        service = ClusterService(
+            workers=args.workers,
+            seed=args.seed,
+            config=config,
+            max_wheels=args.max_wheels,
+        )
+    else:
+        from repro.service.server import SelectionService
+
+        service = SelectionService(
+            seed=args.seed, config=config, max_wheels=args.max_wheels
+        )
     try:
         if args.stdio:
+            from repro.service.server import serve_stdio
+
             asyncio.run(serve_stdio(service))
         else:
-
-            def announce(server):
-                # Printed only once the socket is bound, so a parent
-                # process may treat this line as a readiness signal.
-                bound = server.sockets[0].getsockname()
-                print(
-                    f"repro selection service listening on "
-                    f"{bound[0]}:{bound[1]} (JSON lines; ctrl-c to stop)",
-                    file=sys.stderr,
-                    flush=True,
-                )
-
-            asyncio.run(serve_tcp(service, args.host, args.port, on_ready=announce))
-    except KeyboardInterrupt:  # pragma: no cover - interactive only
+            asyncio.run(_serve_tcp_until_signal(service, args.host, args.port))
+    except KeyboardInterrupt:  # pragma: no cover - signal raced the handler
         pass
     return 0
 

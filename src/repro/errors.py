@@ -18,6 +18,7 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "DeadlineExceededError",
+    "ServiceDrainingError",
     "UnknownWheelError",
     "ProtocolError",
     "PRAMError",
@@ -84,6 +85,17 @@ class ServiceOverloadedError(ServiceError):
 
 class DeadlineExceededError(ServiceOverloadedError):
     """A queued request's deadline expired before its batch was served."""
+
+
+class ServiceDrainingError(ServiceError):
+    """The service is draining: in-flight work completes, new work is refused.
+
+    Raised (and mapped to a ``draining`` protocol response) between the
+    shutdown signal and process exit.  Every request accepted *before*
+    the drain began still completes normally; requests arriving after it
+    get this typed refusal instead of a dropped connection, so clients
+    can fail over without ambiguity about in-flight state.
+    """
 
 
 class UnknownWheelError(ServiceError, KeyError):

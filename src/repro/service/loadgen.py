@@ -10,24 +10,35 @@ Two generator shapes, matching how services are actually characterised:
   submitted at once regardless of responses — offered load exceeds
   capacity and the service must shed; this drives the overload probe.
 
-:func:`run_bench_serve` assembles the full report (legs, gate,
-coalescing-determinism certificate, overload probe) in the same
-run/validate/write/render shape as the repo's other benches, persisted
-as ``BENCH_serve.json`` by ``python -m repro bench-serve``.
+Both of those drive a scheduler in-process.  The third shape goes over
+the wire: :func:`run_tcp_load` forks ``procs`` client *processes*, each
+running an asyncio closed loop of real TCP connections speaking either
+JSON-lines or binary frames, and merges the per-process latency
+histograms exactly.  One Python client event loop saturates around the
+throughput an 8-worker server can sustain, so without the fan-out the
+bench would measure the client; with it, the server is the bottleneck
+again.
 
-The gate baseline is deliberate: the **naive leg re-validates and
-re-prepares the wheel per request** — exactly what every pre-service
-caller of :func:`repro.select_many` does today — while the batched leg
-reuses the registry's compiled artifact and coalesces concurrent
-requests into single kernel passes.  A secondary ``cached_naive`` leg
-(compiled wheel, no coalescing) isolates how much of the win is caching
-vs batching.
+:func:`run_bench_serve` assembles the full report in the same
+run/validate/write/render shape as the repo's other benches, persisted
+as ``BENCH_serve.json`` by ``python -m repro bench-serve``:
+
+* the PR 5 scheduler legs (naive / cached_naive / batched) and their
+  >= 10x coalescing gate, coalescing-determinism certificate, and
+  overload probe;
+* a **protocol** leg pair — the same closed-loop TCP workload spoken as
+  JSON-lines vs binary frames — gated at >= 2x;
+* a **cluster** worker sweep (1, 2, 4, 8 shard processes) with scaling
+  efficiency, auto-skipped (with the reason recorded) when the host has
+  fewer than 4 cores, plus the **per-shard determinism certificate**:
+  byte-identical draws from a 1-worker and an N-worker cluster.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import multiprocessing as mp
 import os
 import platform
 import time
@@ -38,13 +49,18 @@ import numpy as np
 from repro._version import __version__
 from repro.errors import ServiceOverloadedError
 from repro.rng.streams import request_stream
-from repro.service.metrics import ServiceMetrics
+from repro.service import frames as frames_mod
+from repro.service.cluster import ClusterService
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.protocol import raise_structured
 from repro.service.registry import WheelRegistry, digest_key
 from repro.service.scheduler import BatchConfig, MicroBatchScheduler, NaiveScheduler
+from repro.service.server import SelectionService, start_tcp_server
 
 __all__ = [
     "run_closed_loop",
     "run_open_loop",
+    "run_tcp_load",
     "run_bench_serve",
     "validate_bench_serve",
     "write_bench_serve",
@@ -52,8 +68,10 @@ __all__ = [
     "BENCH_SERVE_SCHEMA",
 ]
 
-#: Schema tag for BENCH_serve.json (bump on layout changes).
-BENCH_SERVE_SCHEMA = "repro/bench-serve/v1"
+#: Schema tag for BENCH_serve.json (bump on layout changes).  v2 adds
+#: the protocol (frames-vs-jsonl) and cluster (worker-sweep + per-shard
+#: determinism) sections.
+BENCH_SERVE_SCHEMA = "repro/bench-serve/v2"
 
 #: Methods covered by the coalescing-determinism certificate: the
 #: paper's method plus one representative of each other kernel family.
@@ -67,6 +85,8 @@ _REQUIRED_RESULT_KEYS = (
     "gate_met",
     "determinism",
     "overload",
+    "protocol",
+    "cluster",
 )
 
 _REQUIRED_LEG_KEYS = (
@@ -76,6 +96,16 @@ _REQUIRED_LEG_KEYS = (
     "latency",
     "batch_sizes",
 )
+
+#: The worker counts the cluster sweep targets on a big-enough host.
+_CLUSTER_SWEEP = (1, 2, 4, 8)
+
+#: Scaling-efficiency gate: throughput(4) / (4 * throughput(1)).
+_SCALING_GATE_WORKERS = 4
+_SCALING_GATE_TARGET = 0.7
+
+#: Binary frames must beat JSON-lines by this factor on the TCP legs.
+_PROTOCOL_GATE_TARGET = 2.0
 
 
 async def run_closed_loop(
@@ -131,6 +161,174 @@ async def run_open_loop(
         "ok": sum(1 for r in results if r == "ok"),
         "shed": sum(1 for r in results if r == "shed"),
     }
+
+
+# ----------------------------------------------------------------------
+# Multi-process TCP load generation
+# ----------------------------------------------------------------------
+
+
+async def _tcp_client(
+    kind: str,
+    host: str,
+    port: int,
+    wheel_id: str,
+    requests_per_client: int,
+    n_draws: int,
+    seed_base: int,
+    hist: LatencyHistogram,
+) -> int:
+    """One closed-loop TCP connection; returns requests completed."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for i in range(requests_per_client):
+            request = {
+                "op": "draw",
+                "wheel": wheel_id,
+                "n": n_draws,
+                "seed": seed_base + i,
+            }
+            start = time.perf_counter()
+            if kind == "frames":
+                writer.write(frames_mod.request_to_frame(request))
+                await writer.drain()
+                frame = await frames_mod.read_frame(
+                    reader, max_body_bytes=64 << 20
+                )
+                if frame is None:
+                    raise ConnectionError("server closed mid-run")
+                response = frames_mod.frame_to_response(*frame)
+            else:
+                writer.write(
+                    (json.dumps(request, separators=(",", ":")) + "\n").encode()
+                )
+                await writer.drain()
+                line = await reader.readline()
+                if not line:
+                    raise ConnectionError("server closed mid-run")
+                response = json.loads(line)
+            raise_structured(response)
+            hist.observe(time.perf_counter() - start)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+    return requests_per_client
+
+
+def _loadgen_proc(args: Tuple) -> Dict[str, Any]:
+    """One load-generator process: drive its client share, report stats.
+
+    Top-level (not a closure) so it survives every multiprocessing start
+    method.  Latencies are recorded into a local histogram whose full
+    state ships back for exact merging.
+    """
+    kind, host, port, wheel_id, clients, requests_per_client, n_draws, seed0 = args
+    hist = LatencyHistogram()
+
+    async def go() -> float:
+        start = time.perf_counter()
+        await asyncio.gather(
+            *(
+                _tcp_client(
+                    kind,
+                    host,
+                    port,
+                    wheel_id,
+                    requests_per_client,
+                    n_draws,
+                    seed0 + c * requests_per_client,
+                    hist,
+                )
+                for c in range(clients)
+            )
+        )
+        return time.perf_counter() - start
+
+    elapsed = asyncio.run(go())
+    return {
+        "clients": clients,
+        "requests": clients * requests_per_client,
+        "elapsed_s": elapsed,
+        "latency_state": hist.state(),
+    }
+
+
+def _split_clients(clients: int, procs: int) -> List[int]:
+    base, extra = divmod(clients, procs)
+    return [base + (1 if p < extra else 0) for p in range(procs)]
+
+
+async def run_tcp_load(
+    host: str,
+    port: int,
+    wheel_id: str,
+    *,
+    kind: str = "frames",
+    clients: int = 64,
+    requests_per_client: int = 16,
+    n_draws: int = 8,
+    procs: int = 1,
+    seed_base: int = 0,
+) -> Dict[str, Any]:
+    """Drive a listening server from ``procs`` client processes.
+
+    Runs inside the server's event loop: the process pool is awaited via
+    an executor thread so the server keeps serving while the clients
+    hammer it.  Per-process latency histograms merge exactly
+    (:meth:`LatencyHistogram.merge_state`); throughput uses the
+    conservative convention ``total requests / slowest process elapsed``.
+    """
+    if kind not in ("frames", "jsonl"):
+        raise ValueError(f"kind must be 'frames' or 'jsonl', got {kind!r}")
+    if procs <= 0:
+        raise ValueError(f"procs must be positive, got {procs}")
+    procs = min(procs, clients)
+    shares = _split_clients(clients, procs)
+    args = []
+    offset = seed_base
+    for share in shares:
+        args.append(
+            (kind, host, port, wheel_id, share, requests_per_client, n_draws, offset)
+        )
+        offset += share * requests_per_client
+    loop = asyncio.get_running_loop()
+    if procs == 1:
+        # Single generator: no fork needed, run it on a thread so the
+        # server loop stays responsive.
+        results = [await loop.run_in_executor(None, _loadgen_proc, args[0])]
+    else:
+        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        with ctx.Pool(procs) as pool:
+            results = await loop.run_in_executor(
+                None, pool.map, _loadgen_proc, args
+            )
+    merged = LatencyHistogram()
+    for result in results:
+        merged.merge_state(result["latency_state"])
+    total_requests = sum(r["requests"] for r in results)
+    elapsed = max(r["elapsed_s"] for r in results)
+    return {
+        "kind": kind,
+        "procs": procs,
+        "clients": clients,
+        "requests": total_requests,
+        "draws": total_requests * n_draws,
+        "elapsed_s": elapsed,
+        "requests_per_s": total_requests / elapsed if elapsed > 0 else 0.0,
+        "draws_per_s": total_requests * n_draws / elapsed if elapsed > 0 else 0.0,
+        "latency": merged.snapshot(),
+        "per_proc": [
+            {"requests": r["requests"], "elapsed_s": r["elapsed_s"]} for r in results
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# In-process scheduler legs (PR 5)
+# ----------------------------------------------------------------------
 
 
 class _CachedNaiveScheduler:
@@ -272,6 +470,330 @@ def _overload_probe(
     }
 
 
+# ----------------------------------------------------------------------
+# Protocol (frames vs JSON-lines) legs
+# ----------------------------------------------------------------------
+
+
+def _measure_protocol_leg(
+    kind: str,
+    fitness: np.ndarray,
+    method: str,
+    *,
+    clients: int,
+    requests_per_client: int,
+    n_draws: int,
+    seed: int,
+    procs: int,
+    config: BatchConfig,
+) -> Dict[str, Any]:
+    """One TCP leg: ephemeral server, multi-process closed-loop clients."""
+    service = SelectionService(seed=seed, config=config)
+    wheel_id, _ = service.registry.register(fitness, method=method)
+
+    async def go() -> Dict[str, Any]:
+        server = await start_tcp_server(service, port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            # Warm-up primes connections, allocators, compiled tables.
+            await run_tcp_load(
+                "127.0.0.1", port, wheel_id, kind=kind,
+                clients=min(clients, 8), requests_per_client=2,
+                n_draws=n_draws, procs=1, seed_base=1 << 40,
+            )
+            return await run_tcp_load(
+                "127.0.0.1", port, wheel_id, kind=kind,
+                clients=clients, requests_per_client=requests_per_client,
+                n_draws=n_draws, procs=procs, seed_base=0,
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.close()
+
+    leg = asyncio.run(go())
+    leg["batch_sizes"] = service.metrics.batch_sizes.snapshot()
+    return leg
+
+
+def _protocol_section(
+    fitness: np.ndarray,
+    method: str,
+    *,
+    clients: int,
+    requests_per_client: int,
+    n_draws: int,
+    seed: int,
+    procs: int,
+    config: BatchConfig,
+) -> Dict[str, Any]:
+    legs = {
+        kind: _measure_protocol_leg(
+            kind, fitness, method,
+            clients=clients, requests_per_client=requests_per_client,
+            n_draws=n_draws, seed=seed, procs=procs, config=config,
+        )
+        for kind in ("jsonl", "frames")
+    }
+    jsonl_rps = legs["jsonl"]["requests_per_s"]
+    speedup = legs["frames"]["requests_per_s"] / jsonl_rps if jsonl_rps > 0 else 0.0
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "n_draws": n_draws,
+        "procs": procs,
+        "legs": legs,
+        "speedup": speedup,
+        "gate_target": _PROTOCOL_GATE_TARGET,
+        "gate_met": bool(speedup >= _PROTOCOL_GATE_TARGET),
+    }
+
+
+# ----------------------------------------------------------------------
+# Cluster sweep + per-shard determinism certificate
+# ----------------------------------------------------------------------
+
+
+def _measure_cluster_leg(
+    workers: int,
+    fitness_vectors: List[np.ndarray],
+    method: str,
+    *,
+    clients: int,
+    requests_per_client: int,
+    n_draws: int,
+    seed: int,
+    procs: int,
+    config: BatchConfig,
+) -> Dict[str, Any]:
+    """Throughput of a ``workers``-shard cluster over binary frames.
+
+    Several distinct wheels are registered so the consistent-hash ring
+    actually spreads load across shards; clients round-robin over them.
+    """
+    cluster = ClusterService(workers=workers, seed=seed, config=config)
+
+    async def go() -> Dict[str, Any]:
+        wheel_ids = []
+        for fitness in fitness_vectors:
+            reply = await cluster.handle_request(
+                {"op": "register", "fitness": fitness, "method": method}
+            )
+            raise_structured(reply)
+            wheel_ids.append(reply["wheel"])
+        server = await start_tcp_server(cluster, port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            per_wheel_clients = _split_clients(clients, len(wheel_ids))
+            seed0 = 0
+            loads = []
+            for wheel_id, share in zip(wheel_ids, per_wheel_clients):
+                if share == 0:
+                    continue
+                loads.append(
+                    run_tcp_load(
+                        "127.0.0.1", port, wheel_id, kind="frames",
+                        clients=share, requests_per_client=requests_per_client,
+                        n_draws=n_draws, procs=max(1, procs // len(wheel_ids)),
+                        seed_base=seed0,
+                    )
+                )
+                seed0 += share * requests_per_client
+            start = time.perf_counter()
+            results = await asyncio.gather(*loads)
+            elapsed = time.perf_counter() - start
+            stats = await cluster.stats()
+            return {"results": results, "elapsed_s": elapsed, "stats": stats}
+        finally:
+            server.close()
+            await server.wait_closed()
+            await cluster.close()
+
+    out = asyncio.run(go())
+    total_requests = sum(r["requests"] for r in out["results"])
+    elapsed = out["elapsed_s"]
+    # Per-wheel loads report snapshots; the worst wheel bounds the leg.
+    p99 = max((r["latency"]["p99_us"] for r in out["results"]), default=0.0)
+    p50 = max((r["latency"]["p50_us"] for r in out["results"]), default=0.0)
+    shard_stats = out["stats"]["shards"]
+    return {
+        "workers": workers,
+        "requests": total_requests,
+        "draws": total_requests * n_draws,
+        "elapsed_s": elapsed,
+        "requests_per_s": total_requests / elapsed if elapsed > 0 else 0.0,
+        "draws_per_s": total_requests * n_draws / elapsed if elapsed > 0 else 0.0,
+        "latency": {"p50_us": p50, "p99_us": p99},
+        "routing": out["stats"]["routed"],
+        "routing_max_share": out["stats"]["routing_max_share"],
+        "batch_mean_size": (
+            sum(s["batch_sizes"]["mean_size"] * s["batch_sizes"]["batches"] for s in shard_stats)
+            / max(1, sum(s["batch_sizes"]["batches"] for s in shard_stats))
+        ),
+        "compiles": sum(s["registry"]["compiles"] for s in shard_stats),
+        "store_hits": sum(s["registry"]["store_hits"] for s in shard_stats),
+    }
+
+
+def _cluster_determinism_certificate(
+    wheel_size: int, seed: int, *, workers: int = 3, method: str = "log_bidding"
+) -> Dict[str, Any]:
+    """The per-shard determinism certificate.
+
+    The same ``(wheel_id, request seed)`` set — several wheels so the
+    ring routes to different shards, varied draw sizes — is served by a
+    1-worker and a ``workers``-worker cluster with the same service
+    seed, and replayed directly on a compiled wheel.  All three must be
+    byte-identical: shard placement and coalescing are invisible in the
+    draws.
+    """
+    sizes = [1, 5, 33, 64, 2, 17]
+    vectors = [
+        np.arange(1.0, wheel_size + 1.0),
+        np.arange(wheel_size, 0.0, -1.0),
+        np.linspace(0.5, 7.5, wheel_size),
+    ]
+
+    def serve(n_workers: int) -> List[List[np.ndarray]]:
+        cluster = ClusterService(workers=n_workers, seed=seed)
+
+        async def go() -> List[List[np.ndarray]]:
+            out: List[List[np.ndarray]] = []
+            for fitness in vectors:
+                reply = await cluster.handle_request(
+                    {"op": "register", "fitness": fitness, "method": method}
+                )
+                raise_structured(reply)
+                wheel_id = reply["wheel"]
+                responses = await asyncio.gather(
+                    *(
+                        cluster.handle_request(
+                            {"op": "draw", "wheel": wheel_id, "n": n, "seed": i}
+                        )
+                        for i, n in enumerate(sizes)
+                    )
+                )
+                for r in responses:
+                    raise_structured(r)
+                out.append([np.asarray(r["draws"]) for r in responses])
+            await cluster.close()
+            return out
+
+        return asyncio.run(go())
+
+    single = serve(1)
+    multi = serve(workers)
+    registry = WheelRegistry()
+    per_wheel = []
+    all_ok = True
+    for v_idx, fitness in enumerate(vectors):
+        wheel_id, _ = registry.register(fitness, method=method)
+        wheel = registry.get(wheel_id)
+        direct = [
+            wheel.select_many(n, request_stream(seed, digest_key(wheel_id), i))
+            for i, n in enumerate(sizes)
+        ]
+        ok = all(
+            np.array_equal(s, m) and np.array_equal(s, d)
+            for s, m, d in zip(single[v_idx], multi[v_idx], direct)
+        )
+        all_ok = all_ok and ok
+        per_wheel.append({"wheel": wheel_id, "bitwise_identical": bool(ok)})
+    return {
+        "workers_compared": [1, workers],
+        "method": method,
+        "sizes": sizes,
+        "wheels": per_wheel,
+        "ok": bool(all_ok),
+    }
+
+
+def _default_cluster_sweep(cpu_count: int) -> List[int]:
+    """Worker counts to measure: the full {1,2,4,8} sweep on a >= 4 core
+    host, a minimal {1,2} path-exercise otherwise."""
+    if cpu_count >= _SCALING_GATE_WORKERS:
+        return [w for w in _CLUSTER_SWEEP if w <= max(8, cpu_count)]
+    return [1, 2]
+
+
+def _cluster_section(
+    wheel_size: int,
+    seed: int,
+    method: str,
+    *,
+    clients: int,
+    requests_per_client: int,
+    n_draws: int,
+    procs: int,
+    config: BatchConfig,
+    workers_sweep: Optional[Sequence[int]] = None,
+) -> Dict[str, Any]:
+    cpu_count = os.cpu_count() or 1
+    sweep = (
+        list(workers_sweep)
+        if workers_sweep is not None
+        else _default_cluster_sweep(cpu_count)
+    )
+    # Distinct wheels so the ring spreads load; deterministic contents.
+    fitness_vectors = [
+        np.arange(1.0, wheel_size + 1.0) * (1.0 + 0.01 * k) for k in range(8)
+    ]
+    legs = [
+        _measure_cluster_leg(
+            w, fitness_vectors, method,
+            clients=clients, requests_per_client=requests_per_client,
+            n_draws=n_draws, seed=seed, procs=procs, config=config,
+        )
+        for w in sweep
+    ]
+    by_workers = {str(leg["workers"]): leg for leg in legs}
+    base = by_workers.get("1", legs[0])
+    efficiency = {
+        str(leg["workers"]): (
+            leg["requests_per_s"] / (leg["workers"] * base["requests_per_s"])
+            if base["requests_per_s"] > 0
+            else 0.0
+        )
+        for leg in legs
+    }
+    gate_key = str(_SCALING_GATE_WORKERS)
+    if cpu_count < _SCALING_GATE_WORKERS:
+        scaling = {
+            "gate_target": _SCALING_GATE_TARGET,
+            "gate_workers": _SCALING_GATE_WORKERS,
+            "gate_met": None,
+            "skipped": True,
+            "skip_reason": (
+                f"cpu_count={cpu_count} < {_SCALING_GATE_WORKERS}: scaling "
+                f"efficiency is not measurable on this host; sweep limited "
+                f"to workers={sweep} to exercise the multi-process path"
+            ),
+            "efficiency": efficiency,
+        }
+    else:
+        eff4 = efficiency.get(gate_key, 0.0)
+        scaling = {
+            "gate_target": _SCALING_GATE_TARGET,
+            "gate_workers": _SCALING_GATE_WORKERS,
+            "gate_met": bool(eff4 >= _SCALING_GATE_TARGET),
+            "skipped": False,
+            "skip_reason": None,
+            "efficiency": efficiency,
+        }
+    return {
+        "cpu_count": cpu_count,
+        "workers_sweep": sweep,
+        "legs": by_workers,
+        "scaling": scaling,
+        "determinism": _cluster_determinism_certificate(wheel_size, seed),
+    }
+
+
+# ----------------------------------------------------------------------
+# Report assembly
+# ----------------------------------------------------------------------
+
+
 def run_bench_serve(
     wheel_size: int = 1000,
     clients: int = 64,
@@ -282,18 +804,26 @@ def run_bench_serve(
     max_batch: int = 64,
     max_delay_us: float = 200.0,
     gate_target: float = 10.0,
+    procs: int = 1,
+    cluster_workers: Optional[Sequence[int]] = None,
+    protocol_draws: int = 1024,
+    protocol_requests_per_client: int = 16,
 ) -> Dict[str, Any]:
-    """Measure batched vs naive serving and assemble the report.
+    """Measure the serving stack end to end and assemble the report.
 
     The default configuration is the acceptance gate: 64 closed-loop
     clients against a 1000-item ``log_bidding`` wheel, requiring >= 10x
     requests/s of the micro-batching scheduler over the per-request
-    validate+select baseline.
+    validate+select baseline, >= 2x of binary frames over JSON-lines on
+    the TCP legs, and (on hosts with >= 4 cores) >= 0.7 scaling
+    efficiency at 4 cluster workers.
     """
     if wheel_size < 2:
         raise ValueError(f"wheel_size must be >= 2, got {wheel_size}")
     if clients <= 0 or requests_per_client <= 0 or n_draws <= 0:
         raise ValueError("clients, requests_per_client, n_draws must be positive")
+    if procs <= 0:
+        raise ValueError(f"procs must be positive, got {procs}")
     fitness = np.arange(1.0, wheel_size + 1.0)
     total_requests = clients * requests_per_client
 
@@ -338,6 +868,17 @@ def run_bench_serve(
     )
     determinism = _determinism_certificate(wheel_size, seed)
     overload = _overload_probe(wheel_size, seed)
+    protocol = _protocol_section(
+        fitness, method,
+        clients=clients, requests_per_client=protocol_requests_per_client,
+        n_draws=protocol_draws, seed=seed, procs=procs, config=config,
+    )
+    cluster = _cluster_section(
+        wheel_size, seed, method,
+        clients=clients, requests_per_client=requests_per_client,
+        n_draws=n_draws, procs=procs, config=config,
+        workers_sweep=cluster_workers,
+    )
 
     return {
         "schema": BENCH_SERVE_SCHEMA,
@@ -350,6 +891,9 @@ def run_bench_serve(
             "method": method,
             "max_batch": max_batch,
             "max_delay_us": max_delay_us,
+            "procs": procs,
+            "protocol_draws": protocol_draws,
+            "protocol_requests_per_client": protocol_requests_per_client,
         },
         "results": {
             "legs": legs,
@@ -358,6 +902,8 @@ def run_bench_serve(
             "gate_met": bool(gate_speedup >= gate_target),
             "determinism": determinism,
             "overload": overload,
+            "protocol": protocol,
+            "cluster": cluster,
         },
         "meta": {
             "repro": __version__,
@@ -372,10 +918,12 @@ def run_bench_serve(
 def validate_bench_serve(report: Dict[str, Any]) -> None:
     """Raise ``ValueError`` unless ``report`` is a well-formed serve bench.
 
-    Layout plus the two *correctness* certificates (determinism and
-    overload shape) are required; the performance gate itself is
-    recorded but not required, because a loaded shared CI runner may
-    legitimately miss a throughput target.
+    Layout plus the *correctness* certificates — coalescing determinism,
+    the per-shard cluster determinism certificate, and the overload
+    shape — are required; the performance gates themselves are recorded
+    but not required, because a loaded shared CI runner may legitimately
+    miss a throughput target.  The scaling gate must either be evaluated
+    or carry an explicit skip reason.
     """
     if not isinstance(report, dict):
         raise ValueError(f"report must be a dict, got {type(report).__name__}")
@@ -415,6 +963,36 @@ def validate_bench_serve(report: Dict[str, Any]) -> None:
             "for (ok + shed == submitted) with a non-zero, metric-consistent "
             f"shed count; got {overload}"
         )
+    protocol = results["protocol"]
+    for kind in ("jsonl", "frames"):
+        leg = protocol.get("legs", {}).get(kind)
+        if not leg or leg.get("requests_per_s", 0) <= 0:
+            raise ValueError(f"protocol leg {kind!r} missing or recorded no throughput")
+    if not isinstance(protocol.get("gate_met"), bool):
+        raise ValueError("protocol.gate_met must be a bool")
+    cluster = results["cluster"]
+    cert = cluster.get("determinism", {})
+    if not cert.get("ok"):
+        raise ValueError(
+            "per-shard determinism certificate failed: 1-worker and "
+            "N-worker clusters did not return byte-identical draws"
+        )
+    for entry in cert.get("wheels", []):
+        if not entry.get("bitwise_identical"):
+            raise ValueError(
+                f"per-shard determinism failed for wheel {entry.get('wheel')!r}"
+            )
+    scaling = cluster.get("scaling", {})
+    if scaling.get("skipped"):
+        if not scaling.get("skip_reason"):
+            raise ValueError("skipped scaling gate must record a skip_reason")
+    elif not isinstance(scaling.get("gate_met"), bool):
+        raise ValueError("evaluated scaling gate must record a bool gate_met")
+    if not cluster.get("legs"):
+        raise ValueError("cluster section recorded no worker legs")
+    for key, leg in cluster["legs"].items():
+        if leg.get("requests_per_s", 0) <= 0:
+            raise ValueError(f"cluster leg workers={key} recorded no throughput")
     if not isinstance(results["gate_met"], bool):
         raise ValueError("gate_met must be a bool")
 
@@ -462,4 +1040,40 @@ def render_bench_serve(report: Dict[str, Any]) -> str:
         f"{results['overload']['submitted']} "
         f"(shape {'ok' if results['overload']['ok_shape'] else 'FAILED'})",
     ]
+    protocol = results.get("protocol")
+    if protocol:
+        pgate = "MET" if protocol["gate_met"] else "missed"
+        lines += [
+            "",
+            f"protocol ({protocol['clients']} clients x "
+            f"{protocol['n_draws']} draws/req, procs={protocol['procs']}):",
+            f"  jsonl  {protocol['legs']['jsonl']['requests_per_s']:>10.0f} req/s",
+            f"  frames {protocol['legs']['frames']['requests_per_s']:>10.0f} req/s",
+            f"  frames/jsonl = {protocol['speedup']:.2f}x "
+            f"(target {protocol['gate_target']:.0f}x) -> {pgate}",
+        ]
+    cluster = results.get("cluster")
+    if cluster:
+        lines += ["", f"cluster sweep (cpu_count={cluster['cpu_count']}):"]
+        for key in sorted(cluster["legs"], key=int):
+            leg = cluster["legs"][key]
+            eff = cluster["scaling"]["efficiency"].get(key)
+            line = f"  workers={key:<3}{leg['requests_per_s']:>10.0f} req/s"
+            if eff is not None:
+                line += f"  eff={eff:.2f}"
+            lines.append(line)
+        scaling = cluster["scaling"]
+        if scaling["skipped"]:
+            lines.append(f"  scaling gate: SKIPPED ({scaling['skip_reason']})")
+        else:
+            sgate = "MET" if scaling["gate_met"] else "missed"
+            lines.append(
+                f"  scaling gate: eff@{scaling['gate_workers']} >= "
+                f"{scaling['gate_target']} -> {sgate}"
+            )
+        cert = cluster["determinism"]
+        lines.append(
+            f"  per-shard determinism (workers {cert['workers_compared']}): "
+            f"{'ok' if cert['ok'] else 'FAILED'} across {len(cert['wheels'])} wheels"
+        )
     return "\n".join(lines)

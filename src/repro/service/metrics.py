@@ -85,6 +85,35 @@ class LatencyHistogram:
             "max_us": self._max * 1e6,
         }
 
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Portable full state (for merging across load-gen processes)."""
+        return {
+            "base": self.base,
+            "growth": self.growth,
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": self._sum,
+            "max": self._max,
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Merging is exact for every statistic the snapshot reports
+        (bucket counts, totals, max) — the property that lets ``--procs``
+        client processes each record latencies locally and still produce
+        one faithful service-wide distribution.
+        """
+        if state["base"] != self.base or state["growth"] != self.growth:
+            raise ValueError("cannot merge histograms with different bucketing")
+        for idx, c in enumerate(state["counts"]):
+            self._counts[idx] += c
+        self._count += state["count"]
+        self._sum += state["sum"]
+        if state["max"] > self._max:
+            self._max = state["max"]
+
 
 class BatchSizeHistogram:
     """Exact distribution of flushed batch sizes (requests per kernel call)."""
@@ -138,6 +167,7 @@ class ServiceMetrics:
         "error_total",
         "shed_total",
         "expired_total",
+        "draining_total",
         "queue_depth",
         "queue_peak",
         "latency",
@@ -151,6 +181,7 @@ class ServiceMetrics:
         self.error_total = 0
         self.shed_total = 0
         self.expired_total = 0
+        self.draining_total = 0
         self.queue_depth = 0
         self.queue_peak = 0
         self.latency = LatencyHistogram()
@@ -182,6 +213,10 @@ class ServiceMetrics:
         """A queued request's deadline passed before its batch ran."""
         self.expired_total += 1
 
+    def drained(self) -> None:
+        """A request was refused because the service is draining."""
+        self.draining_total += 1
+
     def errored(self) -> None:
         """A request failed with a structured error."""
         self.error_total += 1
@@ -196,6 +231,7 @@ class ServiceMetrics:
             "error_total": self.error_total,
             "shed_total": self.shed_total,
             "expired_total": self.expired_total,
+            "draining_total": self.draining_total,
             "queue_depth": self.queue_depth,
             "queue_peak": self.queue_peak,
             "latency": self.latency.snapshot(),

@@ -11,19 +11,29 @@ Requests::
     {"op": "draw", "wheel": "w1:<hex>", "n": 16, "seed": 123,
      "deadline_us": 5000, "id": 8}
     {"op": "metrics", "id": 9}
-    {"op": "ping", "id": 10}
+    {"op": "stats", "id": 10}
+    {"op": "ping", "id": 11}
 
 Responses always echo ``id`` (when given) and carry a ``status``:
 
 * ``{"status": "ok", ...}`` — op-specific payload (``wheel``/``cached``
-  for register, ``draws`` for draw, the snapshot for metrics);
+  for register, ``draws`` for draw, the snapshot for metrics, the
+  per-shard breakdown for stats);
 * ``{"status": "overloaded", "error": ..., "message": ...}`` — the
   request was shed by admission control or expired in queue; safe to
   retry after backoff;
+* ``{"status": "draining", "error": "ServiceDrainingError",
+   "message": ...}`` — the service is shutting down gracefully;
+  requests accepted earlier on this connection still complete, new ones
+  should be retried against another replica;
 * ``{"status": "error", "error": "DegenerateFitnessError",
    "message": ...}`` — structured failure; ``error`` is the repro
   exception class name so clients can re-raise the contract exception
   (see :func:`raise_structured`).
+
+The same request/response dicts also travel as length-prefixed binary
+frames on the hot path (:mod:`repro.service.frames`); this JSON-lines
+form remains the negotiated fallback for old clients and stdio mode.
 
 The service **never** answers a malformed line with silence or a closed
 socket: undecodable input yields a ``ProtocolError`` response so a
@@ -43,6 +53,7 @@ from repro.errors import (
     FitnessError,
     ProtocolError,
     ReproError,
+    ServiceDrainingError,
     ServiceError,
     ServiceOverloadedError,
     UnknownMethodError,
@@ -60,7 +71,10 @@ __all__ = [
 ]
 
 #: Bumped on any wire-visible change; reported by the ``ping`` op.
-PROTOCOL_VERSION = "repro/serve/v1"
+#: v2 adds the ``stats`` op, the ``draining`` status, and binary-frame
+#: negotiation (requests and responses are unchanged otherwise, so v1
+#: clients interoperate).
+PROTOCOL_VERSION = "repro/serve/v2"
 
 #: Exception classes a response's ``error`` field may name, i.e. the
 #: errors clients can round-trip back into typed exceptions.
@@ -72,6 +86,7 @@ STRUCTURED_ERRORS = {
         FitnessError,
         ProtocolError,
         ReproError,
+        ServiceDrainingError,
         ServiceError,
         ServiceOverloadedError,
         UnknownMethodError,
@@ -80,7 +95,7 @@ STRUCTURED_ERRORS = {
     )
 }
 
-_VALID_OPS = ("register", "draw", "metrics", "ping")
+_VALID_OPS = ("register", "draw", "metrics", "stats", "ping")
 
 
 def decode_request(line: str) -> Dict[str, Any]:
@@ -122,20 +137,38 @@ def decode_request(line: str) -> Dict[str, Any]:
     return request
 
 
+def _json_default(value: Any):
+    """JSON fallback for the numpy payloads response dicts may carry.
+
+    Response dicts keep draws as ndarrays so the binary-frame transport
+    can write them zero-copy; the conversion cost is paid only here, on
+    the JSON-lines fallback path.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer, np.floating)):
+        return value.item()
+    raise TypeError(f"{type(value).__name__} is not JSON serializable")
+
+
 def encode_response(response: Dict[str, Any]) -> bytes:
     """Serialize one response dict to a wire line (with trailing newline)."""
-    return (json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8")
+    return (
+        json.dumps(response, separators=(",", ":"), default=_json_default) + "\n"
+    ).encode("utf-8")
 
 
 def ok_response(request_id: Optional[Any] = None, **payload: Any) -> Dict[str, Any]:
-    """Build a success response, echoing the request id when present."""
+    """Build a success response, echoing the request id when present.
+
+    ndarray payloads (draw results) are kept as arrays — the frame
+    transport writes them zero-copy and :func:`encode_response` converts
+    them only when the response actually leaves as JSON.
+    """
     response: Dict[str, Any] = {"status": "ok"}
     if request_id is not None:
         response["id"] = request_id
-    for key, value in payload.items():
-        if isinstance(value, np.ndarray):
-            value = value.tolist()
-        response[key] = value
+    response.update(payload)
     return response
 
 
@@ -144,13 +177,19 @@ def error_response(
 ) -> Dict[str, Any]:
     """Map an exception to its structured wire form.
 
-    Shedding and expiry get ``status: "overloaded"`` (retryable);
+    Shedding and expiry get ``status: "overloaded"`` (retryable), a
+    graceful shutdown gets ``status: "draining"`` (retry elsewhere);
     everything else is ``status: "error"``.  The concrete class name
     rides in ``error`` either way, so clients keep full fidelity.
     """
-    retryable = isinstance(exc, (ServiceOverloadedError, DeadlineExceededError))
+    if isinstance(exc, ServiceDrainingError):
+        status = "draining"
+    elif isinstance(exc, (ServiceOverloadedError, DeadlineExceededError)):
+        status = "overloaded"
+    else:
+        status = "error"
     response: Dict[str, Any] = {
-        "status": "overloaded" if retryable else "error",
+        "status": status,
         "error": type(exc).__name__,
         "message": str(exc),
     }

@@ -13,6 +13,13 @@ artifacts (alias tables, prefix sums, key constants) can be shipped to
 worker processes via :meth:`WheelRegistry.export` /
 :meth:`WheelRegistry.import_blob` without recompiling, riding on
 :meth:`repro.engine.CompiledWheel.to_bytes`.
+
+With a :class:`repro.service.shm.SharedWheelStore` attached, the
+compile-once guarantee extends *across processes*: before compiling, a
+registry first consults the store (adopting a blob another worker
+published), then races for the store's exclusive claim — so N cluster
+replicas registering the same fitness vector concurrently still compile
+it exactly once, with ``store_hits`` / ``compiles`` counters proving it.
 """
 
 from __future__ import annotations
@@ -94,18 +101,30 @@ class WheelRegistry:
         Default kernel policy for registrations (``"auto"`` serves the
         fastest distribution-preserving kernel; ``"faithful"`` pins the
         bit-exact simulation of the registry method).
+    store:
+        Optional :class:`repro.service.shm.SharedWheelStore` for
+        cross-process compile dedupe; local behaviour is unchanged
+        without one.
     """
 
-    def __init__(self, max_wheels: int = DEFAULT_MAX_WHEELS, policy: str = "auto") -> None:
+    def __init__(
+        self,
+        max_wheels: int = DEFAULT_MAX_WHEELS,
+        policy: str = "auto",
+        store=None,
+    ) -> None:
         if max_wheels <= 0:
             raise ValueError(f"max_wheels must be positive, got {max_wheels}")
         self.max_wheels = int(max_wheels)
         self.policy = str(policy)
+        self.store = store
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.store_hits = 0
+        self.compiles = 0
 
     # ------------------------------------------------------------------
     def register(
@@ -135,7 +154,7 @@ class WheelRegistry:
         # Compile outside the lock: O(n) table builds must not serialize
         # unrelated lookups.  A racing duplicate registration compiles
         # twice and the second insert wins; ids are identical either way.
-        wheel = CompiledWheel(fitness, method, kernel=policy)
+        wheel = self._materialize(fitness, method, policy, wheel_id)
         with self._lock:
             cached = wheel_id in self._entries
             if not cached:
@@ -146,6 +165,39 @@ class WheelRegistry:
                 self.hits += 1
             self._entries.move_to_end(wheel_id)
             return wheel_id, cached
+
+    def _materialize(
+        self, fitness: FitnessVector, method: str, policy: str, wheel_id: str
+    ) -> CompiledWheel:
+        """Obtain the compiled wheel — from the shared store if possible.
+
+        Store order of preference: adopt a published blob (store hit,
+        zero compilation); else win the claim and compile + publish;
+        else wait out the claimant and adopt its publication.  A dead
+        claimant degrades to a local compile after the wait times out —
+        the store only ever dedupes work, never gates correctness.
+        """
+        store = self.store
+        claimed = False
+        if store is not None:
+            blob = store.get(wheel_id)
+            if blob is None:
+                claimed = store.claim(wheel_id)
+                if not claimed:
+                    blob = store.wait(wheel_id)
+            if blob is not None:
+                self.store_hits += 1
+                return CompiledWheel.from_bytes(blob)
+        try:
+            wheel = CompiledWheel(fitness, method, kernel=policy)
+        except BaseException:
+            if claimed:
+                store._release_claim(wheel_id)
+            raise
+        self.compiles += 1
+        if store is not None:
+            store.publish(wheel_id, wheel.to_bytes())
+        return wheel
 
     def get(self, wheel_id: str) -> CompiledWheel:
         """Look up a compiled wheel, refreshing its LRU position.
@@ -206,14 +258,19 @@ class WheelRegistry:
         """JSON-able cache accounting (merged into metrics snapshots)."""
         with self._lock:
             lookups = self.hits + self.misses
-            return {
+            out = {
                 "wheels": len(self._entries),
                 "max_wheels": self.max_wheels,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "hit_rate": self.hits / lookups if lookups else 0.0,
+                "compiles": self.compiles,
+                "store_hits": self.store_hits,
             }
+            if self.store is not None:
+                out["store"] = self.store.stats()
+            return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -38,7 +38,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import DeadlineExceededError, ServiceOverloadedError
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceDrainingError,
+    ServiceOverloadedError,
+)
 from repro.rng.streams import SplitMixStream, derive_seeds, request_stream
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import WheelRegistry, digest_key
@@ -126,6 +130,7 @@ class MicroBatchScheduler:
         self._queued_requests = 0
         self._request_counter = 0
         self._closed = False
+        self._draining = False
 
     # ------------------------------------------------------------------
     def next_request_seed(self) -> int:
@@ -165,6 +170,11 @@ class MicroBatchScheduler:
         """
         if self._closed:
             raise ServiceOverloadedError("scheduler is closed")
+        if self._draining:
+            raise ServiceDrainingError(
+                "scheduler is draining; in-flight requests are completing "
+                "but new draws are refused"
+            )
         n = int(n)
         if n <= 0:
             raise ValueError(f"draw size must be positive, got {n}")
@@ -274,13 +284,29 @@ class MicroBatchScheduler:
         """Requests currently queued across all wheels."""
         return self._queued_requests
 
-    async def close(self) -> None:
-        """Flush every queue, cancel drainers, and refuse further work."""
-        self._closed = True
+    def _flush_all(self) -> None:
         for wheel_id, queue in list(self._queues.items()):
             if queue.drainer is not None and not queue.drainer.done():
                 queue.drainer.cancel()
             self._flush(wheel_id, queue)
+
+    async def drain(self) -> None:
+        """Refuse new draws with :class:`ServiceDrainingError`, flush the rest.
+
+        Unlike :meth:`close`, the refusal is the *typed* draining error a
+        shutting-down server advertises, and every request accepted
+        before the call still completes — the graceful-shutdown half of
+        the no-request-lost contract (the test suite drains mid-burst to
+        prove it).
+        """
+        self._draining = True
+        self._flush_all()
+        await asyncio.sleep(0)
+
+    async def close(self) -> None:
+        """Flush every queue, cancel drainers, and refuse further work."""
+        self._closed = True
+        self._flush_all()
         await asyncio.sleep(0)
 
 

@@ -4,14 +4,24 @@
 decoded request dicts and returns response dicts, never raising (every
 failure becomes a structured error response).  ``serve_tcp`` and
 ``serve_stdio`` wrap it in the two transports ``python -m repro serve``
-offers.
+offers; a :class:`~repro.service.cluster.ClusterService` exposes the
+same surface, so every transport serves a sharded pool unchanged.
+
+Each TCP connection picks its wire format by its very first byte: the
+binary-frame magic ``0xA5`` selects length-prefixed frames
+(:mod:`repro.service.frames` — the hot path, with zero-copy ndarray
+draw payloads), anything else falls back to JSON-lines — so old clients
+and ad-hoc ``echo | nc`` sessions keep working with no negotiation
+round-trip.  A framed client may open with a HELLO frame to pin
+versions and features explicitly.
 
 The overload story, end to end: the scheduler's admission control bounds
 queued draws (``queue_limit``); past it, requests are *refused
 immediately* with ``status: "overloaded"`` rather than queued — the
 service degrades by answering fast with "try later", never by hanging.
-The acceptance drill (a burst far above ``queue_limit``) is automated in
-``tests/service`` and ``bench-serve``'s overload probe.
+Shutdown is the same philosophy: :meth:`SelectionService.drain` lets
+every accepted request finish while new ones get a typed ``draining``
+refusal instead of a dropped connection.
 """
 
 from __future__ import annotations
@@ -20,6 +30,8 @@ import asyncio
 import sys
 from typing import Any, Dict, Optional
 
+from repro.errors import ProtocolError, ServiceDrainingError
+from repro.service import frames as frames_mod
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -60,8 +72,13 @@ class SelectionService:
         self.scheduler = MicroBatchScheduler(
             self.registry, config, seed=seed, metrics=self.metrics
         )
+        self._draining = False
 
     # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     async def handle_line(self, line: str) -> Dict[str, Any]:
         """Decode, dispatch, and answer one wire line.  Never raises."""
         try:
@@ -76,12 +93,19 @@ class SelectionService:
         try:
             op = request["op"]
             if op == "ping":
-                return ok_response(request_id, protocol=PROTOCOL_VERSION)
+                return ok_response(request_id, protocol=PROTOCOL_VERSION, workers=1)
             if op == "metrics":
                 snapshot = self.metrics.snapshot(
                     extra={"registry": self.registry.stats()}
                 )
                 return ok_response(request_id, metrics=snapshot)
+            if op == "stats":
+                return ok_response(request_id, stats=self.stats())
+            if self._draining:
+                self.metrics.drained()
+                raise ServiceDrainingError(
+                    "service is draining; retry against another replica"
+                )
             if op == "register":
                 wheel_id, cached = self.registry.register(
                     request["fitness"],
@@ -100,41 +124,132 @@ class SelectionService:
         except Exception as exc:  # noqa: BLE001 - answered, not raised
             return error_response(exc, request_id)
 
+    def stats(self) -> Dict[str, Any]:
+        """The ``stats`` RPC in single-process form.
+
+        Shaped like the cluster's answer (a one-element ``shards`` list)
+        so dashboards and benches read both identically.
+        """
+        return {
+            "workers": 1,
+            "draining": self._draining,
+            "routed": {"0": self.metrics.requests_total},
+            "routing_max_share": 1.0,
+            "frontend": self.metrics.snapshot(),
+            "shards": [
+                self.metrics.snapshot(
+                    extra={
+                        "shard": 0,
+                        "queued": self.scheduler.queued,
+                        "registry": self.registry.stats(),
+                    }
+                )
+            ],
+        }
+
+    async def drain(self) -> None:
+        """Finish every accepted request; refuse new ones as ``draining``."""
+        self._draining = True
+        await self.scheduler.drain()
+
     async def close(self) -> None:
         """Flush pending batches and refuse further work."""
+        self._draining = True
         await self.scheduler.close()
 
 
+async def _serve_json_connection(
+    service, reader, writer, max_line_bytes: int, first_byte: bytes
+) -> None:
+    """JSON-lines until EOF; a bad line is answered, not fatal."""
+    pending = first_byte
+    while True:
+        try:
+            line = pending + await reader.readline()
+            pending = b""
+        except (asyncio.LimitOverrunError, ValueError):
+            writer.write(
+                encode_response(
+                    error_response(
+                        ValueError(f"request line exceeds {max_line_bytes} bytes")
+                    )
+                )
+            )
+            await writer.drain()
+            break
+        if not line:
+            break
+        text = line.decode("utf-8", errors="replace").strip()
+        if not text:
+            continue
+        response = await service.handle_line(text)
+        writer.write(encode_response(response))
+        await writer.drain()
+
+
+async def _serve_framed_connection(
+    service, reader, writer, max_frame_bytes: int, first_byte: bytes
+) -> None:
+    """Binary frames until EOF.
+
+    Malformed frame *bodies* are answered with ERROR frames and the
+    connection continues (framing stays synchronized because the body
+    length was already consumed); an unparseable *header* is fatal for
+    the connection since resynchronization is impossible.
+    """
+    while True:
+        try:
+            frame = await frames_mod.read_frame(
+                reader, max_body_bytes=max_frame_bytes, first_byte=first_byte
+            )
+        except ProtocolError as exc:
+            writer.write(frames_mod.response_to_frame(error_response(exc)))
+            await writer.drain()
+            break
+        first_byte = b""
+        if frame is None:
+            break
+        ftype, body, request_id = frame
+        if ftype == frames_mod.FT_HELLO:
+            writer.write(frames_mod.hello_frame(PROTOCOL_VERSION, request_id))
+            await writer.drain()
+            continue
+        try:
+            request = frames_mod.frame_to_request(ftype, body, request_id)
+        except ProtocolError as exc:
+            writer.write(
+                frames_mod.response_to_frame(error_response(exc, request_id))
+            )
+            await writer.drain()
+            continue
+        response = await service.handle_request(request)
+        writer.write(frames_mod.response_to_frame(response))
+        await writer.drain()
+
+
 async def _handle_connection(
-    service: SelectionService,
+    service,
     reader: "asyncio.StreamReader",
     writer: "asyncio.StreamWriter",
     max_line_bytes: int,
 ) -> None:
-    """Serve one TCP client until EOF; a bad line is answered, not fatal."""
+    """Sniff the wire format from the first byte, then serve until EOF."""
     try:
-        while True:
-            try:
-                line = await reader.readline()
-            except (asyncio.LimitOverrunError, ValueError):
-                writer.write(
-                    encode_response(
-                        error_response(
-                            ValueError(f"request line exceeds {max_line_bytes} bytes")
-                        )
-                    )
+        first = await reader.read(1)
+        if first:
+            if first[0] == frames_mod.MAGIC:
+                await _serve_framed_connection(
+                    service, reader, writer, max_line_bytes, first
                 )
-                await writer.drain()
-                break
-            if not line:
-                break
-            text = line.decode("utf-8", errors="replace").strip()
-            if not text:
-                continue
-            response = await service.handle_line(text)
-            writer.write(encode_response(response))
-            await writer.drain()
-    except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client died
+            else:
+                await _serve_json_connection(
+                    service, reader, writer, max_line_bytes, first
+                )
+    except (
+        ConnectionResetError,
+        BrokenPipeError,
+        asyncio.IncompleteReadError,
+    ):  # pragma: no cover - client died
         pass
     finally:
         try:
@@ -145,18 +260,20 @@ async def _handle_connection(
 
 
 async def start_tcp_server(
-    service: SelectionService,
+    service,
     host: str = "127.0.0.1",
     port: int = 7077,
     *,
     max_line_bytes: int = 16 << 20,
 ) -> "asyncio.AbstractServer":
-    """Bind the JSON-lines service and return the listening server.
+    """Bind the dual-protocol service and return the listening server.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.sockets[0].getsockname()``) — how the in-process tests run
     without fixed-port collisions.  The caller owns the server's
     lifecycle; :func:`serve_tcp` wraps this with serve-forever semantics.
+    ``service`` may be a :class:`SelectionService` or a
+    :class:`~repro.service.cluster.ClusterService`.
     """
     return await asyncio.start_server(
         lambda r, w: _handle_connection(service, r, w, max_line_bytes),
@@ -167,14 +284,14 @@ async def start_tcp_server(
 
 
 async def serve_tcp(
-    service: SelectionService,
+    service,
     host: str = "127.0.0.1",
     port: int = 7077,
     *,
     max_line_bytes: int = 16 << 20,
     on_ready=None,
 ) -> None:
-    """Run the JSON-lines service over TCP until cancelled.
+    """Run the service over TCP until cancelled.
 
     ``on_ready(server)`` is invoked after the socket is bound, so
     callers can announce the listening address only once it is true.
@@ -192,12 +309,15 @@ async def serve_tcp(
             raise
 
 
-async def serve_stdio(service: SelectionService) -> None:
+async def serve_stdio(service) -> None:
     """Run the JSON-lines service over stdin/stdout until EOF.
 
     Useful for subprocess embedding and for piping one-off requests::
 
         echo '{"op": "ping"}' | python -m repro serve --stdio
+
+    stdio mode stays JSON-lines by design — it is the scripting
+    interface; binary frames are negotiated on TCP connections only.
     """
     loop = asyncio.get_running_loop()
     reader = asyncio.StreamReader()

@@ -1,0 +1,216 @@
+"""Shared compiled-wheel blob store: write-once, read-anywhere.
+
+Cluster workers each hold a private :class:`~repro.service.registry.
+WheelRegistry`, but compilation is deduped *across* processes through
+this store: the first worker to claim a wheel id compiles it and
+publishes the :meth:`repro.engine.CompiledWheel.to_bytes` blob; every
+other worker (concurrent or later) imports the blob instead of
+recompiling.  Hit/miss/publish counters make the dedupe observable in
+the ``stats`` RPC.
+
+The store is a directory of mmap-read blob files, one per wheel id,
+defaulting to ``/dev/shm`` when the host has it — i.e. the files are
+plain shared memory pages, never touching disk — with a tempdir
+fallback elsewhere.  This deliberately avoids
+``multiprocessing.shared_memory`` on Python < 3.13, whose resource
+tracker unlinks attached segments at child exit; named files with
+atomic-rename publication have none of those lifetime hazards and give
+the same zero-serialization sharing.
+
+Concurrency protocol (all lock-free, POSIX-atomic):
+
+* **publish**: write to ``<id>.tmp.<pid>``, then ``os.rename`` onto
+  ``<id>.wheel`` — readers can never observe a partial blob;
+* **claim**: ``O_CREAT | O_EXCL`` on ``<id>.claim`` — exactly one
+  process wins the right to compile; losers :meth:`wait` for the
+  publication (with a timeout escape hatch that falls back to local
+  compilation if the claimant dies).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import tempfile
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["SharedWheelStore", "default_store_root"]
+
+_BLOB_SUFFIX = ".wheel"
+_CLAIM_SUFFIX = ".claim"
+
+
+def default_store_root() -> str:
+    """Directory new stores are created under (shared memory if present)."""
+    if os.path.isdir("/dev/shm") and os.access("/dev/shm", os.W_OK):
+        return "/dev/shm"
+    return tempfile.gettempdir()
+
+
+def _safe_name(wheel_id: str) -> str:
+    """Map a wheel id to a filename (ids contain ``:``)."""
+    return wheel_id.replace(":", "_")
+
+
+class SharedWheelStore:
+    """Cross-process blob cache keyed by content-addressed wheel id.
+
+    Parameters
+    ----------
+    path:
+        Existing store directory to attach to (how workers join the
+        parent's store).  When ``None`` a fresh directory is created
+        under ``root`` and this instance becomes its *owner*: closing
+        the owner removes the directory.
+    root:
+        Parent directory for fresh stores (default: ``/dev/shm`` when
+        available).
+
+    The instance is cheap and picklable-by-path: ship ``store.path`` to
+    a worker and construct ``SharedWheelStore(path=...)`` there.
+    """
+
+    def __init__(self, path: Optional[str] = None, *, root: Optional[str] = None):
+        if path is None:
+            self.path = tempfile.mkdtemp(
+                prefix="repro-wheels-", dir=root or default_store_root()
+            )
+            self._owner = True
+        else:
+            if not os.path.isdir(path):
+                raise FileNotFoundError(f"wheel store directory {path!r} missing")
+            self.path = path
+            self._owner = False
+        self.hits = 0
+        self.misses = 0
+        self.publishes = 0
+        self.claims = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _blob_path(self, wheel_id: str) -> str:
+        return os.path.join(self.path, _safe_name(wheel_id) + _BLOB_SUFFIX)
+
+    def __contains__(self, wheel_id: str) -> bool:
+        return os.path.exists(self._blob_path(wheel_id))
+
+    def get(self, wheel_id: str) -> Optional[bytes]:
+        """Fetch a published blob, or ``None``; counts the hit/miss."""
+        try:
+            with open(self._blob_path(wheel_id), "rb") as fh:
+                size = os.fstat(fh.fileno()).st_size
+                if size == 0:  # pragma: no cover - impossible via publish
+                    raise FileNotFoundError
+                with mmap.mmap(fh.fileno(), size, access=mmap.ACCESS_READ) as mapped:
+                    blob = bytes(mapped)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return blob
+
+    def publish(self, wheel_id: str, blob: bytes) -> bool:
+        """Publish a blob (atomic, last-writer-wins on identical content).
+
+        Returns ``False`` when the id was already published — the
+        duplicate write is skipped, which is what makes registration
+        write-once in the common path.
+        """
+        target = self._blob_path(wheel_id)
+        if os.path.exists(target):
+            return False
+        tmp = f"{target}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+        os.rename(tmp, target)
+        self.publishes += 1
+        self._release_claim(wheel_id)
+        return True
+
+    # ------------------------------------------------------------------
+    def claim(self, wheel_id: str) -> bool:
+        """Try to win the exclusive right to compile ``wheel_id``.
+
+        Exactly one process across the cluster returns ``True`` per id
+        (until the claim is released by publication); the rest should
+        :meth:`wait`.
+        """
+        try:
+            fd = os.open(
+                os.path.join(self.path, _safe_name(wheel_id) + _CLAIM_SUFFIX),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        self.claims += 1
+        return True
+
+    def _release_claim(self, wheel_id: str) -> None:
+        try:
+            os.unlink(os.path.join(self.path, _safe_name(wheel_id) + _CLAIM_SUFFIX))
+        except FileNotFoundError:
+            pass
+
+    def wait(
+        self, wheel_id: str, timeout_s: float = 5.0, poll_s: float = 0.0005
+    ) -> Optional[bytes]:
+        """Wait for another process's publication of ``wheel_id``.
+
+        Returns the blob, or ``None`` on timeout (claimant presumed
+        dead) — the caller should then compile locally; correctness
+        never depends on the store, only dedupe does.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            blob = self.get(wheel_id)
+            if blob is not None:
+                return blob
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(poll_s)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """JSON-able dedupe accounting (merged into shard stats)."""
+        try:
+            published = sum(
+                1 for name in os.listdir(self.path) if name.endswith(_BLOB_SUFFIX)
+            )
+        except FileNotFoundError:
+            published = 0
+        return {
+            "path": self.path,
+            "published": published,
+            "hits": self.hits,
+            "misses": self.misses,
+            "publishes": self.publishes,
+            "claims": self.claims,
+        }
+
+    def close(self) -> None:
+        """Owner: remove the backing directory; attachers: no-op."""
+        if self._closed or not self._owner:
+            self._closed = True
+            return
+        self._closed = True
+        try:
+            for name in os.listdir(self.path):
+                try:
+                    os.unlink(os.path.join(self.path, name))
+                except FileNotFoundError:
+                    pass
+            os.rmdir(self.path)
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedWheelStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SharedWheelStore(path={self.path!r}, owner={self._owner})"

@@ -15,9 +15,17 @@ from repro.service.loadgen import (
 
 @pytest.fixture(scope="module")
 def tiny_report():
-    # Smallest run that still coalesces: 8 clients, a couple of rounds.
+    # Smallest run that still coalesces and exercises every section:
+    # 8 clients, a couple of rounds, a 2-worker cluster sweep, small
+    # protocol payloads.
     return run_bench_serve(
-        wheel_size=64, clients=8, requests_per_client=2, n_draws=4
+        wheel_size=64,
+        clients=8,
+        requests_per_client=2,
+        n_draws=4,
+        cluster_workers=[1, 2],
+        protocol_draws=32,
+        protocol_requests_per_client=2,
     )
 
 
@@ -49,6 +57,43 @@ class TestBenchServe:
         batch = tiny_report["results"]["legs"]["batched"]["batch_sizes"]
         assert batch["mean_size"] > 1.0
 
+    def test_protocol_section(self, tiny_report):
+        protocol = tiny_report["results"]["protocol"]
+        for kind in ("jsonl", "frames"):
+            leg = protocol["legs"][kind]
+            assert leg["kind"] == kind
+            assert leg["requests"] == 8 * 2
+            assert leg["requests_per_s"] > 0
+            assert leg["latency"]["count"] == leg["requests"]
+        assert protocol["speedup"] > 0
+        assert isinstance(protocol["gate_met"], bool)
+        assert protocol["gate_target"] == 2.0
+
+    def test_cluster_section(self, tiny_report):
+        cluster = tiny_report["results"]["cluster"]
+        assert set(cluster["legs"]) == {"1", "2"}
+        for leg in cluster["legs"].values():
+            assert leg["requests_per_s"] > 0
+            # One compile per distinct wheel across the whole pool — the
+            # shared store dedupes the rest.
+            assert leg["compiles"] >= 1
+        scaling = cluster["scaling"]
+        if scaling["skipped"]:
+            assert "cpu_count" in scaling["skip_reason"]
+            assert scaling["gate_met"] is None
+        else:
+            assert isinstance(scaling["gate_met"], bool)
+        assert "1" in scaling["efficiency"]
+
+    def test_cluster_determinism_certificate(self, tiny_report):
+        cert = tiny_report["results"]["cluster"]["determinism"]
+        assert cert["ok"]
+        assert cert["workers_compared"][0] == 1
+        assert cert["workers_compared"][1] > 1
+        assert len(cert["wheels"]) >= 2
+        for wheel in cert["wheels"]:
+            assert wheel["bitwise_identical"]
+
     def test_validate_rejects_corruption(self, tiny_report):
         bad = json.loads(json.dumps(tiny_report))
         bad["results"]["determinism"]["ok"] = False
@@ -58,6 +103,19 @@ class TestBenchServe:
         del bad2["results"]["legs"]["naive"]
         with pytest.raises(ValueError, match="naive"):
             validate_bench_serve(bad2)
+        bad3 = json.loads(json.dumps(tiny_report))
+        bad3["results"]["cluster"]["determinism"]["ok"] = False
+        with pytest.raises(ValueError, match="per-shard"):
+            validate_bench_serve(bad3)
+        bad4 = json.loads(json.dumps(tiny_report))
+        bad4["results"]["cluster"]["scaling"]["skipped"] = True
+        bad4["results"]["cluster"]["scaling"]["skip_reason"] = None
+        with pytest.raises(ValueError, match="skip_reason"):
+            validate_bench_serve(bad4)
+        bad5 = json.loads(json.dumps(tiny_report))
+        del bad5["results"]["protocol"]["legs"]["frames"]
+        with pytest.raises(ValueError, match="frames"):
+            validate_bench_serve(bad5)
         with pytest.raises(ValueError, match="schema"):
             validate_bench_serve({"schema": "nope"})
 
@@ -67,12 +125,63 @@ class TestBenchServe:
         validate_bench_serve(on_disk)
         text = render_bench_serve(tiny_report)
         assert "batched" in text and "gate:" in text and "determinism" in text
+        assert "frames/jsonl" in text and "cluster sweep" in text
+        assert "per-shard determinism" in text
 
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):
             run_bench_serve(wheel_size=1)
         with pytest.raises(ValueError):
             run_bench_serve(clients=0)
+        with pytest.raises(ValueError):
+            run_bench_serve(procs=0)
+
+
+class TestTCPLoadGenerator:
+    def test_multi_proc_merge_is_exact(self):
+        """--procs fan-out: merged latency count equals total requests,
+        throughput uses the slowest process's elapsed."""
+        import asyncio
+
+        from repro.service.loadgen import run_tcp_load
+        from repro.service.scheduler import BatchConfig
+        from repro.service.server import SelectionService, start_tcp_server
+
+        service = SelectionService(seed=0, config=BatchConfig())
+
+        async def go():
+            wid, _ = service.registry.register(list(range(1, 65)))
+            server = await start_tcp_server(service, port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await run_tcp_load(
+                    "127.0.0.1", port, wid,
+                    kind="frames", clients=4, requests_per_client=3,
+                    n_draws=4, procs=2,
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.close()
+
+        result = asyncio.run(asyncio.wait_for(go(), 60.0))
+        assert result["procs"] == 2
+        assert result["requests"] == 12
+        assert result["latency"]["count"] == 12
+        assert len(result["per_proc"]) == 2
+        assert sum(p["requests"] for p in result["per_proc"]) == 12
+        assert result["elapsed_s"] == max(p["elapsed_s"] for p in result["per_proc"])
+
+    def test_rejects_bad_kind(self):
+        import asyncio
+
+        from repro.service.loadgen import run_tcp_load
+
+        async def go():
+            with pytest.raises(ValueError, match="kind"):
+                await run_tcp_load("127.0.0.1", 1, "w1:00", kind="xml")
+
+        asyncio.run(go())
 
 
 class TestBenchServeCLI:
@@ -91,9 +200,14 @@ class TestBenchServeCLI:
                 "2",
                 "--draws-per-request",
                 "4",
+                "--cluster-workers",
+                "1",
+                "2",
                 "--output",
                 str(out),
             ]
         )
         assert code == 0
-        validate_bench_serve(json.loads(out.read_text()))
+        report = json.loads(out.read_text())
+        validate_bench_serve(report)
+        assert set(report["results"]["cluster"]["legs"]) == {"1", "2"}

@@ -1,0 +1,138 @@
+"""Shared-memory wheel store: publish/get/claim semantics, lifecycle."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.service.registry import WheelRegistry
+from repro.service.shm import SharedWheelStore, default_store_root
+
+
+class TestSharedWheelStore:
+    def test_publish_then_get(self, tmp_path):
+        with SharedWheelStore(root=str(tmp_path)) as store:
+            assert store.get("w1:ab") is None
+            assert store.misses == 1
+            assert store.publish("w1:ab", b"blob-bytes")
+            assert store.get("w1:ab") == b"blob-bytes"
+            assert store.hits == 1
+            assert "w1:ab" in store
+
+    def test_publish_is_write_once(self, tmp_path):
+        with SharedWheelStore(root=str(tmp_path)) as store:
+            assert store.publish("w1:ab", b"first")
+            assert not store.publish("w1:ab", b"second")
+            assert store.get("w1:ab") == b"first"
+            assert store.publishes == 1
+
+    def test_attach_by_path_shares_blobs(self, tmp_path):
+        owner = SharedWheelStore(root=str(tmp_path))
+        try:
+            attached = SharedWheelStore(path=owner.path)
+            owner.publish("w1:cd", b"shared")
+            assert attached.get("w1:cd") == b"shared"
+            # Attachers closing never removes the owner's directory.
+            attached.close()
+            assert os.path.isdir(owner.path)
+        finally:
+            owner.close()
+        assert not os.path.isdir(owner.path)
+
+    def test_attach_missing_path_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SharedWheelStore(path=str(tmp_path / "nope"))
+
+    def test_claim_is_exclusive_until_publish(self, tmp_path):
+        owner = SharedWheelStore(root=str(tmp_path))
+        try:
+            peer = SharedWheelStore(path=owner.path)
+            assert owner.claim("w1:ee")
+            assert not peer.claim("w1:ee")
+            # Publication releases the claim; the id is now readable and
+            # a fresh claim (e.g. after eviction) succeeds again.
+            owner.publish("w1:ee", b"x")
+            assert peer.get("w1:ee") == b"x"
+            assert peer.claim("w1:ee")
+        finally:
+            owner.close()
+
+    def test_wait_returns_blob_or_times_out(self, tmp_path):
+        owner = SharedWheelStore(root=str(tmp_path))
+        try:
+            peer = SharedWheelStore(path=owner.path)
+            assert peer.wait("w1:ff", timeout_s=0.05) is None
+            owner.publish("w1:ff", b"late")
+            assert peer.wait("w1:ff", timeout_s=0.05) == b"late"
+        finally:
+            owner.close()
+
+    def test_stats_shape(self, tmp_path):
+        with SharedWheelStore(root=str(tmp_path)) as store:
+            store.publish("w1:01", b"a")
+            stats = store.stats()
+            assert stats["published"] == 1
+            assert stats["path"] == store.path
+            assert {"hits", "misses", "publishes", "claims"} <= set(stats)
+
+    def test_default_root_prefers_shm(self):
+        root = default_store_root()
+        assert os.path.isdir(root) and os.access(root, os.W_OK)
+
+
+class TestRegistryStoreIntegration:
+    def test_compile_once_across_registries(self, tmp_path):
+        """Two registries sharing a store compile a wheel exactly once."""
+        fitness = np.arange(1.0, 65.0)
+        with SharedWheelStore(root=str(tmp_path)) as store:
+            first = WheelRegistry(store=store)
+            wid1, cached1 = first.register(fitness)
+            assert not cached1
+            assert first.compiles == 1 and first.store_hits == 0
+
+            second = WheelRegistry(store=store)
+            wid2, cached2 = second.register(fitness)
+            assert wid2 == wid1 and not cached2
+            # The second registry adopted the published blob: no compile.
+            assert second.compiles == 0 and second.store_hits == 1
+            assert second.stats()["store"]["hits"] >= 1
+
+    def test_adopted_wheel_draws_identically(self, tmp_path):
+        from repro.rng.streams import request_stream
+        from repro.service.registry import digest_key
+
+        fitness = np.linspace(1.0, 9.0, 128)
+        with SharedWheelStore(root=str(tmp_path)) as store:
+            compiler = WheelRegistry(store=store)
+            wid, _ = compiler.register(fitness, method="log_bidding")
+            adopter = WheelRegistry(store=store)
+            adopter.register(fitness, method="log_bidding")
+            a = compiler.get(wid).select_many(64, request_stream(0, digest_key(wid), 1))
+            b = adopter.get(wid).select_many(64, request_stream(0, digest_key(wid), 1))
+            np.testing.assert_array_equal(a, b)
+
+    def test_store_failure_never_blocks_compilation(self, tmp_path):
+        """A dead claimant degrades to local compile after the wait."""
+        fitness = np.arange(1.0, 17.0)
+        with SharedWheelStore(root=str(tmp_path)) as store:
+            from repro.service.registry import wheel_digest
+
+            wid = wheel_digest(fitness, "log_bidding", "auto")
+            # Simulate a claimant that died before publishing.
+            assert store.claim(wid)
+            registry = WheelRegistry(store=store)
+            orig_wait = store.wait
+            store.wait = lambda wheel_id, timeout_s=5.0, poll_s=0.0005: orig_wait(
+                wheel_id, timeout_s=0.05
+            )
+            got, cached = registry.register(fitness)
+            assert got == wid and not cached
+            assert registry.compiles == 1
+
+    def test_registry_without_store_unchanged(self):
+        registry = WheelRegistry()
+        wid, cached = registry.register([1.0, 2.0, 3.0])
+        assert not cached
+        stats = registry.stats()
+        assert stats["compiles"] == 1 and stats["store_hits"] == 0
+        assert "store" not in stats
