@@ -232,6 +232,39 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: {1,2,4,8} capped by cpu_count)"
         ),
     )
+    parser.add_argument(
+        "--mutate",
+        action="store_true",
+        help=(
+            "bench-serve only: run the served mutate leg (mixed UPDATE/DRAW "
+            "traffic with per-version latency histograms) at the full "
+            "--clients count instead of the light default"
+        ),
+    )
+    parser.add_argument(
+        "--update-every",
+        type=int,
+        default=4,
+        help=(
+            "bench-serve only: mutate leg sends one UPDATE per this many "
+            "requests (default 4; 0 disables updates)"
+        ),
+    )
+    parser.add_argument(
+        "--update-k",
+        type=int,
+        default=8,
+        help="bench-serve only: indices mutated per UPDATE (default 8)",
+    )
+    parser.add_argument(
+        "--update-n",
+        type=int,
+        default=100_000,
+        help=(
+            "bench-serve only: wheel size for the delta-update-vs-"
+            "re-register gate (default 100000, the recorded gate point)"
+        ),
+    )
     return parser
 
 
@@ -318,6 +351,10 @@ def _run_bench_serve(args) -> int:
         max_delay_us=args.max_delay_us,
         procs=args.procs,
         cluster_workers=args.cluster_workers,
+        mutate=args.mutate,
+        update_every=args.update_every,
+        update_k=args.update_k,
+        update_n=args.update_n,
     )
     path = write_bench_serve(report, args.output or "BENCH_serve.json")
     if args.json:

@@ -43,17 +43,14 @@ class FenwickSampler:
     """
 
     def __init__(self, fitness: FitnessLike) -> None:
-        f = validate_fitness(fitness)
+        f = validate_fitness(fitness)  # already a private, writable copy
         self._n = len(f)
-        self._values = f.copy()
-        # Linear-time Fenwick construction.
-        tree = np.zeros(self._n + 1, dtype=np.float64)
-        tree[1:] = f
-        for j in range(1, self._n + 1):
-            parent = j + (j & -j)
-            if parent <= self._n:
-                tree[parent] += tree[j]
-        self._tree = tree
+        self._values = f
+        # Vectorised linear-time construction: the tree is fully
+        # determined by the prefix sums, so building it is the same pass
+        # as the above-cutoff rebuild in :meth:`update_many`.
+        self._tree = np.empty(self._n + 1, dtype=np.float64)
+        self._rebuild()
         self._size = 1
         while self._size * 2 <= self._n:
             self._size *= 2
@@ -76,6 +73,20 @@ class FenwickSampler:
 
     def __len__(self) -> int:
         return self._n
+
+    def copy(self) -> "FenwickSampler":
+        """An independent copy-on-write clone of the current state.
+
+        O(n) array copies, no re-validation and no tree rebuild — the
+        cheap way for the serving registry to branch a delta chain
+        without mutating the parent version's sampler.
+        """
+        clone = object.__new__(FenwickSampler)
+        clone._n = self._n
+        clone._values = self._values.copy()
+        clone._tree = self._tree.copy()
+        clone._size = self._size
+        return clone
 
     def __getitem__(self, i: int) -> float:
         if not 0 <= i < self._n:

@@ -58,17 +58,20 @@ from repro.core.fitness import FitnessVector
 from repro.core.methods.alias import AliasTable
 from repro.core.methods.base import SelectionMethod
 from repro.core.methods.binary_search import BinarySearchSelection
-from repro.errors import UnknownMethodError
+from repro.errors import FitnessError, UnknownMethodError
 from repro.rng.adapters import resolve_rng
 from repro.typing import FitnessLike
 
 __all__ = [
     "CompiledWheel",
+    "AcceptanceWheel",
     "compile_wheel",
     "stream_counts",
+    "wheel_from_bytes",
     "DEFAULT_CHUNK_BYTES",
     "KERNELS",
     "WHEEL_FORMAT",
+    "ACCEPTANCE_FORMAT",
 ]
 
 #: Default per-chunk buffer budget.  Small enough to stay cache-friendly
@@ -114,6 +117,36 @@ _CLAMP_THRESHOLD = 1e-306
 #: Serialization format tag for :meth:`CompiledWheel.to_bytes` /
 #: ``__getstate__`` (bump on layout changes).
 WHEEL_FORMAT = "repro/compiled-wheel/v1"
+
+#: Serialization format tag for :meth:`AcceptanceWheel.to_bytes`.
+ACCEPTANCE_FORMAT = "repro/acceptance-wheel/v1"
+
+
+def _canonical_delta(
+    indices, values, n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and canonicalise an ``(indices, values)`` delta.
+
+    Duplicate indices resolve last-wins (matching a sequential update
+    loop and :meth:`repro.core.dynamic.FenwickSampler.update_many`).
+    Validation is atomic and O(k): a bad index or value raises before
+    any caller state changes.
+    """
+    idx = np.asarray(indices, dtype=np.int64).ravel()
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    if idx.shape != vals.shape:
+        raise ValueError(
+            f"indices and values must match, got {idx.shape} vs {vals.shape}"
+        )
+    if idx.size == 0:
+        raise ValueError("update delta is empty")
+    if int(idx.min()) < 0 or int(idx.max()) >= n:
+        bad = idx[(idx < 0) | (idx >= n)][0]
+        raise IndexError(f"index {int(bad)} out of range for n={n}")
+    if not np.all(np.isfinite(vals)) or np.any(vals < 0.0):
+        raise FitnessError("fitness values must be finite and >= 0")
+    uniq, first = np.unique(idx[::-1], return_index=True)
+    return uniq, vals[::-1][first]
 
 
 def _fill_uniform(rng, buf: np.ndarray) -> None:
@@ -488,6 +521,83 @@ class CompiledWheel:
             out[emitted : emitted + filled] = finish(buf[:filled])
 
     # ------------------------------------------------------------------
+    # incremental recompilation (the delta path behind versioned wheels
+    # in repro.service.registry)
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self, indices, values, *, new_values: Optional[np.ndarray] = None
+    ) -> "CompiledWheel":
+        """Copy-on-write clone with ``values[indices]`` replaced.
+
+        Instead of the full registration path (content hashing plus
+        ``_precompute`` — an O(n) *Python-loop* Vose build for the alias
+        kernel), the clone patches the per-method key constants at the
+        touched indices and recomputes only the vectorised O(n)
+        artifacts (masks, prefix sums).  A wheel on the ``alias`` kernel
+        under the ``auto`` policy recompiles to ``searchsorted`` — the
+        cheapest kernel to rebuild, with the method's exact
+        distribution; ``faithful`` and explicitly-requested alias wheels
+        keep their table (full rebuild) so the bit-contract survives
+        updates.
+
+        The result serves draws bitwise identically to a freshly
+        compiled wheel on the same values with the same resolved kernel.
+
+        Parameters
+        ----------
+        indices, values:
+            The delta; duplicates resolve last-wins, validation is
+            atomic (bounds, finite, non-negative).
+        new_values:
+            Optional precomputed result vector (e.g. from a
+            :class:`repro.core.dynamic.FenwickSampler` mirror that
+            already applied the same delta); skips the copy+scatter.
+        """
+        uniq, vals_u = _canonical_delta(indices, values, self.n)
+        if new_values is None:
+            f = np.array(self.fitness.values)  # writable copy
+            f[uniq] = vals_u
+        else:
+            f = np.asarray(new_values, dtype=np.float64)
+        new = CompiledWheel.__new__(CompiledWheel)
+        new.fitness = FitnessVector(f)  # re-validates; raises on all-zero
+        new.method = self.method
+        new.policy = self.policy
+        new.chunk_bytes = self.chunk_bytes
+        new.n = self.n
+        if self.kernel == "alias" and self.policy == "auto":
+            new.kernel = "searchsorted"
+        else:
+            new.kernel = self.kernel
+        fv = new.fitness.values
+        new._zero_mask = fv == 0.0
+        new._has_zeros = bool(new._zero_mask.any())
+        if new.kernel == "race":
+            positive = fv[~new._zero_mask]
+            new._clamp_low = bool(
+                positive.size and positive.min() < _CLAMP_THRESHOLD
+            )
+            new._positive_mask = ~new._zero_mask
+            # Patch the key constants at the touched indices only; the
+            # elementwise transforms make the patch bitwise identical
+            # to a full recompute.
+            if self.method == "gumbel":
+                log_f = self._log_f.copy()
+                with np.errstate(divide="ignore"):
+                    log_f[uniq] = np.log(vals_u)
+                new._log_f = log_f
+            elif self.method == "efraimidis_spirakis":
+                inv_f = self._inv_f.copy()
+                with np.errstate(divide="ignore", over="ignore"):
+                    inv_f[uniq] = 1.0 / vals_u
+                new._inv_f = inv_f
+        elif new.kernel == "searchsorted":
+            new._prefix = new.fitness.prefix_sums
+        else:
+            new._table = AliasTable(fv)
+        return new
+
+    # ------------------------------------------------------------------
     # serialization (ships compiled artifacts to workers without
     # re-running _precompute; see repro.service.registry)
     # ------------------------------------------------------------------
@@ -570,13 +680,7 @@ class CompiledWheel:
     @classmethod
     def from_bytes(cls, blob: bytes) -> "CompiledWheel":
         """Restore a wheel serialized by :meth:`to_bytes`."""
-        with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
-            if "__meta__" not in npz.files:
-                raise ValueError("not a compiled-wheel blob (missing __meta__)")
-            state: Dict[str, object] = json.loads(bytes(npz["__meta__"]).decode("utf-8"))
-            for name in npz.files:
-                if name != "__meta__":
-                    state[name] = npz[name]
+        state = _load_wheel_state(blob)
         wheel = cls.__new__(cls)
         wheel.__setstate__(state)
         return wheel
@@ -587,6 +691,163 @@ class CompiledWheel:
             f"CompiledWheel(n={self.n}, method={self.method!r}, "
             f"kernel={self.kernel!r}, chunk_rows={self.chunk_rows})"
         )
+
+
+def _load_wheel_state(blob: bytes) -> Dict[str, object]:
+    """Decode a wheel ``npz`` blob into its state dict (meta + arrays)."""
+    with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
+        if "__meta__" not in npz.files:
+            raise ValueError("not a wheel blob (missing __meta__)")
+        state: Dict[str, object] = json.loads(bytes(npz["__meta__"]).decode("utf-8"))
+        for name in npz.files:
+            if name != "__meta__":
+                state[name] = npz[name]
+    return state
+
+
+def wheel_from_bytes(blob: bytes) -> Union["CompiledWheel", "AcceptanceWheel"]:
+    """Restore either serving-wheel kind from its blob (format sniffing)."""
+    state = _load_wheel_state(blob)
+    fmt = state.get("format")
+    if fmt == ACCEPTANCE_FORMAT:
+        return AcceptanceWheel(
+            np.asarray(state["values"], dtype=np.float64),
+            policy=str(state.get("policy", "auto")),
+        )
+    if fmt == WHEEL_FORMAT:
+        wheel = CompiledWheel.__new__(CompiledWheel)
+        wheel.__setstate__(state)
+        return wheel
+    raise ValueError(f"unsupported wheel blob format {fmt!r}")
+
+
+class AcceptanceWheel:
+    """Update-free serving backend: stochastic acceptance over raw values.
+
+    Lipowski & Lipowska's rejection sampler needs **no precomputation**
+    — the only derived state is the running maximum weight — which makes
+    it the natural backend for wheels that churn faster than they are
+    drawn from (``backend="stochastic_acceptance"`` in the serving
+    registry).  :meth:`apply_updates` is O(k) plus the copy-on-write
+    value copy; the only O(n) scan happens when an update lowers the
+    current maximum itself.
+
+    Draws are bitwise identical to the registry method
+    :class:`repro.core.methods.stochastic_acceptance.StochasticAcceptanceSelection`
+    on the same uniform stream (same propose/accept loop, same batch
+    size), so direct replay against the uncompiled method is the
+    determinism oracle.
+    """
+
+    #: Mirrors ``StochasticAcceptanceSelection._BATCH`` — part of the
+    #: bit-contract with the registry method.
+    _BATCH = 4096
+
+    method = "stochastic_acceptance"
+    kernel = "acceptance"
+
+    def __init__(
+        self,
+        fitness: Union[FitnessLike, FitnessVector],
+        *,
+        policy: str = "auto",
+        fmax: Optional[float] = None,
+    ) -> None:
+        self.fitness = (
+            fitness if isinstance(fitness, FitnessVector) else FitnessVector(fitness)
+        )
+        self.n = self.fitness.n
+        self.policy = str(policy)
+        # FitnessVector rejects the all-zero wheel, so fmax > 0 here.
+        self._fmax = float(self.fitness.values.max()) if fmax is None else float(fmax)
+
+    @property
+    def fmax(self) -> float:
+        """The running maximum weight — the backend's entire derived state."""
+        return self._fmax
+
+    def select(self, rng=None) -> int:
+        """Draw one index."""
+        return int(self.select_many(1, rng=rng)[0])
+
+    def select_many(self, size: int, rng=None) -> np.ndarray:
+        """``size`` draws via the batched propose/accept loop.
+
+        Identical uniform consumption and outputs as
+        ``StochasticAcceptanceSelection.select_many`` with a fresh
+        ``max(f)`` — except the max comes from the running value, so no
+        O(n) pass happens per call.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        f = self.fitness.values
+        n = self.n
+        fmax = self._fmax
+        rng = resolve_rng(rng)
+        out = np.empty(size, dtype=np.int64)
+        filled = 0
+        while filled < size:
+            m = max(self._BATCH, size - filled)
+            idx = np.minimum(
+                (np.asarray(rng.random(m)) * n).astype(np.int64), n - 1
+            )
+            accept = np.asarray(rng.random(m)) * fmax < f[idx]
+            won = idx[accept]
+            take = min(len(won), size - filled)
+            out[filled : filled + take] = won[:take]
+            filled += take
+        return out
+
+    def select_segments(
+        self, segments: Sequence[Tuple[int, object]]
+    ) -> np.ndarray:
+        """Per-segment draws, concatenated in segment order.
+
+        Rejection sampling consumes a data-dependent number of uniforms,
+        so there is no fused multi-segment pass — but each segment's
+        stream is independent, so coalescing still never changes a
+        response.
+        """
+        outs = [self.select_many(int(size), rng=rng) for size, rng in segments]
+        if not outs:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(outs)
+
+    def apply_updates(
+        self, indices, values, *, new_values: Optional[np.ndarray] = None
+    ) -> "AcceptanceWheel":
+        """Copy-on-write clone with ``values[indices]`` replaced.
+
+        Tracks the running max: O(k) when no patched position lowers the
+        current maximum, one vectorised O(n) re-scan when it does.  The
+        resulting ``fmax`` is exactly ``float(new.values.max())``, so
+        draws stay bit-identical to a fresh backend on the same values.
+        """
+        uniq, vals_u = _canonical_delta(indices, values, self.n)
+        old = self.fitness.values
+        if new_values is None:
+            f = np.array(old)
+            f[uniq] = vals_u
+        else:
+            f = np.asarray(new_values, dtype=np.float64)
+        lowered = bool(np.any((old[uniq] == self._fmax) & (vals_u < self._fmax)))
+        if lowered:
+            fmax = None  # the maximum may have moved; re-scan in __init__
+        else:
+            fmax = max(self._fmax, float(vals_u.max()))
+        return AcceptanceWheel(f, policy=self.policy, fmax=fmax)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the same self-describing ``npz`` blob scheme as
+        :meth:`CompiledWheel.to_bytes` (restored by :func:`wheel_from_bytes`)."""
+        meta = {"format": ACCEPTANCE_FORMAT, "method": self.method, "policy": self.policy}
+        bio = io.BytesIO()
+        header = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        np.savez(bio, __meta__=header, values=np.asarray(self.fitness.values))
+        return bio.getvalue()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AcceptanceWheel(n={self.n}, fmax={self._fmax:g})"
 
 
 def compile_wheel(

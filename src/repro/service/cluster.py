@@ -53,6 +53,7 @@ from repro.service.protocol import (
 from repro.service.registry import (
     DEFAULT_MAX_WHEELS,
     WheelRegistry,
+    base_id,
     wheel_digest,
 )
 from repro.service.scheduler import BatchConfig, MicroBatchScheduler
@@ -177,11 +178,15 @@ async def _worker_loop(
                 )
                 conn.send(("ok", tag, draws))
             elif op == "register":
-                _, _, values, method, reg_policy = msg
+                _, _, values, method, reg_policy, backend = msg
                 wheel_id, cached = registry.register(
-                    values, method=method, policy=reg_policy
+                    values, method=method, policy=reg_policy, backend=backend
                 )
                 conn.send(("ok", tag, {"wheel": wheel_id, "cached": cached}))
+            elif op == "update":
+                _, _, wheel_id, indices, values = msg
+                new_id, info = await scheduler.update(wheel_id, indices, values)
+                conn.send(("ok", tag, {"wheel": new_id, **info}))
             elif op == "stats":
                 snapshot = metrics.snapshot(
                     extra={
@@ -376,7 +381,10 @@ class ClusterService:
         return await future
 
     def _shard_for(self, wheel_id: str) -> _Shard:
-        shard = self._shards[self.ring.lookup(wheel_id)]
+        # Route by the *root* id: every version of a wheel (its delta
+        # chain) lives on the shard that owns the root, so an UPDATE and
+        # the draws against the id it mints coalesce on one worker.
+        shard = self._shards[self.ring.lookup(base_id(wheel_id))]
         shard.routed += 1
         return shard
 
@@ -405,6 +413,8 @@ class ClusterService:
                 )
             if op == "register":
                 return await self._register(request, request_id)
+            if op == "update":
+                return await self._update(request, request_id)
             # op == "draw" (decode_request admits nothing else)
             return await self._draw(request, request_id)
         except Exception as exc:  # noqa: BLE001 - answered, not raised
@@ -423,15 +433,31 @@ class ClusterService:
     async def _register(self, request: Dict[str, Any], request_id) -> Dict[str, Any]:
         method = request.get("method", "log_bidding")
         policy = request.get("policy") or self.policy
+        backend = request.get("backend") or "compiled"
         values = np.ascontiguousarray(
             np.asarray(request["fitness"], dtype=np.float64)
         )
         # The content address is computed front-side purely to *route*;
         # the owning worker re-derives it inside its registry (ids are
         # position-free, so both derivations agree by construction).
-        wheel_id = wheel_digest(values, method, policy)
+        # The acceptance backend pins its method/policy tokens, so the
+        # routing digest must mirror the registry's pinning exactly.
+        if backend == "stochastic_acceptance" and method != "independent":
+            wheel_id = wheel_digest(values, "stochastic_acceptance", "sa")
+        else:
+            wheel_id = wheel_digest(values, method, policy)
         shard = self._shard_for(wheel_id)
-        reply = await self._call(shard, "register", values, method, policy)
+        reply = await self._call(shard, "register", values, method, policy, backend)
+        return ok_response(request_id, **reply)
+
+    async def _update(self, request: Dict[str, Any], request_id) -> Dict[str, Any]:
+        wheel_id = request["wheel"]
+        indices = np.ascontiguousarray(np.asarray(request["indices"], dtype=np.int64))
+        values = np.ascontiguousarray(np.asarray(request["values"], dtype=np.float64))
+        shard = self._shard_for(wheel_id)
+        start = time.monotonic()
+        reply = await self._call(shard, "update", wheel_id, indices, values)
+        self.metrics.updated(int(indices.size), time.monotonic() - start)
         return ok_response(request_id, **reply)
 
     async def _draw(self, request: Dict[str, Any], request_id) -> Dict[str, Any]:

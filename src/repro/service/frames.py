@@ -30,6 +30,7 @@ Frame types::
     0x04 STATS     empty
     0x10 REGISTER  kvmap   {"fitness": f8-ndarray, "method": str, "policy": ...}
     0x11 DRAW      fixed   wheel_len:u16 wheel:bytes n:u32 opts:u8 seed:i64 deadline:f64
+    0x12 UPDATE    fixed   wheel_len:u16 wheel:bytes k:u32 indices:i64[k] values:f64[k]
     0x80 OK        kvmap   generic success payload
     0x81 DRAWS     raw     dtype:u8 count:u32 raw ndarray bytes
     0x82 ERROR     kvmap   {"status": ..., "error": ..., "message": ...}
@@ -47,7 +48,7 @@ The full header/negotiation/error specification lives in
 from __future__ import annotations
 
 import struct
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,9 +65,11 @@ __all__ = [
     "FT_STATS",
     "FT_REGISTER",
     "FT_DRAW",
+    "FT_UPDATE",
     "FT_OK",
     "FT_DRAWS",
     "FT_ERROR",
+    "required_feature",
     "encode_value",
     "parse_value",
     "encode_frame",
@@ -85,8 +88,10 @@ MAGIC = 0xA5
 #: Bumped on any incompatible header or body-layout change.
 FRAMES_VERSION = 1
 
-#: Feature tokens advertised in HELLO negotiation.
-FRAME_FEATURES = ("draws-ndarray", "stats", "draining")
+#: Feature tokens advertised in HELLO negotiation.  ``update`` gates the
+#: UPDATE frame: a client that pinned its features with a HELLO lacking
+#: the token is answered with an ERROR if it sends one anyway.
+FRAME_FEATURES = ("draws-ndarray", "stats", "draining", "update")
 
 _HEADER = struct.Struct("!BBBBIQ")
 HEADER_SIZE = _HEADER.size  # 16 bytes
@@ -99,6 +104,7 @@ FT_METRICS = 0x03
 FT_STATS = 0x04
 FT_REGISTER = 0x10
 FT_DRAW = 0x11
+FT_UPDATE = 0x12
 FT_OK = 0x80
 FT_DRAWS = 0x81
 FT_ERROR = 0x82
@@ -110,10 +116,20 @@ _FTYPE_NAMES = {
     FT_STATS: "STATS",
     FT_REGISTER: "REGISTER",
     FT_DRAW: "DRAW",
+    FT_UPDATE: "UPDATE",
     FT_OK: "OK",
     FT_DRAWS: "DRAWS",
     FT_ERROR: "ERROR",
 }
+
+#: Frame types gated behind a HELLO feature token (negotiation contract:
+#: a client that pinned an explicit feature list must not send these).
+_FEATURE_GATED = {FT_UPDATE: "update"}
+
+
+def required_feature(ftype: int) -> Optional[str]:
+    """The HELLO feature token ``ftype`` requires, or ``None``."""
+    return _FEATURE_GATED.get(ftype)
 
 # ----------------------------------------------------------------------
 # Typed-value (kvmap) codec
@@ -412,6 +428,64 @@ def _parse_draw_body(body: bytes) -> Dict[str, Any]:
     return request
 
 
+# UPDATE body: wheel_len:u16 wheel:bytes k:u32 indices:i64[k] values:f64[k].
+# Fixed layout like DRAW — the mutation hot path never touches the kvmap
+# codec; both arrays are raw little-endian and cross the boundary through
+# np.frombuffer / tobytes with no Python-level loop.
+
+
+def _encode_update_body(request: Dict[str, Any]) -> bytes:
+    wheel = request["wheel"]
+    if not isinstance(wheel, str):
+        raise ProtocolError(f"update 'wheel' must be a string, got {wheel!r}")
+    raw = wheel.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError(f"wheel id of {len(raw)} bytes exceeds the wire limit")
+    try:
+        indices = np.ascontiguousarray(np.asarray(request["indices"], dtype="<i8"))
+        values = np.ascontiguousarray(np.asarray(request["values"], dtype="<f8"))
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ProtocolError(f"update delta is not numeric: {exc}") from None
+    if indices.ndim != 1 or values.ndim != 1:
+        raise ProtocolError("update 'indices' and 'values' must be 1-d")
+    if indices.size != values.size:
+        raise ProtocolError(
+            f"update 'indices' and 'values' must match, "
+            f"got {indices.size} vs {values.size}"
+        )
+    if indices.size == 0:
+        raise ProtocolError("update requires a non-empty delta")
+    if indices.size >= (1 << 32):
+        raise ProtocolError(f"update delta of {indices.size} entries exceeds u32")
+    return (
+        _U16.pack(len(raw))
+        + raw
+        + _U32.pack(indices.size)
+        + indices.tobytes()
+        + values.tobytes()
+    )
+
+
+def _parse_update_body(body: bytes) -> Dict[str, Any]:
+    mv = memoryview(body)
+    _need(mv, 0, 2)
+    wlen = _U16.unpack_from(mv, 0)[0]
+    _need(mv, 2, wlen + 4)
+    wheel = bytes(mv[2 : 2 + wlen]).decode("utf-8")
+    count = _U32.unpack_from(mv, 2 + wlen)[0]
+    if count == 0:
+        raise ProtocolError("UPDATE delta is empty")
+    offset = 2 + wlen + 4
+    nbytes = count * 8
+    if offset + 2 * nbytes != len(body):
+        raise ProtocolError(
+            f"UPDATE body length {len(body)} inconsistent with count {count}"
+        )
+    indices = np.frombuffer(mv[offset : offset + nbytes], dtype="<i8")
+    values = np.frombuffer(mv[offset + nbytes : offset + 2 * nbytes], dtype="<f8")
+    return {"op": "update", "wheel": wheel, "indices": indices, "values": values}
+
+
 # DRAWS body: dtype:u8 count:u32 raw bytes.
 def _encode_draws_body(draws: np.ndarray) -> bytes:
     arr = np.ascontiguousarray(draws, dtype="<i8")
@@ -448,6 +522,8 @@ def request_to_frame(request: Dict[str, Any]) -> bytes:
         return encode_frame(_OP_TO_EMPTY_FTYPE[op], b"", request_id)
     if op == "draw":
         return encode_frame(FT_DRAW, _encode_draw_body(request), request_id)
+    if op == "update":
+        return encode_frame(FT_UPDATE, _encode_update_body(request), request_id)
     if op == "register":
         fitness = np.ascontiguousarray(
             np.asarray(request["fitness"], dtype=np.float64)
@@ -457,6 +533,8 @@ def request_to_frame(request: Dict[str, Any]) -> bytes:
             payload["method"] = str(request["method"])
         if request.get("policy") is not None:
             payload["policy"] = str(request["policy"])
+        if request.get("backend") is not None:
+            payload["backend"] = str(request["backend"])
         return encode_frame(FT_REGISTER, _kvmap_bytes(payload), request_id)
     raise ProtocolError(f"op {op!r} has no frame encoding")
 
@@ -473,6 +551,8 @@ def frame_to_request(
         request: Dict[str, Any] = {"op": _FTYPE_TO_OP[ftype]}
     elif ftype == FT_DRAW:
         request = _parse_draw_body(body)
+    elif ftype == FT_UPDATE:
+        request = _parse_update_body(body)
     elif ftype == FT_REGISTER:
         payload = _parse_kvmap(body)
         fitness = payload.get("fitness")
@@ -483,6 +563,8 @@ def frame_to_request(
             request["method"] = payload["method"]
         if "policy" in payload:
             request["policy"] = payload["policy"]
+        if "backend" in payload:
+            request["backend"] = payload["backend"]
     else:
         raise ProtocolError(
             f"frame type {_FTYPE_NAMES.get(ftype, hex(ftype))} is not a request"
@@ -544,14 +626,19 @@ def frame_to_response(
 
 
 def hello_frame(
-    protocol_version: str, request_id: Optional[int] = None
+    protocol_version: str,
+    request_id: Optional[int] = None,
+    features: Optional[Sequence[str]] = None,
 ) -> bytes:
     """The negotiation frame either end opens with.
 
     Carries the JSON-protocol version string, the frame-format version,
     and the feature tokens this end understands; the peer intersects
-    features and may downgrade.  A server that receives a HELLO it cannot
-    satisfy answers with an ERROR frame instead.
+    features and may downgrade.  A client HELLO with an explicit
+    ``features`` list *pins* the connection: the server answers
+    feature-gated frame types outside the list with ERROR frames (see
+    :func:`required_feature`).  The default advertises everything this
+    build speaks.
     """
     return encode_frame(
         FT_HELLO,
@@ -559,7 +646,9 @@ def hello_frame(
             {
                 "protocol": protocol_version,
                 "frames": FRAMES_VERSION,
-                "features": list(FRAME_FEATURES),
+                "features": list(
+                    FRAME_FEATURES if features is None else features
+                ),
             }
         ),
         request_id,

@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro._version import __version__
+from repro.engine.compiled import AcceptanceWheel, CompiledWheel
 from repro.errors import ServiceOverloadedError
 from repro.rng.streams import request_stream
 from repro.service import frames as frames_mod
@@ -61,6 +62,7 @@ __all__ = [
     "run_closed_loop",
     "run_open_loop",
     "run_tcp_load",
+    "run_tcp_mutate_load",
     "run_bench_serve",
     "validate_bench_serve",
     "write_bench_serve",
@@ -70,8 +72,11 @@ __all__ = [
 
 #: Schema tag for BENCH_serve.json (bump on layout changes).  v2 adds
 #: the protocol (frames-vs-jsonl) and cluster (worker-sweep + per-shard
-#: determinism) sections.
-BENCH_SERVE_SCHEMA = "repro/bench-serve/v2"
+#: determinism) sections.  v3 adds the live-mutation sections: the
+#: delta-update-vs-reregister gate, the ``--mutate`` served workload leg
+#: with per-version latency histograms, the per-version determinism
+#: certificate, and the served-vs-in-process dynamic colony loop.
+BENCH_SERVE_SCHEMA = "repro/bench-serve/v3"
 
 #: Methods covered by the coalescing-determinism certificate: the
 #: paper's method plus one representative of each other kernel family.
@@ -87,6 +92,8 @@ _REQUIRED_RESULT_KEYS = (
     "overload",
     "protocol",
     "cluster",
+    "update",
+    "colony",
 )
 
 _REQUIRED_LEG_KEYS = (
@@ -106,6 +113,17 @@ _SCALING_GATE_TARGET = 0.7
 
 #: Binary frames must beat JSON-lines by this factor on the TCP legs.
 _PROTOCOL_GATE_TARGET = 2.0
+
+#: The delta-update path must beat re-register+recompile by this factor
+#: for every measured delta size k <= n/100 at the gate wheel size.
+_UPDATE_GATE_TARGET = 10.0
+_UPDATE_GATE_N = 100_000
+_UPDATE_GATE_KS = (10, 100, 1000)
+
+#: The served dynamic colony loop (draws + per-iteration UPDATE over
+#: binary frames) must stay within this factor of the in-process
+#: vectorized loop — the "serving a live colony is viable" gate.
+_COLONY_GATE_TARGET = 25.0
 
 
 async def run_closed_loop(
@@ -323,6 +341,229 @@ async def run_tcp_load(
         "per_proc": [
             {"requests": r["requests"], "elapsed_s": r["elapsed_s"]} for r in results
         ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Mutating TCP workload (--mutate): interleaved draws and UPDATEs
+# ----------------------------------------------------------------------
+
+
+async def _send_request(kind, reader, writer, request) -> Dict[str, Any]:
+    """One request/response round trip on an open connection."""
+    if kind == "frames":
+        writer.write(frames_mod.request_to_frame(request))
+        await writer.drain()
+        frame = await frames_mod.read_frame(reader, max_body_bytes=64 << 20)
+        if frame is None:
+            raise ConnectionError("server closed mid-run")
+        return frames_mod.frame_to_response(*frame)
+    writer.write((json.dumps(request, separators=(",", ":")) + "\n").encode())
+    await writer.drain()
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("server closed mid-run")
+    return json.loads(line)
+
+
+async def _mutate_tcp_client(
+    kind: str,
+    host: str,
+    port: int,
+    wheel_id: str,
+    wheel_size: int,
+    requests_per_client: int,
+    n_draws: int,
+    update_every: int,
+    update_k: int,
+    seed_base: int,
+    draw_hists: Dict[int, LatencyHistogram],
+    update_hist: LatencyHistogram,
+) -> Tuple[int, int, int]:
+    """One closed-loop client mixing draws with chained UPDATEs.
+
+    Every ``update_every``-th request is an UPDATE against the client's
+    current wheel id; the response's new id becomes the target of every
+    subsequent draw, so each client walks its own delta chain from the
+    shared root.  Draw latencies are recorded *per version depth* —
+    ``draw_hists[v]`` holds the draws served by version ``v`` wheels —
+    and update latencies separately; both merge exactly across
+    processes.  Returns ``(draws, updates, final_version)``.
+    """
+    delta_rng = np.random.default_rng(1_000_003 * (seed_base + 1))
+    reader, writer = await asyncio.open_connection(host, port)
+    draws = updates = version = 0
+    current = wheel_id
+    try:
+        for i in range(requests_per_client):
+            if update_every > 0 and (i + 1) % update_every == 0:
+                idx = delta_rng.choice(wheel_size, size=update_k, replace=False)
+                vals = delta_rng.random(update_k) + 0.5
+                request: Dict[str, Any] = {
+                    "op": "update",
+                    "wheel": current,
+                    "indices": idx if kind == "frames" else idx.tolist(),
+                    "values": vals if kind == "frames" else vals.tolist(),
+                }
+                start = time.perf_counter()
+                response = await _send_request(kind, reader, writer, request)
+                raise_structured(response)
+                update_hist.observe(time.perf_counter() - start)
+                current = response["wheel"]
+                version = int(response["version"])
+                updates += 1
+            else:
+                request = {
+                    "op": "draw",
+                    "wheel": current,
+                    "n": n_draws,
+                    "seed": seed_base + i,
+                }
+                start = time.perf_counter()
+                response = await _send_request(kind, reader, writer, request)
+                raise_structured(response)
+                hist = draw_hists.get(version)
+                if hist is None:
+                    hist = draw_hists[version] = LatencyHistogram()
+                hist.observe(time.perf_counter() - start)
+                draws += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+    return draws, updates, version
+
+
+def _mutate_proc(args: Tuple) -> Dict[str, Any]:
+    """One mutate load-generator process (top-level for spawn safety)."""
+    (
+        kind, host, port, wheel_id, wheel_size, clients,
+        requests_per_client, n_draws, update_every, update_k, seed0,
+    ) = args
+    draw_hists: Dict[int, LatencyHistogram] = {}
+    update_hist = LatencyHistogram()
+
+    async def go() -> Tuple[float, List[Tuple[int, int, int]]]:
+        start = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *(
+                _mutate_tcp_client(
+                    kind, host, port, wheel_id, wheel_size,
+                    requests_per_client, n_draws, update_every, update_k,
+                    seed0 + c * requests_per_client, draw_hists, update_hist,
+                )
+                for c in range(clients)
+            )
+        )
+        return time.perf_counter() - start, list(outcomes)
+
+    elapsed, outcomes = asyncio.run(go())
+    return {
+        "clients": clients,
+        "draws": sum(o[0] for o in outcomes),
+        "updates": sum(o[1] for o in outcomes),
+        "max_version": max((o[2] for o in outcomes), default=0),
+        "elapsed_s": elapsed,
+        "draw_latency_states": {
+            str(v): h.state() for v, h in draw_hists.items()
+        },
+        "update_latency_state": update_hist.state(),
+    }
+
+
+async def run_tcp_mutate_load(
+    host: str,
+    port: int,
+    wheel_id: str,
+    wheel_size: int,
+    *,
+    kind: str = "frames",
+    clients: int = 16,
+    requests_per_client: int = 32,
+    n_draws: int = 8,
+    update_every: int = 4,
+    update_k: int = 8,
+    procs: int = 1,
+    seed_base: int = 0,
+) -> Dict[str, Any]:
+    """The ``--mutate`` workload: interleaved draw/UPDATE traffic.
+
+    ``update_every`` sets the update:draw ratio (one UPDATE per
+    ``update_every`` requests; ``0`` disables mutation entirely) and
+    ``update_k`` the delta size.  As in :func:`run_tcp_load` the clients
+    are fanned out over ``procs`` processes; the per-version draw
+    histograms and the update histogram ship home as full bucket state
+    and merge exactly (:meth:`LatencyHistogram.merge_state`), so the
+    reported per-version distributions are identical to a single-process
+    run's.
+    """
+    if kind not in ("frames", "jsonl"):
+        raise ValueError(f"kind must be 'frames' or 'jsonl', got {kind!r}")
+    if procs <= 0:
+        raise ValueError(f"procs must be positive, got {procs}")
+    if update_every < 0 or update_k <= 0:
+        raise ValueError("update_every must be >= 0 and update_k positive")
+    if update_k > wheel_size:
+        raise ValueError(
+            f"update_k {update_k} exceeds wheel_size {wheel_size}"
+        )
+    procs = min(procs, clients)
+    shares = _split_clients(clients, procs)
+    args = []
+    offset = seed_base
+    for share in shares:
+        args.append(
+            (
+                kind, host, port, wheel_id, wheel_size, share,
+                requests_per_client, n_draws, update_every, update_k, offset,
+            )
+        )
+        offset += share * requests_per_client
+    loop = asyncio.get_running_loop()
+    if procs == 1:
+        results = [await loop.run_in_executor(None, _mutate_proc, args[0])]
+    else:
+        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        with ctx.Pool(procs) as pool:
+            results = await loop.run_in_executor(
+                None, pool.map, _mutate_proc, args
+            )
+    per_version: Dict[str, LatencyHistogram] = {}
+    update_hist = LatencyHistogram()
+    all_draws = LatencyHistogram()
+    for result in results:
+        for v, state in result["draw_latency_states"].items():
+            hist = per_version.get(v)
+            if hist is None:
+                hist = per_version[v] = LatencyHistogram()
+            hist.merge_state(state)
+            all_draws.merge_state(state)
+        update_hist.merge_state(result["update_latency_state"])
+    draws = sum(r["draws"] for r in results)
+    updates = sum(r["updates"] for r in results)
+    elapsed = max(r["elapsed_s"] for r in results)
+    requests = draws + updates
+    return {
+        "kind": kind,
+        "procs": procs,
+        "clients": clients,
+        "update_every": update_every,
+        "update_k": update_k,
+        "requests": requests,
+        "draws": draws,
+        "updates": updates,
+        "max_version": max((r["max_version"] for r in results), default=0),
+        "elapsed_s": elapsed,
+        "requests_per_s": requests / elapsed if elapsed > 0 else 0.0,
+        "updates_per_s": updates / elapsed if elapsed > 0 else 0.0,
+        "latency": all_draws.snapshot(),
+        "update_latency": update_hist.snapshot(),
+        "per_version_latency": {
+            v: per_version[v].snapshot()
+            for v in sorted(per_version, key=int)
+        },
     }
 
 
@@ -546,6 +787,483 @@ def _protocol_section(
         "speedup": speedup,
         "gate_target": _PROTOCOL_GATE_TARGET,
         "gate_met": bool(speedup >= _PROTOCOL_GATE_TARGET),
+    }
+
+
+# ----------------------------------------------------------------------
+# Live-mutation sections: delta gate, mutate leg, per-version
+# determinism certificate, and the served dynamic colony loop
+# ----------------------------------------------------------------------
+
+
+def _update_gate_section(
+    seed: int,
+    *,
+    n: int = _UPDATE_GATE_N,
+    ks: Sequence[int] = _UPDATE_GATE_KS,
+    trials: int = 3,
+    method: str = "log_bidding",
+) -> Dict[str, Any]:
+    """The >= 10x delta-update gate at the issue's wheel size.
+
+    For each delta size ``k <= n/100``, the same mutation is served two
+    ways — the full re-register path (content hash + validate + compile)
+    on a cold registry, and :meth:`WheelRegistry.update` against the
+    registered root — and the per-k speedup is the ratio of the two
+    median times.  The gate requires every measured k to clear the
+    target.
+    """
+    rng = np.random.default_rng(seed + 0x5EED)
+    base = rng.random(n) + 0.1
+    registry = WheelRegistry(max_wheels=len(ks) * trials + 8)
+    root_id, _ = registry.register(base, method=method)
+    legs: Dict[str, Any] = {}
+    speedups: List[float] = []
+    for k in ks:
+        k = int(min(max(1, k), max(1, n // 100)))
+        rereg: List[float] = []
+        delta: List[float] = []
+        for _ in range(trials):
+            idx = rng.choice(n, size=k, replace=False)
+            vals = rng.random(k) + 0.1
+            mutated = base.copy()
+            mutated[idx] = vals
+            cold = WheelRegistry()
+            start = time.perf_counter()
+            cold.register(mutated, method=method)
+            rereg.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            registry.update(root_id, idx, vals)
+            delta.append(time.perf_counter() - start)
+        rereg_s = sorted(rereg)[trials // 2]
+        delta_s = sorted(delta)[trials // 2]
+        speedup = rereg_s / delta_s if delta_s > 0 else 0.0
+        speedups.append(speedup)
+        legs[str(k)] = {
+            "k": k,
+            "reregister_ms": rereg_s * 1e3,
+            "delta_ms": delta_s * 1e3,
+            "speedup": speedup,
+        }
+    stats = registry.stats()
+    min_speedup = min(speedups) if speedups else 0.0
+    return {
+        "n": n,
+        "trials": trials,
+        "method": method,
+        "legs": legs,
+        "min_speedup": min_speedup,
+        "gate_target": _UPDATE_GATE_TARGET,
+        "gate_met": bool(min_speedup >= _UPDATE_GATE_TARGET),
+        "registry": {
+            key: stats[key]
+            for key in (
+                "updates",
+                "update_hits",
+                "delta_recompiles",
+                "update_fenwick",
+                "update_rebuild",
+                "max_chain_len",
+                "misses",
+            )
+        },
+    }
+
+
+def _measure_mutate_leg(
+    fitness: np.ndarray,
+    method: str,
+    *,
+    clients: int,
+    requests_per_client: int,
+    n_draws: int,
+    update_every: int,
+    update_k: int,
+    seed: int,
+    procs: int,
+    config: BatchConfig,
+) -> Dict[str, Any]:
+    """The served ``--mutate`` leg: ephemeral server, mutating clients.
+
+    Registry capacity is sized to the version count the workload mints,
+    so the leg measures delta-update latency rather than LRU churn; the
+    server-side update counters ride along in the report.
+    """
+    updates_per_client = (
+        requests_per_client // update_every if update_every > 0 else 0
+    )
+    service = SelectionService(
+        seed=seed,
+        config=config,
+        max_wheels=max(256, clients * (updates_per_client + 1) + 16),
+    )
+    wheel_id, _ = service.registry.register(fitness, method=method)
+
+    async def go() -> Dict[str, Any]:
+        server = await start_tcp_server(service, port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await run_tcp_mutate_load(
+                "127.0.0.1", port, wheel_id, int(len(fitness)),
+                kind="frames", clients=clients,
+                requests_per_client=requests_per_client, n_draws=n_draws,
+                update_every=update_every, update_k=update_k,
+                procs=procs, seed_base=0,
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.close()
+
+    leg = asyncio.run(go())
+    stats = service.registry.stats()
+    leg["service"] = {
+        "updates_total": service.metrics.updates_total,
+        "update_indices_total": service.metrics.update_indices_total,
+        "update_latency": service.metrics.update_latency.snapshot(),
+        "registry": {
+            key: stats[key]
+            for key in (
+                "updates",
+                "update_hits",
+                "delta_recompiles",
+                "update_fenwick",
+                "update_rebuild",
+                "max_chain_len",
+                "versions",
+                "misses",
+                "evictions",
+            )
+        },
+    }
+    return leg
+
+
+def _version_determinism_certificate(
+    wheel_size: int,
+    seed: int,
+    *,
+    workers: int = 3,
+    chain: int = 3,
+    method: str = "log_bidding",
+) -> Dict[str, Any]:
+    """The per-version determinism certificate.
+
+    A chain of UPDATEs is replayed on a 1-worker and a ``workers``-worker
+    cluster (asserting both mint the identical history-addressed ids),
+    and every version — root included — is drawn against twice: once the
+    moment it exists and once after the whole chain does.  All draws must
+    be byte-identical across pool sizes, across the two passes (the
+    copy-on-write guarantee: later updates never disturb a parent), and
+    against a direct replay oracle: a *freshly compiled* wheel holding
+    the version's values on the version's resolved kernel.  A
+    one-update ``stochastic_acceptance`` chain rides along with its own
+    rejection-sampler oracle.
+    """
+    sizes = [1, 7, 33, 64]
+    delta_rng = np.random.default_rng(seed + 1717)
+    base = np.arange(1.0, wheel_size + 1.0)
+    k = max(1, wheel_size // 50)
+
+    # Local mirror: derives each version's expected id, kernel, values.
+    mirror = WheelRegistry()
+    root_id, _ = mirror.register(base, method=method)
+    versions: List[Tuple[str, np.ndarray]] = [(root_id, base.copy())]
+    deltas: List[Tuple[np.ndarray, np.ndarray]] = []
+    current, values = root_id, base.copy()
+    for _ in range(chain):
+        idx = delta_rng.choice(wheel_size, size=k, replace=False)
+        vals = delta_rng.random(k) + 0.5
+        deltas.append((idx, vals))
+        current, _ = mirror.update(current, idx, vals)
+        values = values.copy()
+        values[idx] = vals
+        versions.append((current, values))
+
+    def serve(n_workers: int):
+        cluster = ClusterService(workers=n_workers, seed=seed)
+
+        async def draw_all(wid: str) -> List[np.ndarray]:
+            responses = await asyncio.gather(
+                *(
+                    cluster.handle_request(
+                        {"op": "draw", "wheel": wid, "n": sz, "seed": i}
+                    )
+                    for i, sz in enumerate(sizes)
+                )
+            )
+            for r in responses:
+                raise_structured(r)
+            return [np.asarray(r["draws"]) for r in responses]
+
+        async def go():
+            reply = await cluster.handle_request(
+                {"op": "register", "fitness": base.tolist(), "method": method}
+            )
+            raise_structured(reply)
+            if reply["wheel"] != root_id:
+                raise AssertionError("cluster minted a different root id")
+            first: Dict[str, List[np.ndarray]] = {root_id: await draw_all(root_id)}
+            cur = root_id
+            for idx, vals in deltas:
+                reply = await cluster.handle_request(
+                    {
+                        "op": "update",
+                        "wheel": cur,
+                        "indices": idx.tolist(),
+                        "values": vals.tolist(),
+                    }
+                )
+                raise_structured(reply)
+                cur = reply["wheel"]
+                first[cur] = await draw_all(cur)
+            if list(first) != [wid for wid, _ in versions]:
+                raise AssertionError("cluster minted different version ids")
+            second = {wid: await draw_all(wid) for wid, _ in versions}
+            await cluster.close()
+            return first, second
+
+        return asyncio.run(go())
+
+    single_first, single_second = serve(1)
+    multi_first, multi_second = serve(workers)
+    per_version = []
+    all_ok = True
+    cow_stable = True
+    for version, (wid, vals_v) in enumerate(versions):
+        kernel = mirror.get(wid).kernel
+        oracle = CompiledWheel(vals_v, method, kernel=kernel)
+        direct = [
+            oracle.select_many(sz, request_stream(seed, digest_key(wid), i))
+            for i, sz in enumerate(sizes)
+        ]
+        stable = all(
+            np.array_equal(a, b) and np.array_equal(c, d)
+            for a, b, c, d in zip(
+                single_first[wid], single_second[wid],
+                multi_first[wid], multi_second[wid],
+            )
+        )
+        ok = stable and all(
+            np.array_equal(a, c) and np.array_equal(a, e)
+            for a, c, e in zip(single_first[wid], multi_first[wid], direct)
+        )
+        cow_stable = cow_stable and stable
+        all_ok = all_ok and ok
+        per_version.append(
+            {
+                "version": version,
+                "wheel": wid,
+                "kernel": kernel,
+                "bitwise_identical": bool(ok),
+            }
+        )
+
+    # Acceptance-backend chain: one update, same three-way comparison
+    # against the rejection sampler's own replay oracle.
+    sa_mirror = WheelRegistry()
+    sa_root, _ = sa_mirror.register(base, backend="stochastic_acceptance")
+    sa_idx, sa_vals = deltas[0]
+    sa_child, _ = sa_mirror.update(sa_root, sa_idx, sa_vals)
+    sa_values = base.copy()
+    sa_values[sa_idx] = sa_vals
+
+    def serve_sa(n_workers: int) -> Tuple[str, List[np.ndarray]]:
+        cluster = ClusterService(workers=n_workers, seed=seed)
+
+        async def go():
+            reply = await cluster.handle_request(
+                {
+                    "op": "register",
+                    "fitness": base.tolist(),
+                    "backend": "stochastic_acceptance",
+                }
+            )
+            raise_structured(reply)
+            reply = await cluster.handle_request(
+                {
+                    "op": "update",
+                    "wheel": reply["wheel"],
+                    "indices": sa_idx.tolist(),
+                    "values": sa_vals.tolist(),
+                }
+            )
+            raise_structured(reply)
+            wid = reply["wheel"]
+            out = []
+            for i, sz in enumerate(sizes):
+                r = await cluster.handle_request(
+                    {"op": "draw", "wheel": wid, "n": sz, "seed": i}
+                )
+                raise_structured(r)
+                out.append(np.asarray(r["draws"]))
+            await cluster.close()
+            return wid, out
+
+        return asyncio.run(go())
+
+    sa_id_single, sa_single = serve_sa(1)
+    sa_id_multi, sa_multi = serve_sa(workers)
+    sa_oracle = AcceptanceWheel(sa_values)
+    sa_direct = [
+        sa_oracle.select_many(sz, request_stream(seed, digest_key(sa_child), i))
+        for i, sz in enumerate(sizes)
+    ]
+    acceptance_ok = (
+        sa_id_single == sa_child
+        and sa_id_multi == sa_child
+        and all(
+            np.array_equal(a, b) and np.array_equal(a, c)
+            for a, b, c in zip(sa_single, sa_multi, sa_direct)
+        )
+    )
+    all_ok = all_ok and bool(acceptance_ok)
+    return {
+        "workers_compared": [1, workers],
+        "method": method,
+        "chain": chain,
+        "sizes": sizes,
+        "versions": per_version,
+        "cow_stable": bool(cow_stable),
+        "acceptance_ok": bool(acceptance_ok),
+        "ok": bool(all_ok),
+    }
+
+
+def _update_section(
+    fitness: np.ndarray,
+    method: str,
+    seed: int,
+    *,
+    wheel_size: int,
+    clients: int,
+    requests_per_client: int,
+    n_draws: int,
+    update_every: int,
+    update_k: int,
+    procs: int,
+    config: BatchConfig,
+    update_n: int,
+    mutate: bool,
+) -> Dict[str, Any]:
+    """Assemble the ``update`` results block (gate + leg + certificate)."""
+    section = _update_gate_section(seed, n=update_n, method=method)
+    mutate_clients = clients if mutate else min(clients, 16)
+    mutate_rpc = requests_per_client if mutate else min(requests_per_client, 32)
+    section["mutate"] = _measure_mutate_leg(
+        fitness, method,
+        clients=mutate_clients, requests_per_client=mutate_rpc,
+        n_draws=n_draws, update_every=update_every,
+        update_k=min(update_k, wheel_size), seed=seed, procs=procs,
+        config=config,
+    )
+    section["determinism"] = _version_determinism_certificate(
+        min(wheel_size, 512), seed, method=method
+    )
+    return section
+
+
+def _colony_section(
+    seed: int,
+    *,
+    n: int = 50_000,
+    ants: int = 256,
+    iterations: int = 25,
+    update_k: int = 50,
+    method: str = "log_bidding",
+    config: Optional[BatchConfig] = None,
+) -> Dict[str, Any]:
+    """The served dynamic colony loop vs its in-process vectorized twin.
+
+    The workload is the paper's motivating ACO shape: per iteration, one
+    batched selection of ``ants`` next-choices from the pheromone wheel,
+    then a ``k``-sparse pheromone delta.  In process that is one cumsum
+    plus one ``searchsorted`` batch and a scatter; served, it is one
+    DRAW and one UPDATE frame per iteration over a real TCP connection,
+    the UPDATE minting the next version the following DRAW targets.  The
+    gate bounds the served/in-process slowdown — the "a live colony can
+    be served" viability factor.
+    """
+    n = int(n)
+    update_k = int(min(update_k, n))
+    rng = np.random.default_rng(seed + 424242)
+    base = rng.random(n) + 0.1
+    deltas = [
+        (rng.choice(n, size=update_k, replace=False), rng.random(update_k) + 0.5)
+        for _ in range(iterations)
+    ]
+    draw_u = rng.random((iterations, ants))
+
+    values = base.copy()
+    start = time.perf_counter()
+    for it in range(iterations):
+        cs = np.cumsum(values)
+        np.minimum(
+            np.searchsorted(cs, draw_u[it] * cs[-1], side="right"), n - 1
+        )
+        idx, vals = deltas[it]
+        values[idx] = vals
+    inproc_s = time.perf_counter() - start
+
+    service = SelectionService(
+        seed=seed, config=config, max_wheels=iterations + 8
+    )
+    wheel_id, _ = service.registry.register(base, method=method)
+
+    async def go() -> float:
+        server = await start_tcp_server(service, port=0)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            warm = await _send_request(
+                "frames", reader, writer,
+                {"op": "draw", "wheel": wheel_id, "n": ants, "seed": 1 << 40},
+            )
+            raise_structured(warm)
+            cur = wheel_id
+            begin = time.perf_counter()
+            for it in range(iterations):
+                reply = await _send_request(
+                    "frames", reader, writer,
+                    {"op": "draw", "wheel": cur, "n": ants, "seed": it},
+                )
+                raise_structured(reply)
+                idx, vals = deltas[it]
+                reply = await _send_request(
+                    "frames", reader, writer,
+                    {"op": "update", "wheel": cur, "indices": idx, "values": vals},
+                )
+                raise_structured(reply)
+                cur = reply["wheel"]
+            return time.perf_counter() - begin
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            # Let the server-side handler observe the EOF and finish its
+            # own close before the loop is torn down.
+            await asyncio.sleep(0.05)
+            server.close()
+            await server.wait_closed()
+            await service.close()
+
+    served_s = asyncio.run(go())
+    factor = served_s / inproc_s if inproc_s > 0 else 0.0
+    return {
+        "n": n,
+        "ants": ants,
+        "iterations": iterations,
+        "update_k": update_k,
+        "method": method,
+        "inprocess_s": inproc_s,
+        "served_s": served_s,
+        "inprocess_iter_us": inproc_s / iterations * 1e6,
+        "served_iter_us": served_s / iterations * 1e6,
+        "factor": factor,
+        "gate_target": _COLONY_GATE_TARGET,
+        "gate_met": bool(0.0 < factor <= _COLONY_GATE_TARGET),
     }
 
 
@@ -808,6 +1526,13 @@ def run_bench_serve(
     cluster_workers: Optional[Sequence[int]] = None,
     protocol_draws: int = 1024,
     protocol_requests_per_client: int = 16,
+    mutate: bool = False,
+    update_every: int = 4,
+    update_k: int = 8,
+    update_n: int = _UPDATE_GATE_N,
+    colony_n: int = 50_000,
+    colony_ants: int = 256,
+    colony_iterations: int = 25,
 ) -> Dict[str, Any]:
     """Measure the serving stack end to end and assemble the report.
 
@@ -815,8 +1540,13 @@ def run_bench_serve(
     clients against a 1000-item ``log_bidding`` wheel, requiring >= 10x
     requests/s of the micro-batching scheduler over the per-request
     validate+select baseline, >= 2x of binary frames over JSON-lines on
-    the TCP legs, and (on hosts with >= 4 cores) >= 0.7 scaling
-    efficiency at 4 cluster workers.
+    the TCP legs, (on hosts with >= 4 cores) >= 0.7 scaling efficiency
+    at 4 cluster workers, >= 10x of the delta-update path over
+    re-register+recompile at ``update_n``, and the served dynamic colony
+    loop within ``_COLONY_GATE_TARGET`` (25x) of its in-process twin.  The
+    mutate leg always runs at a light default so the report shape is
+    stable; ``mutate=True`` (the CLI's ``--mutate``) runs it at the full
+    client count.
     """
     if wheel_size < 2:
         raise ValueError(f"wheel_size must be >= 2, got {wheel_size}")
@@ -879,6 +1609,17 @@ def run_bench_serve(
         n_draws=n_draws, procs=procs, config=config,
         workers_sweep=cluster_workers,
     )
+    update = _update_section(
+        fitness, method, seed,
+        wheel_size=wheel_size, clients=clients,
+        requests_per_client=requests_per_client, n_draws=n_draws,
+        update_every=update_every, update_k=update_k, procs=procs,
+        config=config, update_n=update_n, mutate=mutate,
+    )
+    colony = _colony_section(
+        seed, n=colony_n, ants=colony_ants, iterations=colony_iterations,
+        method=method, config=config,
+    )
 
     return {
         "schema": BENCH_SERVE_SCHEMA,
@@ -894,6 +1635,13 @@ def run_bench_serve(
             "procs": procs,
             "protocol_draws": protocol_draws,
             "protocol_requests_per_client": protocol_requests_per_client,
+            "mutate": mutate,
+            "update_every": update_every,
+            "update_k": update_k,
+            "update_n": update_n,
+            "colony_n": colony_n,
+            "colony_ants": colony_ants,
+            "colony_iterations": colony_iterations,
         },
         "results": {
             "legs": legs,
@@ -904,6 +1652,8 @@ def run_bench_serve(
             "overload": overload,
             "protocol": protocol,
             "cluster": cluster,
+            "update": update,
+            "colony": colony,
         },
         "meta": {
             "repro": __version__,
@@ -919,7 +1669,8 @@ def validate_bench_serve(report: Dict[str, Any]) -> None:
     """Raise ``ValueError`` unless ``report`` is a well-formed serve bench.
 
     Layout plus the *correctness* certificates — coalescing determinism,
-    the per-shard cluster determinism certificate, and the overload
+    the per-shard cluster determinism certificate, the per-version
+    (copy-on-write) determinism certificate, and the overload
     shape — are required; the performance gates themselves are recorded
     but not required, because a loaded shared CI runner may legitimately
     miss a throughput target.  The scaling gate must either be evaluated
@@ -993,6 +1744,39 @@ def validate_bench_serve(report: Dict[str, Any]) -> None:
     for key, leg in cluster["legs"].items():
         if leg.get("requests_per_s", 0) <= 0:
             raise ValueError(f"cluster leg workers={key} recorded no throughput")
+    update = results["update"]
+    if not update.get("legs"):
+        raise ValueError("update section recorded no delta legs")
+    for key, leg in update["legs"].items():
+        if leg.get("delta_ms", 0) <= 0 or leg.get("reregister_ms", 0) <= 0:
+            raise ValueError(f"update leg k={key} recorded no timings")
+    if not isinstance(update.get("gate_met"), bool):
+        raise ValueError("update.gate_met must be a bool")
+    mutate_leg = update.get("mutate", {})
+    if mutate_leg.get("draws", 0) <= 0:
+        raise ValueError("mutate leg recorded no draws")
+    per_client = mutate_leg.get("requests", 0) // max(1, mutate_leg.get("clients", 1))
+    if 0 < mutate_leg.get("update_every", 0) <= per_client:
+        if mutate_leg.get("updates", 0) <= 0:
+            raise ValueError("mutate leg with update traffic recorded no updates")
+        if not mutate_leg.get("per_version_latency"):
+            raise ValueError("mutate leg missing per-version latency histograms")
+    version_cert = update.get("determinism", {})
+    if not version_cert.get("ok"):
+        raise ValueError(
+            "per-version determinism certificate failed: versioned draws "
+            "are not byte-identical to direct replay"
+        )
+    for entry in version_cert.get("versions", []):
+        if not entry.get("bitwise_identical"):
+            raise ValueError(
+                f"per-version determinism failed for {entry.get('wheel')!r}"
+            )
+    colony = results["colony"]
+    if colony.get("inprocess_s", 0) <= 0 or colony.get("served_s", 0) <= 0:
+        raise ValueError("colony section recorded no timings")
+    if not isinstance(colony.get("gate_met"), bool):
+        raise ValueError("colony.gate_met must be a bool")
     if not isinstance(results["gate_met"], bool):
         raise ValueError("gate_met must be a bool")
 
@@ -1076,4 +1860,47 @@ def render_bench_serve(report: Dict[str, Any]) -> str:
             f"  per-shard determinism (workers {cert['workers_compared']}): "
             f"{'ok' if cert['ok'] else 'FAILED'} across {len(cert['wheels'])} wheels"
         )
+    update = results.get("update")
+    if update:
+        ugate = "MET" if update["gate_met"] else "missed"
+        lines += ["", f"delta updates (n={update['n']}):"]
+        for key in sorted(update["legs"], key=int):
+            leg = update["legs"][key]
+            lines.append(
+                f"  k={key:<6}delta {leg['delta_ms']:>8.2f} ms vs "
+                f"re-register {leg['reregister_ms']:>8.2f} ms  "
+                f"({leg['speedup']:.1f}x)"
+            )
+        lines.append(
+            f"  update gate: min speedup = {update['min_speedup']:.1f}x "
+            f"(target {update['gate_target']:.0f}x) -> {ugate}"
+        )
+        mutate_leg = update.get("mutate")
+        if mutate_leg:
+            lines.append(
+                f"  mutate leg: {mutate_leg['requests_per_s']:.0f} req/s, "
+                f"{mutate_leg['updates']} updates "
+                f"(1:{mutate_leg['update_every']} of requests, "
+                f"k={mutate_leg['update_k']}), "
+                f"{len(mutate_leg['per_version_latency'])} version depths"
+            )
+        cert = update.get("determinism")
+        if cert:
+            lines.append(
+                f"  per-version determinism (workers {cert['workers_compared']}, "
+                f"chain {cert['chain']}): {'ok' if cert['ok'] else 'FAILED'}; "
+                f"acceptance {'ok' if cert['acceptance_ok'] else 'FAILED'}"
+            )
+    colony = results.get("colony")
+    if colony:
+        cgate = "MET" if colony["gate_met"] else "missed"
+        lines += [
+            "",
+            f"dynamic colony loop (n={colony['n']}, ants={colony['ants']}, "
+            f"{colony['iterations']} iters, k={colony['update_k']}):",
+            f"  in-process {colony['inprocess_iter_us']:>10.0f} us/iter",
+            f"  served     {colony['served_iter_us']:>10.0f} us/iter",
+            f"  served/in-process = {colony['factor']:.1f}x "
+            f"(target <= {colony['gate_target']:.0f}x) -> {cgate}",
+        ]
     return "\n".join(lines)

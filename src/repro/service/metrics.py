@@ -168,9 +168,12 @@ class ServiceMetrics:
         "shed_total",
         "expired_total",
         "draining_total",
+        "updates_total",
+        "update_indices_total",
         "queue_depth",
         "queue_peak",
         "latency",
+        "update_latency",
         "batch_sizes",
     )
 
@@ -182,9 +185,12 @@ class ServiceMetrics:
         self.shed_total = 0
         self.expired_total = 0
         self.draining_total = 0
+        self.updates_total = 0
+        self.update_indices_total = 0
         self.queue_depth = 0
         self.queue_peak = 0
         self.latency = LatencyHistogram()
+        self.update_latency = LatencyHistogram()
         self.batch_sizes = BatchSizeHistogram()
 
     # ------------------------------------------------------------------
@@ -221,6 +227,12 @@ class ServiceMetrics:
         """A request failed with a structured error."""
         self.error_total += 1
 
+    def updated(self, n_indices: int, latency_s: float) -> None:
+        """A delta update minted (or re-hit) a wheel version."""
+        self.updates_total += 1
+        self.update_indices_total += n_indices
+        self.update_latency.observe(latency_s)
+
     # ------------------------------------------------------------------
     def snapshot(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """One JSON-able view of every metric; ``extra`` is merged in."""
@@ -232,9 +244,12 @@ class ServiceMetrics:
             "shed_total": self.shed_total,
             "expired_total": self.expired_total,
             "draining_total": self.draining_total,
+            "updates_total": self.updates_total,
+            "update_indices_total": self.update_indices_total,
             "queue_depth": self.queue_depth,
             "queue_peak": self.queue_peak,
             "latency": self.latency.snapshot(),
+            "update_latency": self.update_latency.snapshot(),
             "batch_sizes": self.batch_sizes.snapshot(),
         }
         if extra:

@@ -7,9 +7,11 @@ repro serve --stdio``) and language-neutral.
 Requests::
 
     {"op": "register", "fitness": [..], "method": "log_bidding",
-     "policy": "auto", "id": 7}
+     "policy": "auto", "backend": "compiled", "id": 7}
     {"op": "draw", "wheel": "w1:<hex>", "n": 16, "seed": 123,
      "deadline_us": 5000, "id": 8}
+    {"op": "update", "wheel": "w1:<hex>", "indices": [3, 17],
+     "values": [0.5, 2.0], "id": 12}
     {"op": "metrics", "id": 9}
     {"op": "stats", "id": 10}
     {"op": "ping", "id": 11}
@@ -17,8 +19,9 @@ Requests::
 Responses always echo ``id`` (when given) and carry a ``status``:
 
 * ``{"status": "ok", ...}`` — op-specific payload (``wheel``/``cached``
-  for register, ``draws`` for draw, the snapshot for metrics, the
-  per-shard breakdown for stats);
+  for register, ``draws`` for draw, ``wheel``/``version``/``parent``/
+  ``cached`` for update — the new *versioned* id to draw against —
+  the snapshot for metrics, the per-shard breakdown for stats);
 * ``{"status": "overloaded", "error": ..., "message": ...}`` — the
   request was shed by admission control or expired in queue; safe to
   retry after backoff;
@@ -95,7 +98,7 @@ STRUCTURED_ERRORS = {
     )
 }
 
-_VALID_OPS = ("register", "draw", "metrics", "stats", "ping")
+_VALID_OPS = ("register", "draw", "update", "metrics", "stats", "ping")
 
 
 def decode_request(line: str) -> Dict[str, Any]:
@@ -125,6 +128,25 @@ def decode_request(line: str) -> Dict[str, Any]:
         fitness = request.get("fitness")
         if not isinstance(fitness, list) or not fitness:
             raise ProtocolError("register requires a non-empty 'fitness' array")
+        backend = request.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            raise ProtocolError(
+                f"register 'backend' must be a string, got {backend!r}"
+            )
+    elif op == "update":
+        if not isinstance(request.get("wheel"), str):
+            raise ProtocolError("update requires a string 'wheel' id")
+        indices = request.get("indices")
+        values = request.get("values")
+        if not isinstance(indices, list) or not indices:
+            raise ProtocolError("update requires a non-empty 'indices' array")
+        if not isinstance(values, list) or not values:
+            raise ProtocolError("update requires a non-empty 'values' array")
+        if len(indices) != len(values):
+            raise ProtocolError(
+                f"update 'indices' and 'values' must match, "
+                f"got {len(indices)} vs {len(values)}"
+            )
     elif op == "draw":
         if not isinstance(request.get("wheel"), str):
             raise ProtocolError("draw requires a string 'wheel' id")

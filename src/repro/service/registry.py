@@ -20,6 +20,22 @@ registry first consults the store (adopting a blob another worker
 published), then races for the store's exclusive claim — so N cluster
 replicas registering the same fitness vector concurrently still compile
 it exactly once, with ``store_hits`` / ``compiles`` counters proving it.
+
+Live mutation rides on **versioned wheels**: :meth:`WheelRegistry.update`
+applies an ``(indices, values)`` delta to a registered wheel and mints a
+*new* id — ``<root>@<verhex>``, where ``verhex`` hashes the parent id and
+the canonical delta, so the same update history derives the same id on
+every replica while the embedded root keeps every version of a wheel on
+its owning cluster shard.  Versions are copy-on-write: the parent entry
+is never touched, so in-flight draws against the old id stay bitwise
+deterministic.  The new version is built by *incremental recompilation*
+(a :class:`repro.core.dynamic.FenwickSampler` mirror applies the delta —
+per-index tree walks below its measured cutoff, one vectorised rebuild
+above it — and :meth:`repro.engine.CompiledWheel.apply_updates` patches
+the kernel artifacts) instead of the full hash+validate+compile
+registration path.  ``backend="stochastic_acceptance"`` skips
+compilation entirely: the entry serves Lipowski & Lipowska rejection
+sampling and its only derived state is the running max weight.
 """
 
 from __future__ import annotations
@@ -27,15 +43,32 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.dynamic import FenwickSampler
 from repro.core.fitness import FitnessVector
-from repro.engine.compiled import CompiledWheel
-from repro.errors import UnknownWheelError
+from repro.engine.compiled import (
+    AcceptanceWheel,
+    CompiledWheel,
+    _canonical_delta,
+    wheel_from_bytes,
+)
+from repro.errors import DegenerateFitnessError, UnknownWheelError
 
-__all__ = ["wheel_digest", "WheelRegistry", "DEFAULT_MAX_WHEELS"]
+__all__ = [
+    "wheel_digest",
+    "digest_key",
+    "base_id",
+    "version_id",
+    "WheelRegistry",
+    "DEFAULT_MAX_WHEELS",
+    "BACKENDS",
+]
+
+#: Serving backends a wheel can be registered under.
+BACKENDS = ("compiled", "stochastic_acceptance")
 
 #: Default LRU capacity: compiled wheels are O(n) memory each, so a few
 #: hundred thousand-item wheels stay well under typical service budgets.
@@ -67,21 +100,79 @@ def wheel_digest(fitness, method: str, policy: str) -> str:
 
 
 def digest_key(wheel_id: str) -> int:
-    """A 64-bit integer derived from a wheel id (substream key material)."""
+    """A 64-bit integer derived from a wheel id (substream key material).
+
+    For a versioned id (``<root>@<verhex>``) the version digest is folded
+    in, so draws against different versions of the same wheel consume
+    distinct substreams; root ids keep their historical key bit-for-bit.
+    """
     tail = wheel_id.rsplit(":", 1)[-1]
+    if "@" in tail:
+        root, _, ver = tail.partition("@")
+        return int(root[:16], 16) ^ int(ver[:16], 16)
     return int(tail[:16], 16)
 
 
+def base_id(wheel_id: str) -> str:
+    """The root (shard-routing) id of a possibly-versioned wheel id.
+
+    Every version of a wheel shares its root's hash-ring placement, so
+    updates and subsequent draws against any version coalesce on the
+    owning shard.
+    """
+    return wheel_id.split("@", 1)[0]
+
+
+def version_id(parent_id: str, indices: np.ndarray, values: np.ndarray) -> str:
+    """Derive the child id for applying a canonical delta to ``parent_id``.
+
+    The version digest chains over the full parent id (itself possibly
+    versioned) and the delta's canonical bytes, so the same update
+    history mints the same id on every replica — *history*-addressed,
+    where root ids are content-addressed.  The root prefix is preserved
+    for shard routing (see :func:`base_id`).
+    """
+    idx = np.ascontiguousarray(np.asarray(indices, dtype=np.int64))
+    vals = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+    if idx.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts
+        idx = idx.astype("<i8")
+    if vals.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts
+        vals = vals.astype("<f8")
+    h = hashlib.sha256()
+    h.update(b"repro-wheel-update-v1\x00")
+    h.update(parent_id.encode("ascii") + b"\x00")
+    h.update(np.int64(idx.size).tobytes())
+    h.update(idx.tobytes())
+    h.update(vals.tobytes())
+    return f"{base_id(parent_id)}@{h.hexdigest()[:16]}"
+
+
 class _Entry:
-    """One cached wheel: the compiled artifact plus accounting."""
+    """One cached wheel: the serving artifact plus accounting.
 
-    __slots__ = ("wheel", "method", "policy", "hits")
+    ``parent``/``version`` place the entry in its delta chain (roots are
+    version 0 with no parent).  ``sampler`` is the lazily-built Fenwick
+    mirror that applies deltas for compiled entries; it rides along to
+    the child on update so consecutive updates never rebuild it.
+    """
 
-    def __init__(self, wheel: CompiledWheel, method: str, policy: str) -> None:
+    __slots__ = ("wheel", "method", "policy", "hits", "parent", "version", "sampler")
+
+    def __init__(
+        self,
+        wheel: Union[CompiledWheel, AcceptanceWheel],
+        method: str,
+        policy: str,
+        parent: Optional[str] = None,
+        version: int = 0,
+    ) -> None:
         self.wheel = wheel
         self.method = method
         self.policy = policy
         self.hits = 0
+        self.parent = parent
+        self.version = version
+        self.sampler: Optional[FenwickSampler] = None
 
 
 class WheelRegistry:
@@ -125,6 +216,12 @@ class WheelRegistry:
         self.evictions = 0
         self.store_hits = 0
         self.compiles = 0
+        self.updates = 0
+        self.update_hits = 0
+        self.delta_recompiles = 0
+        self.update_fenwick = 0
+        self.update_rebuild = 0
+        self.max_chain_len = 0
 
     # ------------------------------------------------------------------
     def register(
@@ -132,6 +229,7 @@ class WheelRegistry:
         fitness,
         method: str = "log_bidding",
         policy: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> Tuple[str, bool]:
         """Register (or re-hit) a wheel; returns ``(wheel_id, cached)``.
 
@@ -140,8 +238,29 @@ class WheelRegistry:
         (``FitnessError`` / ``DegenerateFitnessError``) for invalid
         vectors and ``UnknownMethodError`` for unknown methods — the
         service maps these to structured error responses.
+
+        ``backend="stochastic_acceptance"`` serves the wheel through the
+        update-free rejection sampler instead of a compiled kernel: no
+        tables are built, the only derived state is the running max
+        weight, and the method is pinned to ``stochastic_acceptance``
+        (the bit-contract is the Lipowski & Lipowska propose/accept
+        loop; every exact method's distribution is the same ``F_i``).
         """
         policy = self.policy if policy is None else str(policy)
+        backend = "compiled" if backend is None else str(backend)
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if backend == "stochastic_acceptance":
+            if method == "independent":
+                raise ValueError(
+                    "the stochastic_acceptance backend serves the exact "
+                    "distribution; the independent baseline's bias cannot "
+                    "ride on it"
+                )
+            method = "stochastic_acceptance"
+            # The rejection sampler has no kernel; "sa" is its digest
+            # token so acceptance wheels never alias compiled ones.
+            policy = "sa"
         fitness = fitness if isinstance(fitness, FitnessVector) else FitnessVector(fitness)
         wheel_id = wheel_digest(fitness.values, method, policy)
         with self._lock:
@@ -154,7 +273,7 @@ class WheelRegistry:
         # Compile outside the lock: O(n) table builds must not serialize
         # unrelated lookups.  A racing duplicate registration compiles
         # twice and the second insert wins; ids are identical either way.
-        wheel = self._materialize(fitness, method, policy, wheel_id)
+        wheel = self._materialize(fitness, method, policy, wheel_id, backend)
         with self._lock:
             cached = wheel_id in self._entries
             if not cached:
@@ -167,8 +286,13 @@ class WheelRegistry:
             return wheel_id, cached
 
     def _materialize(
-        self, fitness: FitnessVector, method: str, policy: str, wheel_id: str
-    ) -> CompiledWheel:
+        self,
+        fitness: FitnessVector,
+        method: str,
+        policy: str,
+        wheel_id: str,
+        backend: str = "compiled",
+    ) -> Union[CompiledWheel, AcceptanceWheel]:
         """Obtain the compiled wheel — from the shared store if possible.
 
         Store order of preference: adopt a published blob (store hit,
@@ -187,9 +311,12 @@ class WheelRegistry:
                     blob = store.wait(wheel_id)
             if blob is not None:
                 self.store_hits += 1
-                return CompiledWheel.from_bytes(blob)
+                return wheel_from_bytes(blob)
         try:
-            wheel = CompiledWheel(fitness, method, kernel=policy)
+            if backend == "stochastic_acceptance":
+                wheel = AcceptanceWheel(fitness, policy=policy)
+            else:
+                wheel = CompiledWheel(fitness, method, kernel=policy)
         except BaseException:
             if claimed:
                 store._release_claim(wheel_id)
@@ -198,6 +325,104 @@ class WheelRegistry:
         if store is not None:
             store.publish(wheel_id, wheel.to_bytes())
         return wheel
+
+    def update(
+        self, wheel_id: str, indices, values
+    ) -> Tuple[str, Dict[str, Any]]:
+        """Apply a delta to a registered wheel; returns ``(new_id, info)``.
+
+        Copy-on-write: the parent entry is untouched, so draws already
+        in flight against ``wheel_id`` replay bitwise.  The child id is
+        derived from the parent id and the canonical delta
+        (:func:`version_id`), so re-sending the same update is an
+        idempotent cache hit (``info["cached"]``) — and never counts as
+        an LRU miss, because nothing is looked up by content.
+
+        Incremental recompilation instead of re-registration: a
+        :class:`FenwickSampler` mirror applies the delta (per-index
+        O(log n) tree walks below its measured ``rebuild_cutoff``, one
+        vectorised linear rebuild above it) and the parent's kernel
+        artifacts are patched via
+        :meth:`repro.engine.CompiledWheel.apply_updates` — no content
+        hash, no full validation, no Vose table build.  Acceptance
+        (``stochastic_acceptance`` backend) entries skip even that and
+        only advance the running max weight.
+
+        ``info`` carries ``version`` (chain depth), ``parent``, and
+        ``cached``.
+        """
+        with self._lock:
+            entry = self._entries.get(wheel_id)
+            if entry is None:
+                raise UnknownWheelError(
+                    f"wheel {wheel_id!r} is not registered (or was evicted); "
+                    f"re-register (and replay updates) to restore it"
+                )
+            # Refresh the parent's LRU slot; this is neither a content
+            # hit nor a miss, so the cache counters stay draw-oriented.
+            entry.hits += 1
+            self._entries.move_to_end(wheel_id)
+        uniq, vals_u = _canonical_delta(indices, values, entry.wheel.n)
+        new_id = version_id(wheel_id, uniq, vals_u)
+        with self._lock:
+            cached = self._entries.get(new_id)
+            if cached is not None:
+                cached.hits += 1
+                self.update_hits += 1
+                self._entries.move_to_end(new_id)
+                info = {"cached": True, "version": cached.version, "parent": wheel_id}
+                return new_id, info
+        # Build outside the lock, same rationale as register().
+        version = entry.version + 1
+        if isinstance(entry.wheel, AcceptanceWheel):
+            new_wheel = entry.wheel.apply_updates(uniq, vals_u)
+            mirror = None
+            used_fenwick = False
+        else:
+            with self._lock:
+                mirror = entry.sampler
+            if mirror is None:
+                mirror = FenwickSampler(entry.wheel.fitness.values)
+                with self._lock:
+                    entry.sampler = mirror
+            mirror = mirror.copy()  # COW: never mutate the parent's mirror
+            used_fenwick = uniq.size < mirror.rebuild_cutoff
+            mirror.update_many(uniq, vals_u)
+            if mirror.total <= 0.0:
+                raise DegenerateFitnessError(
+                    "update would zero every fitness value"
+                )
+            new_wheel = entry.wheel.apply_updates(
+                uniq, vals_u, new_values=mirror.values
+            )
+        with self._lock:
+            existing = self._entries.get(new_id)
+            if existing is not None:
+                existing.hits += 1
+                self.update_hits += 1
+                info = {"cached": True, "version": existing.version, "parent": wheel_id}
+            else:
+                self.updates += 1
+                if isinstance(new_wheel, AcceptanceWheel):
+                    pass
+                else:
+                    self.delta_recompiles += 1
+                    if used_fenwick:
+                        self.update_fenwick += 1
+                    else:
+                        self.update_rebuild += 1
+                child = _Entry(
+                    new_wheel, entry.method, entry.policy,
+                    parent=wheel_id, version=version,
+                )
+                child.sampler = mirror
+                self._entries[new_id] = child
+                if version > self.max_chain_len:
+                    self.max_chain_len = version
+                self._evict_locked()
+                info = {"cached": False, "version": version, "parent": wheel_id}
+            self._entries.move_to_end(new_id)
+            return new_id, info
 
     def get(self, wheel_id: str) -> CompiledWheel:
         """Look up a compiled wheel, refreshing its LRU position.
@@ -239,7 +464,7 @@ class WheelRegistry:
         The id is recomputed from the imported content, so a corrupted
         or mismatched blob can never be addressed as the original.
         """
-        wheel = CompiledWheel.from_bytes(blob)
+        wheel = wheel_from_bytes(blob)
         wheel_id = wheel_digest(wheel.fitness.values, wheel.method, wheel.policy)
         with self._lock:
             if wheel_id not in self._entries:
@@ -267,6 +492,15 @@ class WheelRegistry:
                 "hit_rate": self.hits / lookups if lookups else 0.0,
                 "compiles": self.compiles,
                 "store_hits": self.store_hits,
+                "updates": self.updates,
+                "update_hits": self.update_hits,
+                "delta_recompiles": self.delta_recompiles,
+                "update_fenwick": self.update_fenwick,
+                "update_rebuild": self.update_rebuild,
+                "max_chain_len": self.max_chain_len,
+                "versions": sum(
+                    1 for e in self._entries.values() if e.version > 0
+                ),
             }
             if self.store is not None:
                 out["store"] = self.store.stats()

@@ -212,6 +212,27 @@ class MicroBatchScheduler:
             queue.drainer = asyncio.ensure_future(self._drain(wheel_id, queue))
         return await req.future
 
+    async def update(self, wheel_id: str, indices, values):
+        """Mint a new wheel version from a delta; returns ``(id, info)``.
+
+        Updates never touch the draw queues: the child is a *new* id, so
+        requests already queued against the parent keep their substreams
+        and batch exactly as before — copy-on-write versioning is what
+        makes a mutation safe to run concurrently with draws.
+        """
+        if self._closed:
+            raise ServiceOverloadedError("scheduler is closed")
+        if self._draining:
+            raise ServiceDrainingError(
+                "scheduler is draining; in-flight requests are completing "
+                "but new updates are refused"
+            )
+        start = time.monotonic()
+        new_id, info = self.registry.update(wheel_id, indices, values)
+        self.metrics.updated(len(indices), time.monotonic() - start)
+        await asyncio.sleep(0)  # yield like draws do between requests
+        return new_id, info
+
     async def _drain(self, wheel_id: str, queue: _WheelQueue) -> None:
         """Opportunistic flush: wait while arrivals continue, never past
         ``max_delay_us``."""

@@ -111,8 +111,14 @@ class SelectionService:
                     request["fitness"],
                     method=request.get("method", "log_bidding"),
                     policy=request.get("policy"),
+                    backend=request.get("backend"),
                 )
                 return ok_response(request_id, wheel=wheel_id, cached=cached)
+            if op == "update":
+                wheel_id, info = await self.scheduler.update(
+                    request["wheel"], request["indices"], request["values"]
+                )
+                return ok_response(request_id, wheel=wheel_id, **info)
             # op == "draw" (decode_request admits nothing else)
             draws = await self.scheduler.draw(
                 request["wheel"],
@@ -196,7 +202,15 @@ async def _serve_framed_connection(
     connection continues (framing stays synchronized because the body
     length was already consumed); an unparseable *header* is fatal for
     the connection since resynchronization is impossible.
+
+    A client HELLO that carries an explicit ``features`` list *pins* the
+    connection: feature-gated frame types (``UPDATE`` requires
+    ``"update"``) sent without their token are answered with an ERROR
+    frame — the negotiation contract that lets old clients and new
+    servers coexist.  Connections that skip HELLO are unpinned and may
+    send anything.
     """
+    pinned_features = None
     while True:
         try:
             frame = await frames_mod.read_frame(
@@ -211,7 +225,34 @@ async def _serve_framed_connection(
             break
         ftype, body, request_id = frame
         if ftype == frames_mod.FT_HELLO:
+            if body:
+                try:
+                    hello = frames_mod._parse_kvmap(body)
+                except ProtocolError as exc:
+                    writer.write(
+                        frames_mod.response_to_frame(
+                            error_response(exc, request_id)
+                        )
+                    )
+                    await writer.drain()
+                    continue
+                features = hello.get("features")
+                if isinstance(features, list):
+                    pinned_features = {f for f in features if isinstance(f, str)}
             writer.write(frames_mod.hello_frame(PROTOCOL_VERSION, request_id))
+            await writer.drain()
+            continue
+        needed = frames_mod.required_feature(ftype)
+        if (
+            needed is not None
+            and pinned_features is not None
+            and needed not in pinned_features
+        ):
+            exc = ProtocolError(
+                f"frame type {ftype:#04x} requires feature {needed!r}, "
+                f"absent from this connection's HELLO"
+            )
+            writer.write(frames_mod.response_to_frame(error_response(exc, request_id)))
             await writer.drain()
             continue
         try:

@@ -49,8 +49,13 @@ def default_store_root() -> str:
 
 
 def _safe_name(wheel_id: str) -> str:
-    """Map a wheel id to a filename (ids contain ``:``)."""
-    return wheel_id.replace(":", "_")
+    """Map a wheel id to a filename.
+
+    Root ids contain ``:`` and versioned ids (``<root>@<verhex>``) add
+    ``@``; both map to distinct filename-safe characters so a version's
+    blob can never collide with its root's.
+    """
+    return wheel_id.replace(":", "_").replace("@", "+")
 
 
 class SharedWheelStore:

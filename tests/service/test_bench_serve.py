@@ -26,6 +26,12 @@ def tiny_report():
         cluster_workers=[1, 2],
         protocol_draws=32,
         protocol_requests_per_client=2,
+        update_every=2,
+        update_k=2,
+        update_n=20_000,
+        colony_n=10_000,
+        colony_ants=64,
+        colony_iterations=8,
     )
 
 
@@ -94,6 +100,51 @@ class TestBenchServe:
         for wheel in cert["wheels"]:
             assert wheel["bitwise_identical"]
 
+    def test_update_section(self, tiny_report):
+        update = tiny_report["results"]["update"]
+        assert update["n"] == 20_000
+        assert update["legs"]
+        for leg in update["legs"].values():
+            assert leg["delta_ms"] > 0 and leg["reregister_ms"] > 0
+            assert leg["k"] <= update["n"] // 100
+        assert update["min_speedup"] == min(
+            leg["speedup"] for leg in update["legs"].values()
+        )
+        assert update["gate_target"] == 10.0
+        assert isinstance(update["gate_met"], bool)
+
+    def test_mutate_leg(self, tiny_report):
+        leg = tiny_report["results"]["update"]["mutate"]
+        assert leg["kind"] == "frames"
+        assert leg["update_every"] == 2 and leg["update_k"] == 2
+        assert leg["updates"] > 0
+        assert leg["draws"] + leg["updates"] == leg["requests"]
+        per_version = leg["per_version_latency"]
+        assert per_version
+        assert sum(h["count"] for h in per_version.values()) == leg["draws"]
+        assert leg["update_latency"]["count"] == leg["updates"]
+        assert leg["service"]["updates_total"] >= leg["updates"]
+        # Delta updates never inflate the content-miss count: one root.
+        assert leg["service"]["registry"]["misses"] == 1
+
+    def test_version_determinism_certificate(self, tiny_report):
+        cert = tiny_report["results"]["update"]["determinism"]
+        assert cert["ok"] and cert["cow_stable"] and cert["acceptance_ok"]
+        assert cert["workers_compared"][0] == 1
+        assert cert["workers_compared"][1] > 1
+        assert len(cert["versions"]) == cert["chain"] + 1
+        for entry in cert["versions"]:
+            assert entry["bitwise_identical"]
+
+    def test_colony_section(self, tiny_report):
+        colony = tiny_report["results"]["colony"]
+        assert colony["inprocess_s"] > 0 and colony["served_s"] > 0
+        assert colony["factor"] == pytest.approx(
+            colony["served_s"] / colony["inprocess_s"]
+        )
+        assert colony["gate_target"] == 25.0
+        assert isinstance(colony["gate_met"], bool)
+
     def test_validate_rejects_corruption(self, tiny_report):
         bad = json.loads(json.dumps(tiny_report))
         bad["results"]["determinism"]["ok"] = False
@@ -116,6 +167,18 @@ class TestBenchServe:
         del bad5["results"]["protocol"]["legs"]["frames"]
         with pytest.raises(ValueError, match="frames"):
             validate_bench_serve(bad5)
+        bad6 = json.loads(json.dumps(tiny_report))
+        bad6["results"]["update"]["determinism"]["ok"] = False
+        with pytest.raises(ValueError, match="per-version"):
+            validate_bench_serve(bad6)
+        bad7 = json.loads(json.dumps(tiny_report))
+        bad7["results"]["update"]["gate_met"] = "yes"
+        with pytest.raises(ValueError, match="update.gate_met"):
+            validate_bench_serve(bad7)
+        bad8 = json.loads(json.dumps(tiny_report))
+        del bad8["results"]["colony"]
+        with pytest.raises(ValueError, match="colony"):
+            validate_bench_serve(bad8)
         with pytest.raises(ValueError, match="schema"):
             validate_bench_serve({"schema": "nope"})
 
@@ -127,6 +190,9 @@ class TestBenchServe:
         assert "batched" in text and "gate:" in text and "determinism" in text
         assert "frames/jsonl" in text and "cluster sweep" in text
         assert "per-shard determinism" in text
+        assert "delta updates" in text and "update gate" in text
+        assert "per-version determinism" in text
+        assert "dynamic colony loop" in text
 
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):
@@ -203,6 +269,13 @@ class TestBenchServeCLI:
                 "--cluster-workers",
                 "1",
                 "2",
+                "--mutate",
+                "--update-every",
+                "2",
+                "--update-k",
+                "2",
+                "--update-n",
+                "20000",
                 "--output",
                 str(out),
             ]
@@ -211,3 +284,5 @@ class TestBenchServeCLI:
         report = json.loads(out.read_text())
         validate_bench_serve(report)
         assert set(report["results"]["cluster"]["legs"]) == {"1", "2"}
+        assert report["config"]["mutate"] is True
+        assert report["results"]["update"]["mutate"]["updates"] > 0
