@@ -72,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
             "'bench-serve' measures the micro-batching selection service "
             "against the per-request baseline, binary frames against "
             "JSON-lines, and the sharded cluster scaling sweep; "
+            "'lab' is the declarative experiment workbench — "
+            "'lab run CONFIG' executes a TOML/JSON design matrix resumably "
+            "with per-cell caching (see 'lab --help'); "
             "'serve' runs the selection service — binary frames + "
             "JSON-lines over TCP, sharded across processes with "
             "--workers N)"
@@ -490,6 +493,14 @@ def _run_one(
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lab":
+        # The workbench has its own subcommand tree (run/status/report/
+        # clean/bench/scenarios); delegate before the flat parser runs.
+        from repro.lab.cli import main as lab_main
+
+        return lab_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
@@ -499,6 +510,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "bench-engine",
             "bench-race",
             "bench-serve",
+            "lab",
             "serve",
         ]:
             print(name)

@@ -1,0 +1,187 @@
+"""Design-matrix expansion and content-addressed cell identity.
+
+A *cell* is one scenario execution at one parameter point.  Its key is
+the SHA-256 of the canonical JSON of its config, so identity survives
+dict ordering, container types, process restarts, and equivalent numeric
+spellings (``2.0`` and ``2`` hash identically) — the property that makes
+``lab run --resume`` safe: a cell re-declared by any equivalent config
+finds its cached result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "CELL_SCHEMA",
+    "Cell",
+    "Experiment",
+    "Grid",
+    "canonical_config",
+    "canonical_json",
+    "cell_key",
+    "expand_grid",
+]
+
+#: Stamped into every cached cell record; bump to invalidate old caches.
+CELL_SCHEMA = "repro-lab-cell-v1"
+
+#: Key prefix; versioned so a canonicalization change can never alias
+#: keys minted under the old scheme (same convention as wheel ids).
+_KEY_PREFIX = "c1"
+
+
+def canonical_config(config: Any) -> Any:
+    """Normalize a config tree so equivalent spellings compare equal.
+
+    * dicts: keys coerced to ``str``, ``None`` values dropped (absent
+      and ``None`` mean the same thing), values canonicalized;
+    * sequences (list/tuple): element-wise canonicalization;
+    * integral floats collapse to ints (``2.0`` == ``2``);
+    * bools, ints, strings pass through.
+
+    Raises ``ValueError`` for values that cannot round-trip through
+    JSON deterministically (NaN/inf, arbitrary objects).
+    """
+    if isinstance(config, Mapping):
+        out: Dict[str, Any] = {}
+        for k in config:
+            v = config[k]
+            if v is None:
+                continue
+            out[str(k)] = canonical_config(v)
+        return out
+    if isinstance(config, (list, tuple)):
+        return [canonical_config(v) for v in config]
+    if isinstance(config, bool):
+        return config
+    if isinstance(config, int):
+        return int(config)
+    if isinstance(config, float):
+        if config != config or config in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite value {config!r} cannot key a cell")
+        if config.is_integer():
+            return int(config)
+        return float(config)
+    if isinstance(config, str):
+        return config
+    # ndarray scalars and similar: accept anything exposing item().
+    item = getattr(config, "item", None)
+    if callable(item):
+        return canonical_config(item())
+    raise ValueError(
+        f"config value {config!r} ({type(config).__name__}) is not JSON-canonical"
+    )
+
+
+def canonical_json(config: Any) -> str:
+    """The canonical JSON text hashed by :func:`cell_key`."""
+    return json.dumps(
+        canonical_config(config),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def cell_key(config: Any) -> str:
+    """Content address of one cell config: ``c1:<sha256 hex>``."""
+    digest = hashlib.sha256(canonical_json(config).encode("utf-8")).hexdigest()
+    return f"{_KEY_PREFIX}:{digest}"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (scenario, parameter point) with its content key."""
+
+    config: Dict[str, Any]
+    key: str
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "Cell":
+        canon = canonical_config(config)
+        if "scenario" not in canon:
+            raise ValueError(f"cell config missing 'scenario': {canon!r}")
+        return cls(config=canon, key=cell_key(canon))
+
+    @property
+    def scenario(self) -> str:
+        return str(self.config["scenario"])
+
+
+def expand_grid(
+    scenario: str,
+    matrix: Mapping[str, Sequence[Any]],
+    base: Optional[Mapping[str, Any]] = None,
+) -> List[Cell]:
+    """Cartesian product of ``matrix`` axes into cells.
+
+    Axes expand in sorted-name order so the cell sequence is stable
+    across declaration order; ``base`` holds constants shared by every
+    cell of the grid.  An axis given as a scalar is a one-point axis.
+    """
+    if not scenario:
+        raise ValueError("grid needs a scenario name")
+    names = sorted(matrix)
+    levels: List[List[Any]] = []
+    for name in names:
+        vals = matrix[name]
+        if isinstance(vals, (str, bytes)) or not isinstance(vals, Sequence):
+            vals = [vals]
+        vals = list(vals)
+        if not vals:
+            raise ValueError(f"axis {name!r} of grid {scenario!r} is empty")
+        levels.append(vals)
+    cells = []
+    for point in itertools.product(*levels):
+        config = dict(base or {})
+        config.update(zip(names, point))
+        config["scenario"] = scenario
+        cells.append(Cell.from_config(config))
+    return cells
+
+
+@dataclass
+class Grid:
+    """One block of the design matrix: a scenario and its axes."""
+
+    scenario: str
+    matrix: Dict[str, Any] = field(default_factory=dict)
+    base: Dict[str, Any] = field(default_factory=dict)
+
+    def cells(self) -> List[Cell]:
+        """This grid's cells (cartesian product of its axes)."""
+        return expand_grid(self.scenario, self.matrix, self.base)
+
+
+@dataclass
+class Experiment:
+    """A named design matrix: the union of its grids' cells.
+
+    Duplicate parameter points (same content key, however declared)
+    collapse to one cell, first occurrence wins — the matrix is a set.
+    """
+
+    name: str
+    grids: List[Grid] = field(default_factory=list)
+    workdir: Optional[str] = None
+
+    def cells(self) -> List[Cell]:
+        """Every cell of the matrix, deduplicated, declaration order."""
+        seen: Dict[str, Cell] = {}
+        for grid in self.grids:
+            for cell in grid.cells():
+                seen.setdefault(cell.key, cell)
+        return list(seen.values())
+
+    def resolve_workdir(self, override: Optional[str] = None) -> str:
+        """The cell-cache directory: override > config > `.lab/<name>`."""
+        if override:
+            return override
+        if self.workdir:
+            return self.workdir
+        return f".lab/{self.name}"

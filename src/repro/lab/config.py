@@ -1,0 +1,79 @@
+"""Experiment declarations: TOML (preferred) or JSON, one schema.
+
+::
+
+    [experiment]
+    name = "engine-sweep"
+    workdir = ".lab/engine-sweep"      # optional; default .lab/<name>
+
+    [[grid]]
+    scenario = "engine"
+    [grid.matrix]                      # axes: cartesian product
+    method = ["log_bidding", "alias"]
+    n = [1000, 10000]
+    seed = [0, 1]
+    [grid.base]                        # constants shared by the grid
+    draws = 100000
+
+Multiple ``[[grid]]`` blocks union their cells (duplicates collapse by
+content key).  JSON configs carry the identical structure with a
+top-level ``{"experiment": {...}, "grid": [...]}`` object.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+from repro.lab.cells import Experiment, Grid
+
+__all__ = ["load_experiment", "parse_experiment"]
+
+
+def parse_experiment(doc: Dict[str, Any], default_name: str = "lab") -> Experiment:
+    """Build an :class:`Experiment` from a parsed config document."""
+    exp = doc.get("experiment", {})
+    if not isinstance(exp, dict):
+        raise ValueError("[experiment] must be a table")
+    grids_doc = doc.get("grid", [])
+    if isinstance(grids_doc, dict):
+        grids_doc = [grids_doc]
+    if not grids_doc:
+        raise ValueError("config declares no [[grid]] blocks")
+    grids = []
+    for i, block in enumerate(grids_doc):
+        if not isinstance(block, dict) or "scenario" not in block:
+            raise ValueError(f"grid #{i} missing 'scenario'")
+        extra = set(block) - {"scenario", "matrix", "base"}
+        if extra:
+            raise ValueError(
+                f"grid #{i} has unknown keys {sorted(extra)}; "
+                f"axes go under [grid.matrix], constants under [grid.base]"
+            )
+        grids.append(
+            Grid(
+                scenario=str(block["scenario"]),
+                matrix=dict(block.get("matrix", {})),
+                base=dict(block.get("base", {})),
+            )
+        )
+    return Experiment(
+        name=str(exp.get("name", default_name)),
+        grids=grids,
+        workdir=exp.get("workdir"),
+    )
+
+
+def load_experiment(path: str) -> Experiment:
+    """Load a TOML or JSON experiment config from ``path``."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    if path.endswith(".json"):
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    else:
+        import tomllib
+
+        with open(path, "rb") as fh:
+            doc = tomllib.load(fh)
+    return parse_experiment(doc, default_name=stem)

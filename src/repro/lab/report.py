@@ -1,0 +1,158 @@
+"""Tidy result export and the Tables-I/II-style ASCII report.
+
+A *tidy row* is one cell flattened: its key, scenario, every axis of its
+config, and every scalar metric — the long format the Las Vegas
+speedup-prediction work consumes directly (one runtime observation per
+row across methods x workloads x scales x seeds).  The ASCII report
+groups rows by scenario and renders each group in the paper's table
+style (:func:`repro.bench.tables.format_table`).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.bench.tables import format_table
+from repro.lab.cells import Experiment
+from repro.lab.store import CellStore
+
+__all__ = [
+    "tidy_rows",
+    "write_rows_json",
+    "write_rows_csv",
+    "render_report",
+    "status_counts",
+]
+
+
+def tidy_rows(
+    experiment: Experiment, store: CellStore
+) -> List[Dict[str, Any]]:
+    """One flat row per *finished* cell, in matrix declaration order."""
+    rows: List[Dict[str, Any]] = []
+    for cell in experiment.cells():
+        record = store.load(cell.key)
+        if record is None:
+            continue
+        row: Dict[str, Any] = {"key": cell.key, "scenario": cell.scenario}
+        for k, v in cell.config.items():
+            if k != "scenario":
+                row[k] = v
+        for k, v in record.get("metrics", {}).items():
+            # A metric name colliding with an axis keeps the axis value;
+            # the metric lands under a 'metric:' prefix instead.
+            row[k if k not in row else f"metric:{k}"] = v
+        row["cell_elapsed_s"] = record.get("elapsed_s")
+        rows.append(row)
+    return rows
+
+
+def _columns(rows: List[Dict[str, Any]]) -> List[str]:
+    """Stable column union: key, scenario, then first-seen order."""
+    cols: List[str] = []
+    for row in rows:
+        for k in row:
+            if k not in cols:
+                cols.append(k)
+    return cols
+
+
+def write_rows_json(rows: List[Dict[str, Any]], path: str) -> str:
+    """Write tidy rows as a JSON array; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(rows, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def write_rows_csv(rows: List[Dict[str, Any]], path: str) -> str:
+    """Write tidy rows as CSV (union of columns); returns the path."""
+    cols = _columns(rows)
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def status_counts(experiment: Experiment, store: CellStore) -> Dict[str, int]:
+    """Done/missing accounting for ``lab status``."""
+    cells = experiment.cells()
+    done = store.done_keys([c.key for c in cells])
+    per_scenario: Dict[str, List[int]] = {}
+    for cell in cells:
+        bucket = per_scenario.setdefault(cell.scenario, [0, 0])
+        bucket[0] += 1
+        if cell.key in done:
+            bucket[1] += 1
+    return {
+        "total": len(cells),
+        "done": len(done),
+        "missing": len(cells) - len(done),
+        "scenarios": {
+            name: {"total": t, "done": d} for name, (t, d) in per_scenario.items()
+        },
+    }
+
+
+def render_report(
+    experiment: Experiment,
+    store: CellStore,
+    max_metric_columns: int = 8,
+) -> str:
+    """The regenerated paper-style report: one table per scenario.
+
+    Columns are the scenario's axes followed by its metrics (capped at
+    ``max_metric_columns``, longest names last to favour the headline
+    throughput/error numbers which sort early by first appearance).
+    Unfinished cells are reported in a footer instead of fabricating
+    rows.
+    """
+    rows = tidy_rows(experiment, store)
+    cells = experiment.cells()
+    blocks: List[str] = [f"== lab report: {experiment.name} =="]
+    by_scenario: Dict[str, List[Dict[str, Any]]] = {}
+    for row in rows:
+        by_scenario.setdefault(row["scenario"], []).append(row)
+    for name in sorted(by_scenario):
+        srows = by_scenario[name]
+        axes = sorted(
+            {
+                k
+                for cell in cells
+                if cell.scenario == name
+                for k in cell.config
+                if k != "scenario"
+            }
+        )
+        metrics: List[str] = []
+        for row in srows:
+            for k in row:
+                if (
+                    k not in ("key", "scenario", "cell_elapsed_s")
+                    and k not in axes
+                    and k not in metrics
+                ):
+                    metrics.append(k)
+        metrics = metrics[:max_metric_columns]
+        headers = axes + metrics
+        table_rows = [
+            [row.get(h, "") for h in headers] for row in srows
+        ]
+        blocks.append(
+            format_table(
+                headers,
+                table_rows,
+                title=f"-- scenario: {name} ({len(srows)} cells) --",
+            )
+        )
+    missing = [c for c in cells if not store.has(c.key)]
+    if missing:
+        blocks.append(
+            f"({len(missing)} of {len(cells)} cells not yet run — "
+            f"`lab run --resume` completes them)"
+        )
+    return "\n\n".join(blocks)

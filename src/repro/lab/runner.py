@@ -1,0 +1,210 @@
+"""Resumable cell execution with progress/ETA reporting.
+
+The runner walks an experiment's cells in declaration order and, for
+each: skips it if its result is already published (that *is* resume),
+claims it against concurrent runners, logs ``start``, executes the
+scenario, publishes the record atomically, and logs ``done``.  Nothing
+else carries state — killing the process at any instant costs at most
+the in-flight cell, and a later run (same config, any process) picks up
+exactly the missing cells.
+
+``jobs > 1`` fans cells out over worker processes; the claim files make
+that safe even across *independently launched* ``lab run`` invocations
+sharing one workdir.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.lab.cells import CELL_SCHEMA, Cell, Experiment
+from repro.lab.scenarios import run_cell
+from repro.lab.store import CellStore
+
+__all__ = ["RunOutcome", "run_experiment", "execute_cell"]
+
+
+@dataclass
+class RunOutcome:
+    """What one ``lab run`` invocation did to the matrix."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    claimed_elsewhere: int = 0
+    failed: int = 0
+    stopped_early: bool = False
+    elapsed_s: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True iff every cell of the matrix is now published."""
+        return (
+            not self.stopped_early
+            and self.failed == 0
+            and self.claimed_elsewhere == 0
+        )
+
+
+def execute_cell(store: CellStore, cell: Cell) -> Dict[str, Any]:
+    """Run one claimed cell: log, execute, publish; returns the record."""
+    store.log_event("start", cell.key, scenario=cell.scenario)
+    t0 = time.perf_counter()
+    try:
+        metrics = run_cell(cell.config)
+    except BaseException as exc:
+        store.log_event(
+            "error", cell.key, error=f"{type(exc).__name__}: {exc}"
+        )
+        raise
+    elapsed = time.perf_counter() - t0
+    record = {
+        "schema": CELL_SCHEMA,
+        "key": cell.key,
+        "config": cell.config,
+        "metrics": metrics,
+        "elapsed_s": elapsed,
+        "finished_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "pid": os.getpid(),
+    }
+    store.store(cell.key, record)
+    store.log_event("done", cell.key, elapsed_s=elapsed)
+    return record
+
+
+def _progress_line(
+    done: int, total: int, cached: int, scenario: str, cell_times: List[float]
+) -> str:
+    if cell_times:
+        eta = (total - done) * (sum(cell_times) / len(cell_times))
+        eta_txt = f"{int(eta // 60)}:{int(eta % 60):02d}"
+    else:
+        eta_txt = "--:--"
+    return (
+        f"[lab] {done}/{total} cells ({cached} cached) "
+        f"scenario={scenario} eta {eta_txt}"
+    )
+
+
+def _run_one_proc(args) -> tuple:
+    """Pool worker: execute one cell in its own process (spawn-safe)."""
+    workdir, config = args
+    cell = Cell.from_config(config)
+    store = CellStore(workdir)
+    if store.has(cell.key):
+        return ("cached", None)
+    if not store.claim(cell.key):
+        return ("claimed", None)
+    try:
+        execute_cell(store, cell)
+    except BaseException as exc:  # noqa: BLE001 - reported, not raised
+        return ("failed", f"{cell.key}: {type(exc).__name__}: {exc}")
+    finally:
+        store.release(cell.key)
+    return ("executed", None)
+
+
+def run_experiment(
+    experiment: Experiment,
+    *,
+    workdir: Optional[str] = None,
+    resume: bool = True,
+    jobs: int = 1,
+    max_cells: Optional[int] = None,
+    progress: bool = True,
+    stream=None,
+) -> RunOutcome:
+    """Execute (the missing cells of) an experiment's matrix.
+
+    ``resume=False`` clears the cell cache first — a from-scratch run.
+    ``max_cells`` stops after executing that many cells (used by tests
+    and the resume gate to simulate an interrupted run deterministically;
+    a SIGKILL exercises the same path nondeterministically).
+    """
+    if jobs <= 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    store = CellStore(experiment.resolve_workdir(workdir))
+    if not resume:
+        store.clean()
+    cells = experiment.cells()
+    outcome = RunOutcome(total=len(cells))
+    out = stream if stream is not None else sys.stderr
+    t_start = time.perf_counter()
+    cell_times: List[float] = []
+
+    if jobs > 1:
+        # Fan out over processes; claims keep concurrent runners honest.
+        import multiprocessing as mp
+
+        pending = [c for c in cells if not store.has(c.key)]
+        outcome.cached = len(cells) - len(pending)
+        if max_cells is not None and len(pending) > max_cells:
+            pending = pending[:max_cells]
+            outcome.stopped_early = True
+        if pending:
+            ctx = mp.get_context(
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+            with ctx.Pool(min(jobs, len(pending))) as pool:
+                for status, err in pool.imap_unordered(
+                    _run_one_proc,
+                    [(store.workdir, c.config) for c in pending],
+                ):
+                    if status == "executed":
+                        outcome.executed += 1
+                    elif status == "cached":
+                        outcome.cached += 1
+                    elif status == "claimed":
+                        outcome.claimed_elsewhere += 1
+                    else:
+                        outcome.failed += 1
+                        outcome.errors.append(err)
+                    if progress:
+                        done = outcome.executed + outcome.cached
+                        print(
+                            "\r" + _progress_line(
+                                done, len(cells), outcome.cached, "*", []
+                            ),
+                            end="", file=out, flush=True,
+                        )
+    else:
+        executed = 0
+        for cell in cells:
+            if store.has(cell.key):
+                outcome.cached += 1
+            elif max_cells is not None and executed >= max_cells:
+                outcome.stopped_early = True
+                continue
+            elif not store.claim(cell.key):
+                outcome.claimed_elsewhere += 1
+            else:
+                try:
+                    record = execute_cell(store, cell)
+                    cell_times.append(record["elapsed_s"])
+                    outcome.executed += 1
+                    executed += 1
+                except BaseException as exc:  # noqa: BLE001 - collected
+                    outcome.failed += 1
+                    outcome.errors.append(
+                        f"{cell.key}: {type(exc).__name__}: {exc}"
+                    )
+                finally:
+                    store.release(cell.key)
+            if progress:
+                done = outcome.cached + outcome.executed + outcome.failed
+                print(
+                    "\r" + _progress_line(
+                        done, len(cells), outcome.cached,
+                        cell.scenario, cell_times,
+                    ),
+                    end="", file=out, flush=True,
+                )
+    if progress:
+        print(file=out, flush=True)
+    outcome.elapsed_s = time.perf_counter() - t_start
+    return outcome

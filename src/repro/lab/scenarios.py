@@ -1,0 +1,277 @@
+"""Scenario plugins: the bench drivers behind one uniform cell contract.
+
+A scenario is a callable ``run(config: dict) -> dict`` taking one cell's
+parameter point and returning a flat dict of scalar metrics — one tidy
+row.  The built-ins wire in the existing paper-reproduction drivers:
+
+========== ===========================================================
+name       wraps
+========== ===========================================================
+engine     :func:`repro.engine.bench.run_bench` (compiled throughput)
+race       :func:`repro.engine.race_bench.run_bench_race` (round counts)
+aco        :func:`repro.engine.aco_bench.run_bench_aco` (tours/s)
+serve      the PR 5/7 service stack in-process (draws + updates /s)
+accuracy   :func:`repro.bench.runner.monte_carlo_selection` (Tables I/II)
+sleep      deterministic-duration no-op (tests, kill-and-resume gate)
+========== ===========================================================
+
+Every new workload lands as a ``@scenario`` plugin plus a config file
+under ``examples/lab/`` — not a new CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Mapping
+
+__all__ = ["SCENARIOS", "scenario", "run_cell", "flatten_metrics"]
+
+#: Registry of scenario name -> runner.
+SCENARIOS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {}
+
+
+def scenario(name: str):
+    """Register a scenario plugin under ``name`` (decorator)."""
+
+    def register(fn: Callable[[Mapping[str, Any]], Dict[str, Any]]):
+        if name in SCENARIOS:
+            raise ValueError(f"scenario {name!r} already registered")
+        SCENARIOS[name] = fn
+        return fn
+
+    return register
+
+
+def run_cell(config: Mapping[str, Any]) -> Dict[str, Any]:
+    """Dispatch one cell config to its scenario; returns tidy metrics."""
+    name = config.get("scenario")
+    runner = SCENARIOS.get(str(name))
+    if runner is None:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        )
+    params = {k: v for k, v in config.items() if k != "scenario"}
+    return flatten_metrics(runner(params))
+
+
+def flatten_metrics(tree: Mapping[str, Any], prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested metric dicts to dotted scalar columns.
+
+    Non-scalar leaves (lists, arrays) are dropped — tidy rows hold
+    scalars; anything richer belongs in the scenario's own artifacts.
+    """
+    out: Dict[str, Any] = {}
+    for k, v in tree.items():
+        name = f"{prefix}{k}"
+        if isinstance(v, Mapping):
+            out.update(flatten_metrics(v, prefix=f"{name}."))
+        elif isinstance(v, bool) or isinstance(v, (int, float, str)):
+            out[name] = v
+        else:
+            item = getattr(v, "item", None)
+            if callable(item):
+                out[name] = item()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios
+# ----------------------------------------------------------------------
+@scenario("engine")
+def _engine(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Compiled-kernel selection throughput (the bench-engine driver)."""
+    from repro.engine.bench import run_bench
+
+    report = run_bench(
+        n=int(params.get("n", 1000)),
+        draws=int(params.get("draws", 1_000_000)),
+        seed=int(params.get("seed", 0)),
+        method=str(params.get("method", "log_bidding")),
+    )
+    results = dict(report["results"])
+    results["draws_per_s_compiled"] = (
+        report["config"]["draws"] / results["compiled_select_many_s"]
+        if results["compiled_select_many_s"]
+        else 0.0
+    )
+    return results
+
+
+@scenario("race")
+def _race(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Theorem-1 race round counts vs the exact law (bench-race driver)."""
+    from repro.engine.race_bench import run_bench_race
+
+    k = int(params.get("k", 1024))
+    report = run_bench_race(
+        ks=[k],
+        trials=int(params.get("trials", 10_000)),
+        seed=int(params.get("seed", 0)),
+        workers=int(params["workers"]) if "workers" in params else None,
+        pram_k=min(k, int(params.get("pram_k", 64))),
+        pram_reps=int(params.get("pram_reps", 3)),
+    )
+    row = dict(report["results"]["per_k"][0])
+    row.pop("quantiles", None)
+    row.pop("exact_quantiles", None)
+    row.pop("ci", None)
+    row["speedup_vs_pram"] = report["results"]["speedup_vs_pram"]
+    return row
+
+
+@scenario("aco")
+def _aco(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """End-to-end colony construction tours/s (bench-aco driver)."""
+    from repro.engine.aco_bench import run_bench_aco
+
+    report = run_bench_aco(
+        n=int(params.get("n", 100)),
+        n_ants=int(params.get("ants", 32)),
+        iterations=int(params.get("iterations", 1)),
+        seed=int(params.get("seed", 0)),
+    )
+    results = report["results"]
+    out: Dict[str, Any] = {}
+    for leg, stats in results.items():
+        if isinstance(stats, Mapping):
+            for key in ("tours_per_s", "elapsed_s", "speedup", "best_length"):
+                if key in stats:
+                    out[f"{leg}.{key}"] = stats[key]
+        elif isinstance(stats, (int, float, bool, str)):
+            out[leg] = stats
+    return out
+
+
+@scenario("serve")
+def _serve(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Served draw/update throughput through the PR 5/7 service stack.
+
+    Runs in-process (registry + micro-batch scheduler + closed-loop
+    clients) so a lab matrix can sweep backends and batching knobs
+    without binding ports; the TCP/cluster legs stay in bench-serve.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from repro.service.loadgen import run_closed_loop
+    from repro.service.registry import WheelRegistry
+    from repro.service.scheduler import (
+        BatchConfig,
+        MicroBatchScheduler,
+        NaiveScheduler,
+    )
+
+    n = int(params.get("n", 1000))
+    method = str(params.get("method", "log_bidding"))
+    backend = str(params.get("backend", "compiled"))
+    clients = int(params.get("clients", 16))
+    requests_per_client = int(params.get("requests_per_client", 8))
+    n_draws = int(params.get("n_draws", 8))
+    seed = int(params.get("seed", 0))
+    update_every = int(params.get("update_every", 0))
+    update_k = int(params.get("update_k", 8))
+    config = BatchConfig(
+        max_batch=int(params.get("max_batch", 64)),
+        max_delay_us=float(params.get("max_delay_us", 200.0)),
+    )
+    fitness = np.arange(1.0, n + 1.0)
+    total_requests = clients * requests_per_client
+
+    def measure(make_scheduler) -> Dict[str, Any]:
+        registry = WheelRegistry()
+        wheel_id, _ = registry.register(fitness, method=method, backend=backend)
+        sched = make_scheduler(registry)
+
+        async def go() -> Dict[str, Any]:
+            await run_closed_loop(
+                sched, wheel_id, clients=min(clients, 4),
+                requests_per_client=1, n_draws=n_draws,
+            )
+            elapsed = await run_closed_loop(
+                sched, wheel_id, clients=clients,
+                requests_per_client=requests_per_client, n_draws=n_draws,
+            )
+            stats: Dict[str, Any] = {"elapsed_s": elapsed}
+            if update_every > 0 and hasattr(sched, "update"):
+                rng = np.random.default_rng(seed + 1)
+                updates = max(1, total_requests // update_every)
+                current = wheel_id
+                t0 = time.perf_counter()
+                for _ in range(updates):
+                    idx = rng.choice(n, size=min(update_k, n), replace=False)
+                    vals = 1.0 + rng.random(idx.size)
+                    current, _info = await sched.update(current, idx, vals)
+                stats["updates"] = updates
+                stats["updates_per_s"] = updates / (time.perf_counter() - t0)
+            close = getattr(sched, "close", None)
+            if close is not None:
+                await close()
+            return stats
+
+        return asyncio.run(go())
+
+    naive = measure(lambda r: NaiveScheduler(r, seed=seed))
+    batched = measure(lambda r: MicroBatchScheduler(r, config, seed=seed))
+    naive_rps = total_requests / naive["elapsed_s"] if naive["elapsed_s"] else 0.0
+    batched_rps = (
+        total_requests / batched["elapsed_s"] if batched["elapsed_s"] else 0.0
+    )
+    out = {
+        "requests": total_requests,
+        "requests_per_s_naive": naive_rps,
+        "requests_per_s_batched": batched_rps,
+        "speedup_batched_vs_naive": batched_rps / naive_rps if naive_rps else 0.0,
+        "draws_per_s": batched_rps * n_draws,
+    }
+    if "updates_per_s" in batched:
+        out["updates"] = batched["updates"]
+        out["updates_per_s"] = batched["updates_per_s"]
+    return out
+
+
+@scenario("accuracy")
+def _accuracy(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Tables I/II selection-accuracy cells: one method on one workload."""
+    from repro.bench.runner import monte_carlo_selection
+    from repro.bench.workloads import make_workload
+
+    workload = str(params.get("workload", "linear"))
+    n = int(params.get("n", 10))
+    method = str(params.get("method", "log_bidding"))
+    iterations = int(params.get("iterations", 100_000))
+    seed = int(params.get("seed", 0))
+    fitness = make_workload(workload, n=n)
+    mc = monte_carlo_selection(fitness, [method], iterations, seed=seed)
+    return {
+        "iterations": iterations,
+        "tv_distance": mc.tv(method),
+        "max_abs_error": mc.max_error(method),
+        "gof_pvalue": mc.gof_pvalue(method),
+    }
+
+
+@scenario("sleep")
+def _sleep(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Deterministic-duration cell for tests and the kill-resume gate."""
+    ms = float(params.get("ms", 50.0))
+    time.sleep(ms / 1000.0)
+    return {"slept_ms": ms}
+
+
+def _collect_entry_points() -> None:
+    """Adopt third-party plugins advertised as ``repro.lab.scenarios``."""
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - py<3.8 never ships here
+        return
+    try:
+        eps = entry_points(group="repro.lab.scenarios")
+    except TypeError:  # pragma: no cover - legacy importlib.metadata
+        eps = entry_points().get("repro.lab.scenarios", [])
+    for ep in eps:  # pragma: no cover - no third-party plugins in-tree
+        if ep.name not in SCENARIOS:
+            SCENARIOS[ep.name] = ep.load()
+
+
+_collect_entry_points()

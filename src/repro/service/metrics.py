@@ -59,7 +59,15 @@ class LatencyHistogram:
         return self._count
 
     def quantile(self, q: float) -> float:
-        """Approximate the ``q`` quantile (0 <= q <= 1) in seconds."""
+        """Approximate the ``q`` quantile (0 <= q <= 1) in seconds.
+
+        The estimate is a bucket upper edge, clamped into the observed
+        range: empty leading buckets are skipped (so ``quantile(0.0)``
+        lands on the first bucket that actually holds an observation,
+        not on ``base``) and the edge can never exceed the recorded
+        maximum (a single 2 µs observation reports p50 == max == 2 µs,
+        not its bucket's 2.076 µs upper edge).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self._count == 0:
@@ -67,10 +75,13 @@ class LatencyHistogram:
         target = q * self._count
         cum = 0
         for idx, c in enumerate(self._counts):
+            if c == 0:
+                continue
             cum += c
             if cum >= target:
-                # Upper edge of the bucket: a conservative estimate.
-                return self.base * self.growth**idx
+                # Upper edge of the bucket: a conservative estimate,
+                # clamped so it stays inside the observed range.
+                return min(self.base * self.growth**idx, self._max)
         return self._max
 
     def snapshot(self) -> Dict[str, Any]:
@@ -107,7 +118,15 @@ class LatencyHistogram:
         """
         if state["base"] != self.base or state["growth"] != self.growth:
             raise ValueError("cannot merge histograms with different bucketing")
-        for idx, c in enumerate(state["counts"]):
+        counts = state["counts"]
+        if len(counts) != len(self._counts):
+            # zip() would silently drop tail buckets and un-balance
+            # count vs sum(counts); refuse instead.
+            raise ValueError(
+                f"cannot merge {len(counts)}-bucket state into "
+                f"{len(self._counts)}-bucket histogram"
+            )
+        for idx, c in enumerate(counts):
             self._counts[idx] += c
         self._count += state["count"]
         self._sum += state["sum"]
@@ -149,6 +168,31 @@ class BatchSizeHistogram:
             "max_size": self._max,
             "sizes": {str(k): v for k, v in sorted(self._counts.items())},
         }
+
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Portable full state (for merging across load-gen processes)."""
+        return {
+            "counts": {str(k): v for k, v in self._counts.items()},
+            "batches": self._batches,
+            "requests": self._requests,
+            "max": self._max,
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Exact for every snapshot field, including size keys only the
+        other side observed (the distribution is a sparse map, so there
+        is no bucket-shape precondition to check).
+        """
+        for key, c in state["counts"].items():
+            size = int(key)
+            self._counts[size] = self._counts.get(size, 0) + c
+        self._batches += state["batches"]
+        self._requests += state["requests"]
+        if state["max"] > self._max:
+            self._max = state["max"]
 
 
 class ServiceMetrics:

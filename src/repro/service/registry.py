@@ -210,6 +210,20 @@ class WheelRegistry:
         self.policy = str(policy)
         self.store = store
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        # root id -> number of lineage records under it, insertion/touch
+        # ordered.  A pinned root (any lineage) is exempt from LRU
+        # eviction: clients may still hold any version id ever minted
+        # under it, and chain replay bottoms out at the root.
+        self._pinned: "OrderedDict[str, int]" = OrderedDict()
+        # version id -> (parent id, canonical delta).  Deltas are tiny
+        # (k indices + values) and survive entry eviction, so an evicted
+        # version is re-derived by replaying its chain from the nearest
+        # live ancestor instead of erroring.  Bounded by max_lineage:
+        # past it, the least-recently-updated root's whole cohort is
+        # forgotten at once (never a partial chain) and that root
+        # becomes evictable again.
+        self._lineage: Dict[str, Tuple[str, np.ndarray, np.ndarray]] = {}
+        self.max_lineage = max(1024, 64 * self.max_wheels)
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -222,6 +236,7 @@ class WheelRegistry:
         self.update_fenwick = 0
         self.update_rebuild = 0
         self.max_chain_len = 0
+        self.rederives = 0
 
     # ------------------------------------------------------------------
     def register(
@@ -351,17 +366,7 @@ class WheelRegistry:
         ``info`` carries ``version`` (chain depth), ``parent``, and
         ``cached``.
         """
-        with self._lock:
-            entry = self._entries.get(wheel_id)
-            if entry is None:
-                raise UnknownWheelError(
-                    f"wheel {wheel_id!r} is not registered (or was evicted); "
-                    f"re-register (and replay updates) to restore it"
-                )
-            # Refresh the parent's LRU slot; this is neither a content
-            # hit nor a miss, so the cache counters stay draw-oriented.
-            entry.hits += 1
-            self._entries.move_to_end(wheel_id)
+        entry = self._touch_or_rederive(wheel_id)
         uniq, vals_u = _canonical_delta(indices, values, entry.wheel.n)
         new_id = version_id(wheel_id, uniq, vals_u)
         with self._lock:
@@ -419,31 +424,120 @@ class WheelRegistry:
                 self._entries[new_id] = child
                 if version > self.max_chain_len:
                     self.max_chain_len = version
-                self._evict_locked()
                 info = {"cached": False, "version": version, "parent": wheel_id}
+            # The delta outlives the entry: re-derivation replays it if
+            # the child (or an intermediate ancestor) gets evicted.  The
+            # root is (re)pinned against eviction while lineage exists.
+            root = base_id(new_id)
+            if new_id not in self._lineage:
+                self._pinned[root] = self._pinned.get(root, 0) + 1
+            self._lineage[new_id] = (wheel_id, uniq, vals_u)
+            self._pinned.move_to_end(root)
+            self._prune_lineage_locked(keep=root)
+            self._evict_locked()
             self._entries.move_to_end(new_id)
             return new_id, info
+
+    # ------------------------------------------------------------------
+    def _prune_lineage_locked(self, keep: Optional[str] = None) -> None:
+        """Bound lineage memory: forget whole cohorts, oldest root first.
+
+        Dropping a root's cohort atomically (never a partial chain)
+        preserves the invariant that any lineage record reaches a live
+        root; the dropped root unpins and ages out of the LRU normally.
+        ``keep`` protects the root being updated right now.
+        """
+        while len(self._lineage) > self.max_lineage and len(self._pinned) > 1:
+            oldest = next(iter(self._pinned))
+            if oldest == keep:
+                self._pinned.move_to_end(oldest)
+                oldest = next(iter(self._pinned))
+                if oldest == keep:  # pragma: no cover - single pinned root
+                    break
+            self._pinned.pop(oldest)
+            dead = [k for k in self._lineage if base_id(k) == oldest]
+            for k in dead:
+                del self._lineage[k]
+
+    def _touch_or_rederive(self, wheel_id: str) -> _Entry:
+        """Look up an update/draw target, rebuilding evicted versions.
+
+        Refreshes the entry's LRU slot without counting a content hit or
+        miss (update traffic keeps the cache counters draw-oriented).
+        A missing *versioned* id is re-derived by replaying its recorded
+        delta chain from the nearest live ancestor — the recovery that
+        makes LRU eviction safe for live version chains.
+        """
+        for attempt in (0, 1):
+            with self._lock:
+                entry = self._entries.get(wheel_id)
+                if entry is not None:
+                    entry.hits += 1
+                    self._entries.move_to_end(wheel_id)
+                    return entry
+            if attempt == 0 and not self._replay_chain(wheel_id):
+                break
+        raise UnknownWheelError(
+            f"wheel {wheel_id!r} is not registered (or was evicted); "
+            f"re-register (and replay updates) to restore it"
+        )
+
+    def _replay_chain(self, wheel_id: str) -> bool:
+        """Rebuild an evicted version from its lineage; True on success.
+
+        Walks parent links until a live ancestor, then replays each
+        recorded delta oldest-first through :meth:`update` (which mints
+        bit-identical ids — version ids are history-addressed).  Returns
+        False when the chain is broken (root evicted with no live
+        descendants: its lineage died with it).
+        """
+        if "@" not in wheel_id:
+            return False
+        with self._lock:
+            chain = []
+            cur = wheel_id
+            while cur not in self._entries:
+                rec = self._lineage.get(cur)
+                if rec is None:
+                    return False
+                chain.append((cur, rec))
+                cur = rec[0]
+        for expected_id, (parent, idx, vals) in reversed(chain):
+            minted, _info = self.update(parent, idx, vals)
+            if minted != expected_id:  # pragma: no cover - corrupt lineage
+                return False
+        with self._lock:
+            self.rederives += 1
+        return True
 
     def get(self, wheel_id: str) -> CompiledWheel:
         """Look up a compiled wheel, refreshing its LRU position.
 
+        An evicted *versioned* wheel is transparently re-derived from
+        its lineage (delta chain replay from the nearest live ancestor),
+        so UPDATE-then-evict-then-DRAW serves rather than erroring.
+
         Raises
         ------
         UnknownWheelError
-            If the id was never registered or has been evicted; the
-            caller can re-register the same fitness to mint the same id.
+            If the id was never registered or has been evicted beyond
+            recovery; the caller can re-register the same fitness to
+            mint the same root id (and replay updates for versions).
         """
-        with self._lock:
-            entry = self._entries.get(wheel_id)
-            if entry is None:
-                raise UnknownWheelError(
-                    f"wheel {wheel_id!r} is not registered (or was evicted); "
-                    f"re-register the fitness vector to restore it"
-                )
-            entry.hits += 1
-            self.hits += 1
-            self._entries.move_to_end(wheel_id)
-            return entry.wheel
+        for attempt in (0, 1):
+            with self._lock:
+                entry = self._entries.get(wheel_id)
+                if entry is not None:
+                    entry.hits += 1
+                    self.hits += 1
+                    self._entries.move_to_end(wheel_id)
+                    return entry.wheel
+            if attempt == 0 and not self._replay_chain(wheel_id):
+                break
+        raise UnknownWheelError(
+            f"wheel {wheel_id!r} is not registered (or was evicted); "
+            f"re-register the fitness vector to restore it"
+        )
 
     def __contains__(self, wheel_id: str) -> bool:
         with self._lock:
@@ -475,8 +569,31 @@ class WheelRegistry:
 
     # ------------------------------------------------------------------
     def _evict_locked(self) -> None:
+        """LRU eviction that never strands a live version chain.
+
+        Roots with lineage (any version ever minted and not yet pruned)
+        are *pinned*: evicting one would make every version a client may
+        still hold unrecoverable — chain replay bottoms out at the root,
+        and only roots are re-registerable by content.  The scan skips
+        pinned roots and the MRU entry (the insert that triggered
+        eviction); if that leaves no victim the cache tolerates a
+        bounded overflow — at most one entry per pinned root — rather
+        than break the chain-replay guarantee.  Versioned entries evict
+        freely; their lineage records stay behind for re-derivation.
+        """
         while len(self._entries) > self.max_wheels:
-            self._entries.popitem(last=False)
+            victim = None
+            mru = next(reversed(self._entries))
+            for wid in self._entries:  # LRU -> MRU
+                if wid == mru:
+                    break
+                if "@" not in wid and wid in self._pinned:
+                    continue
+                victim = wid
+                break
+            if victim is None:
+                break
+            self._entries.pop(victim)
             self.evictions += 1
 
     def stats(self) -> Dict[str, Any]:
@@ -498,6 +615,8 @@ class WheelRegistry:
                 "update_fenwick": self.update_fenwick,
                 "update_rebuild": self.update_rebuild,
                 "max_chain_len": self.max_chain_len,
+                "rederives": self.rederives,
+                "pinned_roots": len(self._pinned),
                 "versions": sum(
                     1 for e in self._entries.values() if e.version > 0
                 ),

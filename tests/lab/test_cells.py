@@ -1,0 +1,174 @@
+"""Cell-key stability, matrix expansion, and config parsing."""
+
+import json
+import math
+
+import pytest
+
+from repro.lab.cells import (
+    Cell,
+    Experiment,
+    Grid,
+    canonical_config,
+    canonical_json,
+    cell_key,
+    expand_grid,
+)
+from repro.lab.config import load_experiment, parse_experiment
+
+
+class TestCellKeyStability:
+    """The resume contract: equivalent configs must hash identically."""
+
+    def test_key_prefix_and_shape(self):
+        key = cell_key({"scenario": "engine", "n": 10})
+        assert key.startswith("c1:")
+        assert len(key) == 3 + 64
+
+    def test_dict_order_is_irrelevant(self):
+        a = cell_key({"scenario": "engine", "n": 10, "seed": 3})
+        b = cell_key({"seed": 3, "n": 10, "scenario": "engine"})
+        assert a == b
+
+    def test_integral_float_collapses_to_int(self):
+        assert cell_key({"s": "x", "n": 2.0}) == cell_key({"s": "x", "n": 2})
+        assert cell_key({"s": "x", "n": 2.5}) != cell_key({"s": "x", "n": 2})
+
+    def test_none_values_are_absent(self):
+        assert cell_key({"s": "x", "opt": None}) == cell_key({"s": "x"})
+
+    def test_nested_structures_canonicalize(self):
+        a = cell_key({"s": "x", "ks": (1, 2.0), "sub": {"b": 1, "a": 2}})
+        b = cell_key({"s": "x", "ks": [1, 2], "sub": {"a": 2, "b": 1}})
+        assert a == b
+
+    def test_content_changes_change_the_key(self):
+        base = cell_key({"scenario": "engine", "n": 10})
+        assert cell_key({"scenario": "engine", "n": 11}) != base
+        assert cell_key({"scenario": "race", "n": 10}) != base
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            cell_key({"s": "x", "v": math.nan})
+        with pytest.raises(ValueError):
+            cell_key({"s": "x", "v": math.inf})
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ValueError):
+            cell_key({"s": "x", "v": object()})
+
+    def test_numpy_scalars_canonicalize(self):
+        np = pytest.importorskip("numpy")
+        assert cell_key({"s": "x", "n": np.int64(5)}) == cell_key(
+            {"s": "x", "n": 5}
+        )
+        assert cell_key({"s": "x", "n": np.float64(5.0)}) == cell_key(
+            {"s": "x", "n": 5}
+        )
+
+    def test_canonical_json_is_compact_sorted(self):
+        assert canonical_json({"b": 1, "a": [2.0, 3]}) == '{"a":[2,3],"b":1}'
+        assert canonical_config({"a": 2.5}) == {"a": 2.5}
+
+
+class TestExpansion:
+    def test_cartesian_product_with_base(self):
+        cells = expand_grid(
+            "engine",
+            {"method": ["a", "b"], "seed": [0, 1]},
+            {"n": 100},
+        )
+        assert len(cells) == 4
+        assert all(c.scenario == "engine" for c in cells)
+        assert all(c.config["n"] == 100 for c in cells)
+        points = {(c.config["method"], c.config["seed"]) for c in cells}
+        assert points == {("a", 0), ("a", 1), ("b", 0), ("b", 1)}
+
+    def test_scalar_axis_is_one_point(self):
+        cells = expand_grid("x", {"n": 5, "seed": [0, 1]})
+        assert len(cells) == 2
+        assert all(c.config["n"] == 5 for c in cells)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid("x", {"n": []})
+
+    def test_missing_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            Cell.from_config({"n": 5})
+
+    def test_experiment_dedups_by_key(self):
+        exp = Experiment(
+            name="t",
+            grids=[
+                Grid("x", {"n": [1, 2]}),
+                Grid("x", {"n": [2.0, 3]}),  # 2.0 collides with 2
+            ],
+        )
+        cells = exp.cells()
+        assert len(cells) == 3
+        assert len({c.key for c in cells}) == 3
+
+    def test_workdir_resolution(self):
+        exp = Experiment(name="t")
+        assert exp.resolve_workdir() == ".lab/t"
+        assert exp.resolve_workdir("/tmp/o") == "/tmp/o"
+        exp2 = Experiment(name="t", workdir="/tmp/w")
+        assert exp2.resolve_workdir() == "/tmp/w"
+
+
+class TestConfigParsing:
+    def test_parse_document(self):
+        exp = parse_experiment(
+            {
+                "experiment": {"name": "demo"},
+                "grid": [
+                    {
+                        "scenario": "engine",
+                        "matrix": {"seed": [0, 1]},
+                        "base": {"n": 10},
+                    }
+                ],
+            }
+        )
+        assert exp.name == "demo"
+        assert len(exp.cells()) == 2
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError):
+            parse_experiment(
+                {"experiment": {"name": "x"}, "grid": [], "typo": 1}
+            )
+        with pytest.raises(ValueError):
+            parse_experiment(
+                {
+                    "experiment": {"name": "x"},
+                    "grid": [{"scenario": "s", "matirx": {}}],
+                }
+            )
+
+    def test_load_toml_and_json_agree(self, tmp_path):
+        toml_path = tmp_path / "e.toml"
+        toml_path.write_text(
+            '[experiment]\nname = "demo"\n\n'
+            '[[grid]]\nscenario = "sleep"\n'
+            "matrix.idx = [0, 1]\nbase.ms = 1.0\n"
+        )
+        json_path = tmp_path / "e.json"
+        json_path.write_text(
+            json.dumps(
+                {
+                    "experiment": {"name": "demo"},
+                    "grid": [
+                        {
+                            "scenario": "sleep",
+                            "matrix": {"idx": [0, 1]},
+                            "base": {"ms": 1.0},
+                        }
+                    ],
+                }
+            )
+        )
+        a = load_experiment(str(toml_path))
+        b = load_experiment(str(json_path))
+        assert [c.key for c in a.cells()] == [c.key for c in b.cells()]

@@ -1,0 +1,119 @@
+"""``python -m repro lab`` subcommands and their exit codes."""
+
+import json
+
+import pytest
+
+from repro.lab.cli import main
+
+
+@pytest.fixture()
+def config(tmp_path):
+    path = tmp_path / "exp.toml"
+    path.write_text(
+        '[experiment]\nname = "cli-t"\n\n'
+        '[[grid]]\nscenario = "sleep"\n'
+        "matrix.idx = [0, 1, 2]\nbase.ms = 1.0\n"
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def workdir(tmp_path):
+    return str(tmp_path / "cells")
+
+
+class TestRun:
+    def test_run_completes_exit_0(self, config, workdir, capsys):
+        assert main(["run", config, "--workdir", workdir, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-t" in out and "3 executed" in out
+
+    def test_rerun_is_cached_exit_0(self, config, workdir, capsys):
+        main(["run", config, "--workdir", workdir, "--quiet"])
+        assert main(["run", config, "--workdir", workdir, "--quiet"]) == 0
+        assert "0 executed, 3 cached" in capsys.readouterr().out
+
+    def test_max_cells_incomplete_exit_3(self, config, workdir):
+        code = main(
+            ["run", config, "--workdir", workdir, "--quiet", "--max-cells", "1"]
+        )
+        assert code == 3
+
+    def test_failing_cell_exit_1(self, tmp_path, workdir, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text(
+            '[experiment]\nname = "bad"\n\n'
+            '[[grid]]\nscenario = "does-not-exist"\nmatrix.idx = [0]\n'
+        )
+        assert main(["run", str(bad), "--workdir", workdir, "--quiet"]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_fresh_reruns_everything(self, config, workdir, capsys):
+        main(["run", config, "--workdir", workdir, "--quiet"])
+        assert (
+            main(["run", config, "--workdir", workdir, "--quiet", "--fresh"])
+            == 0
+        )
+        assert "3 executed, 0 cached" in capsys.readouterr().out
+
+
+class TestStatusReportClean:
+    def test_status_missing_exit_3_then_0(self, config, workdir, capsys):
+        assert main(["status", config, "--workdir", workdir]) == 3
+        main(["run", config, "--workdir", workdir, "--quiet"])
+        capsys.readouterr()
+        assert main(["status", config, "--workdir", workdir]) == 0
+        assert "3/3" in capsys.readouterr().out
+
+    def test_status_json(self, config, workdir, capsys):
+        main(["run", config, "--workdir", workdir, "--quiet"])
+        capsys.readouterr()
+        assert main(["status", config, "--workdir", workdir, "--json"]) == 0
+        counts = json.loads(capsys.readouterr().out)
+        assert counts["done"] == 3 and counts["missing"] == 0
+
+    def test_report_renders_and_exports(self, config, workdir, tmp_path, capsys):
+        main(["run", config, "--workdir", workdir, "--quiet"])
+        capsys.readouterr()
+        jpath = str(tmp_path / "rows.json")
+        cpath = str(tmp_path / "rows.csv")
+        code = main(
+            [
+                "report", config, "--workdir", workdir,
+                "--json", jpath, "--csv", cpath,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lab report: cli-t" in out
+        rows = json.load(open(jpath))
+        assert len(rows) == 3
+        assert open(cpath).readline().startswith("key,")
+
+    def test_clean_then_status_missing(self, config, workdir, capsys):
+        main(["run", config, "--workdir", workdir, "--quiet"])
+        assert main(["clean", config, "--workdir", workdir]) == 0
+        assert main(["status", config, "--workdir", workdir]) == 3
+
+    def test_scenarios_lists_builtins(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("engine", "race", "aco", "serve", "accuracy", "sleep"):
+            assert name in out
+
+    def test_usage_error_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["no-such-command"])
+        assert exc.value.code == 2
+
+
+class TestTopLevelDelegation:
+    def test_repro_cli_delegates_lab(self, config, workdir, capsys):
+        from repro.cli import main as repro_main
+
+        code = repro_main(
+            ["lab", "run", config, "--workdir", workdir, "--quiet"]
+        )
+        assert code == 0
+        assert "3 executed" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Tidy rows, CSV/JSON export, status accounting, ASCII report."""
+
+import csv
+import json
+
+from repro.lab.cells import Experiment, Grid
+from repro.lab.report import (
+    render_report,
+    status_counts,
+    tidy_rows,
+    write_rows_csv,
+    write_rows_json,
+)
+from repro.lab.runner import run_experiment
+from repro.lab.store import CellStore
+
+
+def _ran_experiment(tmp_path, n=3):
+    exp = Experiment(
+        name="report-t",
+        grids=[Grid("sleep", {"idx": list(range(n))}, {"ms": 1.0})],
+    )
+    wd = str(tmp_path / "w")
+    run_experiment(exp, workdir=wd, progress=False)
+    return exp, CellStore(wd)
+
+
+class TestTidyRows:
+    def test_one_row_per_finished_cell(self, tmp_path):
+        exp, store = _ran_experiment(tmp_path)
+        rows = tidy_rows(exp, store)
+        assert len(rows) == 3
+        assert [r["idx"] for r in rows] == [0, 1, 2]
+        for row in rows:
+            assert row["scenario"] == "sleep"
+            assert row["key"].startswith("c1:")
+            assert row["ms"] == 1
+            assert row["slept_ms"] >= 0.0  # the sleep scenario's metric
+            assert row["cell_elapsed_s"] >= 0.0
+
+    def test_missing_cells_are_skipped_not_fabricated(self, tmp_path):
+        exp = Experiment(
+            name="t", grids=[Grid("sleep", {"idx": [0, 1]}, {"ms": 1.0})]
+        )
+        wd = str(tmp_path / "w")
+        run_experiment(exp, workdir=wd, max_cells=1, progress=False)
+        rows = tidy_rows(exp, CellStore(wd))
+        assert len(rows) == 1
+
+    def test_axis_metric_collision_prefixes_metric(self, tmp_path):
+        exp, store = _ran_experiment(tmp_path, n=1)
+        key = exp.cells()[0].key
+        record = store.load(key)
+        record["metrics"]["idx"] = 99.0  # collide with the axis name
+        store.store(key, record)
+        row = tidy_rows(exp, store)[0]
+        assert row["idx"] == 0  # axis wins
+        assert row["metric:idx"] == 99.0
+
+    def test_json_and_csv_round_trip(self, tmp_path):
+        exp, store = _ran_experiment(tmp_path)
+        rows = tidy_rows(exp, store)
+        jpath = write_rows_json(rows, str(tmp_path / "rows.json"))
+        assert json.load(open(jpath)) == rows
+        cpath = write_rows_csv(rows, str(tmp_path / "rows.csv"))
+        with open(cpath, newline="") as fh:
+            parsed = list(csv.DictReader(fh))
+        assert len(parsed) == 3
+        assert parsed[0]["scenario"] == "sleep"
+        assert {r["idx"] for r in parsed} == {"0", "1", "2"}
+
+    def test_csv_union_columns_with_blanks(self, tmp_path):
+        rows = [
+            {"key": "c1:aa", "scenario": "a", "x": 1},
+            {"key": "c1:bb", "scenario": "b", "y": 2},
+        ]
+        path = write_rows_csv(rows, str(tmp_path / "u.csv"))
+        with open(path, newline="") as fh:
+            parsed = list(csv.DictReader(fh))
+        assert parsed[0]["y"] == "" and parsed[1]["x"] == ""
+
+
+class TestStatusAndReport:
+    def test_status_counts(self, tmp_path):
+        exp = Experiment(
+            name="t", grids=[Grid("sleep", {"idx": [0, 1, 2]}, {"ms": 1.0})]
+        )
+        wd = str(tmp_path / "w")
+        store = CellStore(wd)
+        counts = status_counts(exp, store)
+        assert counts == {
+            "total": 3,
+            "done": 0,
+            "missing": 3,
+            "scenarios": {"sleep": {"total": 3, "done": 0}},
+        }
+        run_experiment(exp, workdir=wd, max_cells=2, progress=False)
+        counts = status_counts(exp, store)
+        assert counts["done"] == 2 and counts["missing"] == 1
+
+    def test_report_renders_tables_and_missing_footer(self, tmp_path):
+        exp = Experiment(
+            name="rep", grids=[Grid("sleep", {"idx": [0, 1]}, {"ms": 1.0})]
+        )
+        wd = str(tmp_path / "w")
+        run_experiment(exp, workdir=wd, max_cells=1, progress=False)
+        text = render_report(exp, CellStore(wd))
+        assert "== lab report: rep ==" in text
+        assert "scenario: sleep (1 cells)" in text
+        assert "idx" in text and "slept_ms" in text
+        assert "1 of 2 cells not yet run" in text
+
+    def test_report_on_empty_store_is_footer_only(self, tmp_path):
+        exp = Experiment(
+            name="empty", grids=[Grid("sleep", {"idx": [0]}, {"ms": 1.0})]
+        )
+        text = render_report(exp, CellStore(str(tmp_path / "w")))
+        assert "1 of 1 cells not yet run" in text
+
+    def test_metric_column_cap(self, tmp_path):
+        exp, store = _ran_experiment(tmp_path, n=1)
+        key = exp.cells()[0].key
+        record = store.load(key)
+        record["metrics"] = {f"m{i:02d}": float(i) for i in range(20)}
+        store.store(key, record)
+        text = render_report(exp, store, max_metric_columns=4)
+        assert "m00" in text and "m03" in text
+        assert "m04" not in text

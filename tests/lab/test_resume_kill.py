@@ -1,0 +1,146 @@
+"""Kill-and-resume property: SIGKILL mid-cell, resume, exactly-once.
+
+The real-process counterpart of the deterministic ``max_cells`` tests:
+a ``lab run`` subprocess is SIGKILLed while a cell is executing, then
+the same experiment is resumed in this process.  The execution-log
+fixture proves the contract the workbench is built on:
+
+* every cell finished before the kill is served from cache — its start
+  count never grows again;
+* no cell ever publishes two ``done`` events;
+* the resume completes the matrix.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from collections import Counter
+
+import pytest
+
+import repro
+from repro.lab.cells import Experiment
+from repro.lab.config import parse_experiment
+from repro.lab.runner import run_experiment
+from repro.lab.store import CellStore
+
+N_CELLS = 8
+SLEEP_MS = 150.0
+
+
+def _doc():
+    return {
+        "experiment": {"name": "kill-resume"},
+        "grid": [
+            {
+                "scenario": "sleep",
+                "matrix": {"idx": list(range(N_CELLS))},
+                "base": {"ms": SLEEP_MS},
+            }
+        ],
+    }
+
+
+def _spawn(config_path, workdir):
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "lab", "run", config_path,
+            "--workdir", workdir, "--quiet",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _kill_mid_cell(store, proc, min_done=2, timeout_s=120.0):
+    """SIGKILL the run while a cell is started-but-not-done."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            return False  # finished before we could kill it
+        events = store.read_log()
+        started = {e["key"] for e in events if e["event"] == "start"}
+        done = {e["key"] for e in events if e["event"] == "done"}
+        if len(done) >= min_done and started - done:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            return True
+        time.sleep(0.01)
+    proc.kill()
+    proc.wait(timeout=30)
+    pytest.fail("kill window never opened")
+
+
+@pytest.mark.slow
+class TestKillAndResume:
+    def test_sigkill_mid_cell_then_resume_exactly_once(self, tmp_path):
+        doc = _doc()
+        experiment: Experiment = parse_experiment(doc)
+        cells = experiment.cells()
+        config_path = str(tmp_path / "exp.json")
+        with open(config_path, "w") as fh:
+            json.dump(doc, fh)
+        wd = str(tmp_path / "run")
+        store = CellStore(wd)
+
+        proc = _spawn(config_path, wd)
+        killed = _kill_mid_cell(store, proc)
+
+        pre_events = store.read_log()
+        done_before = {
+            e["key"] for e in pre_events if e["event"] == "done"
+        }
+        starts_before = Counter(
+            e["key"] for e in pre_events if e["event"] == "start"
+        )
+        if killed:
+            assert 0 < len(done_before) < len(cells)
+
+        outcome = run_experiment(experiment, workdir=wd, progress=False)
+        assert outcome.complete and outcome.failed == 0
+        assert outcome.cached == len(done_before)
+        assert outcome.executed == len(cells) - len(done_before)
+        assert store.done_keys([c.key for c in cells]) == {
+            c.key for c in cells
+        }
+
+        events = store.read_log()
+        starts_after = Counter(
+            e["key"] for e in events if e["event"] == "start"
+        )
+        dones_after = Counter(
+            e["key"] for e in events if e["event"] == "done"
+        )
+        # Exactly-once: finished cells never restart...
+        for key in done_before:
+            assert starts_after[key] == starts_before[key], key
+        # ...and nothing ever publishes twice.
+        assert all(c == 1 for c in dones_after.values())
+        assert set(dones_after) == {c.key for c in cells}
+
+        # The killed cell's claim did not wedge the resume (stale pid
+        # reclaim): no claim files survive a completed matrix.
+        leftovers = [
+            n for n in os.listdir(store.cells_dir) if n.endswith(".claim")
+        ]
+        assert leftovers == []
+
+    def test_double_resume_is_a_no_op(self, tmp_path):
+        doc = _doc()
+        experiment = parse_experiment(doc)
+        wd = str(tmp_path / "run")
+        run_experiment(experiment, workdir=wd, progress=False)
+        before = CellStore(wd).read_log()
+        out = run_experiment(experiment, workdir=wd, progress=False)
+        assert out.executed == 0 and out.cached == N_CELLS
+        # A pure-cache pass appends nothing to the execution log.
+        assert CellStore(wd).read_log() == before

@@ -1,0 +1,117 @@
+"""Runner semantics: resume, interruption, failures, parallel jobs."""
+
+import pytest
+
+from repro.lab.cells import Experiment, Grid
+from repro.lab.runner import run_experiment
+from repro.lab.store import CellStore
+
+
+def _sleep_experiment(n=4, ms=1.0, name="runner-t"):
+    return Experiment(
+        name=name,
+        grids=[Grid("sleep", {"idx": list(range(n))}, {"ms": ms})],
+    )
+
+
+class TestSequentialRuns:
+    def test_full_run_then_resume_is_all_cached(self, tmp_path):
+        exp = _sleep_experiment()
+        wd = str(tmp_path / "w")
+        first = run_experiment(exp, workdir=wd, progress=False)
+        assert first.executed == 4 and first.cached == 0
+        assert first.complete and first.failed == 0
+        again = run_experiment(exp, workdir=wd, progress=False)
+        assert again.executed == 0 and again.cached == 4
+        assert again.complete
+
+    def test_max_cells_stops_early_and_resume_finishes(self, tmp_path):
+        exp = _sleep_experiment(n=5)
+        wd = str(tmp_path / "w")
+        partial = run_experiment(exp, workdir=wd, max_cells=2, progress=False)
+        assert partial.executed == 2 and partial.stopped_early
+        assert not partial.complete
+        rest = run_experiment(exp, workdir=wd, progress=False)
+        assert rest.cached == 2 and rest.executed == 3
+        assert rest.complete
+
+    def test_fresh_run_discards_cache(self, tmp_path):
+        exp = _sleep_experiment(n=2)
+        wd = str(tmp_path / "w")
+        run_experiment(exp, workdir=wd, progress=False)
+        redo = run_experiment(exp, workdir=wd, resume=False, progress=False)
+        assert redo.executed == 2 and redo.cached == 0
+
+    def test_failures_are_collected_not_raised(self, tmp_path):
+        exp = Experiment(
+            name="t",
+            grids=[
+                Grid("sleep", {"idx": [0]}, {"ms": 1.0}),
+                Grid("no-such-scenario", {"idx": [0]}),
+            ],
+        )
+        out = run_experiment(exp, workdir=str(tmp_path / "w"), progress=False)
+        assert out.executed == 1 and out.failed == 1
+        assert not out.complete
+        assert any("no-such-scenario" in e for e in out.errors)
+        # The failed cell is retried next run (nothing was published).
+        again = run_experiment(exp, workdir=str(tmp_path / "w"), progress=False)
+        assert again.cached == 1 and again.failed == 1
+
+    def test_claimed_cell_skipped(self, tmp_path):
+        exp = _sleep_experiment(n=2)
+        wd = str(tmp_path / "w")
+        store = CellStore(wd)
+        cells = exp.cells()
+        # Simulate a live concurrent runner holding the first cell.
+        with open(store.claim_path(cells[0].key), "w") as fh:
+            fh.write("1\n")  # pid 1 is alive and is not us
+        out = run_experiment(exp, workdir=wd, progress=False)
+        assert out.claimed_elsewhere == 1 and out.executed == 1
+        assert not out.complete
+
+    def test_invalid_jobs_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_experiment(
+                _sleep_experiment(), workdir=str(tmp_path / "w"), jobs=0
+            )
+
+    def test_execution_log_records_each_cell_once(self, tmp_path):
+        exp = _sleep_experiment(n=3)
+        wd = str(tmp_path / "w")
+        run_experiment(exp, workdir=wd, progress=False)
+        run_experiment(exp, workdir=wd, progress=False)  # all cached
+        events = CellStore(wd).read_log()
+        dones = [e["key"] for e in events if e["event"] == "done"]
+        assert len(dones) == 3 and len(set(dones)) == 3
+
+    def test_progress_line_written_to_stream(self, tmp_path):
+        import io
+
+        exp = _sleep_experiment(n=2)
+        buf = io.StringIO()
+        run_experiment(
+            exp, workdir=str(tmp_path / "w"), progress=True, stream=buf
+        )
+        text = buf.getvalue()
+        assert "[lab]" in text and "2/2 cells" in text
+
+
+class TestParallelJobs:
+    def test_jobs_complete_the_matrix_exactly_once(self, tmp_path):
+        exp = _sleep_experiment(n=6, ms=20.0)
+        wd = str(tmp_path / "w")
+        out = run_experiment(exp, workdir=wd, jobs=3, progress=False)
+        assert out.executed == 6 and out.failed == 0
+        assert out.complete
+        events = CellStore(wd).read_log()
+        dones = [e["key"] for e in events if e["event"] == "done"]
+        assert len(dones) == 6 and len(set(dones)) == 6
+
+    def test_jobs_resume_skips_cached(self, tmp_path):
+        exp = _sleep_experiment(n=4)
+        wd = str(tmp_path / "w")
+        run_experiment(exp, workdir=wd, max_cells=2, progress=False)
+        out = run_experiment(exp, workdir=wd, jobs=2, progress=False)
+        assert out.cached == 2 and out.executed == 2
+        assert out.complete

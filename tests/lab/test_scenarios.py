@@ -1,0 +1,100 @@
+"""Scenario plugins: dispatch, flattening, and the real drivers (small)."""
+
+import pytest
+
+from repro.lab.scenarios import SCENARIOS, flatten_metrics, run_cell, scenario
+
+
+class TestDispatch:
+    def test_builtins_registered(self):
+        for name in ("engine", "race", "aco", "serve", "accuracy", "sleep"):
+            assert name in SCENARIOS
+
+    def test_unknown_scenario_raises_with_catalogue(self):
+        with pytest.raises(ValueError) as exc:
+            run_cell({"scenario": "nope"})
+        assert "nope" in str(exc.value)
+        assert "sleep" in str(exc.value)  # the error lists what exists
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+
+            @scenario("sleep")
+            def _clash(params):  # pragma: no cover - never runs
+                return {}
+
+    def test_custom_scenario_runs(self):
+        @scenario("test-doubler")
+        def _doubler(params):
+            return {"twice": 2 * params["x"]}
+
+        try:
+            metrics = run_cell({"scenario": "test-doubler", "x": 21})
+            assert metrics == {"twice": 42}
+        finally:
+            del SCENARIOS["test-doubler"]
+
+    def test_flatten_metrics_dots_nested_scalars(self):
+        flat = flatten_metrics(
+            {"a": 1, "b": {"c": 2.5, "d": {"e": True}}, "skip": [1, 2]}
+        )
+        assert flat == {"a": 1, "b.c": 2.5, "b.d.e": True}
+
+
+class TestBuiltinScenarios:
+    """Each driver at toy scale: returns scalar, JSON-able metrics."""
+
+    def _check(self, metrics, *expected_keys):
+        for key in expected_keys:
+            assert key in metrics, (key, sorted(metrics))
+        for k, v in metrics.items():
+            assert isinstance(v, (int, float, str, bool)), (k, type(v))
+
+    def test_sleep(self):
+        self._check(run_cell({"scenario": "sleep", "ms": 1.0}), "slept_ms")
+
+    def test_engine(self):
+        metrics = run_cell(
+            {
+                "scenario": "engine",
+                "n": 64,
+                "draws": 2000,
+                "method": "log_bidding",
+                "seed": 0,
+            }
+        )
+        self._check(metrics, "draws_per_s_compiled", "compiled_ns_per_draw")
+        assert metrics["draws_per_s_compiled"] > 0
+
+    def test_accuracy(self):
+        metrics = run_cell(
+            {
+                "scenario": "accuracy",
+                "n": 8,
+                "method": "log_bidding",
+                "iterations": 20_000,
+                "seed": 1,
+            }
+        )
+        self._check(metrics, "tv_distance", "max_abs_error", "gof_pvalue")
+        assert 0.0 <= metrics["tv_distance"] <= 1.0
+
+    def test_serve(self):
+        metrics = run_cell(
+            {
+                "scenario": "serve",
+                "n": 32,
+                "method": "log_bidding",
+                "clients": 2,
+                "requests_per_client": 2,
+                "n_draws": 2,
+                "seed": 0,
+            }
+        )
+        self._check(
+            metrics,
+            "requests_per_s_naive",
+            "requests_per_s_batched",
+            "speedup_batched_vs_naive",
+        )
+        assert metrics["requests_per_s_batched"] > 0

@@ -1,0 +1,124 @@
+"""CellStore: atomic publication, liveness-checked claims, the log."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.lab.store import CellStore
+
+KEY = "c1:" + "ab" * 32
+
+
+class TestResults:
+    def test_store_load_round_trip(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        assert not store.has(KEY)
+        assert store.load(KEY) is None
+        record = {"key": KEY, "metrics": {"x": 1.5}}
+        path = store.store(KEY, record)
+        assert store.has(KEY)
+        assert store.load(KEY) == record
+        assert os.path.exists(path)
+
+    def test_publish_leaves_no_temp_files(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        store.store(KEY, {"a": 1})
+        leftovers = [
+            n for n in os.listdir(store.cells_dir) if ".tmp." in n
+        ]
+        assert leftovers == []
+
+    def test_corrupt_record_treated_as_missing_and_removed(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        path = store.result_path(KEY)
+        with open(path, "w") as fh:
+            fh.write('{"torn": ')  # what a non-atomic writer would leave
+        assert store.load(KEY) is None
+        assert not os.path.exists(path)
+
+    def test_done_keys_subsets(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        other = "c1:" + "cd" * 32
+        store.store(KEY, {})
+        assert store.done_keys([KEY, other]) == {KEY}
+
+    def test_clean_drops_everything(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        store.store(KEY, {})
+        store.claim("c1:" + "cd" * 32)
+        store.log_event("start", KEY)
+        assert store.clean() >= 2
+        assert not store.has(KEY)
+        assert store.read_log() == []
+
+
+class TestClaims:
+    def test_claim_is_exclusive_and_releasable(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        assert store.claim(KEY)
+        # A *different* process must be refused; our own pid reclaims.
+        with open(store.claim_path(KEY)) as fh:
+            assert int(fh.read().strip()) == os.getpid()
+        store.release(KEY)
+        assert not os.path.exists(store.claim_path(KEY))
+        assert store.claim(KEY)
+        store.release(KEY)
+
+    def test_live_foreign_claim_refused(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        # A long-lived process we did not start and will not kill: pid 1.
+        with open(store.claim_path(KEY), "w") as fh:
+            fh.write("1\n")
+        assert not store.claim(KEY)
+
+    def test_dead_pid_claim_is_stale_and_reclaimed(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        with open(store.claim_path(KEY), "w") as fh:
+            fh.write(f"{proc.pid}\n")
+        assert store.claim(KEY)  # killed runs never wedge the matrix
+        store.release(KEY)
+
+    def test_garbage_claim_is_stale(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        with open(store.claim_path(KEY), "w") as fh:
+            fh.write("not-a-pid\n")
+        assert store.claim(KEY)
+        store.release(KEY)
+
+    def test_release_is_idempotent(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        store.release(KEY)  # nothing to release: no error
+
+
+class TestLog:
+    def test_events_append_in_order(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        store.log_event("start", KEY, scenario="sleep")
+        store.log_event("done", KEY, elapsed_s=0.1)
+        events = store.read_log()
+        assert [e["event"] for e in events] == ["start", "done"]
+        assert events[0]["scenario"] == "sleep"
+        assert events[0]["pid"] == os.getpid()
+        assert events[0]["t"] <= events[1]["t"]
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        store.log_event("start", KEY)
+        with open(store.log_path, "a") as fh:
+            fh.write('{"event": "done", "key"')  # kill mid-append
+        events = store.read_log()
+        assert len(events) == 1 and events[0]["event"] == "start"
+
+    def test_missing_log_is_empty(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        assert store.read_log() == []
+
+    def test_log_lines_are_json(self, tmp_path):
+        store = CellStore(str(tmp_path / "w"))
+        store.log_event("error", KEY, error="ValueError: boom")
+        with open(store.log_path) as fh:
+            line = fh.readline()
+        assert json.loads(line)["error"] == "ValueError: boom"

@@ -1,0 +1,217 @@
+"""Histogram quantile edge cases and exact multi-process state merging.
+
+Regressions for two serving-layer accounting bugs:
+
+* ``LatencyHistogram.quantile`` used to ignore which buckets actually
+  held observations — ``quantile(0.0)`` reported ``base`` (1 µs) even
+  when every observation was milliseconds, and the bucket-upper-edge
+  estimate could exceed the recorded maximum.
+* ``merge_state`` zip-truncated mismatched bucket arrays silently, and
+  ``BatchSizeHistogram`` had no merge path at all, so multi-process
+  load generators could not reconstruct one faithful distribution.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.service.metrics import (
+    BatchSizeHistogram,
+    LatencyHistogram,
+    ServiceMetrics,
+)
+
+
+class TestLatencyQuantileEdges:
+    def test_q0_lands_on_first_observed_bucket_not_base(self):
+        # Regression: with every observation far above base, quantile(0.0)
+        # returned base (1e-6) because the scan accepted empty buckets.
+        h = LatencyHistogram()
+        h.observe(0.010)  # 10 ms
+        h.observe(0.020)
+        assert h.quantile(0.0) >= 0.009
+        assert h.quantile(0.0) <= h.quantile(1.0)
+
+    def test_upper_edge_clamped_to_observed_max(self):
+        # Regression: a single 2 µs observation reported its bucket's
+        # upper edge (~2.076 µs), exceeding the recorded maximum.
+        h = LatencyHistogram()
+        h.observe(2e-6)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(2e-6)
+
+    def test_snapshot_single_observation_is_consistent(self):
+        h = LatencyHistogram()
+        h.observe(2e-6)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["p50_us"] == snap["p90_us"] == snap["p99_us"]
+        assert snap["p50_us"] <= snap["max_us"]
+        assert snap["mean_us"] == pytest.approx(2.0)
+
+    def test_quantiles_monotone_and_bounded(self):
+        h = LatencyHistogram()
+        rng = random.Random(7)
+        for _ in range(500):
+            h.observe(rng.uniform(1e-6, 0.5))
+        qs = [h.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+        assert qs[-1] <= h._max
+        # q=0 must land at (or below the upper edge of) the smallest
+        # observed bucket, never below the histogram floor.
+        assert qs[0] >= h.base
+
+    def test_empty_histogram_reports_zero(self):
+        h = LatencyHistogram()
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.99) == 0.0
+        assert h.snapshot()["p99_us"] == 0.0
+
+    def test_out_of_range_q_raises(self):
+        h = LatencyHistogram()
+        h.observe(1e-3)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestLatencyMergeExact:
+    def _fill(self, h, samples):
+        for s in samples:
+            h.observe(s)
+
+    def test_merge_mismatched_bucketing_raises(self):
+        h = LatencyHistogram()
+        other = LatencyHistogram(base=1e-5)
+        other.observe(1e-3)
+        with pytest.raises(ValueError):
+            h.merge_state(other.state())
+
+    def test_merge_truncated_counts_refused(self):
+        # Regression: a short counts array used to zip-truncate silently,
+        # un-balancing count vs sum(counts).
+        h = LatencyHistogram()
+        state = LatencyHistogram().state()
+        state["counts"] = state["counts"][:10]
+        state["count"] = 1
+        with pytest.raises(ValueError):
+            h.merge_state(state)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_k_process_merge_is_exact(self, seed):
+        """K process-local histograms merged == one histogram of all samples."""
+        rng = random.Random(seed)
+        k = rng.randint(2, 6)
+        n = rng.randint(0, 400)
+        samples = [rng.uniform(0.0, 4.0) ** 3 * 1e-2 for _ in range(n)]
+
+        reference = LatencyHistogram()
+        self._fill(reference, samples)
+
+        # Arbitrary interleaving: each sample goes to a random process,
+        # some processes may observe nothing at all.
+        locals_ = [LatencyHistogram() for _ in range(k)]
+        for s in samples:
+            locals_[rng.randrange(k)].observe(s)
+
+        merged = LatencyHistogram()
+        order = list(range(k))
+        rng.shuffle(order)
+        for i in order:
+            merged.merge_state(locals_[i].state())
+
+        assert merged._counts == reference._counts
+        assert merged.count == reference.count
+        assert merged._max == reference._max
+        assert merged._sum == pytest.approx(reference._sum)
+        ref_snap = reference.snapshot()
+        got_snap = merged.snapshot()
+        for key in ("count", "p50_us", "p90_us", "p99_us", "max_us"):
+            assert got_snap[key] == pytest.approx(ref_snap[key]), key
+        assert got_snap["mean_us"] == pytest.approx(ref_snap["mean_us"])
+
+    def test_merge_is_associative_on_snapshots(self):
+        rng = random.Random(42)
+        parts = []
+        for _ in range(3):
+            h = LatencyHistogram()
+            self._fill(h, [rng.uniform(1e-6, 1.0) for _ in range(50)])
+            parts.append(h)
+        left = LatencyHistogram()
+        left.merge_state(parts[0].state())
+        left.merge_state(parts[1].state())
+        left.merge_state(parts[2].state())
+        right = LatencyHistogram()
+        mid = LatencyHistogram()
+        mid.merge_state(parts[1].state())
+        mid.merge_state(parts[2].state())
+        right.merge_state(parts[0].state())
+        right.merge_state(mid.state())
+        assert left.state() == right.state()
+
+
+class TestBatchSizeMergeExact:
+    def test_state_round_trip(self):
+        h = BatchSizeHistogram()
+        for size in (1, 4, 4, 9):
+            h.observe(size)
+        merged = BatchSizeHistogram()
+        merged.merge_state(h.state())
+        assert merged.snapshot() == h.snapshot()
+
+    def test_merge_sizes_only_one_side_observed(self):
+        a = BatchSizeHistogram()
+        b = BatchSizeHistogram()
+        a.observe(2)
+        b.observe(7)
+        b.observe(2)
+        a.merge_state(b.state())
+        snap = a.snapshot()
+        assert snap["sizes"] == {"2": 2, "7": 1}
+        assert snap["batches"] == 3
+        assert snap["requests"] == 11
+        assert snap["max_size"] == 7
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_k_process_merge_is_exact(self, seed):
+        rng = random.Random(1000 + seed)
+        k = rng.randint(2, 5)
+        sizes = [rng.randint(1, 32) for _ in range(rng.randint(0, 300))]
+
+        reference = BatchSizeHistogram()
+        for s in sizes:
+            reference.observe(s)
+
+        locals_ = [BatchSizeHistogram() for _ in range(k)]
+        for s in sizes:
+            locals_[rng.randrange(k)].observe(s)
+
+        merged = BatchSizeHistogram()
+        order = list(range(k))
+        rng.shuffle(order)
+        for i in order:
+            merged.merge_state(locals_[i].state())
+
+        assert merged.snapshot() == reference.snapshot()
+        # Internal invariant: requests == sum(size * count).
+        assert merged._requests == sum(
+            int(s) * c for s, c in merged.state()["counts"].items()
+        )
+
+
+class TestServiceMetricsSnapshot:
+    def test_snapshot_reports_merged_shapes(self):
+        m = ServiceMetrics()
+        m.enqueued(4)
+        m.dequeued()
+        m.served(2e-6)
+        m.batch_sizes.observe(4)
+        snap = m.snapshot(extra={"shards": 2})
+        assert snap["requests_total"] == 1 and snap["ok_total"] == 1
+        assert snap["latency"]["count"] == 1
+        assert snap["latency"]["p99_us"] <= snap["latency"]["max_us"]
+        assert snap["batch_sizes"]["sizes"] == {"4": 1}
+        assert snap["shards"] == 2
+        assert math.isfinite(snap["latency"]["mean_us"])
