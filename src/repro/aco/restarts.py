@@ -1,0 +1,118 @@
+"""Restart-driven ACO runs with time-to-target capture.
+
+ACO time-to-target is a textbook Las Vegas runtime: a colony either
+finds a tour at the target length quickly or stagnates in a pheromone
+basin, and the long stagnation tail is exactly what restart schedules
+(:mod:`repro.tune.restarts`) amortise away.  :func:`run_with_restarts`
+executes a colony under any schedule — calibrated fixed cutoff or Luby
+— while recording each successful run's iterations-to-target into a
+:class:`repro.tune.sample.RuntimeSample`, so the schedule that ran this
+probe is also how the *next* schedule gets derived.
+
+Cutoffs are counted in **iterations**, not seconds: iteration counts
+are deterministic given the colony seeds, so a restart run is exactly
+reproducible (the ``(seed, workers)`` discipline of the engine applied
+to search), and an iterations sample converts to wall time by the
+calibrated per-iteration cost whenever seconds are needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.tune.sample import RuntimeSample
+
+__all__ = ["run_with_restarts", "RestartRun"]
+
+
+@dataclass
+class RestartRun:
+    """Outcome of one scheduled restart run."""
+
+    #: Best tour seen across every attempt (None if no step completed).
+    best_tour: object = None
+    #: Best tour length across attempts (inf if none).
+    best_length: float = math.inf
+    #: True if some attempt reached the target before the budget ran out.
+    reached: bool = False
+    #: Attempts started (a truncated attempt still counts).
+    attempts: int = 0
+    #: Iterations executed across all attempts.
+    iterations: int = 0
+    #: Iterations-to-target of the successful attempt chain (total
+    #: iterations at the moment the target was reached), when reached.
+    iterations_to_target: Optional[int] = None
+    #: Per-attempt iteration counts, in order.
+    attempt_iterations: List[int] = field(default_factory=list)
+
+
+def run_with_restarts(
+    factory: Callable[[int], object],
+    schedule: Sequence[float],
+    *,
+    target_length: float,
+    max_total_iterations: int = 10_000,
+    sample: Optional[RuntimeSample] = None,
+) -> RestartRun:
+    """Run fresh colonies under ``schedule`` until ``target_length``.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(attempt) -> colony``; must return a *fresh* colony
+        (clean pheromone, an attempt-derived rng seed) exposing the
+        ``step() -> Tour`` / ``best_tour`` protocol of
+        :class:`repro.aco.AntSystem`.  Seeding from ``attempt`` is what
+        makes the whole restart run a pure function of its inputs.
+    schedule:
+        Per-attempt iteration cutoffs (``repro.tune.restarts`` output).
+        A run past the last entry keeps reusing the final cutoff, so a
+        finite schedule never strands the budget.
+    target_length:
+        Stop as soon as any attempt's best tour is <= this length.
+    max_total_iterations:
+        Hard budget across all attempts.
+    sample:
+        Optional ``RuntimeSample(unit="iterations")``; on success the
+        total iterations-to-target is recorded — the capture half of
+        the calibrate-then-schedule loop.
+    """
+    if not schedule:
+        raise ValueError("schedule must have at least one cutoff")
+    if max_total_iterations < 1:
+        raise ValueError(
+            f"max_total_iterations must be >= 1, got {max_total_iterations}"
+        )
+    if sample is not None and sample.unit != "iterations":
+        raise ValueError(
+            f'sample must have unit="iterations", got {sample.unit!r}'
+        )
+    run = RestartRun()
+    attempt = 0
+    while run.iterations < max_total_iterations and not run.reached:
+        cutoff = schedule[min(attempt, len(schedule) - 1)]
+        if cutoff < 1 or not math.isfinite(cutoff):
+            raise ValueError(f"cutoffs must be finite and >= 1, got {cutoff}")
+        colony = factory(attempt)
+        run.attempts += 1
+        attempt += 1
+        used = 0
+        budget = min(int(cutoff), max_total_iterations - run.iterations)
+        while used < budget:
+            colony.step()
+            used += 1
+            run.iterations += 1
+            length = colony.best_tour.length
+            if length < run.best_length:
+                run.best_length = length
+                run.best_tour = colony.best_tour
+            if length <= target_length:
+                run.reached = True
+                run.iterations_to_target = run.iterations
+                break
+        run.attempt_iterations.append(used)
+    if run.reached and sample is not None:
+        sample.record(float(run.iterations_to_target))
+    return run

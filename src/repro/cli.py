@@ -59,7 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         nargs="?",
         choices=sorted(EXPERIMENTS)
-        + ["all", "audit", "bench-aco", "bench-engine", "bench-race", "bench-serve", "serve"],
+        + ["all", "audit", "bench-aco", "bench-engine", "bench-race", "bench-serve", "bench-tune", "serve"],
         help=(
             "experiment to run ('all' runs every paper experiment; "
             "'audit' runs the differential degenerate-wheel audit over "
@@ -72,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
             "'bench-serve' measures the micro-batching selection service "
             "against the per-request baseline, binary frames against "
             "JSON-lines, and the sharded cluster scaling sweep; "
+            "'bench-tune' calibrates this host, scores the Las Vegas "
+            "speedup predictor against a measured worker sweep, and "
+            "checks autotuned configs against a static sweep; "
             "'lab' is the declarative experiment workbench — "
             "'lab run CONFIG' executes a TOML/JSON design matrix resumably "
             "with per-cell caching (see 'lab --help'); "
@@ -336,6 +339,27 @@ def _run_bench_aco(args) -> int:
     return 0
 
 
+def _run_bench_tune(args) -> int:
+    """Run the tuning benchmark, record BENCH_tune.json, print a summary."""
+    from repro.tune.bench import (
+        render_bench_tune,
+        run_bench_tune,
+        write_bench_tune,
+    )
+
+    kwargs = {"seed": args.seed}
+    if args.iterations is not None:
+        kwargs["trials"] = args.iterations
+    report = run_bench_tune(**kwargs)
+    path = write_bench_tune(report, args.output or "BENCH_tune.json")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_bench_tune(report))
+        print(f"recorded -> {path}")
+    return 0
+
+
 def _run_bench_serve(args) -> int:
     """Run the serving benchmark, record BENCH_serve.json."""
     from repro.service.loadgen import (
@@ -510,6 +534,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "bench-engine",
             "bench-race",
             "bench-serve",
+            "bench-tune",
             "lab",
             "serve",
         ]:
@@ -528,6 +553,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench_race(args)
     if args.experiment == "bench-serve":
         return _run_bench_serve(args)
+    if args.experiment == "bench-tune":
+        return _run_bench_tune(args)
     if args.experiment == "serve":
         return _run_serve(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

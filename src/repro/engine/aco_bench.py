@@ -31,6 +31,7 @@ from repro.engine.colony import (
     tsp_lockstep_orders,
     tsp_lockstep_orders_faithful,
 )
+from repro.tune.timers import best_of
 
 __all__ = [
     "run_bench_aco",
@@ -79,16 +80,13 @@ def _tsp_colony(instance, method: str, n_ants: int, engine: str, seed: int):
 def _time_steps(colony, iterations: int) -> float:
     """Best per-iteration wall time over ``iterations`` colony steps.
 
-    Min-of-reps is the standard throughput estimator on shared machines:
-    scheduler preemption only ever *adds* time, so the minimum is the
-    closest observation to the true cost.
+    Min-of-reps (``repro.tune.timers.best_of``): the standard throughput
+    estimator on shared machines — scheduler preemption only ever *adds*
+    time, so the minimum is the closest observation to the true cost.
+    Each repeat advances the same colony, so pheromone state evolves
+    exactly as in the pre-timers loop.
     """
-    best = float("inf")
-    for _ in range(iterations):
-        start = time.perf_counter()
-        colony.step()
-        best = min(best, time.perf_counter() - start)
-    return best
+    return best_of(colony.step, repeats=iterations)
 
 
 def _bench_dynamic_wheel(n: int, seed: int, batch: int = 64, draws: int = 4096) -> Dict[str, Any]:

@@ -22,6 +22,7 @@ from repro.core.fitness import validate_fitness
 from repro.core.methods.base import get_method
 from repro.engine.compiled import DEFAULT_CHUNK_BYTES, CompiledWheel
 from repro.engine.parallel import parallel_counts, suggest_workers
+from repro.tune.timers import timed
 
 __all__ = ["run_bench", "write_bench", "validate_bench", "BENCH_SCHEMA"]
 
@@ -38,12 +39,6 @@ _REQUIRED_RESULT_KEYS = (
     "speedup_compiled_vs_registry",
     "speedup_race_vs_registry",
 )
-
-
-def _timed(fn) -> float:
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
 
 
 def run_bench(
@@ -65,22 +60,22 @@ def run_bench(
     f = validate_fitness(1.0 - np.random.default_rng(seed).random(n))
     sel = get_method(method)
 
-    registry_s = _timed(lambda: sel.select_many(f, np.random.default_rng(seed + 1), draws))
+    registry_s = timed(lambda: sel.select_many(f, np.random.default_rng(seed + 1), draws))
 
     compiled_auto = CompiledWheel(f, method, kernel="auto", chunk_bytes=chunk_bytes)
-    compiled_s = _timed(
+    compiled_s = timed(
         lambda: compiled_auto.select_many(draws, rng=np.random.default_rng(seed + 1))
     )
 
     compiled_race = CompiledWheel(f, method, kernel="faithful", chunk_bytes=chunk_bytes)
-    race_s = _timed(
+    race_s = timed(
         lambda: compiled_race.select_many(draws, rng=np.random.default_rng(seed + 1))
     )
 
-    counts_s = _timed(lambda: compiled_auto.counts(draws, rng=np.random.default_rng(seed + 1)))
+    counts_s = timed(lambda: compiled_auto.counts(draws, rng=np.random.default_rng(seed + 1)))
 
     workers = suggest_workers(draws)
-    parallel_s = _timed(
+    parallel_s = timed(
         lambda: parallel_counts(
             f, draws, method=method, seed=seed, workers=workers, chunk_bytes=chunk_bytes
         )

@@ -27,6 +27,7 @@ from repro.engine.races import parallel_round_counts, suggest_race_workers
 from repro.pram.algorithms.max_random_write import max_random_write_race
 from repro.rng.streams import stream_seeds
 from repro.stats.confidence import mean_interval
+from repro.tune.timers import timed
 from repro.stats.race_theory import (
     expected_rounds,
     paper_bound,
@@ -148,11 +149,13 @@ def run_bench_race(
         parallel_round_counts(pram_k, trials, seed=gate_seed, workers=workers)
         vector_s_per_trial = (time.perf_counter() - start) / trials
     rng = np.random.default_rng(seed)
-    start = time.perf_counter()
-    for _ in range(pram_reps):
-        values = rng.random(pram_k)
-        max_random_write_race(values, seed=int(rng.integers(2**31)))
-    pram_s_per_trial = (time.perf_counter() - start) / pram_reps
+
+    def pram_trials() -> None:
+        for _ in range(pram_reps):
+            values = rng.random(pram_k)
+            max_random_write_race(values, seed=int(rng.integers(2**31)))
+
+    pram_s_per_trial = timed(pram_trials) / pram_reps
     speedup = pram_s_per_trial / vector_s_per_trial if vector_s_per_trial else float("inf")
 
     # Determinism contract: the fan-out must be byte-identical across

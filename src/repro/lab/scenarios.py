@@ -12,6 +12,7 @@ race       :func:`repro.engine.race_bench.run_bench_race` (round counts)
 aco        :func:`repro.engine.aco_bench.run_bench_aco` (tours/s)
 serve      the PR 5/7 service stack in-process (draws + updates /s)
 accuracy   :func:`repro.bench.runner.monte_carlo_selection` (Tables I/II)
+tune       :func:`repro.tune.bench.run_bench_tune` (speedup prediction)
 sleep      deterministic-duration no-op (tests, kill-and-resume gate)
 ========== ===========================================================
 
@@ -248,6 +249,45 @@ def _accuracy(params: Mapping[str, Any]) -> Dict[str, Any]:
         "tv_distance": mc.tv(method),
         "max_abs_error": mc.max_error(method),
         "gof_pvalue": mc.gof_pvalue(method),
+    }
+
+
+@scenario("tune")
+def _tune(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One bench-tune point: calibrate, predict, and gate on this host.
+
+    Exposes the tuner's headline numbers as tidy columns so a lab
+    matrix can sweep seeds or workloads and chart prediction error and
+    autotune quality alongside the other scenarios.
+    """
+    from repro.tune.bench import run_bench_tune
+
+    report = run_bench_tune(
+        seed=int(params.get("seed", 0)),
+        trials=int(params.get("trials", 12)),
+        race_trials=int(params.get("race_trials", 4)),
+        wheel_n=int(params.get("n", 1024)),
+        method=str(params.get("method", "log_bidding")),
+        clients=int(params.get("clients", 8)),
+        requests_per_client=int(params.get("requests_per_client", 16)),
+        n_draws=int(params.get("n_draws", 8)),
+        race_trials_probe=int(params.get("race_trials_probe", 5000)),
+    )
+    cal, sg, at = (
+        report["calibration"],
+        report["speedup_gate"],
+        report["autotune_gate"],
+    )
+    return {
+        "draw_ns": cal["draw_ns"],
+        "spawn_overhead_ms": cal["spawn_overhead_s"] * 1e3,
+        "min_draws_per_worker": cal["min_draws_per_worker"] or 0,
+        "race_law_error": report["predictor"]["worst_relative_error"],
+        "speedup_gate_skipped": bool(sg["skipped"]),
+        "speedup_gate_error": sg.get("worst_relative_error", 0.0),
+        "autotune_ratio": at["ratio_vs_best_static"],
+        "probe_budget_fraction": at["probe_budget_fraction"],
+        "gates_met": bool(report["gates_met"]),
     }
 
 

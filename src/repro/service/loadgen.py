@@ -57,6 +57,7 @@ from repro.service.protocol import raise_structured
 from repro.service.registry import WheelRegistry, digest_key
 from repro.service.scheduler import BatchConfig, MicroBatchScheduler, NaiveScheduler
 from repro.service.server import SelectionService, start_tcp_server
+from repro.tune.timers import median_of
 
 __all__ = [
     "run_closed_loop",
@@ -835,8 +836,10 @@ def _update_gate_section(
             start = time.perf_counter()
             registry.update(root_id, idx, vals)
             delta.append(time.perf_counter() - start)
-        rereg_s = sorted(rereg)[trials // 2]
-        delta_s = sorted(delta)[trials // 2]
+        # Lower median via the shared helper: robust to one outlier in
+        # either direction, and unbiased for the ratio gate below.
+        rereg_s = median_of(rereg)
+        delta_s = median_of(delta)
         speedup = rereg_s / delta_s if delta_s > 0 else 0.0
         speedups.append(speedup)
         legs[str(k)] = {

@@ -1,0 +1,159 @@
+"""Bounded online controller for the micro-batch coalescing delay.
+
+The scheduler's ``max_delay_us`` is the one knob whose best value
+depends on *live traffic*: under closed-loop load the opportunistic
+drainer coalesces fully and any delay is wasted latency, while under
+open-loop trickle traffic a longer delay is the only way requests ever
+share a kernel pass.  :class:`DelayController` adapts it from the same
+:class:`repro.service.metrics.BatchSizeHistogram` the metrics endpoint
+already exports — no extra bookkeeping on the hot path.
+
+Safety properties (each one a scheduler regression test):
+
+* **bounded** — the delay never leaves ``[min_delay_us, max_delay_us]``,
+  no matter what the traffic does;
+* **slow** — at most one multiplicative step per ``adjust_every``
+  flushes, so a burst cannot slam the knob;
+* **determinism-preserving** — the controller only changes *when* a
+  batch flushes.  Every request draws from its own substream
+  (``request_stream(seed, wheel_key, request_seed)``) and the batch
+  kernel consumes substreams exactly as solo calls would, so retuning
+  is bitwise-invisible in every response.  This is why the controller
+  may be enabled in production without a determinism waiver.
+
+It is **off by default**: ``MicroBatchScheduler`` takes
+``controller=None`` and behaves exactly as before unless one is passed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["DelayController"]
+
+
+class DelayController:
+    """Adapt ``max_delay_us`` from the live batch-size histogram.
+
+    Every ``adjust_every`` flushes the controller looks at the *window*
+    mean batch size (flushes since the last adjustment, read as deltas
+    of the histogram's running totals) and takes one bounded
+    multiplicative step:
+
+    * window mean below ``grow_below`` requests/flush — arrivals are not
+      coalescing; multiply the delay by ``step`` (seeding from
+      ``reseed_delay_us`` if the delay is currently 0) so trickle
+      traffic starts sharing kernel passes;
+    * window mean at or above ``shrink_above`` × ``max_batch`` — batches
+      fill on their own; divide by ``step``, shedding latency that buys
+      no extra coalescing;
+    * otherwise leave the knob alone.
+
+    Parameters mirror those safety bounds; the defaults keep the delay
+    within [0, 2000] µs and adjust at most once per 64 flushes.
+    """
+
+    __slots__ = (
+        "min_delay_us",
+        "max_delay_us",
+        "adjust_every",
+        "grow_below",
+        "shrink_above",
+        "step",
+        "reseed_delay_us",
+        "retunes",
+        "last_window_mean",
+        "_last_batches",
+        "_last_requests",
+    )
+
+    def __init__(
+        self,
+        *,
+        min_delay_us: float = 0.0,
+        max_delay_us: float = 2000.0,
+        adjust_every: int = 64,
+        grow_below: float = 2.0,
+        shrink_above: float = 0.75,
+        step: float = 1.5,
+        reseed_delay_us: float = 50.0,
+    ) -> None:
+        if min_delay_us < 0.0:
+            raise ValueError(f"min_delay_us must be >= 0, got {min_delay_us}")
+        if max_delay_us < min_delay_us:
+            raise ValueError(
+                f"max_delay_us must be >= min_delay_us, "
+                f"got {max_delay_us} < {min_delay_us}"
+            )
+        if adjust_every < 1:
+            raise ValueError(f"adjust_every must be >= 1, got {adjust_every}")
+        if not 0.0 < shrink_above <= 1.0:
+            raise ValueError(f"shrink_above must be in (0, 1], got {shrink_above}")
+        if grow_below < 1.0:
+            raise ValueError(f"grow_below must be >= 1, got {grow_below}")
+        if step <= 1.0:
+            raise ValueError(f"step must be > 1, got {step}")
+        if reseed_delay_us <= 0.0:
+            raise ValueError(f"reseed_delay_us must be > 0, got {reseed_delay_us}")
+        self.min_delay_us = float(min_delay_us)
+        self.max_delay_us = float(max_delay_us)
+        self.adjust_every = int(adjust_every)
+        self.grow_below = float(grow_below)
+        self.shrink_above = float(shrink_above)
+        self.step = float(step)
+        self.reseed_delay_us = float(reseed_delay_us)
+        self.retunes = 0
+        self.last_window_mean = 0.0
+        self._last_batches = 0
+        self._last_requests = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, batch_sizes, config) -> Optional[float]:
+        """One post-flush tick; returns the new delay or None.
+
+        ``batch_sizes`` is the scheduler's live
+        :class:`repro.service.metrics.BatchSizeHistogram`; ``config`` is
+        its :class:`repro.service.scheduler.BatchConfig` (duck-typed —
+        only ``max_delay_us`` and ``max_batch`` are read, so the
+        controller never imports the service layer).  The caller applies
+        a non-None return to ``config.max_delay_us``.
+        """
+        window = batch_sizes.batches - self._last_batches
+        if window < self.adjust_every:
+            return None
+        mean = (batch_sizes.requests - self._last_requests) / window
+        self._last_batches = batch_sizes.batches
+        self._last_requests = batch_sizes.requests
+        self.last_window_mean = mean
+        current = float(config.max_delay_us)
+        if mean >= self.shrink_above * config.max_batch:
+            proposed = max(self.min_delay_us, current / self.step)
+        elif mean < self.grow_below:
+            grown = current * self.step if current > 0.0 else self.reseed_delay_us
+            proposed = min(self.max_delay_us, max(self.min_delay_us, grown))
+        else:
+            return None
+        if proposed == current:
+            return None
+        self.retunes += 1
+        return proposed
+
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """JSON-able controller state for metrics snapshots."""
+        return {
+            "min_delay_us": self.min_delay_us,
+            "max_delay_us": self.max_delay_us,
+            "adjust_every": self.adjust_every,
+            "grow_below": self.grow_below,
+            "shrink_above": self.shrink_above,
+            "step": self.step,
+            "retunes": self.retunes,
+            "last_window_mean": self.last_window_mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DelayController(bounds=[{self.min_delay_us}, {self.max_delay_us}]us, "
+            f"every={self.adjust_every}, retunes={self.retunes})"
+        )

@@ -1,0 +1,234 @@
+"""Short probe runs that feed the calibration cache.
+
+Each probe measures one cost constant or captures one runtime
+distribution, deliberately spending a few tens of milliseconds — the
+whole point of the tuner is that a probe budget of well under a second
+replaces static-sweep measurement campaigns.  Probes return plain
+numbers or :class:`repro.tune.sample.RuntimeSample` objects;
+:func:`calibrate` orchestrates the standard set into a
+:class:`repro.tune.calibration.HostCalibration`.
+
+All probes are deterministic given ``seed`` (modulo the wall clock they
+are measuring, which is the product).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.tune.calibration import HostCalibration
+from repro.tune.sample import RuntimeSample
+from repro.tune.timers import measure, timed
+
+__all__ = [
+    "probe_spawn_overhead",
+    "probe_draw_cost",
+    "probe_batch_kernel",
+    "probe_race_rounds",
+    "probe_service_flushes",
+    "calibrate",
+]
+
+
+def _noop() -> int:
+    """Top-level trivial task (must be picklable for the pool probe)."""
+    return 0
+
+
+def probe_spawn_overhead(repeats: int = 2) -> float:
+    """Serial seconds to stand up one pool worker and run a no-op.
+
+    Times ``ProcessPoolExecutor(max_workers=1)`` end to end — spawn,
+    one round-trip submit, shutdown — which is exactly the cost
+    ``parallel_counts`` pays per worker before any draw happens.
+    Min-of-reps: preemption only inflates the spawn, never deflates it.
+    """
+
+    def spawn_once() -> None:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            pool.submit(_noop).result()
+
+    return measure(spawn_once, repeats=repeats, warmup=0).best
+
+
+def probe_draw_cost(
+    n: int = 1024,
+    draws: int = 200_000,
+    *,
+    method: str = "log_bidding",
+    seed: int = 0,
+    repeats: int = 3,
+) -> Tuple[float, RuntimeSample]:
+    """Per-draw seconds of the compiled throughput kernel on this host.
+
+    Returns ``(draw_s, sample)`` where ``sample`` holds the per-repeat
+    wall times of the probe batches (unit ``"s"``).  The estimate is
+    min-of-reps over ``repeats`` batches of ``draws`` draws at wheel
+    size ``n`` — the workload shape ``suggest_workers`` shards.
+    """
+    from repro.engine.compiled import CompiledWheel
+
+    values = 1.0 - np.random.default_rng(seed).random(n)
+    wheel = CompiledWheel(values, method, kernel="auto")
+    rng = np.random.default_rng(seed + 1)
+    result = measure(lambda: wheel.select_many(draws, rng=rng), repeats=repeats)
+    sample = RuntimeSample(unit="s", values=result.samples)
+    return result.best / draws, sample
+
+
+def probe_batch_kernel(
+    n: int = 1024,
+    *,
+    method: str = "log_bidding",
+    n_draws: int = 8,
+    batch_sizes: Sequence[int] = (1, 8, 64),
+    seed: int = 0,
+    repeats: int = 3,
+) -> Tuple[float, float, RuntimeSample]:
+    """Affine cost model of one micro-batch flush: ``base + per_draw * draws``.
+
+    Times :meth:`repro.engine.CompiledWheel.select_segments` at several
+    coalesced batch sizes (each request drawing ``n_draws``), then
+    least-squares fits flush seconds against total draws.  ``base`` is
+    the per-flush overhead that batching amortises; ``per_draw`` is the
+    marginal kernel cost.  Returns ``(base_s, per_draw_s, sample)``
+    where ``sample`` captures every measured flush time (unit ``"s"``)
+    — the service-batch runtime distribution of the calibration cache.
+    """
+    from repro.engine.compiled import CompiledWheel
+    from repro.rng.streams import SplitMixStream, derive_seeds
+
+    values = 1.0 - np.random.default_rng(seed).random(n)
+    wheel = CompiledWheel(values, method, kernel="auto")
+    sample = RuntimeSample(unit="s")
+    points = []  # (total_draws, best_flush_s)
+    for batch in batch_sizes:
+        batch = int(batch)
+        if batch < 1:
+            raise ValueError(f"batch sizes must be >= 1, got {batch}")
+        seeds = derive_seeds(seed, list(range(batch)), 0xBA7C4)
+        result = measure(
+            lambda s=seeds: wheel.select_segments(
+                [(n_draws, SplitMixStream(int(x))) for x in s]
+            ),
+            repeats=repeats,
+        )
+        sample.record_many(result.samples)
+        points.append((batch * n_draws, result.best))
+    xs = np.array([p[0] for p in points], dtype=np.float64)
+    ys = np.array([p[1] for p in points], dtype=np.float64)
+    design = np.stack([np.ones_like(xs), xs], axis=1)
+    (base_s, per_draw_s), *_ = np.linalg.lstsq(design, ys, rcond=None)
+    # Noise can drive either coefficient slightly negative; the model is
+    # a cost, so clamp at zero rather than predict negative time.
+    return max(0.0, float(base_s)), max(0.0, float(per_draw_s)), sample
+
+
+def probe_race_rounds(
+    k: int = 64, trials: int = 20_000, *, seed: int = 0
+) -> RuntimeSample:
+    """Empirical round-count distribution of the paper's race (unit ``rounds``).
+
+    This is the one probe with an analytic oracle
+    (:mod:`repro.stats.race_theory`), which is what lets the bench
+    validate the whole empirical->prediction pipeline before trusting
+    it on wall-clock samples.
+    """
+    from repro.engine.races import sample_round_counts
+
+    rounds = sample_round_counts(k, trials, seed=seed)
+    return RuntimeSample(unit="rounds", values=rounds.astype(np.float64))
+
+
+def probe_service_flushes(
+    n: int = 1024,
+    *,
+    method: str = "log_bidding",
+    n_draws: int = 8,
+    flushes: int = 64,
+    batch: int = 16,
+    seed: int = 0,
+) -> RuntimeSample:
+    """Wall-time distribution of ``flushes`` micro-batch kernel passes.
+
+    Unlike :func:`probe_batch_kernel` (which fits the affine model from
+    a few repeated points), this captures the *distribution* of flush
+    times at one operating point — the service-batch runtime sample the
+    tentpole stores in the calibration cache.
+    """
+    from repro.engine.compiled import CompiledWheel
+    from repro.rng.streams import SplitMixStream, derive_seeds
+
+    values = 1.0 - np.random.default_rng(seed).random(n)
+    wheel = CompiledWheel(values, method, kernel="auto")
+    sample = RuntimeSample(unit="s")
+    for f in range(flushes):
+        seeds = derive_seeds(seed, list(range(batch)), 0xF1054 + f)
+        sample.record(
+            timed(
+                lambda s=seeds: wheel.select_segments(
+                    [(n_draws, SplitMixStream(int(x))) for x in s]
+                )
+            )
+        )
+    return sample
+
+
+def calibrate(
+    *,
+    seed: int = 0,
+    n: int = 1024,
+    draws: int = 200_000,
+    method: str = "log_bidding",
+    race_k: int = 64,
+    race_trials: int = 20_000,
+    include_spawn: bool = True,
+) -> Tuple[HostCalibration, Dict[str, Any]]:
+    """Run the standard probe set; returns ``(calibration, probe_costs)``.
+
+    ``probe_costs`` maps probe name to wall seconds spent — the ledger
+    the bench's <= 5%-of-sweep budget gate audits.  ``include_spawn``
+    exists because the spawn probe is the expensive one (~3 pool
+    startups); callers that only need the batch model can skip it.
+    """
+    cal = HostCalibration(
+        host=platform.node() or "localhost",
+        cpu_count=os.cpu_count() or 1,
+        created=time.time(),
+    )
+    costs: Dict[str, Any] = {}
+
+    start = time.perf_counter()
+    if include_spawn:
+        cal.spawn_overhead_s = probe_spawn_overhead()
+    costs["spawn"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    draw_s, draw_sample = probe_draw_cost(
+        n=n, draws=draws, method=method, seed=seed
+    )
+    cal.draw_s = draw_s
+    cal.put_sample("engine_draw_batches", draw_sample)
+    costs["draw"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    base_s, per_draw_s, flush_sample = probe_batch_kernel(
+        n=n, method=method, seed=seed
+    )
+    cal.batch_base_s = base_s
+    cal.batch_per_draw_s = per_draw_s
+    cal.put_sample("service_batch_flushes", flush_sample)
+    costs["batch"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cal.put_sample("race_rounds", probe_race_rounds(race_k, race_trials, seed=seed))
+    costs["race"] = time.perf_counter() - start
+
+    costs["total"] = sum(v for v in costs.values())
+    return cal, costs

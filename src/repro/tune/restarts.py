@@ -1,0 +1,146 @@
+"""Restart schedules from captured runtime distributions.
+
+A Las Vegas search (ACO time-to-target, the engine's acceptance races)
+with a heavy-tailed runtime distribution is often *faster restarted
+than left alone*: cut a run off after ``t`` units and start fresh, and
+the expected total time becomes
+
+    ``E[total | cutoff t] = E[min(T, t)] / Pr[T <= t]``
+
+(a geometric number of truncated attempts; Luby, Sinclair & Zuckerman's
+classic identity).  With the runtime distribution *known* — which is
+exactly what :class:`repro.tune.sample.RuntimeSample` captures — the
+optimal policy is a **fixed cutoff** at the ``t`` minimising that
+ratio; with the distribution unknown, the universal
+:func:`luby_sequence` is within a log factor of it.  This module
+computes both, on the same log-survival representation the speedup
+predictor uses, so ACO restart schedules derive directly from probe
+data instead of hand-picked iteration counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.tune.predictor import RuntimeDistribution
+from repro.tune.sample import RuntimeSample
+
+__all__ = ["luby_sequence", "optimal_cutoff", "restart_schedule", "RestartPlan"]
+
+
+def luby_sequence(n: int) -> List[int]:
+    """The first ``n`` terms of the Luby restart sequence.
+
+    ``1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...`` — the
+    universal schedule: within ``O(log)`` of the optimal fixed cutoff
+    without knowing the runtime distribution.  Term ``i`` (1-based) is
+    ``2**(k-1)`` when ``i == 2**k - 1``, else ``luby(i - 2**(k-1) + 1)``
+    for the largest ``k`` with ``2**(k-1) <= i < 2**k - 1``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    out: List[int] = []
+    for i in range(1, n + 1):
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            out.append(1 << (k - 1))
+        else:
+            # Recurse via the already-computed prefix: the sequence is
+            # self-similar, so term i equals term i - 2**(k-1) + 1.
+            out.append(out[i - (1 << (k - 1))])
+    return out
+
+
+@dataclass
+class RestartPlan:
+    """An evaluated fixed-cutoff restart policy."""
+
+    #: The cutoff (same unit as the distribution's support).
+    cutoff: float
+    #: Modelled expected total runtime under the policy.
+    expected_total: float
+    #: The no-restart expectation E[T], for comparison.
+    mean: float
+    #: Unit of all three fields.
+    unit: str
+
+    @property
+    def speedup(self) -> float:
+        """E[T] / E[total with restarts] — > 1 when restarting helps."""
+        return self.mean / self.expected_total if self.expected_total > 0 else 1.0
+
+
+def _as_distribution(
+    runtimes: Union[RuntimeDistribution, RuntimeSample, Sequence[float]],
+) -> RuntimeDistribution:
+    if isinstance(runtimes, RuntimeDistribution):
+        return runtimes
+    if isinstance(runtimes, RuntimeSample):
+        return runtimes.distribution()
+    return RuntimeDistribution.from_samples(runtimes)
+
+
+def optimal_cutoff(
+    runtimes: Union[RuntimeDistribution, RuntimeSample, Sequence[float]],
+) -> RestartPlan:
+    """The fixed cutoff minimising expected total time over the support.
+
+    For each support point ``t`` (the only places the empirical ratio
+    can change), ``E[min(T, t)]`` telescopes over the survival steps and
+    ``Pr[T <= t]`` comes from the same log-survival array, so the whole
+    scan is three vector operations.  The scan includes the largest
+    support value, where the ratio equals ``E[T]`` — so the returned
+    plan *never restarts* (speedup 1) when no cutoff beats running to
+    completion, rather than forcing a harmful schedule.
+    """
+    dist = _as_distribution(runtimes)
+    v = dist.values
+    sf = np.exp(dist.log_sf)
+    # E[min(T, v_i)] = sum_{j<=i} v_j (S_{j-1} - S_j) + v_i * S_i
+    steps = np.concatenate(([1.0], sf[:-1])) - sf
+    emin = np.cumsum(v * steps) + v * sf
+    cdf = -np.expm1(dist.log_sf)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(cdf > 0.0, emin / cdf, np.inf)
+    if not np.isfinite(ratio).any():
+        # Degenerate (e.g. single observation at 0): never restart.
+        return RestartPlan(
+            cutoff=float(v[-1]), expected_total=dist.mean(),
+            mean=dist.mean(), unit=dist.unit,
+        )
+    best = int(np.argmin(ratio))
+    return RestartPlan(
+        cutoff=float(v[best]),
+        expected_total=float(ratio[best]),
+        mean=dist.mean(),
+        unit=dist.unit,
+    )
+
+
+def restart_schedule(
+    runtimes: Optional[
+        Union[RuntimeDistribution, RuntimeSample, Sequence[float]]
+    ] = None,
+    *,
+    attempts: int = 16,
+    unit_scale: float = 1.0,
+) -> List[float]:
+    """Per-attempt cutoffs: calibrated fixed cutoff, or Luby fallback.
+
+    With a captured runtime distribution the schedule is the optimal
+    fixed cutoff repeated (``attempts`` entries); without one it is the
+    universal Luby sequence scaled by ``unit_scale`` (the caller's base
+    quantum — e.g. the median probe runtime).  Both shapes feed
+    :func:`repro.aco.restarts.run_with_restarts` unchanged.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if unit_scale <= 0.0:
+        raise ValueError(f"unit_scale must be > 0, got {unit_scale}")
+    if runtimes is None:
+        return [float(unit_scale * term) for term in luby_sequence(attempts)]
+    plan = optimal_cutoff(runtimes)
+    return [plan.cutoff] * attempts

@@ -1,0 +1,137 @@
+"""Empirical runtime samples: the raw material of speedup prediction.
+
+A :class:`RuntimeSample` is an append-only collection of non-negative
+runtime observations (seconds for wall-clock probes, rounds for the race
+lab — the unit is the caller's, recorded alongside).  It is deliberately
+dumb: the Las Vegas machinery lives in :mod:`repro.tune.predictor`,
+which consumes a sample via :meth:`RuntimeSample.distribution`.
+
+Samples are JSON-able (:meth:`state` / :meth:`from_state`) so the
+per-host calibration cache (:mod:`repro.tune.calibration`) can persist
+them between processes, and mergeable so probe shards can be combined —
+the same portable-state discipline as the service's latency histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+import numpy as np
+
+__all__ = ["RuntimeSample"]
+
+#: Cap on persisted observations per sample: beyond it, :meth:`state`
+#: stores evenly-spaced order statistics instead of the raw sample —
+#: the empirical CDF the predictor consumes is preserved to ~1/CAP
+#: quantile resolution while the calibration cache stays small.
+STATE_CAP = 4096
+
+
+class RuntimeSample:
+    """Non-negative runtime observations with portable state.
+
+    Parameters
+    ----------
+    unit:
+        Free-form label for what one observation measures (``"s"`` for
+        wall seconds, ``"rounds"`` for race round counts, ...).  Merging
+        refuses mismatched units — a sample of seconds folded into a
+        sample of rounds is always a bug.
+    """
+
+    __slots__ = ("unit", "_values")
+
+    def __init__(self, unit: str = "s", values: Optional[Iterable[float]] = None) -> None:
+        self.unit = str(unit)
+        self._values: list = []
+        if values is not None:
+            self.record_many(values)
+
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Append one observation."""
+        value = float(value)
+        if not np.isfinite(value) or value < 0.0:
+            raise ValueError(f"runtime observations must be finite and >= 0, got {value}")
+        self._values.append(value)
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Append a batch of observations."""
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size and (not np.isfinite(arr).all() or (arr < 0.0).any()):
+            raise ValueError("runtime observations must be finite and >= 0")
+        self._values.extend(arr.tolist())
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Observations recorded so far."""
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Copy of the observations, in recording order."""
+        return np.asarray(self._values, dtype=np.float64)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    @property
+    def var(self) -> float:
+        """Unbiased sample variance (0.0 below two observations)."""
+        if len(self._values) < 2:
+            return 0.0
+        return float(np.var(self._values, ddof=1))
+
+    def quantile(self, q: float) -> float:
+        """Empirical ``q`` quantile (inverted-CDF convention)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return 0.0
+        return float(np.quantile(self._values, q, method="inverted_cdf"))
+
+    def distribution(self):
+        """This sample as a :class:`repro.tune.predictor.RuntimeDistribution`."""
+        from repro.tune.predictor import RuntimeDistribution
+
+        return RuntimeDistribution.from_samples(self.values, unit=self.unit)
+
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Portable JSON-able state (decimated past :data:`STATE_CAP`)."""
+        arr = np.sort(self.values)
+        decimated = False
+        if arr.size > STATE_CAP:
+            # Evenly spaced order statistics preserve the empirical CDF
+            # to ~1/STATE_CAP quantile resolution.
+            idx = np.linspace(0, arr.size - 1, STATE_CAP).round().astype(np.int64)
+            arr = arr[idx]
+            decimated = True
+        return {
+            "unit": self.unit,
+            "count": self.count,
+            "decimated": decimated,
+            "values": [float(v) for v in arr],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "RuntimeSample":
+        """Rebuild a sample from :meth:`state` output."""
+        return cls(unit=state.get("unit", "s"), values=state.get("values", []))
+
+    def merge(self, other: "RuntimeSample") -> None:
+        """Fold another sample's observations into this one."""
+        if other.unit != self.unit:
+            raise ValueError(
+                f"cannot merge a {other.unit!r} sample into a {self.unit!r} sample"
+            )
+        self._values.extend(other._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RuntimeSample(unit={self.unit!r}, count={self.count})"

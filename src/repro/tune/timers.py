@@ -1,0 +1,128 @@
+"""Shared wall-clock timing helpers for every bench driver.
+
+Before ``repro.tune`` existed, each bench (`engine/bench.py`,
+`engine/aco_bench.py`, `engine/race_bench.py`, `service/loadgen.py`)
+carried its own ad-hoc ``perf_counter`` arithmetic: single-shot timing,
+min-of-reps, lower-median-of-trials.  This module is the one home for
+those idioms, with the estimator choice documented where it is made:
+
+* :func:`timed` — one monotonic measurement of a callable (perf gates
+  whose workload is long enough that one shot is representative);
+* :func:`best_of` — min over repeats: the standard throughput estimator
+  on shared machines, because scheduler preemption only ever *adds*
+  time, so the minimum is the closest observation to the true cost;
+* :func:`median_of` — lower median of a sample list: robust to a single
+  outlier in either direction, used when the quantity compared is a
+  *ratio* of two measurements (a min/min ratio would be biased);
+* :func:`measure` — the full warmup/repeat policy returning a
+  :class:`TimingResult` with every estimator, for callers that want to
+  record the whole picture (the ``repro.tune`` probes do).
+
+Everything uses ``time.perf_counter`` — the monotonic, highest-resolution
+clock Python offers — and nothing here imports beyond the stdlib, so the
+bench drivers (and the tuner's probes) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+__all__ = ["timed", "best_of", "median_of", "measure", "TimingResult"]
+
+
+def timed(fn: Callable[[], Any]) -> float:
+    """Seconds one call of ``fn`` takes on the monotonic clock."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def best_of(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Minimum single-call seconds over ``repeats`` calls of ``fn``.
+
+    Min-of-reps is the standard throughput estimator on shared
+    machines: preemption only ever adds time, so the minimum is the
+    closest observation to the true cost.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    return min(timed(fn) for _ in range(repeats))
+
+
+def median_of(samples: Sequence[float]) -> float:
+    """Lower median of a non-empty sample list.
+
+    The *lower* median (``sorted(samples)[len // 2]`` for even sizes)
+    matches the historical bench drivers bit-for-bit, so rewiring them
+    onto this helper changed no recorded number.
+    """
+    if not samples:
+        raise ValueError("median_of needs at least one sample")
+    return sorted(samples)[len(samples) // 2]
+
+
+@dataclass
+class TimingResult:
+    """Every estimator over one warmup/repeat measurement session."""
+
+    #: Per-repeat wall seconds, in execution order (warmups excluded).
+    samples: List[float] = field(default_factory=list)
+    #: Warmup calls executed (not timed into ``samples``).
+    warmup: int = 0
+
+    @property
+    def repeats(self) -> int:
+        """Timed calls recorded."""
+        return len(self.samples)
+
+    @property
+    def best(self) -> float:
+        """Min-of-reps (throughput estimator)."""
+        return min(self.samples)
+
+    @property
+    def median(self) -> float:
+        """Lower median (robust ratio estimator)."""
+        return median_of(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the repeats."""
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def total(self) -> float:
+        """Wall seconds spent in timed calls (the probe-budget ledger)."""
+        return sum(self.samples)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able summary for bench records."""
+        return {
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "best_s": self.best,
+            "median_s": self.median,
+            "mean_s": self.mean,
+            "total_s": self.total,
+        }
+
+
+def measure(
+    fn: Callable[[], Any], *, repeats: int = 3, warmup: int = 1
+) -> TimingResult:
+    """Time ``fn`` under the standard warmup/repeat policy.
+
+    ``warmup`` untimed calls absorb one-time costs (allocator warmup,
+    lazy imports, page faults), then ``repeats`` timed calls populate a
+    :class:`TimingResult`.  The caller picks the estimator suited to the
+    comparison being made — see the module docstring.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    return TimingResult(samples=[timed(fn) for _ in range(repeats)], warmup=warmup)

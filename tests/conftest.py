@@ -2,8 +2,22 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 import pytest
+
+# Hermetic tuning: pin the min-draws threshold to the legacy constant and
+# point the calibration cache at a throwaway directory, so a developer
+# machine's ~/.cache/repro/tune record can never change what the suite
+# measures.  setdefault keeps explicit CI overrides in charge, and tests
+# of the resolution chain itself monkeypatch these (plus
+# repro.tune.calibration.invalidate()).
+os.environ.setdefault("REPRO_MIN_DRAWS_PER_WORKER", "250000")
+os.environ.setdefault(
+    "REPRO_TUNE_CACHE", tempfile.mkdtemp(prefix="repro-tune-test-")
+)
 
 
 @pytest.fixture

@@ -91,15 +91,30 @@ def test_empty_and_error_inputs():
 # Worker auto-tuning and sharding.
 # ---------------------------------------------------------------------------
 def test_suggest_workers_scales_with_draws():
-    assert suggest_workers(0, available=8) == 1
-    assert suggest_workers(MIN_DRAWS_PER_WORKER - 1, available=8) == 1
-    assert suggest_workers(2 * MIN_DRAWS_PER_WORKER, available=8) == 2
-    assert suggest_workers(100 * MIN_DRAWS_PER_WORKER, available=8) == 8
-    assert suggest_workers(10**9, available=1) == 1
+    # Pin the threshold explicitly: the default now resolves through the
+    # env/calibration chain (hermetically pinned in conftest), and this
+    # test is about the scaling law, not the resolution.
+    m = MIN_DRAWS_PER_WORKER
+    assert suggest_workers(0, available=8, min_draws_per_worker=m) == 1
+    assert suggest_workers(m - 1, available=8, min_draws_per_worker=m) == 1
+    assert suggest_workers(2 * m, available=8, min_draws_per_worker=m) == 2
+    assert suggest_workers(100 * m, available=8, min_draws_per_worker=m) == 8
+    assert suggest_workers(10**9, available=1, min_draws_per_worker=m) == 1
     with pytest.raises(ValueError):
         suggest_workers(10, available=0)
     with pytest.raises(ValueError):
         suggest_workers(-1)
+
+
+def test_suggest_workers_default_resolves_through_chain(monkeypatch):
+    from repro.tune import calibration
+
+    monkeypatch.setenv(calibration.ENV_MIN_DRAWS, "1000")
+    calibration.invalidate()
+    try:
+        assert suggest_workers(10_000, available=8) == 8
+    finally:
+        calibration.invalidate()
 
 
 def test_shard_sizes_partition_exactly():

@@ -1,0 +1,224 @@
+"""Autotuned batching: config derivation, online controller regressions."""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceOverloadedError
+from repro.rng.streams import request_stream
+from repro.service.registry import WheelRegistry, digest_key
+from repro.service.scheduler import BatchConfig, MicroBatchScheduler
+from repro.tune.controller import DelayController
+
+SIZES = [1, 5, 17, 3, 64, 2, 9, 30]
+
+
+def _registry(n=200):
+    reg = WheelRegistry(policy="auto")
+    wid, _ = reg.register(np.arange(1.0, n + 1.0))
+    return reg, wid
+
+
+async def _gather_draws(scheduler, wid, sizes):
+    return await asyncio.gather(
+        *(scheduler.draw(wid, n, seed=i) for i, n in enumerate(sizes))
+    )
+
+
+class TestBatchConfigAutotune:
+    def test_rate_pins_the_minimum_sustainable_batch(self):
+        # base 1 ms/flush, no marginal cost, 10k req/s: each request
+        # leaves 100 us, so B_min = 10 and headroom doubles it.
+        cfg = BatchConfig.autotune(
+            batch_base_s=1e-3,
+            batch_per_draw_s=0.0,
+            arrival_rate_rps=10_000.0,
+            headroom=2.0,
+        )
+        assert cfg.max_batch == 20
+        # Delay = time for max_batch arrivals at the rate: 2 ms.
+        assert cfg.max_delay_us == pytest.approx(2000.0)
+
+    def test_burst_concurrency_floors_the_batch(self):
+        # Closed-loop bursts of 16 need max_batch >= 16 regardless of
+        # what the (slow) arrival rate alone would pin.
+        cfg = BatchConfig.autotune(
+            batch_base_s=1e-5,
+            batch_per_draw_s=0.0,
+            arrival_rate_rps=100.0,
+            concurrency=16.0,
+            headroom=2.0,
+        )
+        assert cfg.max_batch == 32
+
+    def test_overloaded_kernel_batches_as_hard_as_possible(self):
+        # Marginal draw cost alone exceeds the arrival interval: no
+        # batch size keeps up, so batch to the cap (queue bound defends).
+        cfg = BatchConfig.autotune(
+            batch_base_s=1e-3,
+            batch_per_draw_s=1e-3,
+            arrival_rate_rps=10_000.0,
+            n_draws=8,
+            batch_cap=256,
+        )
+        assert cfg.max_batch == 256
+
+    def test_free_flushes_coalesce_opportunistically_only(self):
+        cfg = BatchConfig.autotune(
+            batch_base_s=0.0,
+            batch_per_draw_s=1e-9,
+            arrival_rate_rps=100.0,
+            concurrency=1.0,
+            headroom=1.0,
+        )
+        assert cfg.max_batch == 1
+
+    def test_delay_cap_and_knob_passthrough(self):
+        cfg = BatchConfig.autotune(
+            batch_base_s=1e-3,
+            batch_per_draw_s=0.0,
+            arrival_rate_rps=10.0,
+            delay_cap_us=750.0,
+            queue_limit=7,
+            max_request_draws=99,
+        )
+        assert cfg.max_delay_us == 750.0
+        assert cfg.queue_limit == 7
+        assert cfg.max_request_draws == 99
+
+    def test_deterministic_given_inputs(self):
+        kwargs = dict(
+            batch_base_s=8e-5,
+            batch_per_draw_s=3e-8,
+            arrival_rate_rps=4321.0,
+            concurrency=12.0,
+        )
+        assert BatchConfig.autotune(**kwargs) == BatchConfig.autotune(**kwargs)
+
+    def test_validation(self):
+        good = dict(
+            batch_base_s=1e-4, batch_per_draw_s=0.0, arrival_rate_rps=100.0
+        )
+        for overrides in (
+            {"batch_base_s": -1.0},
+            {"batch_per_draw_s": -1.0},
+            {"arrival_rate_rps": 0.0},
+            {"n_draws": 0},
+            {"concurrency": 0.5},
+            {"headroom": 0.9},
+            {"batch_cap": 0},
+            {"delay_cap_us": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                BatchConfig.autotune(**{**good, **overrides})
+
+
+class TestSchedulerRegressions:
+    def test_zero_delay_flushes_immediately_without_busy_wait(self):
+        reg, wid = _registry()
+        sched = MicroBatchScheduler(
+            reg, BatchConfig(max_batch=64, max_delay_us=0.0), seed=0
+        )
+
+        async def run():
+            start = time.perf_counter()
+            out = await sched.draw(wid, 5, seed=0)
+            return out, time.perf_counter() - start
+
+        out, elapsed = asyncio.run(run())
+        assert len(out) == 5
+        # An immediate flush is event-loop-tick fast; a busy-wait or a
+        # stuck timer would blow far past this generous bound.
+        assert elapsed < 1.0
+        assert sched.metrics.batch_sizes.snapshot()["batches"] == 1
+
+    def test_queue_limit_one_still_sheds_with_controller(self):
+        reg, wid = _registry()
+        ctl = DelayController(adjust_every=1, max_delay_us=500.0)
+        sched = MicroBatchScheduler(
+            reg,
+            BatchConfig(max_batch=8, max_delay_us=100.0, queue_limit=1),
+            seed=0,
+            controller=ctl,
+        )
+
+        async def burst():
+            results = await asyncio.gather(
+                *(sched.draw(wid, 2) for _ in range(16)), return_exceptions=True
+            )
+            await sched.close()
+            return results
+
+        results = asyncio.run(burst())
+        served = [r for r in results if isinstance(r, np.ndarray)]
+        shed = [r for r in results if isinstance(r, ServiceOverloadedError)]
+        assert len(served) + len(shed) == 16
+        assert served and shed
+        assert sched.metrics.shed_total == len(shed)
+
+    def test_controller_on_replays_bitwise(self):
+        # The determinism contract with live retuning: responses under
+        # an aggressively-adjusting controller equal solo max_batch=1
+        # responses and direct substream replay, request for request.
+        reg, wid = _registry()
+        ctl = DelayController(adjust_every=1, max_delay_us=500.0, step=4.0)
+        tuned = asyncio.run(
+            _gather_draws(
+                MicroBatchScheduler(
+                    reg,
+                    BatchConfig(max_batch=4, max_delay_us=50.0),
+                    seed=9,
+                    controller=ctl,
+                ),
+                wid,
+                SIZES,
+            )
+        )
+        solo = asyncio.run(
+            _gather_draws(
+                MicroBatchScheduler(reg, BatchConfig(max_batch=1), seed=9),
+                wid,
+                SIZES,
+            )
+        )
+        wheel = reg.get(wid)
+        for i, (t, s) in enumerate(zip(tuned, solo)):
+            direct = wheel.select_many(SIZES[i], request_stream(9, digest_key(wid), i))
+            assert np.array_equal(t, s)
+            assert np.array_equal(t, direct)
+
+    def test_retunes_surface_in_metrics(self):
+        reg, wid = _registry()
+        ctl = DelayController(
+            adjust_every=1, max_delay_us=500.0, reseed_delay_us=50.0
+        )
+        sched = MicroBatchScheduler(
+            reg,
+            BatchConfig(max_batch=64, max_delay_us=0.0),
+            seed=0,
+            controller=ctl,
+        )
+
+        async def trickle():
+            # Solo arrivals: every flush is size 1, so the controller
+            # grows the delay on each single-flush window.
+            for i in range(3):
+                await sched.draw(wid, 2, seed=i)
+
+        asyncio.run(trickle())
+        assert ctl.retunes >= 1
+        assert sched.config.max_delay_us > 0.0
+        snap = sched.metrics.snapshot()
+        assert snap["retunes_total"] == ctl.retunes
+        assert snap["tuned_delay_us"] == sched.config.max_delay_us
+
+    def test_scheduler_without_controller_is_untouched(self):
+        reg, wid = _registry()
+        sched = MicroBatchScheduler(
+            reg, BatchConfig(max_batch=4, max_delay_us=100.0), seed=0
+        )
+        asyncio.run(_gather_draws(sched, wid, SIZES))
+        assert sched.config.max_delay_us == 100.0
+        assert sched.metrics.retunes_total == 0

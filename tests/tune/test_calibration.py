@@ -1,0 +1,120 @@
+"""Calibration cache: atomic publish, resolution chain, fallbacks."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine.parallel import MIN_DRAWS_PER_WORKER
+from repro.tune.calibration import (
+    ENV_CACHE,
+    ENV_MIN_DRAWS,
+    MIN_DRAWS_CEILING,
+    MIN_DRAWS_FLOOR,
+    HostCalibration,
+    calibration_path,
+    invalidate,
+    load_calibration,
+    resolve_min_draws_per_worker,
+    save_calibration,
+)
+from repro.tune.sample import RuntimeSample
+
+
+@pytest.fixture
+def clean_chain(tmp_path, monkeypatch):
+    """An isolated cache dir with no env override and a fresh memo."""
+    monkeypatch.setenv(ENV_CACHE, str(tmp_path))
+    monkeypatch.delenv(ENV_MIN_DRAWS, raising=False)
+    invalidate()
+    yield tmp_path
+    invalidate()
+
+
+def _cal(spawn=0.01, draw=1e-7):
+    return HostCalibration(
+        host="testhost", cpu_count=4, spawn_overhead_s=spawn, draw_s=draw
+    )
+
+
+class TestRecord:
+    def test_min_draws_break_even_and_clamps(self):
+        # 0.01 s spawn / 1e-7 s per draw -> 100_001 draws to break even.
+        assert _cal().min_draws_per_worker() == 100_001
+        assert _cal(spawn=0.0).min_draws_per_worker() is None
+        assert _cal(draw=0.0).min_draws_per_worker() is None
+        assert _cal(spawn=1e-9, draw=1.0).min_draws_per_worker() == MIN_DRAWS_FLOOR
+        assert _cal(spawn=1e9, draw=1e-9).min_draws_per_worker() == MIN_DRAWS_CEILING
+
+    def test_roundtrip_with_samples(self, clean_chain):
+        cal = _cal()
+        cal.put_sample("race_rounds", RuntimeSample(unit="rounds", values=[3.0, 5.0]))
+        path = save_calibration(cal)
+        assert os.path.dirname(path) == str(clean_chain)
+        back = load_calibration()
+        assert back is not None
+        assert back.host == "testhost"
+        assert back.min_draws_per_worker() == 100_001
+        sample = back.sample("race_rounds")
+        assert sample is not None and sample.unit == "rounds" and sample.count == 2
+        assert back.sample("missing") is None
+
+    def test_schema_mismatch_rejected(self):
+        record = _cal().to_record()
+        record["schema"] = "repro/other/v9"
+        with pytest.raises(ValueError):
+            HostCalibration.from_record(record)
+
+
+class TestLoad:
+    def test_missing_and_corrupt_records_fall_back_to_none(self, clean_chain):
+        assert load_calibration() is None
+        target = calibration_path()
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        assert load_calibration() is None
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump({"schema": "wrong"}, fh)
+        assert load_calibration() is None
+
+    def test_save_is_atomic_publish(self, clean_chain):
+        # No temp droppings left next to the published record.
+        save_calibration(_cal())
+        leftovers = [p for p in os.listdir(clean_chain) if ".tmp." in p]
+        assert leftovers == []
+
+
+class TestResolutionChain:
+    def test_env_beats_cache_beats_fallback(self, clean_chain, monkeypatch):
+        # 3. fallback: empty cache, no env.
+        assert resolve_min_draws_per_worker(123) == 123
+        invalidate()
+        assert resolve_min_draws_per_worker() == MIN_DRAWS_PER_WORKER
+        # 2. calibration cache (save_calibration invalidates the memo).
+        save_calibration(_cal())
+        assert resolve_min_draws_per_worker(123) == 100_001
+        # 1. env var wins over the cache.
+        monkeypatch.setenv(ENV_MIN_DRAWS, "777")
+        invalidate()
+        assert resolve_min_draws_per_worker(123) == 777
+
+    def test_resolution_is_memoised_until_invalidated(self, clean_chain, monkeypatch):
+        assert resolve_min_draws_per_worker(123) == 123
+        monkeypatch.setenv(ENV_MIN_DRAWS, "777")
+        # Memo still holds the old answer until invalidate().
+        assert resolve_min_draws_per_worker(123) == 123
+        invalidate()
+        assert resolve_min_draws_per_worker(123) == 777
+
+    def test_bad_env_value_raises(self, clean_chain, monkeypatch):
+        for bad in ("zero", "0", "-5", "1.5"):
+            monkeypatch.setenv(ENV_MIN_DRAWS, bad)
+            invalidate()
+            with pytest.raises(ValueError):
+                resolve_min_draws_per_worker(123)
+        invalidate()
+
+    def test_unprobed_cache_record_falls_through(self, clean_chain):
+        save_calibration(_cal(spawn=0.0))  # record exists but no spawn probe
+        assert resolve_min_draws_per_worker(123) == 123

@@ -1,0 +1,122 @@
+"""DelayController safety: bounded, slow, direction-correct."""
+
+import pytest
+
+from repro.service.metrics import BatchSizeHistogram
+from repro.service.scheduler import BatchConfig
+from repro.tune.controller import DelayController
+
+
+def _observe_flushes(ctl, hist, config, sizes):
+    """Feed flushes through the histogram, applying each retune."""
+    out = []
+    for size in sizes:
+        hist.observe(size)
+        tuned = ctl.observe(hist, config)
+        if tuned is not None:
+            config.max_delay_us = tuned
+        out.append(tuned)
+    return out
+
+
+def test_no_adjustment_before_window_fills():
+    ctl = DelayController(adjust_every=8)
+    hist = BatchSizeHistogram()
+    config = BatchConfig(max_batch=64, max_delay_us=100.0)
+    results = _observe_flushes(ctl, hist, config, [1] * 7)
+    assert results == [None] * 7
+    assert ctl.retunes == 0
+
+
+def test_grows_delay_when_not_coalescing():
+    ctl = DelayController(adjust_every=4, step=2.0, max_delay_us=1000.0)
+    hist = BatchSizeHistogram()
+    config = BatchConfig(max_batch=64, max_delay_us=100.0)
+    _observe_flushes(ctl, hist, config, [1] * 4)  # window mean 1 < grow_below
+    assert config.max_delay_us == 200.0
+    assert ctl.retunes == 1
+    assert ctl.last_window_mean == 1.0
+
+
+def test_reseeds_from_zero_delay():
+    ctl = DelayController(adjust_every=2, reseed_delay_us=50.0)
+    hist = BatchSizeHistogram()
+    config = BatchConfig(max_batch=64, max_delay_us=0.0)
+    _observe_flushes(ctl, hist, config, [1, 1])
+    assert config.max_delay_us == 50.0
+
+
+def test_shrinks_delay_when_batches_fill():
+    ctl = DelayController(adjust_every=2, step=2.0, shrink_above=0.75)
+    hist = BatchSizeHistogram()
+    config = BatchConfig(max_batch=8, max_delay_us=400.0)
+    _observe_flushes(ctl, hist, config, [8, 8])  # mean 8 >= 0.75 * 8
+    assert config.max_delay_us == 200.0
+
+
+def test_middle_band_leaves_knob_alone():
+    ctl = DelayController(adjust_every=2, grow_below=2.0, shrink_above=0.75)
+    hist = BatchSizeHistogram()
+    config = BatchConfig(max_batch=64, max_delay_us=100.0)
+    results = _observe_flushes(ctl, hist, config, [16, 16])
+    assert results == [None, None]
+    assert config.max_delay_us == 100.0
+    assert ctl.retunes == 0
+
+
+def test_delay_never_leaves_bounds_under_any_traffic():
+    ctl = DelayController(
+        adjust_every=1, min_delay_us=10.0, max_delay_us=500.0, step=3.0
+    )
+    hist = BatchSizeHistogram()
+    config = BatchConfig(max_batch=4, max_delay_us=100.0)
+    # Alternate starvation and saturation for many windows.
+    _observe_flushes(ctl, hist, config, [1, 4] * 50 + [1] * 20 + [4] * 40)
+    assert 10.0 <= config.max_delay_us <= 500.0
+    # Drive each direction to its rail explicitly.
+    _observe_flushes(ctl, hist, config, [1] * 30)
+    assert config.max_delay_us == 500.0
+    _observe_flushes(ctl, hist, config, [4] * 30)
+    assert config.max_delay_us == 10.0
+
+
+def test_at_most_one_step_per_window():
+    ctl = DelayController(adjust_every=4, step=2.0, max_delay_us=10_000.0)
+    hist = BatchSizeHistogram()
+    config = BatchConfig(max_batch=64, max_delay_us=100.0)
+    _observe_flushes(ctl, hist, config, [1] * 12)  # 3 full windows
+    assert ctl.retunes == 3
+    assert config.max_delay_us == 800.0  # 100 * 2^3, not 2^12
+
+
+def test_pinned_at_rail_counts_no_retune():
+    ctl = DelayController(adjust_every=1, min_delay_us=5.0, max_delay_us=100.0)
+    hist = BatchSizeHistogram()
+    config = BatchConfig(max_batch=4, max_delay_us=100.0)
+    # Saturated traffic shrinks the delay until it hits the floor.
+    _observe_flushes(ctl, hist, config, [4] * 40)
+    assert config.max_delay_us == 5.0
+    assert ctl.retunes >= 1
+    # At the rail, proposing the same value must return None, not spin
+    # the retune counter.
+    before = ctl.retunes
+    assert _observe_flushes(ctl, hist, config, [4] * 5) == [None] * 5
+    assert ctl.retunes == before
+
+
+def test_state_snapshot_and_validation():
+    ctl = DelayController()
+    state = ctl.state()
+    assert state["retunes"] == 0 and state["adjust_every"] == 64
+    for kwargs in (
+        {"min_delay_us": -1.0},
+        {"max_delay_us": 1.0, "min_delay_us": 2.0},
+        {"adjust_every": 0},
+        {"shrink_above": 0.0},
+        {"shrink_above": 1.5},
+        {"grow_below": 0.5},
+        {"step": 1.0},
+        {"reseed_delay_us": 0.0},
+    ):
+        with pytest.raises(ValueError):
+            DelayController(**kwargs)

@@ -1,0 +1,92 @@
+"""Restart schedules: Luby universality, optimal fixed cutoffs."""
+
+import numpy as np
+import pytest
+
+from repro.tune.predictor import RuntimeDistribution
+from repro.tune.restarts import (
+    RestartPlan,
+    luby_sequence,
+    optimal_cutoff,
+    restart_schedule,
+)
+from repro.tune.sample import RuntimeSample
+
+
+def test_luby_sequence_prefix():
+    assert luby_sequence(0) == []
+    assert luby_sequence(15) == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+    with pytest.raises(ValueError):
+        luby_sequence(-1)
+
+
+def test_luby_self_similarity():
+    # Term 2^k - 1 is 2^(k-1); the terms between the powers replay the
+    # prefix: seq[2^(k-1) .. 2^k - 2] (1-based) == seq[1 .. 2^(k-1) - 1].
+    seq = luby_sequence(127)
+    for k in range(1, 8):
+        assert seq[(1 << k) - 2] == 1 << (k - 1)
+    for k in range(2, 7):
+        half = 1 << (k - 1)
+        assert seq[half - 1 : (1 << k) - 2] == seq[: half - 1]
+
+
+def test_heavy_tail_restarts_beat_running_to_completion():
+    # 95% of runs finish at 1, 5% stagnate at 1000: cutting off just
+    # past the fast mode wins by orders of magnitude.
+    samples = [1.0] * 95 + [1000.0] * 5
+    plan = optimal_cutoff(samples)
+    assert plan.cutoff == 1.0
+    # E[total | cutoff 1] = E[min(T,1)] / Pr[T <= 1] = 1 / 0.95.
+    assert plan.expected_total == pytest.approx(1.0 / 0.95)
+    assert plan.mean == pytest.approx(0.95 + 50.0)
+    assert plan.speedup > 40.0
+
+
+def test_light_tail_never_restarts():
+    # Deterministic runtime: any early cutoff only wastes work, so the
+    # returned plan runs to completion (speedup exactly 1).
+    plan = optimal_cutoff([7.0] * 20)
+    assert plan.cutoff == 7.0
+    assert plan.expected_total == pytest.approx(7.0)
+    assert plan.speedup == pytest.approx(1.0)
+
+
+def test_memoryless_law_restarts_are_exactly_neutral():
+    # Geometric runtimes are memoryless: E[min(T, t)] / Pr[T <= t] is
+    # 1/p for *every* cutoff t, so the optimal plan's speedup is 1.
+    p = 0.2
+    t = np.arange(1, 201, dtype=np.float64)
+    log_pmf = np.log(p) + (t - 1.0) * np.log1p(-p)
+    dist = RuntimeDistribution.from_log_pmf(log_pmf, support=t, unit="rounds")
+    plan = optimal_cutoff(dist)
+    assert plan.mean == pytest.approx(1.0 / p, rel=1e-6)
+    assert plan.speedup == pytest.approx(1.0, rel=1e-6)
+
+
+def test_optimal_cutoff_accepts_every_input_shape():
+    samples = [1.0] * 9 + [100.0]
+    a = optimal_cutoff(samples)
+    b = optimal_cutoff(RuntimeSample(unit="s", values=samples))
+    c = optimal_cutoff(RuntimeDistribution.from_samples(samples))
+    for plan in (a, b, c):
+        assert isinstance(plan, RestartPlan)
+        assert plan.cutoff == a.cutoff
+        assert plan.expected_total == pytest.approx(a.expected_total)
+
+
+def test_degenerate_all_zero_sample():
+    plan = optimal_cutoff([0.0, 0.0])
+    assert plan.expected_total == 0.0
+    assert plan.speedup == 1.0
+
+
+def test_schedule_calibrated_vs_luby_fallback():
+    calibrated = restart_schedule([1.0] * 95 + [1000.0] * 5, attempts=6)
+    assert calibrated == [1.0] * 6
+    fallback = restart_schedule(attempts=7, unit_scale=25.0)
+    assert fallback == [25.0, 25.0, 50.0, 25.0, 25.0, 50.0, 100.0]
+    with pytest.raises(ValueError):
+        restart_schedule(attempts=0)
+    with pytest.raises(ValueError):
+        restart_schedule(unit_scale=0.0)

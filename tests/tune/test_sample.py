@@ -1,0 +1,72 @@
+"""RuntimeSample: validation, stats, portable state, decimation."""
+
+import numpy as np
+import pytest
+
+from repro.tune.sample import STATE_CAP, RuntimeSample
+
+
+def test_record_and_stats():
+    s = RuntimeSample(unit="s")
+    assert s.count == 0 and s.mean == 0.0 and s.var == 0.0
+    s.record(2.0)
+    assert s.var == 0.0  # one observation: variance undefined -> 0
+    s.record_many([1.0, 3.0])
+    assert s.count == len(s) == 3
+    assert s.mean == pytest.approx(2.0)
+    assert s.var == pytest.approx(1.0)
+    assert s.quantile(0.0) == 1.0
+    assert s.quantile(1.0) == 3.0
+
+
+def test_rejects_bad_observations():
+    s = RuntimeSample()
+    for bad in (-1.0, float("nan"), float("inf")):
+        with pytest.raises(ValueError):
+            s.record(bad)
+        with pytest.raises(ValueError):
+            s.record_many([1.0, bad])
+    with pytest.raises(ValueError):
+        s.quantile(1.5)
+    assert s.count == 0  # nothing leaked in
+
+
+def test_state_roundtrip_preserves_distribution():
+    s = RuntimeSample(unit="rounds", values=[5.0, 1.0, 3.0, 3.0])
+    state = s.state()
+    assert state["unit"] == "rounds"
+    assert state["count"] == 4
+    assert not state["decimated"]
+    back = RuntimeSample.from_state(state)
+    assert back.unit == "rounds"
+    np.testing.assert_array_equal(back.values, np.sort(s.values))
+
+
+def test_state_decimates_past_cap():
+    rng = np.random.default_rng(0)
+    s = RuntimeSample(values=rng.random(STATE_CAP + 500))
+    state = s.state()
+    assert state["decimated"]
+    assert len(state["values"]) == STATE_CAP
+    assert state["count"] == STATE_CAP + 500
+    # Order statistics keep the quantiles: compare a few against the raw
+    # sample to ~1/STATE_CAP resolution.
+    back = RuntimeSample.from_state(state)
+    for q in (0.1, 0.5, 0.9):
+        assert back.quantile(q) == pytest.approx(s.quantile(q), abs=2e-3)
+
+
+def test_merge_requires_matching_units():
+    a = RuntimeSample(unit="s", values=[1.0])
+    b = RuntimeSample(unit="s", values=[2.0, 3.0])
+    a.merge(b)
+    assert a.count == 3
+    with pytest.raises(ValueError):
+        a.merge(RuntimeSample(unit="rounds"))
+
+
+def test_distribution_bridges_to_predictor():
+    s = RuntimeSample(values=[1.0, 2.0, 3.0, 4.0])
+    dist = s.distribution()
+    assert dist.unit == "s"
+    assert dist.mean() == pytest.approx(2.5)

@@ -1,0 +1,51 @@
+"""Shared timing helpers: estimators, policy, bit-compatibility."""
+
+import pytest
+
+from repro.tune.timers import TimingResult, best_of, measure, median_of, timed
+
+
+def test_timed_returns_nonnegative_seconds():
+    assert timed(lambda: None) >= 0.0
+
+
+def test_best_of_is_min_and_validates():
+    calls = []
+    best_of(lambda: calls.append(1), repeats=5)
+    assert len(calls) == 5
+    with pytest.raises(ValueError):
+        best_of(lambda: None, repeats=0)
+
+
+def test_median_of_matches_legacy_lower_median():
+    # The bench drivers historically used sorted(x)[len(x) // 2]; the
+    # helper must match bit-for-bit so rewiring changed no number.
+    for samples in ([3.0, 1.0, 2.0], [4.0, 1.0, 3.0, 2.0], [7.0]):
+        assert median_of(samples) == sorted(samples)[len(samples) // 2]
+    with pytest.raises(ValueError):
+        median_of([])
+
+
+def test_measure_policy_and_estimators():
+    calls = []
+    result = measure(lambda: calls.append(1), repeats=4, warmup=2)
+    assert len(calls) == 6  # warmups execute but are not timed
+    assert result.repeats == 4
+    assert result.warmup == 2
+    assert result.best == min(result.samples)
+    assert result.median == median_of(result.samples)
+    assert result.mean == pytest.approx(sum(result.samples) / 4)
+    assert result.total == pytest.approx(sum(result.samples))
+    with pytest.raises(ValueError):
+        measure(lambda: None, repeats=0)
+    with pytest.raises(ValueError):
+        measure(lambda: None, warmup=-1)
+
+
+def test_timing_result_snapshot_is_jsonable():
+    r = TimingResult(samples=[0.2, 0.1, 0.3], warmup=1)
+    snap = r.snapshot()
+    assert snap["repeats"] == 3
+    assert snap["best_s"] == 0.1
+    assert snap["median_s"] == 0.2
+    assert snap["total_s"] == pytest.approx(0.6)
