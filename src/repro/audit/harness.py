@@ -261,6 +261,27 @@ def _service_counts(method_name: str):
     return counts
 
 
+def _lottery_counts(method_name: str):
+    """Audit adapter for the committee-lottery realisation path.
+
+    Drives :meth:`repro.select.lottery.CommitteeLottery.from_weights` —
+    the ``k = 1`` corner where committees are singletons and the
+    component histogram *is* the selection histogram — so the whole
+    marginal machinery downstream of an arbitrary (possibly degenerate)
+    weight vector sits under the unified contract.  The precise
+    log-bidding lottery must match ``F_i``; the independent-roulette
+    lottery is registered inexact because its bias is the point.
+    """
+
+    def counts(fitness, trials, seed):
+        from repro.select.lottery import CommitteeLottery
+
+        lottery = CommitteeLottery.from_weights(fitness, method=method_name)
+        return lottery.component_counts(trials, rng=np.random.default_rng(seed))
+
+    return counts
+
+
 def _fenwick_dynamic(fitness, trials, seed):
     from repro.core.dynamic import FenwickSampler
 
@@ -383,6 +404,15 @@ def iter_backends() -> List[Backend]:
                 name=f"service:batched:{name}",
                 family="service",
                 counts=_service_counts(name),
+                exact=get_method(name).exact,
+            )
+        )
+    for name in ("log_bidding", "independent"):
+        backends.append(
+            Backend(
+                name=f"select:lottery:{name}",
+                family="select",
+                counts=_lottery_counts(name),
                 exact=get_method(name).exact,
             )
         )

@@ -1,8 +1,13 @@
-"""Fitness-vector workload generators for the experiments.
+"""Fitness-vector and score workload generators for the experiments.
 
 The paper's two table workloads plus the families needed for the scaling
 and ablation benches.  All generators return plain ``float64`` arrays and
 are registered in :data:`WORKLOADS` for CLI/config access.
+
+Fitness vectors must be non-negative (they are selection weights); the
+*score* generators in :data:`SCORES` have no such constraint — lottery
+scores pass through ``exp(s / smoothing)`` in :mod:`repro.select`, so
+negative and mixed-sign landscapes are first-class there.
 """
 
 from __future__ import annotations
@@ -18,8 +23,13 @@ __all__ = [
     "exponential_fitness",
     "zipf_fitness",
     "sparse_fitness",
+    "normal_scores",
+    "tied_scores",
+    "outlier_scores",
     "WORKLOADS",
     "make_workload",
+    "SCORES",
+    "make_scores",
 ]
 
 
@@ -81,6 +91,36 @@ def sparse_fitness(n: int, k: int, seed: int = 0, value: float = 1.0) -> np.ndar
     return f
 
 
+def normal_scores(n: int, seed: int = 0, scale: float = 1.0) -> np.ndarray:
+    """i.i.d. standard-normal scores — the lottery papers' base case."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return scale * np.random.default_rng(seed).normal(size=n)
+
+
+def tied_scores(n: int, value: float = 0.0) -> np.ndarray:
+    """All-tied scores: the uniform-lottery corner (``p_i = k / n``)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return np.full(n, float(value), dtype=np.float64)
+
+
+def outlier_scores(n: int, seed: int = 0, gap: float = 10.0) -> np.ndarray:
+    """Normal scores with one far-ahead outlier — forces a capped marginal.
+
+    The outlier's water-filled marginal pins to 1 at moderate smoothing,
+    exercising the cap branch of ``smooth_marginals`` and the committee
+    decomposition's handling of always-selected members.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    s = np.random.default_rng(seed).normal(size=n)
+    s[0] = s.max() + gap
+    return s
+
+
 #: Name -> factory registry for CLI/config-driven experiments.
 WORKLOADS: Dict[str, Callable[..., np.ndarray]] = {
     "linear": linear_fitness,
@@ -91,6 +131,14 @@ WORKLOADS: Dict[str, Callable[..., np.ndarray]] = {
     "sparse": sparse_fitness,
 }
 
+#: Name -> factory registry for lottery score landscapes (may be
+#: negative; not valid fitness vectors).
+SCORES: Dict[str, Callable[..., np.ndarray]] = {
+    "normal": normal_scores,
+    "tied": tied_scores,
+    "outlier": outlier_scores,
+}
+
 
 def make_workload(name: str, **kwargs) -> np.ndarray:
     """Instantiate a registered workload by name."""
@@ -98,4 +146,13 @@ def make_workload(name: str, **kwargs) -> np.ndarray:
         factory = WORKLOADS[name]
     except KeyError:
         raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}") from None
+    return factory(**kwargs)
+
+
+def make_scores(name: str, **kwargs) -> np.ndarray:
+    """Instantiate a registered score landscape by name."""
+    try:
+        factory = SCORES[name]
+    except KeyError:
+        raise KeyError(f"unknown scores {name!r}; available: {sorted(SCORES)}") from None
     return factory(**kwargs)

@@ -9,8 +9,10 @@ benchmark (``python -m repro bench-aco``, recorded in
 ``BENCH_aco.json``), the differential degenerate-wheel audit
 (``python -m repro audit``, exit 0 iff zero violations across every
 backend), the async selection service (``python -m repro serve``,
-JSON-lines over TCP or stdio), and the serving benchmark (``python -m
-repro bench-serve``, recorded in ``BENCH_serve.json``).
+JSON-lines over TCP or stdio), the serving benchmark (``python -m
+repro bench-serve``, recorded in ``BENCH_serve.json``), and the
+selection-workloads benchmark (``python -m repro bench-select``,
+recorded in ``BENCH_select.json``).
 """
 
 from __future__ import annotations
@@ -59,7 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         nargs="?",
         choices=sorted(EXPERIMENTS)
-        + ["all", "audit", "bench-aco", "bench-engine", "bench-race", "bench-serve", "bench-tune", "serve"],
+        + ["all", "audit", "bench-aco", "bench-engine", "bench-race", "bench-select", "bench-serve", "bench-tune", "serve"],
         help=(
             "experiment to run ('all' runs every paper experiment; "
             "'audit' runs the differential degenerate-wheel audit over "
@@ -69,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
             "'bench-engine' times the compiled selection engine; "
             "'bench-race' validates the batched race kernel against the "
             "exact round-count law at paper-scale k; "
+            "'bench-select' gates the selection workloads — smooth-"
+            "lottery marginal exactness (precise vs independent-roulette "
+            "at one draw budget) and ranking-&-selection PCS with a "
+            "1-vs-N-worker determinism certificate; "
             "'bench-serve' measures the micro-batching selection service "
             "against the per-request baseline, binary frames against "
             "JSON-lines, and the sharded cluster scaling sweep; "
@@ -158,6 +164,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=128,
         help="bench-aco only: ants per lockstep iteration (default 128)",
+    )
+    parser.add_argument(
+        "--select-replications",
+        type=int,
+        default=None,
+        help="bench-select only: screening replications for the PCS gate (default 40)",
+    )
+    parser.add_argument(
+        "--select-systems",
+        type=int,
+        default=None,
+        help="bench-select only: systems K in the slippage configuration (default 10)",
     )
     parser.add_argument(
         "--host",
@@ -360,6 +378,31 @@ def _run_bench_tune(args) -> int:
     return 0
 
 
+def _run_bench_select(args) -> int:
+    """Run the selection-workloads benchmark, record BENCH_select.json."""
+    from repro.select.bench import (
+        render_bench_select,
+        run_bench_select,
+        write_bench_select,
+    )
+
+    kwargs = {"seed": args.seed}
+    if args.iterations is not None:
+        kwargs["lottery_draws"] = args.iterations
+    if args.select_replications is not None:
+        kwargs["rs_replications"] = args.select_replications
+    if args.select_systems is not None:
+        kwargs["rs_systems"] = args.select_systems
+    report = run_bench_select(**kwargs)
+    path = write_bench_select(report, args.output or "BENCH_select.json")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_bench_select(report))
+        print(f"recorded -> {path}")
+    return 0
+
+
 def _run_bench_serve(args) -> int:
     """Run the serving benchmark, record BENCH_serve.json."""
     from repro.service.loadgen import (
@@ -533,6 +576,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "bench-aco",
             "bench-engine",
             "bench-race",
+            "bench-select",
             "bench-serve",
             "bench-tune",
             "lab",
@@ -551,6 +595,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench_engine(args)
     if args.experiment == "bench-race":
         return _run_bench_race(args)
+    if args.experiment == "bench-select":
+        return _run_bench_select(args)
     if args.experiment == "bench-serve":
         return _run_bench_serve(args)
     if args.experiment == "bench-tune":

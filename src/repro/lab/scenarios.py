@@ -13,6 +13,8 @@ aco        :func:`repro.engine.aco_bench.run_bench_aco` (tours/s)
 serve      the PR 5/7 service stack in-process (draws + updates /s)
 accuracy   :func:`repro.bench.runner.monte_carlo_selection` (Tables I/II)
 tune       :func:`repro.tune.bench.run_bench_tune` (speedup prediction)
+rs         :func:`repro.select.rs.run_rs` (screening PCS / samples)
+lottery    :class:`repro.select.lottery.CommitteeLottery` (marginal err)
 sleep      deterministic-duration no-op (tests, kill-and-resume gate)
 ========== ===========================================================
 
@@ -288,6 +290,90 @@ def _tune(params: Mapping[str, Any]) -> Dict[str, Any]:
         "autotune_ratio": at["ratio_vs_best_static"],
         "probe_budget_fraction": at["probe_budget_fraction"],
         "gates_met": bool(report["gates_met"]),
+    }
+
+
+@scenario("rs")
+def _rs(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Screening R&S on the slippage configuration: PCS and budget.
+
+    One cell = one (K, delta, alpha, seed) point; the matrix axes map
+    to the Ni-Henderson-Ciocan experiment grid (systems x indifference
+    zone), with ``workers`` sweepable for the parallel-screening leg.
+    """
+    from repro.select.rs import make_systems, run_rs
+
+    instance = make_systems(
+        int(params.get("systems", 10)),
+        float(params.get("delta", 0.05)),
+        outcomes=int(params.get("outcomes", 33)),
+    )
+    report = run_rs(
+        instance,
+        int(params.get("replications", 20)),
+        alpha=float(params.get("alpha", 0.1)),
+        n0=int(params.get("n0", 32)),
+        growth=float(params.get("growth", 2.0)),
+        max_rounds=int(params.get("max_rounds", 10)),
+        seed=int(params.get("seed", 0)),
+        workers=int(params["workers"]) if "workers" in params else None,
+    )
+    return {
+        "pcs": report["pcs"],
+        "target_pcs": 1.0 - report["alpha"],
+        "replications": report["replications"],
+        "workers": report["workers"],
+        "mean_rounds": report["mean_rounds"],
+        "mean_samples": report["mean_samples"],
+        "total_samples": report["total_samples"],
+        "wall_s": report["wall_s"],
+        "samples_per_s": report["samples_per_s"],
+    }
+
+
+@scenario("lottery")
+def _lottery(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Smooth partial lottery: marginal error vs throughput for one backend.
+
+    One cell = one (K, k, smoothing, method, seed) point; sweeping
+    ``method`` over log_bidding and independent reproduces the
+    exactness-vs-bias comparison of the lottery paper as a lab table.
+    """
+    import numpy as np
+
+    from repro.bench.workloads import make_scores
+    from repro.rng.streams import derive_seed
+    from repro.select.lottery import CommitteeLottery
+
+    n = int(params.get("n", 64))
+    k = int(params.get("k", 8))
+    method = str(params.get("method", "log_bidding"))
+    draws = int(params.get("draws", 100_000))
+    seed = int(params.get("seed", 0))
+    landscape = str(params.get("scores", "normal"))
+    score_kwargs = {"n": n}
+    if landscape != "tied":
+        score_kwargs["seed"] = derive_seed(seed, 1)
+    scores = make_scores(landscape, **score_kwargs)
+    lottery = CommitteeLottery(
+        scores, k, smoothing=float(params.get("smoothing", 0.35)),
+        method=method,
+    )
+    rng = np.random.default_rng(derive_seed(seed, 2))
+    start = time.perf_counter()
+    counts = lottery.component_counts(draws, rng=rng)
+    elapsed = time.perf_counter() - start
+    empirical = lottery.marginal_error(lottery.empirical_marginals(counts))
+    analytic = lottery.marginal_error(lottery.induced_marginals())
+    return {
+        "n_components": lottery.n_components,
+        "draws": draws,
+        "max_abs_error": empirical["max_abs"],
+        "tv_per_seat": empirical["tv_per_seat"],
+        "analytic_max_abs_error": analytic["max_abs"],
+        "analytic_tv_per_seat": analytic["tv_per_seat"],
+        "elapsed_s": elapsed,
+        "draws_per_s": draws / elapsed if elapsed else 0.0,
     }
 
 

@@ -1,0 +1,525 @@
+"""``python -m repro bench-select``: gate the selection workloads.
+
+The record (``BENCH_select.json``) evaluates the subsystem's claims:
+
+1. **Lottery exactness gate** — the headline precision win.  A smooth
+   partial lottery (``K`` candidates, ``k`` seats, score-smoothed
+   marginals) is compiled to one committee wheel and sampled with the
+   precise log-bidding backend and with the paper's independent-
+   roulette baseline *at the same draw budget*.  The gate requires the
+   precise backend's worst marginal error to stay within tolerance
+   while the independent baseline measurably exceeds it — the bias is
+   structural (the closed-form induced marginals are recorded
+   alongside), so no budget rescues it.
+
+2. **R&S PCS gate** — screening on the slippage configuration (every
+   inferior system exactly ``delta`` below the best) must select the
+   true best in at least a ``1 - alpha`` fraction of replications.
+
+3. **Parallel-screening speedup leg** — replication fan-out wall-clock
+   at ``1`` vs ``N`` workers against the :func:`repro.tune.sharded_speedup`
+   work-sharing model.  On hosts with fewer than 4 cores the measurement
+   is meaningless (workers time-slice), so the leg auto-skips with the
+   reason recorded — the BENCH_tune discipline.
+
+4. **Prediction check** (satellite: tune integration) — screening-round
+   runtimes recorded into a :class:`repro.tune.RuntimeSample` must yield
+   a distribution whose ``expected_min(W)`` matches a seeded Monte
+   Carlo resampling of min-of-``W`` from the same sample.  This
+   validates the speedup-curve inputs on every host, with no wall-clock
+   noise in the oracle.
+
+Plus the acceptance-criterion **determinism certificate**: ``run_rs``
+selections and sample counts are byte-identical for 1 and ``N``
+workers.  The validator refuses records where the certificate fails.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import time
+from typing import Any, Dict
+
+import numpy as np
+
+from repro._version import __version__
+from repro.rng.streams import derive_seed
+from repro.select.lottery import CommitteeLottery
+from repro.select.rs import make_systems, run_rs
+from repro.tune.predictor import RuntimeDistribution
+from repro.tune.sample import RuntimeSample
+
+__all__ = [
+    "run_bench_select",
+    "validate_bench_select",
+    "write_bench_select",
+    "render_bench_select",
+    "BENCH_SELECT_SCHEMA",
+]
+
+#: Schema tag for BENCH_select.json (bump on layout changes).
+BENCH_SELECT_SCHEMA = "repro/bench-select/v1"
+
+#: Sections every record must carry (used by the CI smoke check).
+_REQUIRED_SECTIONS = (
+    "lottery",
+    "rs",
+    "parallel",
+    "prediction",
+    "determinism",
+)
+
+#: Worst per-seat marginal error the precise backend must stay inside.
+#: At the default 200k-draw budget the sampling noise on a marginal is
+#: ~1e-3, two orders below the tolerance; the independent baseline's
+#: structural bias on the default wheel is ~0.4, two orders above it.
+LOTTERY_TOLERANCE = 0.02
+
+#: Relative error allowed between ``expected_min`` and its Monte Carlo
+#: resampling oracle (20k trials keeps the MC noise well inside this).
+PREDICTION_TOLERANCE = 0.05
+
+#: Relative error allowed between the work-sharing speedup model and
+#: the measured fan-out speedup (wall-clock leg, multi-core hosts only).
+SPEEDUP_TOLERANCE = 0.35
+
+#: Worker count of the speedup leg and the determinism certificate.
+_FANOUT_WORKERS = 4
+
+#: Integer key namespace for :func:`repro.rng.streams.derive_seed`
+#: (string keys are not supported): keeps the bench's substreams
+#: disjoint from the replication streams ``derive_seed(seed, r)``.
+_KEY_SCORES = 1_000_001
+_KEY_DRAWS = {"log_bidding": 1_000_002, "independent": 1_000_003}
+_KEY_PRED = 1_000_004
+
+
+# ----------------------------------------------------------------------
+def _lottery_section(
+    seed: int, *, n: int, k: int, smoothing: float, draws: int
+) -> Dict[str, Any]:
+    """Precise vs independent committee marginals at one draw budget."""
+    rng = np.random.default_rng(derive_seed(seed, _KEY_SCORES))
+    scores = rng.normal(size=n)
+    results: Dict[str, Any] = {}
+    elapsed: Dict[str, float] = {}
+    for method in ("log_bidding", "independent"):
+        lottery = CommitteeLottery(scores, k, smoothing=smoothing, method=method)
+        draw_rng = np.random.default_rng(derive_seed(seed, _KEY_DRAWS[method]))
+        start = time.perf_counter()
+        counts = lottery.component_counts(draws, rng=draw_rng)
+        elapsed[method] = time.perf_counter() - start
+        empirical = lottery.empirical_marginals(counts)
+        emp_err = lottery.marginal_error(empirical)
+        analytic = lottery.induced_marginals()
+        ana_err = lottery.marginal_error(analytic)
+        results[method] = {
+            "empirical_max_abs": emp_err["max_abs"],
+            "empirical_tv_per_seat": emp_err["tv_per_seat"],
+            "analytic_max_abs": ana_err["max_abs"],
+            "analytic_tv_per_seat": ana_err["tv_per_seat"],
+            "elapsed_s": elapsed[method],
+            "draws_per_s": draws / elapsed[method] if elapsed[method] else 0.0,
+        }
+    precise = results["log_bidding"]["empirical_max_abs"]
+    biased = results["independent"]["empirical_max_abs"]
+    return {
+        "n": n,
+        "k": k,
+        "smoothing": smoothing,
+        "draws": draws,
+        "n_components": lottery.n_components,
+        "methods": results,
+        "tolerance": LOTTERY_TOLERANCE,
+        "precise_within": bool(precise <= LOTTERY_TOLERANCE),
+        "baseline_outside": bool(biased > LOTTERY_TOLERANCE),
+        "separation": biased / precise if precise > 0 else math.inf,
+        "gate_met": bool(
+            precise <= LOTTERY_TOLERANCE and biased > LOTTERY_TOLERANCE
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+def _rs_section(
+    seed: int,
+    *,
+    n_systems: int,
+    delta: float,
+    alpha: float,
+    replications: int,
+    n0: int,
+    round_sample: RuntimeSample,
+) -> Dict[str, Any]:
+    """PCS on the slippage configuration, single-worker reference run."""
+    instance = make_systems(n_systems, delta)
+    report = run_rs(
+        instance,
+        replications,
+        alpha=alpha,
+        n0=n0,
+        seed=seed,
+        workers=1,
+        round_sample=round_sample,
+    )
+    target = 1.0 - alpha
+    return {
+        "n_systems": n_systems,
+        "delta": delta,
+        "alpha": alpha,
+        "replications": replications,
+        "n0": n0,
+        "true_best": report["true_best"],
+        "pcs": report["pcs"],
+        "correct": report["correct"],
+        "mean_rounds": report["mean_rounds"],
+        "mean_samples": report["mean_samples"],
+        "total_samples": report["total_samples"],
+        "wall_s": report["wall_s"],
+        "samples_per_s": report["samples_per_s"],
+        "target_pcs": target,
+        "gate_met": bool(report["pcs"] >= target),
+    }
+
+
+# ----------------------------------------------------------------------
+def _parallel_section(
+    seed: int,
+    *,
+    n_systems: int,
+    delta: float,
+    alpha: float,
+    replications: int,
+    n0: int,
+    cpu_count: int,
+) -> Dict[str, Any]:
+    """Measured fan-out speedup vs the work-sharing model, or a skip."""
+    if cpu_count < _FANOUT_WORKERS:
+        return {
+            "workers": _FANOUT_WORKERS,
+            "skipped": True,
+            "skip_reason": (
+                f"cpu_count={cpu_count} < {_FANOUT_WORKERS}: replication "
+                f"workers would time-slice cores and the wall-clock speedup "
+                f"would not reflect the work-sharing model"
+            ),
+            "gate_tolerance": SPEEDUP_TOLERANCE,
+            "gate_met": True,
+        }
+    from repro.tune.predictor import sharded_speedup
+
+    instance = make_systems(n_systems, delta)
+    kwargs = dict(alpha=alpha, n0=n0, seed=seed)
+    solo = run_rs(instance, replications, workers=1, **kwargs)
+    fanned = run_rs(instance, replications, workers=_FANOUT_WORKERS, **kwargs)
+    measured = solo["wall_s"] / fanned["wall_s"] if fanned["wall_s"] else 1.0
+    # Pool startup is the only modelled overhead; estimate it from the
+    # calibrated spawn cost when a calibration is cached, else zero.
+    try:
+        from repro.tune.calibration import load_calibration
+
+        cal = load_calibration()
+        overhead = cal.spawn_overhead_s if cal is not None else 0.0
+    except Exception:
+        overhead = 0.0
+    predicted = sharded_speedup(
+        solo["wall_s"], _FANOUT_WORKERS, overhead_s=overhead
+    )
+    error = abs(predicted - measured) / measured if measured else 0.0
+    return {
+        "workers": _FANOUT_WORKERS,
+        "skipped": False,
+        "skip_reason": None,
+        "solo_wall_s": solo["wall_s"],
+        "fanned_wall_s": fanned["wall_s"],
+        "measured_speedup": measured,
+        "predicted_speedup": predicted,
+        "spawn_overhead_s": overhead,
+        "relative_error": error,
+        "gate_tolerance": SPEEDUP_TOLERANCE,
+        "gate_met": bool(error <= SPEEDUP_TOLERANCE),
+    }
+
+
+# ----------------------------------------------------------------------
+def _prediction_section(
+    seed: int, round_sample: RuntimeSample, *, trials: int = 20_000
+) -> Dict[str, Any]:
+    """``expected_min`` vs seeded resampling of min-of-W round times.
+
+    The distribution built from recorded screening-round runtimes is
+    exactly what :func:`repro.tune.RuntimeDistribution.speedup_curve`
+    consumes; resampling min-of-``W`` from the *same* empirical values
+    is a noise-free-model / noisy-oracle check that runs identically on
+    every host.
+    """
+    if round_sample.count < 2:
+        raise ValueError(
+            f"need at least 2 recorded round times, got {round_sample.count}"
+        )
+    dist = round_sample.distribution()
+    rng = np.random.default_rng(derive_seed(seed, _KEY_PRED))
+    values = np.asarray(round_sample.values)
+    grid = (1, 2, 4, 8)
+    per_worker: Dict[str, Any] = {}
+    worst = 0.0
+    for w in grid:
+        predicted = dist.expected_min(w)
+        resampled = float(
+            values[rng.integers(0, values.size, size=(trials, w))]
+            .min(axis=1)
+            .mean()
+        )
+        error = abs(predicted - resampled) / resampled if resampled else 0.0
+        worst = max(worst, error)
+        per_worker[str(w)] = {
+            "expected_min_s": predicted,
+            "resampled_min_s": resampled,
+            "relative_error": error,
+        }
+    curve = dist.speedup_curve(grid)
+    return {
+        "round_times_recorded": round_sample.count,
+        "mean_round_s": round_sample.mean,
+        "resample_trials": trials,
+        "per_worker": per_worker,
+        "speedup_curve": {str(w): curve[w] for w in grid},
+        "worst_relative_error": worst,
+        "tolerance": PREDICTION_TOLERANCE,
+        "gate_met": bool(worst <= PREDICTION_TOLERANCE),
+    }
+
+
+# ----------------------------------------------------------------------
+def _determinism_section(
+    seed: int,
+    *,
+    n_systems: int,
+    delta: float,
+    alpha: float,
+    replications: int,
+    n0: int,
+) -> Dict[str, Any]:
+    """1-worker ≡ N-worker replay of the full replication fan-out."""
+    instance = make_systems(n_systems, delta)
+    kwargs = dict(alpha=alpha, n0=n0, seed=seed)
+    solo = run_rs(instance, replications, workers=1, **kwargs)
+    fanned = run_rs(instance, replications, workers=_FANOUT_WORKERS, **kwargs)
+    selections_identical = solo["selected"] == fanned["selected"]
+    samples_identical = solo["total_samples"] == fanned["total_samples"]
+    return {
+        "replications": replications,
+        "workers_compared": [1, _FANOUT_WORKERS],
+        "selections_identical": bool(selections_identical),
+        "sample_counts_identical": bool(samples_identical),
+        "pcs_identical": bool(solo["pcs"] == fanned["pcs"]),
+        "ok": bool(selections_identical and samples_identical),
+    }
+
+
+# ----------------------------------------------------------------------
+def run_bench_select(
+    seed: int = 0,
+    *,
+    lottery_n: int = 64,
+    lottery_k: int = 8,
+    smoothing: float = 0.35,
+    lottery_draws: int = 200_000,
+    rs_systems: int = 10,
+    rs_delta: float = 0.05,
+    rs_alpha: float = 0.1,
+    rs_replications: int = 40,
+    rs_n0: int = 32,
+) -> Dict[str, Any]:
+    """Run every leg and assemble the BENCH_select record."""
+    cpu_count = os.cpu_count() or 1
+    round_sample = RuntimeSample(unit="s")
+
+    lottery = _lottery_section(
+        seed, n=lottery_n, k=lottery_k, smoothing=smoothing, draws=lottery_draws
+    )
+    rs = _rs_section(
+        seed,
+        n_systems=rs_systems,
+        delta=rs_delta,
+        alpha=rs_alpha,
+        replications=rs_replications,
+        n0=rs_n0,
+        round_sample=round_sample,
+    )
+    parallel = _parallel_section(
+        seed,
+        n_systems=rs_systems,
+        delta=rs_delta,
+        alpha=rs_alpha,
+        replications=rs_replications,
+        n0=rs_n0,
+        cpu_count=cpu_count,
+    )
+    prediction = _prediction_section(seed, round_sample)
+    determinism = _determinism_section(
+        seed,
+        n_systems=rs_systems,
+        delta=rs_delta,
+        alpha=rs_alpha,
+        replications=min(rs_replications, 12),
+        n0=rs_n0,
+    )
+    return {
+        "schema": BENCH_SELECT_SCHEMA,
+        "config": {
+            "seed": seed,
+            "lottery_n": lottery_n,
+            "lottery_k": lottery_k,
+            "smoothing": smoothing,
+            "lottery_draws": lottery_draws,
+            "rs_systems": rs_systems,
+            "rs_delta": rs_delta,
+            "rs_alpha": rs_alpha,
+            "rs_replications": rs_replications,
+            "rs_n0": rs_n0,
+        },
+        "lottery": lottery,
+        "rs": rs,
+        "parallel": parallel,
+        "prediction": prediction,
+        "determinism": determinism,
+        "gates_met": bool(
+            lottery["gate_met"]
+            and rs["gate_met"]
+            and parallel["gate_met"]
+            and prediction["gate_met"]
+            and determinism["ok"]
+        ),
+        "meta": {
+            "repro": __version__,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "cpu_count": cpu_count,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+def validate_bench_select(report: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` is a well-formed record.
+
+    Beyond shape, the validator *requires* the determinism certificate
+    to hold — a record whose 1-worker and N-worker replays disagree is
+    rejected outright, never published with a failing flag.
+    """
+    if not isinstance(report, dict):
+        raise ValueError("bench report must be a JSON object")
+    if report.get("schema") != BENCH_SELECT_SCHEMA:
+        raise ValueError(
+            f"schema mismatch: {report.get('schema')!r} != "
+            f"{BENCH_SELECT_SCHEMA!r}"
+        )
+    for section in _REQUIRED_SECTIONS + ("config", "meta"):
+        if not isinstance(report.get(section), dict):
+            raise ValueError(f"missing section {section!r}")
+    lot = report["lottery"]
+    for key in ("precise_within", "baseline_outside", "gate_met"):
+        if not isinstance(lot.get(key), bool):
+            raise ValueError(f"lottery must record boolean {key!r}")
+    for key in ("tolerance", "separation"):
+        value = lot.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(
+                f"lottery.{key} must be a non-negative number, got {value!r}"
+            )
+    rs = report["rs"]
+    pcs = rs.get("pcs")
+    if not isinstance(pcs, (int, float)) or not 0.0 <= pcs <= 1.0:
+        raise ValueError(f"rs.pcs must lie in [0, 1], got {pcs!r}")
+    if not isinstance(rs.get("gate_met"), bool):
+        raise ValueError("rs must record boolean gate_met")
+    par = report["parallel"]
+    if par.get("skipped"):
+        if not par.get("skip_reason"):
+            raise ValueError("skipped parallel leg must record a skip_reason")
+    else:
+        for key in ("measured_speedup", "predicted_speedup", "relative_error"):
+            value = par.get(key)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise ValueError(
+                    f"unskipped parallel leg must record finite {key!r}"
+                )
+    if not isinstance(par.get("gate_met"), bool):
+        raise ValueError("parallel must record boolean gate_met")
+    pred = report["prediction"]
+    if not isinstance(pred.get("gate_met"), bool):
+        raise ValueError("prediction must record boolean gate_met")
+    det = report["determinism"]
+    if det.get("ok") is not True:
+        raise ValueError(
+            "determinism certificate failed: 1-worker and N-worker replays "
+            "must be byte-identical"
+        )
+    if "gates_met" not in report or not isinstance(report["gates_met"], bool):
+        raise ValueError("report must record boolean gates_met")
+
+
+def write_bench_select(
+    report: Dict[str, Any], path: str = "BENCH_select.json"
+) -> str:
+    """Validate and write a select bench report; returns the path."""
+    validate_bench_select(report)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def render_bench_select(report: Dict[str, Any]) -> str:
+    """One-screen human summary of a select bench report."""
+    lot, rs = report["lottery"], report["rs"]
+    par, pred, det = (
+        report["parallel"],
+        report["prediction"],
+        report["determinism"],
+    )
+    precise = lot["methods"]["log_bidding"]["empirical_max_abs"]
+    biased = lot["methods"]["independent"]["empirical_max_abs"]
+    lines = [
+        f"== select bench: cpus={report['meta']['cpu_count']} ==",
+        f"lottery (K={lot['n']}, k={lot['k']}, "
+        f"smoothing={lot['smoothing']:g}, {lot['draws']} draws, "
+        f"{lot['n_components']} committees):",
+        f"  log_bidding max marginal error {precise:.2e} "
+        f"(tol {lot['tolerance']:g}), independent {biased:.3f} "
+        f"-> {lot['separation']:.0f}x separation "
+        f"({'OK' if lot['gate_met'] else 'FAIL'})",
+        f"rs (K={rs['n_systems']}, delta={rs['delta']:g}, "
+        f"alpha={rs['alpha']:g}): PCS {rs['pcs']:.3f} over "
+        f"{rs['replications']} replications "
+        f"(target {rs['target_pcs']:.2f}), "
+        f"{rs['mean_samples']:.0f} samples/rep in "
+        f"{rs['mean_rounds']:.1f} rounds "
+        f"({'OK' if rs['gate_met'] else 'FAIL'})",
+    ]
+    if par["skipped"]:
+        lines.append(f"parallel leg: SKIPPED ({par['skip_reason']})")
+    else:
+        lines.append(
+            f"parallel leg: measured {par['measured_speedup']:.2f}x vs "
+            f"predicted {par['predicted_speedup']:.2f}x at "
+            f"W={par['workers']} "
+            f"({'OK' if par['gate_met'] else 'FAIL'})"
+        )
+    lines += [
+        f"prediction: worst expected-min error "
+        f"{pred['worst_relative_error'] * 100:.2f}% over "
+        f"{pred['round_times_recorded']} round times "
+        f"({'OK' if pred['gate_met'] else 'FAIL'})",
+        f"determinism: selections={det['selections_identical']}, "
+        f"samples={det['sample_counts_identical']} over "
+        f"W={det['workers_compared']} "
+        f"({'OK' if det['ok'] else 'FAIL'})",
+        f"gates_met: {report['gates_met']}",
+    ]
+    return "\n".join(lines)

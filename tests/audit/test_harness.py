@@ -41,6 +41,7 @@ class TestBackendInventory:
             "simt",
             "msg",
             "service",
+            "select",
         }
 
     def test_names_are_unique(self):

@@ -1,0 +1,28 @@
+"""The subpackage must not shadow the top-level ``repro.select`` call.
+
+Importing ``repro.select`` rebinds the attribute on the ``repro``
+package from the selector function to this module (normal submodule
+import semantics); the package makes itself callable so both contracts
+hold at once.
+"""
+
+import repro
+import repro.select
+from repro.core.selector import select as select_fn
+
+
+class TestCallableModule:
+    def test_module_call_matches_selector(self):
+        assert repro.select([0.0, 1.0, 2.0], rng=7) == select_fn(
+            [0.0, 1.0, 2.0], rng=7
+        )
+
+    def test_module_call_forwards_method(self):
+        fitness = [1.0, 2.0, 3.0]
+        assert repro.select(fitness, rng=3, method="log_bidding") == select_fn(
+            fitness, rng=3, method="log_bidding"
+        )
+
+    def test_workload_api_still_importable(self):
+        assert callable(repro.select.smooth_marginals)
+        assert callable(repro.select.run_rs)
